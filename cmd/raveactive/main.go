@@ -1,0 +1,117 @@
+// Command raveactive is the active render client (§3.1.2): "a
+// stand-alone copy of the render service that can only render to the
+// screen", for users who cannot install a Grid/Web service container. It
+// subscribes to a data service session, keeps a local replica, and
+// renders frames locally to PNG — no UDDI registration, no serving.
+//
+//	raveactive -data 127.0.0.1:9000 -session skull -out view.png
+//	raveactive -registry http://host:8090 -session skull -frames 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/device"
+	"repro/internal/uddi"
+	"repro/internal/wsdl"
+)
+
+func main() {
+	user := flag.String("user", "active-user", "user name (your avatar identity)")
+	dataAddr := flag.String("data", "", "data service address (skips UDDI discovery)")
+	registry := flag.String("registry", "", "UDDI registry URL for discovery")
+	session := flag.String("session", "default", "session to join")
+	dev := flag.String("device", "athlon", "local device profile: centrino, athlon, v880z, xeon, onyx")
+	workers := flag.Int("workers", 4, "parallel rasterizer bands")
+	frames := flag.Int("frames", 1, "frames to render locally")
+	width := flag.Int("width", 640, "frame width")
+	height := flag.Int("height", 480, "frame height")
+	out := flag.String("out", "raveactive.png", "PNG path for the final frame")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "raveactive:", err)
+		os.Exit(1)
+	}
+
+	profile, err := deviceByKey(*dev)
+	if err != nil {
+		fail(err)
+	}
+
+	target := *dataAddr
+	if target == "" {
+		if *registry == "" {
+			fail(fmt.Errorf("need -data or -registry"))
+		}
+		proxy := uddi.Connect(*registry)
+		points, err := proxy.Bootstrap("RAVE", wsdl.DataServicePortType)
+		if err != nil {
+			fail(fmt.Errorf("UDDI discovery: %w", err))
+		}
+		if len(points) == 0 {
+			fail(fmt.Errorf("no data services registered"))
+		}
+		target = strings.TrimPrefix(points[0], "tcp://")
+		fmt.Printf("raveactive: discovered data service at %s\n", target)
+	}
+
+	conn, err := net.Dial("tcp", target)
+	if err != nil {
+		fail(err)
+	}
+	defer conn.Close()
+
+	active := client.NewActive(*user, profile, *workers)
+	ready := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() { errc <- active.Subscribe(conn, *session, func() { close(ready) }) }()
+	select {
+	case <-ready:
+		fmt.Printf("raveactive: joined session %q (device %s)\n", *session, profile.Name)
+	case err := <-errc:
+		fail(fmt.Errorf("subscription: %v", err))
+	case <-time.After(60 * time.Second):
+		fail(fmt.Errorf("bootstrap timed out"))
+	}
+
+	start := time.Now()
+	for i := 0; i < *frames; i++ {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		if err := active.RenderPNG(f, *width, *height); err != nil {
+			f.Close()
+			fail(err)
+		}
+		f.Close()
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("raveactive: rendered %d frame(s) of %dx%d locally in %v; wrote %s\n",
+		*frames, *width, *height, elapsed.Round(time.Millisecond), *out)
+}
+
+// deviceByKey maps short CLI names onto testbed profiles.
+func deviceByKey(key string) (device.Profile, error) {
+	switch strings.ToLower(key) {
+	case "centrino", "laptop":
+		return device.CentrinoLaptop, nil
+	case "athlon":
+		return device.AthlonDesktop, nil
+	case "v880z", "sun":
+		return device.SunV880z, nil
+	case "xeon":
+		return device.XeonDesktop, nil
+	case "onyx", "sgi":
+		return device.SGIOnyx, nil
+	default:
+		return device.Profile{}, fmt.Errorf("unknown device %q (centrino|athlon|v880z|xeon|onyx)", key)
+	}
+}

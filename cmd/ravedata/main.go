@@ -1,0 +1,96 @@
+// Command ravedata runs a RAVE data service: it imports a model into a
+// session, listens for direct-socket subscriptions from render services
+// and clients, optionally records the audit trail, and registers its
+// access point with a UDDI registry.
+//
+//	ravedata -session skull -model skeletal-hand -addr :9000 \
+//	         -registry http://host:8090 -record skull.rava
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"repro/internal/dataservice"
+	"repro/internal/geom/genmodel"
+	"repro/internal/uddi"
+	"repro/internal/wsdl"
+)
+
+func main() {
+	name := flag.String("name", "rave-data", "service name")
+	addr := flag.String("addr", "127.0.0.1:9000", "listen address for direct sockets")
+	session := flag.String("session", "default", "session name to host")
+	model := flag.String("model", "galleon",
+		"model to import: galleon, elle, skeletal-hand, skeleton, or a .obj path")
+	triangles := flag.Int("triangles", 0, "triangle budget for generated models (0 = paper size)")
+	registry := flag.String("registry", "", "UDDI registry URL to register with (optional)")
+	record := flag.String("record", "", "record the session audit trail to this file")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "ravedata:", err)
+		os.Exit(1)
+	}
+
+	svc := dataservice.New(dataservice.Config{Name: *name})
+	var sess *dataservice.Session
+	if mesh, err := genmodel.ByName(*model, *triangles); err == nil {
+		sess, err = svc.CreateSessionFromMesh(*session, *model, mesh)
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		f, ferr := os.Open(*model)
+		if ferr != nil {
+			fail(fmt.Errorf("model %q is neither a generator nor a readable file: %v", *model, ferr))
+		}
+		sess, err = svc.CreateSessionFromOBJ(*session, f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := sess.StartRecording(f); err != nil {
+			fail(err)
+		}
+		fmt.Printf("ravedata: recording audit trail to %s\n", *record)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("ravedata: session %q on tcp://%s\n", *session, ln.Addr())
+
+	if *registry != "" {
+		proxy := uddi.Connect(*registry)
+		_, err := proxy.RegisterService("RAVE", *name, "tcp://"+ln.Addr().String(), wsdl.DataServicePortType)
+		if err != nil {
+			fail(fmt.Errorf("UDDI registration: %w", err))
+		}
+		fmt.Printf("ravedata: registered with %s\n", *registry)
+	}
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			fail(err)
+		}
+		go func(c net.Conn) {
+			defer c.Close()
+			if err := svc.ServeConn(c); err != nil {
+				fmt.Fprintln(os.Stderr, "ravedata: connection:", err)
+			}
+		}(conn)
+	}
+}

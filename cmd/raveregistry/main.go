@@ -1,0 +1,46 @@
+// Command raveregistry runs the UDDI registry RAVE services advertise
+// through, and doubles as the Figure 4 registry browser.
+//
+//	raveregistry -addr :8090                 # serve a registry
+//	raveregistry -browse http://host:8090    # print the registry tree
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"repro/internal/perfmodel"
+	"repro/internal/uddi"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8090", "listen address for the registry")
+	browse := flag.String("browse", "", "browse a running registry at this URL instead of serving")
+	flag.Parse()
+
+	if *browse != "" {
+		proxy := uddi.Connect(*browse)
+		entries, err := proxy.DumpEntries()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "raveregistry:", err)
+			os.Exit(1)
+		}
+		fmt.Print(perfmodel.RenderRegistryListing(entries))
+		return
+	}
+
+	reg := uddi.NewRegistry()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "raveregistry:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("raveregistry: serving UDDI on http://%s\n", ln.Addr())
+	if err := http.Serve(ln, uddi.NewServer(reg)); err != nil {
+		fmt.Fprintln(os.Stderr, "raveregistry:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,136 @@
+// Command raverender runs a RAVE render service: it discovers (or is
+// told) a data service, subscribes to a session, serves thin clients and
+// peer render services on its own socket, and registers with UDDI.
+//
+//	raverender -name tower -device athlon -session skull \
+//	           -registry http://host:8090            # discover the data service
+//	raverender -data 127.0.0.1:9000 -session skull   # or dial it directly
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+
+	"repro/internal/device"
+	"repro/internal/renderservice"
+	"repro/internal/uddi"
+	"repro/internal/wsdl"
+)
+
+// deviceByKey maps short CLI names onto testbed profiles.
+func deviceByKey(key string) (device.Profile, error) {
+	switch strings.ToLower(key) {
+	case "centrino", "laptop":
+		return device.CentrinoLaptop, nil
+	case "athlon":
+		return device.AthlonDesktop, nil
+	case "v880z", "sun":
+		return device.SunV880z, nil
+	case "xeon":
+		return device.XeonDesktop, nil
+	case "onyx", "sgi":
+		return device.SGIOnyx, nil
+	case "pda", "zaurus":
+		return device.ZaurusPDA, nil
+	default:
+		return device.Profile{}, fmt.Errorf("unknown device %q (centrino|athlon|v880z|xeon|onyx|pda)", key)
+	}
+}
+
+func main() {
+	name := flag.String("name", "rave-render", "service name")
+	dev := flag.String("device", "athlon", "device profile: centrino, athlon, v880z, xeon, onyx, pda")
+	workers := flag.Int("workers", 4, "parallel rasterizer bands")
+	addr := flag.String("addr", "127.0.0.1:9001", "listen address for clients/peers")
+	session := flag.String("session", "default", "session to subscribe to")
+	dataAddr := flag.String("data", "", "data service address (skips UDDI discovery)")
+	registry := flag.String("registry", "", "UDDI registry URL (for discovery and registration)")
+	linkBps := flag.Float64("linkbps", 94e6, "client link throughput estimate for the adaptive codec")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "raverender:", err)
+		os.Exit(1)
+	}
+
+	profile, err := deviceByKey(*dev)
+	if err != nil {
+		fail(err)
+	}
+	rs := renderservice.New(renderservice.Config{
+		Name: *name, Device: profile, Workers: *workers,
+	})
+
+	// Locate the data service.
+	target := *dataAddr
+	if target == "" {
+		if *registry == "" {
+			fail(fmt.Errorf("need -data or -registry to find a data service"))
+		}
+		proxy := uddi.Connect(*registry)
+		points, err := proxy.Bootstrap("RAVE", wsdl.DataServicePortType)
+		if err != nil {
+			fail(fmt.Errorf("UDDI discovery: %w", err))
+		}
+		if len(points) == 0 {
+			fail(fmt.Errorf("no data services registered"))
+		}
+		target = strings.TrimPrefix(points[0], "tcp://")
+		fmt.Printf("raverender: discovered data service at %s\n", target)
+	}
+
+	conn, err := net.Dial("tcp", target)
+	if err != nil {
+		fail(err)
+	}
+	subErr := make(chan error, 1)
+	ready := make(chan struct{})
+	go func() {
+		subErr <- rs.SubscribeToData(conn, *session, func(*renderservice.Session) { close(ready) })
+	}()
+	select {
+	case <-ready:
+		fmt.Printf("raverender: bootstrapped session %q from %s\n", *session, target)
+	case err := <-subErr:
+		fail(fmt.Errorf("subscription: %v", err))
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("raverender: serving clients on tcp://%s (device %s)\n", ln.Addr(), profile.Name)
+
+	if *registry != "" {
+		proxy := uddi.Connect(*registry)
+		_, err := proxy.RegisterService("RAVE", *name, "tcp://"+ln.Addr().String(), wsdl.RenderServicePortType)
+		if err != nil {
+			fail(fmt.Errorf("UDDI registration: %w", err))
+		}
+		fmt.Printf("raverender: registered with %s\n", *registry)
+	}
+
+	go func() {
+		if err := <-subErr; err != nil {
+			fail(fmt.Errorf("data service connection lost: %v", err))
+		}
+		fmt.Println("raverender: data service closed the session")
+		os.Exit(0)
+	}()
+
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			fail(err)
+		}
+		go func(c net.Conn) {
+			defer c.Close()
+			if err := rs.ServeClient(c, *linkBps); err != nil {
+				fmt.Fprintln(os.Stderr, "raverender: client:", err)
+			}
+		}(c)
+	}
+}

@@ -1,0 +1,109 @@
+// Command ravethin is the thin client (the paper's Zaurus PDA role): it
+// connects to a render service — directly or via UDDI discovery — orbits
+// the camera while requesting frames, reports the achieved frame rate,
+// and writes the final frame as a PNG.
+//
+//	ravethin -render 127.0.0.1:9001 -session skull -frames 10 -out view.png
+//	ravethin -registry http://host:8090 -session skull
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/raster"
+	"repro/internal/uddi"
+	"repro/internal/wsdl"
+)
+
+func main() {
+	renderAddr := flag.String("render", "", "render service address (skips UDDI discovery)")
+	registry := flag.String("registry", "", "UDDI registry URL for discovery")
+	session := flag.String("session", "default", "session to view")
+	user := flag.String("user", "zaurus", "client name")
+	frames := flag.Int("frames", 5, "frames to request")
+	width := flag.Int("width", 200, "frame width (the Zaurus used 200)")
+	height := flag.Int("height", 200, "frame height")
+	codec := flag.String("codec", "adaptive", "frame codec: raw, rle, delta-rle, adaptive")
+	out := flag.String("out", "ravethin.png", "PNG path for the final frame")
+	orbit := flag.Bool("orbit", false, "orbit the camera between frames (otherwise keep the session's fitted view)")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "ravethin:", err)
+		os.Exit(1)
+	}
+
+	target := *renderAddr
+	if target == "" {
+		if *registry == "" {
+			fail(fmt.Errorf("need -render or -registry"))
+		}
+		proxy := uddi.Connect(*registry)
+		points, err := proxy.Bootstrap("RAVE", wsdl.RenderServicePortType)
+		if err != nil {
+			fail(fmt.Errorf("UDDI discovery: %w", err))
+		}
+		if len(points) == 0 {
+			fail(fmt.Errorf("no render services registered"))
+		}
+		target = strings.TrimPrefix(points[0], "tcp://")
+		fmt.Printf("ravethin: discovered render service at %s\n", target)
+	}
+
+	conn, err := net.Dial("tcp", target)
+	if err != nil {
+		fail(err)
+	}
+	defer conn.Close()
+	thin, err := client.DialThin(conn, *user, *session)
+	if err != nil {
+		fail(err)
+	}
+	defer thin.Close()
+
+	rep, err := thin.Capacity()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("ravethin: render service %s: %.1fM polys/sec, %dMB texture memory\n",
+		rep.Name, rep.PolysPerSecond/1e6, rep.TextureMemory>>20)
+
+	cam := raster.DefaultCamera()
+	var last *raster.Framebuffer
+	start := time.Now()
+	for i := 0; i < *frames; i++ {
+		if *orbit {
+			cam = cam.Orbit(0.15, 0.02)
+			if err := thin.SetCamera(cam); err != nil {
+				fail(err)
+			}
+		}
+		fb, err := thin.RequestFrame(*width, *height, *codec)
+		if err != nil {
+			fail(err)
+		}
+		last = fb
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("ravethin: %d frames of %dx%d in %v (%.1f fps, codec %s)\n",
+		*frames, *width, *height, elapsed.Round(time.Millisecond),
+		float64(*frames)/elapsed.Seconds(), *codec)
+
+	if last != nil && *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := client.WritePNG(f, last); err != nil {
+			fail(err)
+		}
+		fmt.Printf("ravethin: wrote %s\n", *out)
+	}
+}

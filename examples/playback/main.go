@@ -1,0 +1,125 @@
+// Playback: the §3.1.1 persistence story. A morning session edits the
+// scene while the data service streams an audit trail to disk. In the
+// afternoon a colleague loads the recording into a fresh session, sees
+// the replayed result, and appends their own changes — "collaborating
+// asynchronously with previous users who may then later continue to work
+// with the amended session."
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/client"
+	"repro/internal/dataservice"
+	"repro/internal/device"
+	"repro/internal/geom/genmodel"
+	"repro/internal/mathx"
+	"repro/internal/raster"
+	"repro/internal/renderservice"
+	"repro/internal/scene"
+)
+
+func main() {
+	const trailPath = "playback.rava"
+
+	// --- Morning: record a session. ---
+	morning := dataservice.New(dataservice.Config{Name: "morning"})
+	mesh := genmodel.Galleon(genmodel.PaperGalleonTriangles)
+	sess, err := morning.CreateSessionFromMesh("voyage", "galleon", mesh)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trail, err := os.Create(trailPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.StartRecording(trail); err != nil {
+		log.Fatal(err)
+	}
+
+	// The morning user tilts the ship and adds a sphere buoy.
+	var shipID scene.NodeID
+	sess.Scene(func(sc *scene.Scene) {
+		for _, id := range sc.PayloadIDs() {
+			shipID = id
+		}
+	})
+	err = sess.ApplyUpdate(&scene.SetTransformOp{
+		ID: shipID, Transform: mathx.RotateZ(0.12),
+	}, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buoy := genmodel.Sphere(mathx.V3(4.5, -0.5, 2), 0.4, 24, 12)
+	buoy.ComputeNormals()
+	if _, err := sess.AddMesh("buoy", buoy, mathx.Identity()); err != nil {
+		log.Fatal(err)
+	}
+	sess.StopRecording()
+	trail.Close()
+	info, _ := os.Stat(trailPath)
+	fmt.Printf("morning session recorded: %d updates, %d bytes of audit trail\n",
+		sess.Version(), info.Size())
+
+	// --- Afternoon: a different data service loads the recording. ---
+	f, err := os.Open(trailPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	afternoon := dataservice.New(dataservice.Config{Name: "afternoon"})
+	replayed, err := afternoon.CreateSessionFromRecording("voyage-continued", f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	snap := replayed.Snapshot()
+	fmt.Printf("afternoon replayed the session: %d nodes, version %d\n",
+		len(snap.PayloadIDs()), snap.Version)
+
+	// The afternoon user appends: paint the buoy red by replacing it.
+	var buoyID scene.NodeID
+	replayed.Scene(func(sc *scene.Scene) {
+		sc.Walk(func(n *scene.Node, _ mathx.Mat4) bool {
+			if n.Name == "buoy" {
+				buoyID = n.ID
+			}
+			return true
+		})
+	})
+	if buoyID == 0 {
+		log.Fatal("replayed session lost the buoy")
+	}
+	red := genmodel.Sphere(mathx.V3(4.5, -0.5, 2), 0.4, 24, 12)
+	red.ComputeNormals()
+	red.SetUniformColor(mathx.V3(0.9, 0.15, 0.1))
+	if err := replayed.ApplyUpdate(&scene.RemoveNodeOp{ID: buoyID}, ""); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := replayed.AddMesh("buoy-red", red, mathx.Identity()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("afternoon appended changes; session now at version %d\n", replayed.Version())
+
+	// Render the amended session so the asynchronous collaboration is
+	// visible.
+	rs := renderservice.New(renderservice.Config{
+		Name: "playback-render", Device: device.AthlonDesktop, Workers: 4,
+	})
+	final := replayed.Snapshot()
+	cam := raster.DefaultCamera().FitToBounds(final.Bounds(), mathx.V3(0.3, 0.2, 1))
+	fb, _, err := rs.RenderSceneOnce(final, cam, 400, 300)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := os.Create("playback.png")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer out.Close()
+	if err := client.WritePNG(out, fb); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote playback.png (tilted galleon + the afternoon user's red buoy)")
+}

@@ -1,0 +1,80 @@
+// Quickstart: the smallest complete RAVE deployment, all in one process
+// but over real TCP sockets — a UDDI registry, a data service hosting the
+// galleon, a render service that discovers and subscribes to it, and a
+// thin client that pulls rendered frames and saves one as a PNG.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/geom/genmodel"
+)
+
+func main() {
+	// 1. Registry + data service.
+	dep, err := core.NewDeployment("quickstart-data")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dep.Close()
+	fmt.Println("UDDI registry at", dep.RegistryURL)
+
+	mesh := genmodel.Galleon(genmodel.PaperGalleonTriangles)
+	if _, err := dep.Data.CreateSessionFromMesh("galleon", "galleon", mesh); err != nil {
+		log.Fatal(err)
+	}
+	dataAddr, err := dep.ServeData()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("data service hosting session \"galleon\" at", dataAddr)
+
+	// 2. A render service (modeled as the Athlon desktop) subscribes.
+	rs, renderAddr, err := dep.AddRenderService("render-desktop", device.AthlonDesktop, 4, 94e6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := dep.ConnectRenderToData(rs, dataAddr, "galleon"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("render service bootstrapped; serving clients at", renderAddr)
+
+	// 3. A thin client connects, interrogates capacity, pulls a frame.
+	thin, err := dep.DialThin(renderAddr, "quickstart-user", "galleon")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer thin.Close()
+
+	cap, err := thin.Capacity()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("render service capacity: %.1fM polys/sec, %dMB texture memory\n",
+		cap.PolysPerSecond/1e6, cap.TextureMemory>>20)
+
+	fb, err := thin.RequestFrame(400, 300, "adaptive")
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := os.Create("quickstart.png")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer out.Close()
+	if err := client.WritePNG(out, fb); err != nil {
+		log.Fatal(err)
+	}
+	lit := 0
+	for i := 0; i < len(fb.Color); i += 3 {
+		if fb.Color[i]|fb.Color[i+1]|fb.Color[i+2] != 0 {
+			lit++
+		}
+	}
+	fmt.Println("wrote quickstart.png —", lit, "pixels of galleon")
+}

@@ -1,0 +1,166 @@
+// Package client implements RAVE's two client roles: the thin client
+// (§3.1.3) — a device with little or no rendering capability, like the
+// Sharp Zaurus PDA, that receives rendered frames from a render service —
+// and the active render client (§3.1.2) — "a stand-alone copy of the
+// render service that can only render to the screen", used when no
+// Grid/Web service container can be installed locally.
+package client
+
+import (
+	"fmt"
+	"image/png"
+	"io"
+
+	"repro/internal/device"
+	"repro/internal/imgcodec"
+	"repro/internal/raster"
+	"repro/internal/renderservice"
+	"repro/internal/transport"
+)
+
+// Thin is a thin client attached to a render service over a direct
+// socket. It only manipulates the camera and presents received frames —
+// "the actual data processing and rendering transformations are carried
+// out remotely whilst the local client only deals with information
+// presentation."
+type Thin struct {
+	conn    *transport.Conn
+	name    string
+	session string
+	prev    []byte // previous decoded frame for delta codecs
+}
+
+// DialThin performs the hello handshake on an established socket.
+func DialThin(rw io.ReadWriter, name, session string) (*Thin, error) {
+	conn := transport.NewConn(rw)
+	err := conn.SendJSON(transport.MsgHello, transport.Hello{
+		Role: "thin-client", Name: name, Session: session,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t, payload, err := conn.Receive()
+	if err != nil {
+		return nil, err
+	}
+	if t == transport.MsgError {
+		var ei transport.ErrorInfo
+		transport.DecodeJSON(payload, &ei)
+		return nil, fmt.Errorf("client: connection refused: %s", ei.Message)
+	}
+	if t != transport.MsgOK {
+		return nil, fmt.Errorf("client: expected ok, got %s", t)
+	}
+	return &Thin{conn: conn, name: name, session: session}, nil
+}
+
+// SetCamera sends a camera update (stylus drag on the PDA).
+func (c *Thin) SetCamera(cam raster.Camera) error {
+	return c.conn.SendJSON(transport.MsgCameraUpdate, renderservice.StateFromCamera(cam))
+}
+
+// RequestFrame asks for one rendered frame and decodes it. codec may be
+// "raw", "rle", "delta-rle", "adaptive" or empty (raw).
+func (c *Thin) RequestFrame(w, h int, codec string) (*raster.Framebuffer, error) {
+	err := c.conn.SendJSON(transport.MsgFrameRequest, transport.FrameRequest{W: w, H: h, Codec: codec})
+	if err != nil {
+		return nil, err
+	}
+	t, payload, err := c.conn.Receive()
+	if err != nil {
+		return nil, err
+	}
+	if t == transport.MsgError {
+		var ei transport.ErrorInfo
+		transport.DecodeJSON(payload, &ei)
+		return nil, fmt.Errorf("client: frame refused: %s", ei.Message)
+	}
+	if t != transport.MsgFrame {
+		return nil, fmt.Errorf("client: expected frame, got %s", t)
+	}
+	_, fw, fh, frame, err := imgcodec.Decode(payload, c.prev)
+	if err != nil {
+		return nil, err
+	}
+	c.prev = frame
+	fb := raster.NewFramebuffer(fw, fh)
+	copy(fb.Color, frame)
+	return fb, nil
+}
+
+// Capacity interrogates the render service.
+func (c *Thin) Capacity() (transport.CapacityReport, error) {
+	if err := c.conn.Send(transport.MsgCapacityQuery, nil); err != nil {
+		return transport.CapacityReport{}, err
+	}
+	t, payload, err := c.conn.Receive()
+	if err != nil {
+		return transport.CapacityReport{}, err
+	}
+	if t != transport.MsgCapacityReport {
+		return transport.CapacityReport{}, fmt.Errorf("client: expected capacity report, got %s", t)
+	}
+	var rep transport.CapacityReport
+	if err := transport.DecodeJSON(payload, &rep); err != nil {
+		return transport.CapacityReport{}, err
+	}
+	return rep, nil
+}
+
+// Close ends the session cleanly.
+func (c *Thin) Close() error {
+	return c.conn.Send(transport.MsgBye, nil)
+}
+
+// WritePNG saves a received frame — the PDA screenshots of Figure 2.
+func WritePNG(w io.Writer, fb *raster.Framebuffer) error {
+	return png.Encode(w, fb.ToImage())
+}
+
+// Active is an active render client: a render service without the
+// service container, rendering only "to the screen" (here: to PNG).
+type Active struct {
+	svc  *renderservice.Service
+	sess *renderservice.Session
+	user string
+}
+
+// NewActive creates an active render client on the given device profile.
+func NewActive(user string, dev device.Profile, workers int) *Active {
+	return &Active{
+		svc: renderservice.New(renderservice.Config{
+			Name:    "active:" + user,
+			Device:  dev,
+			Workers: workers,
+		}),
+		user: user,
+	}
+}
+
+// Subscribe attaches to a data service session over the socket and keeps
+// the local replica synchronized; it blocks until the connection ends,
+// so run it in a goroutine. ready is invoked once the bootstrap snapshot
+// has been applied.
+func (a *Active) Subscribe(rw io.ReadWriter, session string, ready func()) error {
+	return a.svc.SubscribeToData(rw, session, func(sess *renderservice.Session) {
+		a.sess = sess
+		if ready != nil {
+			ready()
+		}
+	})
+}
+
+// Session exposes the replica session (nil before the bootstrap).
+func (a *Active) Session() *renderservice.Session { return a.sess }
+
+// RenderPNG renders the replica locally and writes a PNG.
+func (a *Active) RenderPNG(w io.Writer, width, height int) error {
+	if a.sess == nil {
+		return fmt.Errorf("client: active client not subscribed")
+	}
+	frame, err := a.sess.RenderFrame(width, height, a.user)
+	if err != nil {
+		return err
+	}
+	return WritePNG(w, frame.FB)
+}

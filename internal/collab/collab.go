@@ -1,0 +1,178 @@
+// Package collab provides the collaborative-session pieces of RAVE
+// (§3.2.4, §5.2): avatar geometry ("a cone pointing in the direction of
+// the user's view, and the name of the user or host"), avatar pose
+// management, and helpers for joining/leaving a shared session.
+package collab
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/mathx"
+	"repro/internal/raster"
+	"repro/internal/scene"
+)
+
+// AvatarMesh builds the avatar cone: apex at the origin pointing down -Z
+// (the camera's view direction), base behind it, plus a small "name tag"
+// quad above the cone standing in for the user label.
+func AvatarMesh(color mathx.Vec3) *geom.Mesh {
+	const (
+		segments = 14
+		length   = 0.8
+		radius   = 0.3
+	)
+	m := &geom.Mesh{}
+	apex := mathx.V3(0, 0, 0)
+	center := mathx.V3(0, 0, length)
+	// Base ring.
+	ring := make([]mathx.Vec3, segments)
+	for i := 0; i < segments; i++ {
+		a := 2 * math.Pi * float64(i) / segments
+		ring[i] = mathx.V3(radius*math.Cos(a), radius*math.Sin(a), length)
+	}
+	m.Positions = append(m.Positions, apex, center)
+	m.Positions = append(m.Positions, ring...)
+	for i := 0; i < segments; i++ {
+		j := (i + 1) % segments
+		// Side: apex, ring j, ring i (outward winding).
+		m.Indices = append(m.Indices, 0, uint32(2+j), uint32(2+i))
+		// Base cap: center, ring i, ring j.
+		m.Indices = append(m.Indices, 1, uint32(2+i), uint32(2+j))
+	}
+	// Name tag: a small double-sided quad above the cone.
+	base := uint32(len(m.Positions))
+	m.Positions = append(m.Positions,
+		mathx.V3(-0.25, radius+0.1, length*0.5),
+		mathx.V3(0.25, radius+0.1, length*0.5),
+		mathx.V3(0.25, radius+0.35, length*0.5),
+		mathx.V3(-0.25, radius+0.35, length*0.5),
+	)
+	m.Indices = append(m.Indices,
+		base, base+1, base+2, base, base+2, base+3, // front
+		base, base+2, base+1, base, base+3, base+2, // back
+	)
+	m.ComputeNormals()
+	m.SetUniformColor(color)
+	return m
+}
+
+// AvatarPose places an avatar at the camera's pose: positioned at the
+// eye, cone pointing along the view direction.
+func AvatarPose(cam raster.Camera) mathx.Mat4 {
+	fwd := cam.Target.Sub(cam.Eye).Normalize()
+	if fwd.Len() < 1e-9 {
+		fwd = mathx.V3(0, 0, -1)
+	}
+	up := cam.Up
+	if math.Abs(fwd.Dot(up.Normalize())) > 0.99 {
+		up = mathx.V3(0, 0, 1)
+	}
+	right := fwd.Cross(up).Normalize()
+	trueUp := right.Cross(fwd)
+	// Columns: right, up, -forward (avatar cone points down -Z locally,
+	// so -Z must map onto fwd).
+	rot := mathx.Mat4{
+		right.X, trueUp.X, -fwd.X, cam.Eye.X,
+		right.Y, trueUp.Y, -fwd.Y, cam.Eye.Y,
+		right.Z, trueUp.Z, -fwd.Z, cam.Eye.Z,
+		0, 0, 0, 1,
+	}
+	return rot
+}
+
+// UserColors assigns each collaborator a distinct stable color.
+var UserColors = []mathx.Vec3{
+	{X: 0.9, Y: 0.25, Z: 0.2},
+	{X: 0.2, Y: 0.55, Z: 0.9},
+	{X: 0.25, Y: 0.8, Z: 0.3},
+	{X: 0.95, Y: 0.75, Z: 0.2},
+	{X: 0.7, Y: 0.35, Z: 0.85},
+	{X: 0.25, Y: 0.8, Z: 0.8},
+}
+
+// ColorForUser hashes a user name onto the palette.
+func ColorForUser(name string) mathx.Vec3 {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	return UserColors[h%uint32(len(UserColors))]
+}
+
+// JoinSession adds an avatar node for the user under the scene root and
+// returns the op that creates it. The data service applies the op and
+// fans it out, so every collaborator sees the newcomer (§3.2.4).
+func JoinSession(s *scene.Scene, user string, cam raster.Camera) (*scene.AddNodeOp, error) {
+	if user == "" {
+		return nil, fmt.Errorf("collab: user name required")
+	}
+	// Refuse duplicate avatars for the same user.
+	var dup bool
+	s.Walk(func(n *scene.Node, _ mathx.Mat4) bool {
+		if av, ok := n.Payload.(*scene.AvatarPayload); ok && av.User == user {
+			dup = true
+		}
+		return true
+	})
+	if dup {
+		return nil, fmt.Errorf("collab: user %q already in session", user)
+	}
+	return &scene.AddNodeOp{
+		Parent:    scene.RootID,
+		ID:        s.AllocID(),
+		Name:      "avatar:" + user,
+		Transform: AvatarPose(cam),
+		Payload:   &scene.AvatarPayload{User: user, Color: ColorForUser(user)},
+	}, nil
+}
+
+// FindAvatar returns the node ID of a user's avatar, or 0.
+func FindAvatar(s *scene.Scene, user string) scene.NodeID {
+	var id scene.NodeID
+	s.Walk(func(n *scene.Node, _ mathx.Mat4) bool {
+		if av, ok := n.Payload.(*scene.AvatarPayload); ok && av.User == user {
+			id = n.ID
+		}
+		return true
+	})
+	return id
+}
+
+// MoveAvatar returns the op that moves a user's avatar to track their
+// camera.
+func MoveAvatar(s *scene.Scene, user string, cam raster.Camera) (*scene.SetTransformOp, error) {
+	id := FindAvatar(s, user)
+	if id == 0 {
+		return nil, fmt.Errorf("collab: user %q has no avatar", user)
+	}
+	return &scene.SetTransformOp{ID: id, Transform: AvatarPose(cam)}, nil
+}
+
+// LeaveSession returns the op removing a user's avatar.
+func LeaveSession(s *scene.Scene, user string) (*scene.RemoveNodeOp, error) {
+	id := FindAvatar(s, user)
+	if id == 0 {
+		return nil, fmt.Errorf("collab: user %q has no avatar", user)
+	}
+	return &scene.RemoveNodeOp{ID: id}, nil
+}
+
+// RenderAvatars draws every avatar in the scene into the framebuffer,
+// skipping the viewing user's own avatar (you do not see yourself).
+func RenderAvatars(r *raster.Renderer, s *scene.Scene, cam raster.Camera, self string) int {
+	drawn := 0
+	s.Walk(func(n *scene.Node, world mathx.Mat4) bool {
+		av, ok := n.Payload.(*scene.AvatarPayload)
+		if !ok || av.User == self {
+			return true
+		}
+		mesh := AvatarMesh(av.Color)
+		r.RenderMesh(mesh, world, cam)
+		drawn++
+		return true
+	})
+	return drawn
+}

@@ -1,0 +1,159 @@
+package collab
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/raster"
+	"repro/internal/scene"
+)
+
+func TestAvatarMeshValid(t *testing.T) {
+	m := AvatarMesh(mathx.V3(1, 0, 0))
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.TriangleCount() < 20 {
+		t.Errorf("avatar too simple: %d triangles", m.TriangleCount())
+	}
+	if m.Colors == nil || m.Colors[0] != (mathx.Vec3{X: 1, Y: 0, Z: 0}) {
+		t.Error("avatar color missing")
+	}
+	// Apex at origin, cone extends along +Z locally.
+	b := m.Bounds()
+	if b.Min.Z < -1e-9 || b.Max.Z < 0.7 {
+		t.Errorf("avatar bounds: %+v", b)
+	}
+}
+
+func TestAvatarPoseOrientsCone(t *testing.T) {
+	cam := raster.Camera{
+		Eye:    mathx.V3(5, 1, 0),
+		Target: mathx.V3(0, 1, 0), // looking down -X
+		Up:     mathx.V3(0, 1, 0),
+	}
+	pose := AvatarPose(cam)
+	// Apex (origin) lands at the eye.
+	if got := pose.TransformPoint(mathx.Vec3{}); !got.ApproxEq(cam.Eye) {
+		t.Errorf("apex at %v", got)
+	}
+	// The cone base (local +Z) must be behind the eye relative to the
+	// view direction: local -Z maps to forward (-X here).
+	fwd := pose.TransformDir(mathx.V3(0, 0, -1))
+	if !fwd.ApproxEq(mathx.V3(-1, 0, 0)) {
+		t.Errorf("avatar forward: %v", fwd)
+	}
+	// Degenerate up (parallel to view): still finite.
+	deg := raster.Camera{Eye: mathx.V3(0, 5, 0), Target: mathx.Vec3{}, Up: mathx.V3(0, 1, 0)}
+	p2 := AvatarPose(deg)
+	v := p2.TransformPoint(mathx.V3(1, 1, 1))
+	if math.IsNaN(v.X + v.Y + v.Z) {
+		t.Error("degenerate pose produced NaN")
+	}
+}
+
+func TestColorForUserStableAndSpread(t *testing.T) {
+	a := ColorForUser("desktop")
+	if a != ColorForUser("desktop") {
+		t.Error("color not stable")
+	}
+	names := []string{"desktop", "tower", "adrenochrome", "zaurus", "onyx"}
+	distinct := map[mathx.Vec3]bool{}
+	for _, n := range names {
+		distinct[ColorForUser(n)] = true
+	}
+	if len(distinct) < 3 {
+		t.Errorf("palette collapse: %d distinct colors for %d users", len(distinct), len(names))
+	}
+}
+
+func TestJoinMoveLeaveSession(t *testing.T) {
+	s := scene.New()
+	cam := raster.DefaultCamera()
+
+	op, err := JoinSession(s, "desktop", cam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyOp(op); err != nil {
+		t.Fatal(err)
+	}
+	id := FindAvatar(s, "desktop")
+	if id == 0 {
+		t.Fatal("avatar not found after join")
+	}
+
+	// Duplicate join refused.
+	if _, err := JoinSession(s, "desktop", cam); err == nil {
+		t.Error("duplicate join accepted")
+	}
+	// Empty user refused.
+	if _, err := JoinSession(s, "", cam); err == nil {
+		t.Error("empty user accepted")
+	}
+
+	// Move tracks the camera.
+	cam2 := cam.Orbit(1.0, 0)
+	mv, err := MoveAvatar(s, "desktop", cam2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyOp(mv); err != nil {
+		t.Fatal(err)
+	}
+	w, _ := s.WorldTransform(id)
+	if got := w.TransformPoint(mathx.Vec3{}); !got.ApproxEq(cam2.Eye) {
+		t.Errorf("avatar at %v, eye at %v", got, cam2.Eye)
+	}
+
+	// Leave removes the avatar.
+	lv, err := LeaveSession(s, "desktop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyOp(lv); err != nil {
+		t.Fatal(err)
+	}
+	if FindAvatar(s, "desktop") != 0 {
+		t.Error("avatar survives leave")
+	}
+	// Further moves fail.
+	if _, err := MoveAvatar(s, "desktop", cam); err == nil {
+		t.Error("move after leave accepted")
+	}
+	if _, err := LeaveSession(s, "desktop"); err == nil {
+		t.Error("double leave accepted")
+	}
+}
+
+func TestRenderAvatarsSkipsSelf(t *testing.T) {
+	s := scene.New()
+	camA := raster.DefaultCamera()
+	camB := camA.Orbit(0.6, 0)
+	for user, cam := range map[string]raster.Camera{"a": camA, "b": camB} {
+		op, err := JoinSession(s, user, cam)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.ApplyOp(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fb := raster.NewFramebuffer(96, 96)
+	r := raster.New(fb)
+	// Viewing as "a": only b's avatar draws.
+	viewCam := raster.DefaultCamera()
+	viewCam.Eye = mathx.V3(0, 0, 25)
+	if drawn := RenderAvatars(r, s, viewCam, "a"); drawn != 1 {
+		t.Errorf("drew %d avatars, want 1", drawn)
+	}
+	if fb.CoveredPixels() == 0 {
+		t.Error("avatar rendered no pixels")
+	}
+	// Viewing as an outsider: both draw.
+	fb2 := raster.NewFramebuffer(96, 96)
+	if drawn := RenderAvatars(raster.New(fb2), s, viewCam, "observer"); drawn != 2 {
+		t.Errorf("drew %d avatars, want 2", drawn)
+	}
+}

@@ -1,0 +1,147 @@
+// Package compositor merges partial renderings, implementing the paper's
+// two workload-distribution modes (§3.2.5): depth compositing of
+// frame+depth buffer pairs produced by dataset distribution (restricted to
+// opaque solids, so no ordering is required), and tile assembly for
+// framebuffer distribution, including the tear detection that Figure 5
+// illustrates when tiles arrive from renderers at different scene
+// versions.
+package compositor
+
+import (
+	"fmt"
+	"image"
+
+	"repro/internal/raster"
+)
+
+// DepthComposite merges the source framebuffer into dst: for every pixel
+// the nearer depth wins. Both buffers must be the same size and share the
+// same camera (the paper's collaborating render services share the camera
+// so the framebuffers align exactly). dst is modified in place.
+func DepthComposite(dst, src *raster.Framebuffer) error {
+	if dst.W != src.W || dst.H != src.H {
+		return fmt.Errorf("compositor: size mismatch %dx%d vs %dx%d", dst.W, dst.H, src.W, src.H)
+	}
+	for i := range dst.Depth {
+		if src.Depth[i] < dst.Depth[i] {
+			dst.Depth[i] = src.Depth[i]
+			ci := i * 3
+			dst.Color[ci] = src.Color[ci]
+			dst.Color[ci+1] = src.Color[ci+1]
+			dst.Color[ci+2] = src.Color[ci+2]
+		}
+	}
+	return nil
+}
+
+// CompositeAll depth-composites any number of partial renderings into a
+// fresh framebuffer of the given size. Order does not matter (opaque
+// solids only, as in the paper).
+func CompositeAll(w, h int, parts ...*raster.Framebuffer) (*raster.Framebuffer, error) {
+	out := raster.NewFramebuffer(w, h)
+	for _, p := range parts {
+		if err := DepthComposite(out, p); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Tile is a rendered tile carrying its placement within the full image
+// and the scene version it was rendered from. Version mismatches between
+// adjacent tiles are what produce the tearing artifact in Figure 5.
+type Tile struct {
+	Rect    image.Rectangle
+	FB      *raster.Framebuffer
+	Version uint64
+}
+
+// AssembleTiles blits tiles into a full framebuffer of the given size.
+// Tiles must lie within the image and match their rectangle's size; they
+// may overlap (later tiles win), as when a local renderer covered a
+// remote tile's region while waiting for it.
+func AssembleTiles(w, h int, tiles []Tile) (*raster.Framebuffer, error) {
+	out := raster.NewFramebuffer(w, h)
+	for i, t := range tiles {
+		if t.FB.W != t.Rect.Dx() || t.FB.H != t.Rect.Dy() {
+			return nil, fmt.Errorf("compositor: tile %d is %dx%d but rect %v", i, t.FB.W, t.FB.H, t.Rect)
+		}
+		if err := out.BlitTile(t.FB, t.Rect.Min.X, t.Rect.Min.Y); err != nil {
+			return nil, fmt.Errorf("compositor: tile %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// SplitTiles divides a w x h image into a grid of cols x rows tile
+// rectangles covering it exactly.
+func SplitTiles(w, h, cols, rows int) []image.Rectangle {
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	var out []image.Rectangle
+	for r := 0; r < rows; r++ {
+		y0 := r * h / rows
+		y1 := (r + 1) * h / rows
+		for c := 0; c < cols; c++ {
+			x0 := c * w / cols
+			x1 := (c + 1) * w / cols
+			if x1 > x0 && y1 > y0 {
+				out = append(out, image.Rect(x0, y0, x1, y1))
+			}
+		}
+	}
+	return out
+}
+
+// TearReport describes version skew across an assembled frame.
+type TearReport struct {
+	// MinVersion and MaxVersion are the oldest and newest scene versions
+	// among the tiles.
+	MinVersion, MaxVersion uint64
+	// TornSeams counts adjacent tile pairs rendered from different scene
+	// versions — each is a visible seam like Figure 5's galleon mast.
+	TornSeams int
+}
+
+// Torn reports whether any seam shows version skew.
+func (r TearReport) Torn() bool { return r.TornSeams > 0 }
+
+// DetectTearing inspects tile versions and counts adjacent pairs whose
+// versions differ. Tiles are adjacent when their rectangles share an edge.
+func DetectTearing(tiles []Tile) TearReport {
+	rep := TearReport{}
+	if len(tiles) == 0 {
+		return rep
+	}
+	rep.MinVersion = tiles[0].Version
+	rep.MaxVersion = tiles[0].Version
+	for _, t := range tiles[1:] {
+		if t.Version < rep.MinVersion {
+			rep.MinVersion = t.Version
+		}
+		if t.Version > rep.MaxVersion {
+			rep.MaxVersion = t.Version
+		}
+	}
+	adjacent := func(a, b image.Rectangle) bool {
+		// Share a vertical edge with vertical overlap, or a horizontal
+		// edge with horizontal overlap.
+		vert := (a.Max.X == b.Min.X || b.Max.X == a.Min.X) &&
+			a.Min.Y < b.Max.Y && b.Min.Y < a.Max.Y
+		horiz := (a.Max.Y == b.Min.Y || b.Max.Y == a.Min.Y) &&
+			a.Min.X < b.Max.X && b.Min.X < a.Max.X
+		return vert || horiz
+	}
+	for i := 0; i < len(tiles); i++ {
+		for j := i + 1; j < len(tiles); j++ {
+			if adjacent(tiles[i].Rect, tiles[j].Rect) && tiles[i].Version != tiles[j].Version {
+				rep.TornSeams++
+			}
+		}
+	}
+	return rep
+}

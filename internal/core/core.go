@@ -1,0 +1,311 @@
+// Package core is RAVE's public facade: it assembles complete
+// deployments — UDDI registry, data service, render services, thin and
+// active clients — either in-process or across real TCP sockets, wiring
+// the pieces exactly as Figure 1 shows. Examples and the command-line
+// tools build on this package.
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	rthin "repro/internal/client"
+	"repro/internal/dataservice"
+	"repro/internal/device"
+	"repro/internal/marshal"
+	"repro/internal/raster"
+	"repro/internal/renderservice"
+	"repro/internal/scene"
+	"repro/internal/transport"
+	"repro/internal/uddi"
+	"repro/internal/wsdl"
+)
+
+// BusinessName is the UDDI business entity all RAVE services register
+// under, mirroring the paper's "business representing the RAVE project".
+const BusinessName = "RAVE"
+
+// LocalHandle adapts an in-process render service to the data service's
+// RenderHandle, for single-process deployments and tests.
+type LocalHandle struct {
+	Svc *renderservice.Service
+}
+
+// Name implements dataservice.RenderHandle.
+func (h *LocalHandle) Name() string { return h.Svc.Name() }
+
+// Capacity implements dataservice.RenderHandle.
+func (h *LocalHandle) Capacity() (transport.CapacityReport, error) {
+	return h.Svc.Capacity(), nil
+}
+
+// RenderSubset implements dataservice.RenderHandle.
+func (h *LocalHandle) RenderSubset(subset *scene.Scene, cam transport.CameraState, w, hgt int) (*raster.Framebuffer, error) {
+	fb, _, err := h.Svc.RenderSceneOnce(subset, renderservice.CameraFromState(cam), w, hgt)
+	return fb, err
+}
+
+var _ dataservice.RenderHandle = (*LocalHandle)(nil)
+
+// SocketHandle drives a remote render service over a direct socket using
+// the subset-assignment protocol. The remote service must already hold
+// the session (SubscribeToData) so the hello succeeds.
+type SocketHandle struct {
+	name    string
+	session string
+
+	mu   sync.Mutex
+	conn *transport.Conn
+}
+
+// DialSocketHandle performs the thin-client style hello on rw and
+// returns a handle for subset rendering.
+func DialSocketHandle(rw interface {
+	Read([]byte) (int, error)
+	Write([]byte) (int, error)
+}, name, session string) (*SocketHandle, error) {
+	conn := transport.NewConn(rw)
+	err := conn.SendJSON(transport.MsgHello, transport.Hello{
+		Role: "peer", Name: "data-service", Session: session,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t, payload, err := conn.Receive()
+	if err != nil {
+		return nil, err
+	}
+	if t == transport.MsgError {
+		var ei transport.ErrorInfo
+		transport.DecodeJSON(payload, &ei)
+		return nil, fmt.Errorf("core: handle refused: %s", ei.Message)
+	}
+	if t != transport.MsgOK {
+		return nil, fmt.Errorf("core: expected ok, got %s", t)
+	}
+	return &SocketHandle{name: name, session: session, conn: conn}, nil
+}
+
+// Name implements dataservice.RenderHandle.
+func (h *SocketHandle) Name() string { return h.name }
+
+// Capacity implements dataservice.RenderHandle.
+func (h *SocketHandle) Capacity() (transport.CapacityReport, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err := h.conn.Send(transport.MsgCapacityQuery, nil); err != nil {
+		return transport.CapacityReport{}, err
+	}
+	t, payload, err := h.conn.Receive()
+	if err != nil {
+		return transport.CapacityReport{}, err
+	}
+	if t != transport.MsgCapacityReport {
+		return transport.CapacityReport{}, fmt.Errorf("core: expected capacity report, got %s", t)
+	}
+	var rep transport.CapacityReport
+	if err := transport.DecodeJSON(payload, &rep); err != nil {
+		return transport.CapacityReport{}, err
+	}
+	return rep, nil
+}
+
+// RenderSubset implements dataservice.RenderHandle.
+func (h *SocketHandle) RenderSubset(subset *scene.Scene, cam transport.CameraState, w, hgt int) (*raster.Framebuffer, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	err := h.conn.SendJSON(transport.MsgSubsetAssign, transport.SubsetAssign{
+		Session: h.session, W: w, H: hgt, Camera: cam,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := marshal.WriteScene(&buf, subset); err != nil {
+		return nil, err
+	}
+	if err := h.conn.Send(transport.MsgSceneSnapshot, buf.Bytes()); err != nil {
+		return nil, err
+	}
+	t, payload, err := h.conn.Receive()
+	if err != nil {
+		return nil, err
+	}
+	if t == transport.MsgError {
+		var ei transport.ErrorInfo
+		transport.DecodeJSON(payload, &ei)
+		return nil, fmt.Errorf("core: subset render refused: %s", ei.Message)
+	}
+	if t != transport.MsgFrameDepth {
+		return nil, fmt.Errorf("core: expected frame+depth, got %s", t)
+	}
+	return marshal.ReadFrame(bytes.NewReader(payload))
+}
+
+var _ dataservice.RenderHandle = (*SocketHandle)(nil)
+
+// Deployment assembles a full RAVE installation: a UDDI registry served
+// over HTTP, one data service, any number of render services, and the
+// TCP listeners joining them.
+type Deployment struct {
+	Registry    *uddi.Registry
+	RegistryURL string
+	Data        *dataservice.Service
+
+	mu        sync.Mutex
+	renders   map[string]*renderservice.Service
+	listeners []net.Listener
+	httpSrv   *http.Server
+}
+
+// NewDeployment starts a registry on a loopback port and creates the
+// data service.
+func NewDeployment(dataName string) (*Deployment, error) {
+	reg := uddi.NewRegistry()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("core: registry listener: %w", err)
+	}
+	srv := &http.Server{Handler: uddi.NewServer(reg)}
+	go srv.Serve(ln)
+	d := &Deployment{
+		Registry:    reg,
+		RegistryURL: "http://" + ln.Addr().String(),
+		Data:        dataservice.New(dataservice.Config{Name: dataName}),
+		renders:     map[string]*renderservice.Service{},
+		httpSrv:     srv,
+	}
+	return d, nil
+}
+
+// Proxy returns a fresh UDDI proxy on the deployment's registry.
+func (d *Deployment) Proxy() *uddi.Proxy { return uddi.Connect(d.RegistryURL) }
+
+// ServeData starts a TCP listener for the data service's direct-socket
+// subscriptions, registers its access point in UDDI and returns the
+// address.
+func (d *Deployment) ServeData() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	d.track(ln)
+	go acceptLoop(ln, func(c net.Conn) { d.Data.ServeConn(c); c.Close() })
+	addr := ln.Addr().String()
+	proxy := d.Proxy()
+	_, err = proxy.RegisterService(BusinessName, d.Data.Name(), "tcp://"+addr, wsdl.DataServicePortType)
+	if err != nil {
+		return "", fmt.Errorf("core: register data service: %w", err)
+	}
+	return addr, nil
+}
+
+// AddRenderService creates a render service on the given device profile,
+// starts its client-facing TCP listener, and registers it in UDDI.
+// linkBps is the throughput estimate fed to the adaptive codec.
+func (d *Deployment) AddRenderService(name string, dev device.Profile, workers int, linkBps float64) (*renderservice.Service, string, error) {
+	rs := renderservice.New(renderservice.Config{Name: name, Device: dev, Workers: workers})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	d.track(ln)
+	go acceptLoop(ln, func(c net.Conn) { rs.ServeClient(c, linkBps); c.Close() })
+	addr := ln.Addr().String()
+	proxy := d.Proxy()
+	if _, err := proxy.RegisterService(BusinessName, name, "tcp://"+addr, wsdl.RenderServicePortType); err != nil {
+		return nil, "", fmt.Errorf("core: register render service: %w", err)
+	}
+	d.mu.Lock()
+	d.renders[name] = rs
+	d.mu.Unlock()
+	return rs, addr, nil
+}
+
+// ConnectRenderToData dials the data service and runs the render
+// service's subscription loop in the background, returning once the
+// bootstrap snapshot has been applied.
+func (d *Deployment) ConnectRenderToData(rs *renderservice.Service, dataAddr, session string) error {
+	conn, err := net.Dial("tcp", stripScheme(dataAddr))
+	if err != nil {
+		return err
+	}
+	ready := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		errc <- rs.SubscribeToData(conn, session, func(*renderservice.Session) { close(ready) })
+		conn.Close()
+	}()
+	select {
+	case <-ready:
+		return nil
+	case err := <-errc:
+		if err == nil {
+			err = fmt.Errorf("core: subscription ended before bootstrap")
+		}
+		return err
+	case <-time.After(30 * time.Second):
+		conn.Close()
+		return fmt.Errorf("core: bootstrap timed out")
+	}
+}
+
+// DialThin connects a thin client to a render service address.
+func (d *Deployment) DialThin(renderAddr, user, session string) (*rthin.Thin, error) {
+	conn, err := net.Dial("tcp", stripScheme(renderAddr))
+	if err != nil {
+		return nil, err
+	}
+	return rthin.DialThin(conn, user, session)
+}
+
+// DialHandle connects a socket render handle (for dataset distribution)
+// to a render service address.
+func (d *Deployment) DialHandle(renderAddr, name, session string) (*SocketHandle, error) {
+	conn, err := net.Dial("tcp", stripScheme(renderAddr))
+	if err != nil {
+		return nil, err
+	}
+	return DialSocketHandle(conn, name, session)
+}
+
+// Close shuts down listeners and the registry server.
+func (d *Deployment) Close() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, ln := range d.listeners {
+		ln.Close()
+	}
+	if d.httpSrv != nil {
+		d.httpSrv.Close()
+	}
+}
+
+func (d *Deployment) track(ln net.Listener) {
+	d.mu.Lock()
+	d.listeners = append(d.listeners, ln)
+	d.mu.Unlock()
+}
+
+func acceptLoop(ln net.Listener, handle func(net.Conn)) {
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go handle(c)
+	}
+}
+
+// stripScheme removes a tcp:// prefix from UDDI access points.
+func stripScheme(addr string) string {
+	const p = "tcp://"
+	if len(addr) > len(p) && addr[:len(p)] == p {
+		return addr[len(p):]
+	}
+	return addr
+}

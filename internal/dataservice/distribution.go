@@ -1,0 +1,364 @@
+package dataservice
+
+import (
+	"fmt"
+	"image"
+	"sort"
+	"sync"
+
+	"repro/internal/balance"
+	"repro/internal/compositor"
+	"repro/internal/raster"
+	"repro/internal/scene"
+	"repro/internal/transport"
+	"repro/internal/uddi"
+	"repro/internal/wsdl"
+)
+
+// RenderHandle is the data service's view of a connected render service:
+// enough to interrogate capacity, hand it a scene subset and collect the
+// rendered frame+depth buffer. In-process adapters and socket adapters
+// both satisfy it.
+type RenderHandle interface {
+	// Name identifies the render service.
+	Name() string
+	// Capacity interrogates the service (§3.2.5).
+	Capacity() (transport.CapacityReport, error)
+	// RenderSubset renders the given scene subset with the shared camera
+	// and returns the frame+depth buffer for compositing.
+	RenderSubset(subset *scene.Scene, cam transport.CameraState, w, h int) (*raster.Framebuffer, error)
+}
+
+// Distributor manages a session's dataset distribution across render
+// services and its workload migration.
+type Distributor struct {
+	sess *Session
+
+	mu         sync.Mutex
+	handles    map[string]RenderHandle
+	assignment balance.Assignment
+	engine     *balance.MigrationEngine
+}
+
+// NewDistributor creates the session's distributor with the given
+// migration thresholds.
+func (sess *Session) NewDistributor(th balance.Thresholds) *Distributor {
+	return &Distributor{
+		sess:    sess,
+		handles: map[string]RenderHandle{},
+		engine:  balance.NewMigrationEngine(th),
+	}
+}
+
+// AddService attaches a render service for distribution.
+func (d *Distributor) AddService(h RenderHandle) error {
+	cap, err := h.Capacity()
+	if err != nil {
+		return fmt.Errorf("dataservice: capacity interrogation of %s: %w", h.Name(), err)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.handles[h.Name()] = h
+	d.engine.UpdateCapacity(capacityOf(cap))
+	return nil
+}
+
+// RemoveService detaches a render service (its nodes return to the
+// unassigned pool on the next Distribute call).
+func (d *Distributor) RemoveService(name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.handles, name)
+	d.engine.Remove(name)
+	delete(d.assignment, name)
+}
+
+// ServiceNames lists attached render services, sorted.
+func (d *Distributor) ServiceNames() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []string
+	for n := range d.handles {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// capacityOf converts a wire capacity report to the balancer's view.
+func capacityOf(c transport.CapacityReport) balance.ServiceCapacity {
+	fps := c.TargetFPS
+	if fps <= 0 {
+		fps = 10
+	}
+	return balance.ServiceCapacity{
+		Name:         c.Name,
+		WorkPerFrame: c.PolysPerSecond / fps,
+		TextureBytes: c.TextureMemory,
+	}
+}
+
+// nodeItems lists the session's distributable payload nodes with costs.
+func (d *Distributor) nodeItems() []balance.NodeItem {
+	var items []balance.NodeItem
+	d.sess.Scene(func(sc *scene.Scene) {
+		for _, id := range sc.PayloadIDs() {
+			cost, err := sc.SubtreeCost(id)
+			if err != nil {
+				continue
+			}
+			// Only the node's own payload: children are separate items.
+			if n := sc.Node(id); n != nil && n.Payload != nil {
+				cost = n.Payload.Cost()
+			}
+			items = append(items, balance.NodeItem{ID: id, Cost: cost})
+		}
+	})
+	return items
+}
+
+// Distribute (re)plans the dataset distribution: interrogate every
+// attached service's current capacity and pack the scene's payload nodes
+// onto them. Returns balance.ErrInsufficient when the attached services
+// cannot hold the dataset — the caller may then Recruit.
+func (d *Distributor) Distribute() (balance.Assignment, error) {
+	d.mu.Lock()
+	handles := make([]RenderHandle, 0, len(d.handles))
+	for _, h := range d.handles {
+		handles = append(handles, h)
+	}
+	d.mu.Unlock()
+
+	var caps []balance.ServiceCapacity
+	for _, h := range handles {
+		c, err := h.Capacity()
+		if err != nil {
+			return nil, fmt.Errorf("dataservice: capacity of %s: %w", h.Name(), err)
+		}
+		bc := capacityOf(c)
+		caps = append(caps, bc)
+		d.mu.Lock()
+		d.engine.UpdateCapacity(bc)
+		d.mu.Unlock()
+	}
+	sort.Slice(caps, func(i, j int) bool { return caps[i].Name < caps[j].Name })
+
+	asg, err := balance.DistributeNodes(d.nodeItems(), caps)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	d.assignment = asg
+	d.mu.Unlock()
+	return asg, nil
+}
+
+// Assignment returns the current assignment (service -> node IDs).
+func (d *Distributor) Assignment() balance.Assignment {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := balance.Assignment{}
+	for k, v := range d.assignment {
+		out[k] = append([]scene.NodeID(nil), v...)
+	}
+	return out
+}
+
+// RenderDistributed performs one distributed frame: every assigned
+// service renders its scene subset (with ancestors retained for world
+// orientation) under the shared camera, and the frame+depth buffers are
+// depth-composited (§3.2.5). The composition is order-independent since
+// payloads are opaque.
+func (d *Distributor) RenderDistributed(w, h int) (*raster.Framebuffer, error) {
+	d.mu.Lock()
+	asg := d.assignment
+	handles := make(map[string]RenderHandle, len(d.handles))
+	for k, v := range d.handles {
+		handles[k] = v
+	}
+	d.mu.Unlock()
+	if len(asg) == 0 {
+		return nil, fmt.Errorf("dataservice: no distribution planned")
+	}
+	cam := d.sess.Camera()
+
+	type result struct {
+		fb  *raster.Framebuffer
+		err error
+	}
+	names := make([]string, 0, len(asg))
+	for name := range asg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	results := make([]result, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		handle, ok := handles[name]
+		if !ok {
+			return nil, fmt.Errorf("dataservice: assigned service %s not attached", name)
+		}
+		var subset *scene.Scene
+		var err error
+		d.sess.Scene(func(sc *scene.Scene) {
+			subset, err = sc.ExtractSubset(asg[name])
+		})
+		if err != nil {
+			return nil, err
+		}
+		wg.Add(1)
+		go func(i int, handle RenderHandle, subset *scene.Scene) {
+			defer wg.Done()
+			fb, err := handle.RenderSubset(subset, cam, w, h)
+			results[i] = result{fb, err}
+		}(i, handle, subset)
+	}
+	wg.Wait()
+
+	parts := make([]*raster.Framebuffer, 0, len(results))
+	for i, r := range results {
+		if r.err != nil {
+			return nil, fmt.Errorf("dataservice: subset render on %s: %w", names[i], r.err)
+		}
+		parts = append(parts, r.fb)
+	}
+	return compositor.CompositeAll(w, h, parts...)
+}
+
+// PlanTiles computes the framebuffer-distribution tiling for a w x h
+// image across the attached services, proportional to speed (§3.2.5).
+func (d *Distributor) PlanTiles(w, h int) (map[string]image.Rectangle, error) {
+	d.mu.Lock()
+	handles := make([]RenderHandle, 0, len(d.handles))
+	for _, h := range d.handles {
+		handles = append(handles, h)
+	}
+	d.mu.Unlock()
+	var caps []balance.ServiceCapacity
+	for _, hd := range handles {
+		c, err := hd.Capacity()
+		if err != nil {
+			return nil, err
+		}
+		caps = append(caps, capacityOf(c))
+	}
+	return balance.DistributeTiles(w, h, caps), nil
+}
+
+// handleLoadReport feeds the migration engine from a subscriber's load
+// report. It is called from the socket serve loop; in-process setups call
+// ReportLoad directly.
+func (sess *Session) handleLoadReport(lr transport.LoadReport) {
+	sess.mu.Lock()
+	d := sess.distributor
+	sess.mu.Unlock()
+	if d != nil {
+		d.ReportLoad(lr)
+	}
+}
+
+// AttachDistributor makes the distributor receive the session's load
+// reports.
+func (sess *Session) AttachDistributor(d *Distributor) {
+	sess.mu.Lock()
+	sess.distributor = d
+	sess.mu.Unlock()
+}
+
+// ReportLoad records one load report and returns whether the reporting
+// service is overloaded (§3.2.7).
+func (d *Distributor) ReportLoad(lr transport.LoadReport) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.engine.ReportLoad(lr.Name, lr.FPS)
+}
+
+// PlanMigration proposes node moves per the engine's thresholds, based
+// on the current assignment and node costs.
+func (d *Distributor) PlanMigration() []balance.Move {
+	items := map[scene.NodeID]balance.NodeItem{}
+	for _, it := range d.nodeItems() {
+		items[it.ID] = it
+	}
+	d.mu.Lock()
+	assigned := map[string][]balance.NodeItem{}
+	for name, ids := range d.assignment {
+		for _, id := range ids {
+			if it, ok := items[id]; ok {
+				assigned[name] = append(assigned[name], it)
+			}
+		}
+	}
+	moves := d.engine.PlanMigration(assigned)
+	// Apply the moves to the assignment.
+	for _, mv := range moves {
+		src := d.assignment[mv.From]
+		for i, id := range src {
+			if id == mv.NodeID {
+				d.assignment[mv.From] = append(src[:i], src[i+1:]...)
+				break
+			}
+		}
+		d.assignment[mv.To] = append(d.assignment[mv.To], mv.NodeID)
+	}
+	d.mu.Unlock()
+	return moves
+}
+
+// LoadSnapshot exposes the migration engine's per-service view, for
+// diagnostics and tests.
+func (d *Distributor) LoadSnapshot() []balance.ServiceLoad {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.engine.Snapshot()
+}
+
+// NeedRecruitment reports whether migration is blocked on fresh capacity.
+func (d *Distributor) NeedRecruitment() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.engine.NeedRecruitment()
+}
+
+// Connector dials a render service discovered at a UDDI access point and
+// returns a handle on it.
+type Connector func(accessPoint string) (RenderHandle, error)
+
+// Recruit discovers render services through UDDI that are not yet
+// attached to this session and connects them — "the data server uses
+// UDDI to discover additional render services that are not connected to
+// the data service. These underutilised services can then be recruited"
+// (§3.2.7). Returns the names of newly attached services.
+func (d *Distributor) Recruit(proxy *uddi.Proxy, connect Connector) ([]string, error) {
+	points, err := proxy.ScanAccessPoints(wsdl.RenderServicePortType)
+	if err != nil {
+		return nil, fmt.Errorf("dataservice: recruitment scan: %w", err)
+	}
+	d.mu.Lock()
+	attached := make(map[string]bool, len(d.handles))
+	for n := range d.handles {
+		attached[n] = true
+	}
+	d.mu.Unlock()
+
+	var recruited []string
+	for _, ap := range points {
+		h, err := connect(ap)
+		if err != nil {
+			continue // unreachable services are skipped, not fatal
+		}
+		if attached[h.Name()] {
+			continue
+		}
+		if err := d.AddService(h); err != nil {
+			continue
+		}
+		attached[h.Name()] = true
+		recruited = append(recruited, h.Name())
+	}
+	if len(recruited) == 0 {
+		return nil, fmt.Errorf("dataservice: recruitment found no new render services")
+	}
+	return recruited, nil
+}

@@ -1,0 +1,105 @@
+package dataservice
+
+import (
+	"fmt"
+
+	"repro/internal/scene"
+)
+
+// Interest filtering (§3.2.5): under dataset distribution "the data
+// server requires sections of the dataset to be marked as being of
+// interest to a render service — this render service must be updated if
+// the data service receives any changes to this subset of the data."
+// A subscriber with a registered interest set receives only ops touching
+// its subset (or the ancestors whose transforms orient that subset in
+// the world); everyone else's traffic is filtered out.
+
+// interestSet tracks which nodes matter to one subscriber.
+type interestSet struct {
+	// covers holds the interesting nodes and their descendants; it grows
+	// as children are added beneath covered nodes.
+	covers map[scene.NodeID]bool
+	// ancestors holds the ancestor chains of the interesting nodes:
+	// their transforms reposition the subset, so changes to them are
+	// delivered, but new siblings under them are not.
+	ancestors map[scene.NodeID]bool
+}
+
+// SetInterest registers (or with nil, clears) a subscriber's interest
+// set.
+func (sess *Session) SetInterest(subscriber string, nodeIDs []scene.NodeID) error {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if _, ok := sess.subscribers[subscriber]; !ok {
+		return fmt.Errorf("dataservice: subscriber %q not attached", subscriber)
+	}
+	if nodeIDs == nil {
+		delete(sess.interests, subscriber)
+		return nil
+	}
+	set := &interestSet{
+		covers:    map[scene.NodeID]bool{},
+		ancestors: map[scene.NodeID]bool{},
+	}
+	for _, id := range nodeIDs {
+		n := sess.scene.Node(id)
+		if n == nil {
+			return fmt.Errorf("dataservice: interest node %d not in scene", id)
+		}
+		for cur := sess.scene.Parent(id); cur != 0; cur = sess.scene.Parent(cur) {
+			set.ancestors[cur] = true
+			if cur == scene.RootID {
+				break
+			}
+		}
+		var rec func(n *scene.Node)
+		rec = func(n *scene.Node) {
+			set.covers[n.ID] = true
+			for _, c := range n.Children {
+				rec(c)
+			}
+		}
+		rec(n)
+	}
+	sess.interests[subscriber] = set
+	return nil
+}
+
+// Interest returns the covered node IDs of a subscriber's interest set
+// (nil when the subscriber receives everything).
+func (sess *Session) Interest(subscriber string) []scene.NodeID {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	set, ok := sess.interests[subscriber]
+	if !ok {
+		return nil
+	}
+	out := make([]scene.NodeID, 0, len(set.covers))
+	for id := range set.covers {
+		out = append(out, id)
+	}
+	return out
+}
+
+// wantsOp reports whether a subscriber should receive an op. Callers
+// hold sess.mu. Subscribers without an interest set receive everything.
+// AddNode ops are delivered (and extend the covered set) when the parent
+// is covered; other ops are delivered when they touch a covered node or
+// an orienting ancestor.
+func (sess *Session) wantsOp(subscriber string, op scene.Op) bool {
+	set, ok := sess.interests[subscriber]
+	if !ok {
+		return true
+	}
+	switch o := op.(type) {
+	case *scene.AddNodeOp:
+		if set.covers[o.Parent] {
+			set.covers[o.ID] = true
+			return true
+		}
+		return false
+	default:
+		id := op.Touches()
+		return set.covers[id] || set.ancestors[id]
+	}
+}

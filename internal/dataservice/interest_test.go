@@ -1,0 +1,181 @@
+package dataservice
+
+import (
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/scene"
+)
+
+// interestScene builds:
+//
+//	root
+//	├── groupA ── meshA
+//	└── groupB ── meshB
+func interestScene(t *testing.T) (*Session, scene.NodeID, scene.NodeID, scene.NodeID, scene.NodeID) {
+	t.Helper()
+	svc := New(Config{Name: "data"})
+	sess, err := svc.CreateSession("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(parent scene.NodeID, name string) scene.NodeID {
+		id := sess.AllocID()
+		if err := sess.ApplyUpdate(&scene.AddNodeOp{
+			Parent: parent, ID: id, Name: name, Transform: mathx.Identity(),
+		}, ""); err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	ga := mk(scene.RootID, "groupA")
+	ma := mk(ga, "meshA")
+	gb := mk(scene.RootID, "groupB")
+	mb := mk(gb, "meshB")
+	return sess, ga, ma, gb, mb
+}
+
+func TestInterestFiltersFanOut(t *testing.T) {
+	sess, ga, ma, gb, mb := interestScene(t)
+	subA := &recordingSub{}
+	subAll := &recordingSub{}
+	if _, err := sess.Subscribe("svcA", subA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Subscribe("svcAll", subAll); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.SetInterest("svcA", []scene.NodeID{ma}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A change to meshB: only the unfiltered subscriber sees it.
+	if err := sess.ApplyUpdate(&scene.SetTransformOp{ID: mb, Transform: mathx.RotateY(0.1)}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := subA.counts(); n != 0 {
+		t.Errorf("svcA received out-of-interest op")
+	}
+	if n, _ := subAll.counts(); n != 1 {
+		t.Errorf("svcAll missed op: %d", n)
+	}
+
+	// A change to meshA: both see it.
+	if err := sess.ApplyUpdate(&scene.SetTransformOp{ID: ma, Transform: mathx.RotateY(0.1)}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := subA.counts(); n != 1 {
+		t.Errorf("svcA missed its own node's op: %d", n)
+	}
+
+	// A change to the interesting node's ancestor: svcA needs it (its
+	// subset moves in the world).
+	if err := sess.ApplyUpdate(&scene.SetTransformOp{ID: ga, Transform: mathx.Translate(mathx.V3(1, 0, 0))}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := subA.counts(); n != 2 {
+		t.Errorf("svcA missed ancestor op: %d", n)
+	}
+
+	// A change to the other group: filtered.
+	if err := sess.ApplyUpdate(&scene.SetTransformOp{ID: gb, Transform: mathx.RotateX(0.2)}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := subA.counts(); n != 2 {
+		t.Errorf("svcA received other group's op")
+	}
+}
+
+func TestInterestCoversNewChildren(t *testing.T) {
+	sess, _, ma, _, _ := interestScene(t)
+	sub := &recordingSub{}
+	if _, err := sess.Subscribe("svcA", sub); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.SetInterest("svcA", []scene.NodeID{ma}); err != nil {
+		t.Fatal(err)
+	}
+	// Adding a child under the interesting node is delivered, and the new
+	// child becomes interesting too.
+	child := sess.AllocID()
+	if err := sess.ApplyUpdate(&scene.AddNodeOp{Parent: ma, ID: child, Transform: mathx.Identity()}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := sub.counts(); n != 1 {
+		t.Fatalf("add under interest not delivered: %d", n)
+	}
+	if err := sess.ApplyUpdate(&scene.SetTransformOp{ID: child, Transform: mathx.RotateY(0.3)}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := sub.counts(); n != 2 {
+		t.Errorf("new child's op filtered: %d", n)
+	}
+	// Adding elsewhere is filtered.
+	other := sess.AllocID()
+	if err := sess.ApplyUpdate(&scene.AddNodeOp{Parent: scene.RootID, ID: other, Transform: mathx.Identity()}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := sub.counts(); n != 2 {
+		t.Errorf("unrelated add delivered: %d", n)
+	}
+}
+
+func TestInterestSubtreeIncluded(t *testing.T) {
+	sess, ga, ma, _, _ := interestScene(t)
+	sub := &recordingSub{}
+	if _, err := sess.Subscribe("svcA", sub); err != nil {
+		t.Fatal(err)
+	}
+	// Interest in the group covers its existing descendants.
+	if err := sess.SetInterest("svcA", []scene.NodeID{ga}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.ApplyUpdate(&scene.SetTransformOp{ID: ma, Transform: mathx.RotateY(0.1)}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := sub.counts(); n != 1 {
+		t.Errorf("descendant op filtered: %d", n)
+	}
+}
+
+func TestInterestLifecycle(t *testing.T) {
+	sess, _, ma, _, mb := interestScene(t)
+	sub := &recordingSub{}
+	if _, err := sess.Subscribe("svcA", sub); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown subscriber or node rejected.
+	if err := sess.SetInterest("ghost", []scene.NodeID{ma}); err == nil {
+		t.Error("unknown subscriber accepted")
+	}
+	if err := sess.SetInterest("svcA", []scene.NodeID{9999}); err == nil {
+		t.Error("unknown node accepted")
+	}
+	if err := sess.SetInterest("svcA", []scene.NodeID{ma}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.Interest("svcA"); len(got) == 0 {
+		t.Error("interest not recorded")
+	}
+	// Clearing restores full fan-out.
+	if err := sess.SetInterest("svcA", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.Interest("svcA"); got != nil {
+		t.Error("interest not cleared")
+	}
+	if err := sess.ApplyUpdate(&scene.SetTransformOp{ID: mb, Transform: mathx.RotateY(0.1)}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := sub.counts(); n != 1 {
+		t.Errorf("cleared interest still filtering: %d", n)
+	}
+	// Unsubscribe drops the interest record.
+	if err := sess.SetInterest("svcA", []scene.NodeID{ma}); err != nil {
+		t.Fatal(err)
+	}
+	sess.Unsubscribe("svcA")
+	if got := sess.Interest("svcA"); got != nil {
+		t.Error("interest survives unsubscribe")
+	}
+}

@@ -1,0 +1,114 @@
+package dataservice
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/marshal"
+	"repro/internal/mathx"
+	"repro/internal/scene"
+	"repro/internal/transport"
+)
+
+// TestSetInterestOverSocket drives the §3.2.5 interest registration over
+// the real wire protocol: a render service subscribes, declares interest
+// in one subtree, and then only receives updates touching it.
+func TestSetInterestOverSocket(t *testing.T) {
+	svc := New(Config{Name: "data"})
+	sess, err := svc.CreateSession("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(parent scene.NodeID, name string) scene.NodeID {
+		id := sess.AllocID()
+		if err := sess.ApplyUpdate(&scene.AddNodeOp{
+			Parent: parent, ID: id, Name: name, Transform: mathx.Identity(),
+		}, ""); err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	mine := mk(scene.RootID, "mine")
+	other := mk(scene.RootID, "other")
+
+	dsEnd, rsEnd := net.Pipe()
+	defer dsEnd.Close()
+	defer rsEnd.Close()
+	go svc.ServeConn(dsEnd)
+
+	conn := transport.NewConn(rsEnd)
+	if err := conn.SendJSON(transport.MsgHello, transport.Hello{
+		Role: "render-service", Name: "rs", Session: "s",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Bootstrap snapshot + camera.
+	typ, payload, err := conn.Receive()
+	if err != nil || typ != transport.MsgSceneSnapshot {
+		t.Fatalf("bootstrap: %v %v", typ, err)
+	}
+	if _, err := marshal.ReadScene(bytes.NewReader(payload)); err != nil {
+		t.Fatal(err)
+	}
+	if typ, _, err = conn.Receive(); err != nil || typ != transport.MsgCameraUpdate {
+		t.Fatalf("camera: %v %v", typ, err)
+	}
+
+	// Register interest in "mine" only.
+	if err := conn.SendJSON(transport.MsgSetInterest, transport.SetInterest{
+		NodeIDs: []uint64{uint64(mine)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Give the serve loop a moment to process the registration.
+	deadline := time.Now().Add(2 * time.Second)
+	for sess.Interest("rs") == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("interest never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// An out-of-interest change then an in-interest change: only the
+	// latter arrives on the socket. Apply from another goroutine: the
+	// unbuffered pipe needs this goroutine free to read.
+	applied := make(chan error, 1)
+	go func() {
+		if err := sess.ApplyUpdate(&scene.SetTransformOp{ID: other, Transform: mathx.RotateY(0.1)}, ""); err != nil {
+			applied <- err
+			return
+		}
+		applied <- sess.ApplyUpdate(&scene.SetTransformOp{ID: mine, Transform: mathx.RotateY(0.2)}, "")
+	}()
+	typ, payload, err = conn.Receive()
+	if err != nil || typ != transport.MsgSceneOp {
+		t.Fatalf("filtered op: %v %v", typ, err)
+	}
+	op, err := marshal.ReadOp(bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Touches() != mine {
+		t.Fatalf("received op for node %d, want %d (filter leak)", op.Touches(), mine)
+	}
+	if err := <-applied; err != nil {
+		t.Fatal(err)
+	}
+
+	// Bad interest (unknown node) is answered with an error message, not
+	// a dropped connection.
+	if err := conn.SendJSON(transport.MsgSetInterest, transport.SetInterest{
+		NodeIDs: []uint64{99999},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	typ, _, err = conn.Receive()
+	if err != nil || typ != transport.MsgError {
+		t.Fatalf("bad interest reply: %v %v", typ, err)
+	}
+	if err := conn.Send(transport.MsgBye, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package dataservice
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/scene"
+	"repro/internal/transport"
+)
+
+// Data-service mirroring (§6): "we will consider the distribution of the
+// data across several data servers ... and also support a fail-safe
+// mechanism, where data servers could mirror each other." A Mirror
+// subscribes a backup data service's session to a primary session: every
+// update and camera change is applied to the backup's own authoritative
+// copy, which therefore stays one fan-out behind at most. When the
+// primary dies, Promote detaches the mirror and the backup session keeps
+// serving — same name, same scene, same version.
+type Mirror struct {
+	primary *Session
+	backup  *Session
+	subName string
+
+	mu       sync.Mutex
+	promoted bool
+	applyErr error
+}
+
+// MirrorSession attaches backup service's new session (with the same
+// name) as a mirror of primary. The backup session starts from a
+// snapshot and then follows the update stream.
+func MirrorSession(primary *Session, backupSvc *Service) (*Mirror, error) {
+	if primary == nil || backupSvc == nil {
+		return nil, fmt.Errorf("dataservice: mirror needs a primary session and a backup service")
+	}
+	backup, err := backupSvc.CreateSession(primary.Name)
+	if err != nil {
+		return nil, fmt.Errorf("dataservice: backup session: %w", err)
+	}
+	m := &Mirror{
+		primary: primary,
+		backup:  backup,
+		subName: "mirror:" + backupSvc.Name(),
+	}
+	snapshot, err := primary.Subscribe(m.subName, m)
+	if err != nil {
+		return nil, err
+	}
+	// Install the snapshot and the primary's camera as the backup's
+	// authoritative state.
+	backup.mu.Lock()
+	backup.scene = snapshot
+	backup.mu.Unlock()
+	if err := backup.SetCamera(primary.Camera(), ""); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// SendOp implements Subscriber: replicate the op onto the backup.
+func (m *Mirror) SendOp(op scene.Op) error {
+	m.mu.Lock()
+	if m.promoted {
+		m.mu.Unlock()
+		return fmt.Errorf("dataservice: mirror already promoted")
+	}
+	m.mu.Unlock()
+	// Apply through the backup session so its own subscribers (clients
+	// already attached to the standby) stay current too.
+	if err := m.backup.ApplyUpdate(op, m.subName); err != nil {
+		m.mu.Lock()
+		m.applyErr = err
+		m.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// SendCamera implements Subscriber.
+func (m *Mirror) SendCamera(cam transport.CameraState) error {
+	return m.backup.SetCamera(cam, m.subName)
+}
+
+// Lag returns how many versions the backup trails the primary (0 when
+// fully caught up).
+func (m *Mirror) Lag() uint64 {
+	p := m.primary.Version()
+	b := m.backup.Version()
+	if b >= p {
+		return 0
+	}
+	return p - b
+}
+
+// Err reports a replication failure, if any occurred.
+func (m *Mirror) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.applyErr
+}
+
+// Backup exposes the standby session (e.g. to attach standby render
+// services before a failover).
+func (m *Mirror) Backup() *Session { return m.backup }
+
+// Promote detaches from the primary and returns the backup session as
+// the new authority. Safe to call after the primary has died — the
+// unsubscribe is local state on the (possibly defunct) primary.
+func (m *Mirror) Promote() (*Session, error) {
+	m.mu.Lock()
+	if m.promoted {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("dataservice: mirror already promoted")
+	}
+	m.promoted = true
+	m.mu.Unlock()
+	m.primary.Unsubscribe(m.subName)
+	return m.backup, nil
+}

@@ -1,0 +1,422 @@
+// Package dataservice implements RAVE's data service (§3.1.1): the
+// persistent, central distribution point for scene data. It hosts
+// multiple sessions, imports data from files or live feeds, streams an
+// audit trail of changes to disk for asynchronous collaboration, fans out
+// updates to subscribed render services, interrogates render services
+// for capacity, orchestrates dataset and framebuffer distribution, and
+// recruits additional render services through UDDI when the session is
+// short of rendering resources (§3.2.7).
+package dataservice
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/geom/objply"
+	"repro/internal/marshal"
+	"repro/internal/mathx"
+	"repro/internal/raster"
+	"repro/internal/scene"
+	"repro/internal/transport"
+	"repro/internal/vclock"
+)
+
+// Subscriber receives a session's update stream. Render services and
+// render-capable clients implement this; the socket adapter in this
+// package bridges it onto a transport.Conn.
+type Subscriber interface {
+	// SendOp delivers one scene update.
+	SendOp(op scene.Op) error
+	// SendCamera delivers a shared-camera change.
+	SendCamera(cam transport.CameraState) error
+}
+
+// Config configures a data service.
+type Config struct {
+	Name  string
+	Clock vclock.Clock
+}
+
+// Service hosts sessions. "Multiple sessions may be managed by the same
+// data service, sharing resources between users."
+type Service struct {
+	cfg Config
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+}
+
+// New creates a data service.
+func New(cfg Config) *Service {
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.Real{}
+	}
+	return &Service{cfg: cfg, sessions: map[string]*Session{}}
+}
+
+// Name returns the service name.
+func (s *Service) Name() string { return s.cfg.Name }
+
+// Session is one hosted collaborative session: the authoritative scene,
+// the shared camera, the subscriber set and the audit recorder.
+type Session struct {
+	Name string
+	svc  *Service
+
+	mu          sync.Mutex
+	scene       *scene.Scene
+	camera      transport.CameraState
+	subscribers map[string]Subscriber
+	interests   map[string]*interestSet
+	recorder    *Recorder
+	distributor *Distributor
+}
+
+// CreateSession creates an empty session.
+func (s *Service) CreateSession(name string) (*Session, error) {
+	if name == "" {
+		return nil, fmt.Errorf("dataservice: session name required")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.sessions[name]; exists {
+		return nil, fmt.Errorf("dataservice: session %q already exists", name)
+	}
+	sess := &Session{
+		Name:        name,
+		svc:         s,
+		scene:       scene.New(),
+		subscribers: map[string]Subscriber{},
+		interests:   map[string]*interestSet{},
+	}
+	cam := raster.DefaultCamera()
+	sess.camera = cameraState(cam)
+	s.sessions[name] = sess
+	return sess, nil
+}
+
+// cameraState converts without importing renderservice (avoiding a cycle).
+func cameraState(cam raster.Camera) transport.CameraState {
+	return transport.CameraState{
+		Eye:    [3]float64{cam.Eye.X, cam.Eye.Y, cam.Eye.Z},
+		Target: [3]float64{cam.Target.X, cam.Target.Y, cam.Target.Z},
+		Up:     [3]float64{cam.Up.X, cam.Up.Y, cam.Up.Z},
+		FovY:   cam.FovY,
+		Near:   cam.Near,
+		Far:    cam.Far,
+	}
+}
+
+// CreateSessionFromOBJ imports a Wavefront OBJ stream (the paper's model
+// import path) as a single mesh node under the root.
+func (s *Service) CreateSessionFromOBJ(name string, r io.Reader) (*Session, error) {
+	mesh, err := objply.ReadOBJ(r)
+	if err != nil {
+		return nil, fmt.Errorf("dataservice: import %q: %w", name, err)
+	}
+	if mesh.Normals == nil {
+		mesh.ComputeNormals()
+	}
+	return s.CreateSessionFromMesh(name, name, mesh)
+}
+
+// CreateSessionFromMesh creates a session seeded with one mesh node.
+func (s *Service) CreateSessionFromMesh(name, nodeName string, mesh *geom.Mesh) (*Session, error) {
+	sess, err := s.CreateSession(name)
+	if err != nil {
+		return nil, err
+	}
+	_, err = sess.AddMesh(nodeName, mesh, mathx.Identity())
+	if err != nil {
+		return nil, err
+	}
+	// Frame the camera on the imported data.
+	cam := raster.DefaultCamera().FitToBounds(mesh.Bounds(), mathx.V3(0.3, 0.25, 1))
+	sess.SetCamera(cameraState(cam), "")
+	return sess, nil
+}
+
+// Session returns a hosted session by name.
+func (s *Service) Session(name string) (*Session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[name]
+	return sess, ok
+}
+
+// SessionNames lists hosted sessions, sorted.
+func (s *Service) SessionNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for n := range s.sessions {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddMesh attaches a mesh node under the root and fans out the update.
+func (sess *Session) AddMesh(name string, mesh *geom.Mesh, tr mathx.Mat4) (scene.NodeID, error) {
+	sess.mu.Lock()
+	id := sess.scene.AllocID()
+	sess.mu.Unlock()
+	op := &scene.AddNodeOp{
+		Parent:    scene.RootID,
+		ID:        id,
+		Name:      name,
+		Transform: tr,
+		Payload:   &scene.MeshPayload{Mesh: mesh},
+	}
+	if err := sess.ApplyUpdate(op, ""); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// AllocID reserves a node ID on the authoritative scene (clients build
+// AddNode ops with it).
+func (sess *Session) AllocID() scene.NodeID {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.scene.AllocID()
+}
+
+// Scene runs fn with the authoritative scene under the session lock.
+// The scene must not be retained or mutated; use ApplyUpdate to change it.
+func (sess *Session) Scene(fn func(sc *scene.Scene)) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	fn(sess.scene)
+}
+
+// Snapshot returns a deep copy of the authoritative scene.
+func (sess *Session) Snapshot() *scene.Scene {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.scene.Clone()
+}
+
+// Version returns the scene version.
+func (sess *Session) Version() uint64 {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.scene.Version
+}
+
+// ApplyUpdate applies an op to the authoritative scene, records it in
+// the audit trail, and fans it out to every subscriber except origin
+// (which already applied it locally).
+func (sess *Session) ApplyUpdate(op scene.Op, origin string) error {
+	sess.mu.Lock()
+	if err := sess.scene.ApplyOp(op); err != nil {
+		sess.mu.Unlock()
+		return err
+	}
+	if sess.recorder != nil {
+		if err := sess.recorder.Append(op, sess.svc.cfg.Clock.Now()); err != nil {
+			sess.mu.Unlock()
+			return fmt.Errorf("dataservice: audit append: %w", err)
+		}
+	}
+	subs := make(map[string]Subscriber, len(sess.subscribers))
+	for name, sub := range sess.subscribers {
+		if name != origin && sess.wantsOp(name, op) {
+			subs[name] = sub
+		}
+	}
+	sess.mu.Unlock()
+
+	var firstErr error
+	for name, sub := range subs {
+		if err := sub.SendOp(op); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("dataservice: fan-out to %s: %w", name, err)
+		}
+	}
+	return firstErr
+}
+
+// SetCamera updates the shared camera and fans it out (collaborating
+// render services share the camera so framebuffers align, §3.1.2).
+func (sess *Session) SetCamera(cam transport.CameraState, origin string) error {
+	sess.mu.Lock()
+	sess.camera = cam
+	subs := make(map[string]Subscriber, len(sess.subscribers))
+	for name, sub := range sess.subscribers {
+		if name != origin {
+			subs[name] = sub
+		}
+	}
+	sess.mu.Unlock()
+	var firstErr error
+	for name, sub := range subs {
+		if err := sub.SendCamera(cam); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("dataservice: camera fan-out to %s: %w", name, err)
+		}
+	}
+	return firstErr
+}
+
+// Camera returns the shared camera.
+func (sess *Session) Camera() transport.CameraState {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.camera
+}
+
+// Subscribe registers a named subscriber and returns a bootstrap
+// snapshot of the current scene. Names must be unique within a session.
+func (sess *Session) Subscribe(name string, sub Subscriber) (*scene.Scene, error) {
+	if name == "" {
+		return nil, fmt.Errorf("dataservice: subscriber name required")
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if _, dup := sess.subscribers[name]; dup {
+		return nil, fmt.Errorf("dataservice: subscriber %q already attached", name)
+	}
+	sess.subscribers[name] = sub
+	return sess.scene.Clone(), nil
+}
+
+// Unsubscribe removes a subscriber.
+func (sess *Session) Unsubscribe(name string) {
+	sess.mu.Lock()
+	delete(sess.subscribers, name)
+	delete(sess.interests, name)
+	sess.mu.Unlock()
+}
+
+// SubscriberNames lists attached subscribers, sorted.
+func (sess *Session) SubscriberNames() []string {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	var out []string
+	for n := range sess.subscribers {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// connSubscriber adapts a transport.Conn into a Subscriber.
+type connSubscriber struct {
+	conn *transport.Conn
+}
+
+// SendOp implements Subscriber.
+func (c *connSubscriber) SendOp(op scene.Op) error {
+	var buf bytes.Buffer
+	if err := marshal.WriteOp(&buf, op); err != nil {
+		return err
+	}
+	return c.conn.Send(transport.MsgSceneOp, buf.Bytes())
+}
+
+// SendCamera implements Subscriber.
+func (c *connSubscriber) SendCamera(cam transport.CameraState) error {
+	return c.conn.SendJSON(transport.MsgCameraUpdate, cam)
+}
+
+// ServeConn runs the data-service side of a direct-socket subscription:
+// hello, bootstrap snapshot, then a receive loop applying the peer's
+// updates while the fan-out path pushes everyone else's. Returns when
+// the peer says Bye or the socket fails.
+func (s *Service) ServeConn(rw io.ReadWriter) error {
+	conn := transport.NewConn(rw)
+	t, payload, err := conn.Receive()
+	if err != nil {
+		return err
+	}
+	if t != transport.MsgHello {
+		return fmt.Errorf("dataservice: expected hello, got %s", t)
+	}
+	var hello transport.Hello
+	if err := transport.DecodeJSON(payload, &hello); err != nil {
+		return err
+	}
+	sess, ok := s.Session(hello.Session)
+	if !ok {
+		conn.SendJSON(transport.MsgError, transport.ErrorInfo{
+			Message: fmt.Sprintf("no session %q on data service %s", hello.Session, s.cfg.Name),
+		})
+		return fmt.Errorf("dataservice: unknown session %q", hello.Session)
+	}
+
+	sub := &connSubscriber{conn: conn}
+	snapshot, err := sess.Subscribe(hello.Name, sub)
+	if err != nil {
+		conn.SendJSON(transport.MsgError, transport.ErrorInfo{Message: err.Error()})
+		return err
+	}
+	defer sess.Unsubscribe(hello.Name)
+
+	var buf bytes.Buffer
+	if err := marshal.WriteScene(&buf, snapshot); err != nil {
+		return err
+	}
+	if err := conn.Send(transport.MsgSceneSnapshot, buf.Bytes()); err != nil {
+		return err
+	}
+	if err := conn.SendJSON(transport.MsgCameraUpdate, sess.Camera()); err != nil {
+		return err
+	}
+
+	for {
+		t, payload, err := conn.Receive()
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		switch t {
+		case transport.MsgBye:
+			return nil
+		case transport.MsgSceneOp:
+			op, err := marshal.ReadOp(bytes.NewReader(payload))
+			if err != nil {
+				return err
+			}
+			if err := sess.ApplyUpdate(op, hello.Name); err != nil {
+				if serr := conn.SendJSON(transport.MsgError, transport.ErrorInfo{Message: err.Error()}); serr != nil {
+					return serr
+				}
+			}
+		case transport.MsgCameraUpdate:
+			var cs transport.CameraState
+			if err := transport.DecodeJSON(payload, &cs); err != nil {
+				return err
+			}
+			if err := sess.SetCamera(cs, hello.Name); err != nil {
+				return err
+			}
+		case transport.MsgSetInterest:
+			var si transport.SetInterest
+			if err := transport.DecodeJSON(payload, &si); err != nil {
+				return err
+			}
+			var ids []scene.NodeID
+			for _, id := range si.NodeIDs {
+				ids = append(ids, scene.NodeID(id))
+			}
+			if err := sess.SetInterest(hello.Name, ids); err != nil {
+				if serr := conn.SendJSON(transport.MsgError, transport.ErrorInfo{Message: err.Error()}); serr != nil {
+					return serr
+				}
+			}
+		case transport.MsgLoadReport:
+			var lr transport.LoadReport
+			if err := transport.DecodeJSON(payload, &lr); err != nil {
+				return err
+			}
+			sess.handleLoadReport(lr)
+		default:
+			// Ignore messages this role does not handle.
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package dataservice
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/compositor"
+	"repro/internal/mathx"
+	"repro/internal/raster"
+	"repro/internal/scene"
+)
+
+// Volume distribution (§6): "We will extend our support and rendering
+// services to include voxel and point based methods; these will
+// distribute across multiple render services. Subset blocks of the
+// volume can be blended, even though they contain transparency, by
+// considering their relative distance from the view in the order of
+// blending (such as Visapult)." SplitVolumeNode cuts a voxel node into
+// slab nodes through ordinary scene ops (so every replica follows), and
+// RenderVolumeDistributed renders each slab on its assigned service and
+// blends the layers back-to-front.
+
+// SplitVolumeNode replaces a voxel node with n slab children under a new
+// group node carrying the original transform. The change is applied as
+// regular session updates, so subscribers and the audit trail see it.
+// Returns the IDs of the slab nodes.
+func (sess *Session) SplitVolumeNode(id scene.NodeID, n int) ([]scene.NodeID, error) {
+	var vp *scene.VoxelsPayload
+	var name string
+	var tr mathx.Mat4
+	var parent scene.NodeID
+	sess.Scene(func(sc *scene.Scene) {
+		if node := sc.Node(id); node != nil {
+			if p, ok := node.Payload.(*scene.VoxelsPayload); ok {
+				vp = p
+				name = node.Name
+				tr = node.Transform
+				parent = sc.Parent(id)
+			}
+		}
+	})
+	if vp == nil {
+		return nil, fmt.Errorf("dataservice: node %d is not a voxel payload", id)
+	}
+	slabs := vp.Grid.SplitSlabs(n)
+	if len(slabs) < 2 {
+		return nil, fmt.Errorf("dataservice: volume too thin to split into %d slabs", n)
+	}
+
+	// Group node keeps the original orientation.
+	groupID := sess.AllocID()
+	err := sess.ApplyUpdate(&scene.AddNodeOp{
+		Parent: parent, ID: groupID, Name: name + "-slabs", Transform: tr,
+	}, "")
+	if err != nil {
+		return nil, err
+	}
+	var ids []scene.NodeID
+	for i, slab := range slabs {
+		slabID := sess.AllocID()
+		err := sess.ApplyUpdate(&scene.AddNodeOp{
+			Parent:    groupID,
+			ID:        slabID,
+			Name:      fmt.Sprintf("%s-slab-%d", name, i),
+			Transform: mathx.Identity(),
+			Payload:   &scene.VoxelsPayload{Grid: slab, Iso: vp.Iso},
+		}, "")
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, slabID)
+	}
+	if err := sess.ApplyUpdate(&scene.RemoveNodeOp{ID: id}, ""); err != nil {
+		return nil, err
+	}
+	return ids, nil
+}
+
+// RenderVolumeDistributed renders each assigned node as its own layer on
+// its assigned service and blends the layers back-to-front by each
+// node's world-space distance from the camera. opacity applies per layer
+// (1 = opaque slabs). Non-volume nodes participate too — they simply
+// blend as opaque-ish layers — but the intended use is a scene of volume
+// slabs from SplitVolumeNode.
+func (d *Distributor) RenderVolumeDistributed(w, h int, opacity float64) (*raster.Framebuffer, error) {
+	d.mu.Lock()
+	asg := d.assignment
+	handles := make(map[string]RenderHandle, len(d.handles))
+	for k, v := range d.handles {
+		handles[k] = v
+	}
+	d.mu.Unlock()
+	if len(asg) == 0 {
+		return nil, fmt.Errorf("dataservice: no distribution planned")
+	}
+	cam := d.sess.Camera()
+	eye := mathx.V3(cam.Eye[0], cam.Eye[1], cam.Eye[2])
+
+	type job struct {
+		service string
+		node    scene.NodeID
+	}
+	var jobs []job
+	for name, ids := range asg {
+		for _, id := range ids {
+			jobs = append(jobs, job{name, id})
+		}
+	}
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].node < jobs[j].node })
+
+	var layers []compositor.VolumeLayer
+	for _, jb := range jobs {
+		handle, ok := handles[jb.service]
+		if !ok {
+			return nil, fmt.Errorf("dataservice: assigned service %s not attached", jb.service)
+		}
+		var subset *scene.Scene
+		var dist float64
+		var err error
+		d.sess.Scene(func(sc *scene.Scene) {
+			subset, err = sc.ExtractSubset([]scene.NodeID{jb.node})
+			if err != nil {
+				return
+			}
+			world, werr := sc.WorldTransform(jb.node)
+			if werr != nil {
+				err = werr
+				return
+			}
+			n := sc.Node(jb.node)
+			if n == nil || n.Payload == nil {
+				err = fmt.Errorf("dataservice: node %d lost during render", jb.node)
+				return
+			}
+			bounds := n.Payload.BoundsLocal().Transform(world)
+			dist = bounds.Center().Dist(eye)
+		})
+		if err != nil {
+			return nil, err
+		}
+		fb, err := handle.RenderSubset(subset, cam, w, h)
+		if err != nil {
+			return nil, fmt.Errorf("dataservice: slab render on %s: %w", jb.service, err)
+		}
+		layers = append(layers, compositor.VolumeLayer{
+			FB: fb, Opacity: opacity, ViewDistance: dist,
+		})
+	}
+	return compositor.BlendVolume(w, h, layers)
+}

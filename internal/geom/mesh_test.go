@@ -1,0 +1,319 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+)
+
+// quadMesh returns a unit square in the XY plane made of two triangles.
+func quadMesh() *Mesh {
+	return &Mesh{
+		Positions: []mathx.Vec3{
+			mathx.V3(0, 0, 0), mathx.V3(1, 0, 0), mathx.V3(1, 1, 0), mathx.V3(0, 1, 0),
+		},
+		Indices: []uint32{0, 1, 2, 0, 2, 3},
+	}
+}
+
+func TestMeshCounts(t *testing.T) {
+	m := quadMesh()
+	if m.TriangleCount() != 2 {
+		t.Errorf("TriangleCount = %d", m.TriangleCount())
+	}
+	if m.VertexCount() != 4 {
+		t.Errorf("VertexCount = %d", m.VertexCount())
+	}
+	a, b, c := m.Triangle(1)
+	if a != (mathx.Vec3{X: 0, Y: 0, Z: 0}) || b != (mathx.Vec3{X: 1, Y: 1, Z: 0}) || c != (mathx.Vec3{X: 0, Y: 1, Z: 0}) {
+		t.Errorf("Triangle(1) = %v %v %v", a, b, c)
+	}
+}
+
+func TestMeshValidate(t *testing.T) {
+	m := quadMesh()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("valid mesh rejected: %v", err)
+	}
+	bad := quadMesh()
+	bad.Indices = append(bad.Indices, 0, 1) // not multiple of 3
+	if err := bad.Validate(); err == nil {
+		t.Error("truncated indices accepted")
+	}
+	bad2 := quadMesh()
+	bad2.Indices[0] = 99
+	if err := bad2.Validate(); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	bad3 := quadMesh()
+	bad3.Normals = make([]mathx.Vec3, 2)
+	if err := bad3.Validate(); err == nil {
+		t.Error("mismatched normals accepted")
+	}
+	bad4 := quadMesh()
+	bad4.Colors = make([]mathx.Vec3, 1)
+	if err := bad4.Validate(); err == nil {
+		t.Error("mismatched colors accepted")
+	}
+}
+
+func TestMeshBounds(t *testing.T) {
+	m := quadMesh()
+	b := m.Bounds()
+	if b.Min != (mathx.Vec3{X: 0, Y: 0, Z: 0}) || b.Max != (mathx.Vec3{X: 1, Y: 1, Z: 0}) {
+		t.Errorf("bounds: %+v", b)
+	}
+	empty := &Mesh{}
+	if !empty.Bounds().IsEmpty() {
+		t.Error("empty mesh bounds not empty")
+	}
+}
+
+func TestMeshCloneIndependent(t *testing.T) {
+	m := quadMesh()
+	m.SetUniformColor(mathx.V3(1, 0, 0))
+	m.ComputeNormals()
+	c := m.Clone()
+	c.Positions[0] = mathx.V3(9, 9, 9)
+	c.Colors[0] = mathx.V3(0, 1, 0)
+	c.Indices[0] = 3
+	if m.Positions[0] == c.Positions[0] || m.Colors[0] == c.Colors[0] || m.Indices[0] == c.Indices[0] {
+		t.Error("clone shares storage with original")
+	}
+}
+
+func TestComputeNormalsFlatQuad(t *testing.T) {
+	m := quadMesh()
+	m.ComputeNormals()
+	want := mathx.V3(0, 0, 1)
+	for i, n := range m.Normals {
+		if !n.ApproxEq(want) {
+			t.Errorf("normal %d = %v, want +Z", i, n)
+		}
+	}
+}
+
+func TestSurfaceArea(t *testing.T) {
+	m := quadMesh()
+	if got := m.SurfaceArea(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("unit quad area = %v", got)
+	}
+}
+
+func TestMeshTransform(t *testing.T) {
+	m := quadMesh()
+	m.ComputeNormals()
+	m.Transform(mathx.Translate(mathx.V3(5, 0, 0)))
+	if m.Positions[0] != (mathx.Vec3{X: 5, Y: 0, Z: 0}) {
+		t.Errorf("translated position: %v", m.Positions[0])
+	}
+	if !m.Normals[0].ApproxEq(mathx.V3(0, 0, 1)) {
+		t.Errorf("normal changed by translation: %v", m.Normals[0])
+	}
+	m.Transform(mathx.RotateX(math.Pi / 2))
+	if !m.Normals[0].ApproxEq(mathx.V3(0, -1, 0)) {
+		t.Errorf("rotated normal: %v", m.Normals[0])
+	}
+}
+
+func TestMeshAppend(t *testing.T) {
+	a := quadMesh()
+	b := quadMesh()
+	b.Transform(mathx.Translate(mathx.V3(0, 0, 2)))
+	b.SetUniformColor(mathx.V3(1, 0, 0))
+	a.Append(b)
+	if a.TriangleCount() != 4 {
+		t.Fatalf("appended triangle count: %d", a.TriangleCount())
+	}
+	if a.VertexCount() != 8 {
+		t.Fatalf("appended vertex count: %d", a.VertexCount())
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("appended mesh invalid: %v", err)
+	}
+	// Colors were only on b; a's half should be zero-filled.
+	if a.Colors[0] != (mathx.Vec3{}) {
+		t.Errorf("a color not zero-filled: %v", a.Colors[0])
+	}
+	if a.Colors[4] != (mathx.Vec3{X: 1, Y: 0, Z: 0}) {
+		t.Errorf("b color lost: %v", a.Colors[4])
+	}
+}
+
+func sphereGrid(n int, r float64) *VoxelGrid {
+	g := NewVoxelGrid(n, n, n, mathx.V3(-1.5, -1.5, -1.5), 3.0/float64(n-1))
+	g.Fill(SphereField(mathx.V3(0, 0, 0), r))
+	return g
+}
+
+func TestMarchingCubesSphere(t *testing.T) {
+	g := sphereGrid(32, 1)
+	m := MarchingCubes(g, 0)
+	if m.TriangleCount() < 100 {
+		t.Fatalf("sphere produced only %d triangles", m.TriangleCount())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("invalid mesh: %v", err)
+	}
+	// Surface area should approximate 4*pi*r^2 within a few percent.
+	want := 4 * math.Pi
+	got := m.SurfaceArea()
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("sphere area = %v, want approx %v", got, want)
+	}
+	// All vertices near radius 1.
+	for _, p := range m.Positions {
+		if r := p.Len(); r < 0.9 || r > 1.1 {
+			t.Fatalf("vertex at radius %v", r)
+		}
+	}
+}
+
+func TestMarchingCubesWatertight(t *testing.T) {
+	g := sphereGrid(16, 1)
+	m := MarchingCubes(g, 0)
+	// Every undirected edge of a closed surface is shared by exactly 2
+	// triangles.
+	type edge struct{ a, b uint32 }
+	edges := map[edge]int{}
+	for i := 0; i < m.TriangleCount(); i++ {
+		idx := [3]uint32{m.Indices[3*i], m.Indices[3*i+1], m.Indices[3*i+2]}
+		for e := 0; e < 3; e++ {
+			a, b := idx[e], idx[(e+1)%3]
+			if a > b {
+				a, b = b, a
+			}
+			edges[edge{a, b}]++
+		}
+	}
+	for e, count := range edges {
+		if count != 2 {
+			t.Fatalf("edge %v shared by %d triangles, want 2", e, count)
+		}
+	}
+}
+
+func TestMarchingCubesOutwardNormals(t *testing.T) {
+	g := sphereGrid(24, 1)
+	m := MarchingCubes(g, 0)
+	outward := 0
+	for i := 0; i < m.TriangleCount(); i++ {
+		a, b, c := m.Triangle(i)
+		n := b.Sub(a).Cross(c.Sub(a))
+		centroid := a.Add(b).Add(c).Scale(1.0 / 3)
+		if n.Dot(centroid) > 0 {
+			outward++
+		}
+	}
+	if frac := float64(outward) / float64(m.TriangleCount()); frac < 0.99 {
+		t.Errorf("only %.1f%% of triangles face outward", frac*100)
+	}
+}
+
+func TestMarchingCubesEmptyAndTiny(t *testing.T) {
+	g := NewVoxelGrid(8, 8, 8, mathx.V3(0, 0, 0), 1)
+	m := MarchingCubes(g, 0.5) // all zeros: no surface
+	if m.TriangleCount() != 0 {
+		t.Errorf("flat field produced %d triangles", m.TriangleCount())
+	}
+	tiny := NewVoxelGrid(1, 1, 1, mathx.V3(0, 0, 0), 1)
+	if got := MarchingCubes(tiny, 0); got.TriangleCount() != 0 {
+		t.Errorf("1x1x1 grid produced triangles")
+	}
+}
+
+func TestDecimateReducesTriangles(t *testing.T) {
+	g := sphereGrid(32, 1)
+	m := MarchingCubes(g, 0)
+	orig := m.TriangleCount()
+	target := orig / 4
+	d := m.Decimate(target)
+	if d.TriangleCount() > orig {
+		t.Fatalf("decimation grew mesh: %d -> %d", orig, d.TriangleCount())
+	}
+	if d.TriangleCount() > target*2 {
+		t.Errorf("decimation too coarse: got %d, target %d", d.TriangleCount(), target)
+	}
+	if d.TriangleCount() == 0 {
+		t.Error("decimated to nothing")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("decimated mesh invalid: %v", err)
+	}
+	// Shape roughly preserved: vertices still near the unit sphere.
+	for _, p := range d.Positions {
+		if r := p.Len(); r < 0.7 || r > 1.3 {
+			t.Fatalf("decimated vertex at radius %v", r)
+		}
+	}
+	// Original untouched.
+	if m.TriangleCount() != orig {
+		t.Error("Decimate mutated the receiver")
+	}
+}
+
+func TestDecimateNoOpWhenSmall(t *testing.T) {
+	m := quadMesh()
+	d := m.Decimate(10)
+	if d.TriangleCount() != 2 {
+		t.Errorf("small mesh decimated: %d", d.TriangleCount())
+	}
+}
+
+func TestSplitSpatiallyPreservesTriangles(t *testing.T) {
+	g := sphereGrid(24, 1)
+	m := MarchingCubes(g, 0)
+	for _, n := range []int{1, 2, 3, 5} {
+		pieces := m.SplitSpatially(n)
+		total := 0
+		for _, p := range pieces {
+			total += p.TriangleCount()
+			if err := p.Validate(); err != nil {
+				t.Fatalf("split piece invalid: %v", err)
+			}
+		}
+		if total != m.TriangleCount() {
+			t.Errorf("split %d: %d triangles, want %d", n, total, m.TriangleCount())
+		}
+		if len(pieces) > n {
+			t.Errorf("split %d produced %d pieces", n, len(pieces))
+		}
+	}
+}
+
+func TestSplitSpatiallySeparates(t *testing.T) {
+	g := sphereGrid(24, 1)
+	m := MarchingCubes(g, 0)
+	pieces := m.SplitSpatially(2)
+	if len(pieces) != 2 {
+		t.Fatalf("want 2 pieces, got %d", len(pieces))
+	}
+	// The two halves should occupy different ranges on the split axis.
+	c0 := pieces[0].Bounds().Center()
+	c1 := pieces[1].Bounds().Center()
+	if c0.Sub(c1).Len() < 0.3 {
+		t.Errorf("pieces not spatially separated: centers %v %v", c0, c1)
+	}
+}
+
+func TestSplitSpatiallyDegenerate(t *testing.T) {
+	empty := &Mesh{}
+	pieces := empty.SplitSpatially(4)
+	if len(pieces) != 1 || pieces[0].TriangleCount() != 0 {
+		t.Errorf("empty split: %d pieces", len(pieces))
+	}
+}
+
+func TestPropDecimateNeverGrows(t *testing.T) {
+	g := sphereGrid(16, 1)
+	m := MarchingCubes(g, 0)
+	f := func(target uint16) bool {
+		d := m.Decimate(int(target%2000) + 1)
+		return d.TriangleCount() <= m.TriangleCount() && d.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,381 @@
+package objply
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/mathx"
+)
+
+// plyProperty describes one property of a PLY element.
+type plyProperty struct {
+	name      string
+	typ       string // scalar type, or list count/value types joined
+	isList    bool
+	countType string
+	valType   string
+}
+
+// plyElement is one element group (vertex, face, ...).
+type plyElement struct {
+	name  string
+	count int
+	props []plyProperty
+}
+
+// WritePLY serializes the mesh in binary little-endian PLY with float
+// positions (and normals/uchar colors when present) — the layout the
+// Stanford/Georgia-Tech scanner models use.
+func WritePLY(w io.Writer, m *geom.Mesh) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	fmt.Fprintf(bw, "ply\nformat binary_little_endian 1.0\n")
+	fmt.Fprintf(bw, "comment RAVE PLY export\n")
+	fmt.Fprintf(bw, "element vertex %d\n", m.VertexCount())
+	fmt.Fprintf(bw, "property float x\nproperty float y\nproperty float z\n")
+	if m.Normals != nil {
+		fmt.Fprintf(bw, "property float nx\nproperty float ny\nproperty float nz\n")
+	}
+	if m.Colors != nil {
+		fmt.Fprintf(bw, "property uchar red\nproperty uchar green\nproperty uchar blue\n")
+	}
+	fmt.Fprintf(bw, "element face %d\n", m.TriangleCount())
+	fmt.Fprintf(bw, "property list uchar int vertex_indices\n")
+	fmt.Fprintf(bw, "end_header\n")
+
+	writeF32 := func(v float64) {
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(float32(v)))
+		bw.Write(buf[:])
+	}
+	for i, p := range m.Positions {
+		writeF32(p.X)
+		writeF32(p.Y)
+		writeF32(p.Z)
+		if m.Normals != nil {
+			n := m.Normals[i]
+			writeF32(n.X)
+			writeF32(n.Y)
+			writeF32(n.Z)
+		}
+		if m.Colors != nil {
+			c := m.Colors[i]
+			bw.WriteByte(byte(mathx.Clamp(c.X*255, 0, 255)))
+			bw.WriteByte(byte(mathx.Clamp(c.Y*255, 0, 255)))
+			bw.WriteByte(byte(mathx.Clamp(c.Z*255, 0, 255)))
+		}
+	}
+	var ibuf [4]byte
+	for i := 0; i < m.TriangleCount(); i++ {
+		bw.WriteByte(3)
+		for k := 0; k < 3; k++ {
+			binary.LittleEndian.PutUint32(ibuf[:], m.Indices[3*i+k])
+			bw.Write(ibuf[:])
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPLY parses ascii or binary little-endian PLY, extracting positions,
+// normals (nx/ny/nz), colors (red/green/blue as uchar or float) and
+// triangle faces (polygons are fan-triangulated).
+func ReadPLY(r io.Reader) (*geom.Mesh, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	elements, format, err := readPLYHeader(br)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &geom.Mesh{}
+	hasNormals, hasColors := false, false
+	for _, el := range elements {
+		switch el.name {
+		case "vertex":
+			for _, p := range el.props {
+				switch p.name {
+				case "nx":
+					hasNormals = true
+				case "red":
+					hasColors = true
+				}
+			}
+			if hasNormals {
+				m.Normals = make([]mathx.Vec3, 0, el.count)
+			}
+			if hasColors {
+				m.Colors = make([]mathx.Vec3, 0, el.count)
+			}
+			for i := 0; i < el.count; i++ {
+				vals, err := readPLYRecord(br, el, format)
+				if err != nil {
+					return nil, fmt.Errorf("objply: vertex %d: %w", i, err)
+				}
+				var pos, nrm, col mathx.Vec3
+				for pi, p := range el.props {
+					v := vals[pi][0]
+					switch p.name {
+					case "x":
+						pos.X = v
+					case "y":
+						pos.Y = v
+					case "z":
+						pos.Z = v
+					case "nx":
+						nrm.X = v
+					case "ny":
+						nrm.Y = v
+					case "nz":
+						nrm.Z = v
+					case "red":
+						col.X = colorScale(v, p.valType)
+					case "green":
+						col.Y = colorScale(v, p.valType)
+					case "blue":
+						col.Z = colorScale(v, p.valType)
+					}
+				}
+				m.Positions = append(m.Positions, pos)
+				if hasNormals {
+					m.Normals = append(m.Normals, nrm)
+				}
+				if hasColors {
+					m.Colors = append(m.Colors, col)
+				}
+			}
+		case "face":
+			for i := 0; i < el.count; i++ {
+				vals, err := readPLYRecord(br, el, format)
+				if err != nil {
+					return nil, fmt.Errorf("objply: face %d: %w", i, err)
+				}
+				for pi, p := range el.props {
+					if !p.isList {
+						continue
+					}
+					idx := vals[pi]
+					if len(idx) < 3 {
+						return nil, fmt.Errorf("objply: face %d has %d vertices", i, len(idx))
+					}
+					for k := 1; k+1 < len(idx); k++ {
+						m.Indices = append(m.Indices,
+							uint32(idx[0]), uint32(idx[k]), uint32(idx[k+1]))
+					}
+				}
+			}
+		default:
+			// Skip unknown elements.
+			for i := 0; i < el.count; i++ {
+				if _, err := readPLYRecord(br, el, format); err != nil {
+					return nil, fmt.Errorf("objply: element %s: %w", el.name, err)
+				}
+			}
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func colorScale(v float64, typ string) float64 {
+	if typ == "float" || typ == "double" || typ == "float32" || typ == "float64" {
+		return v
+	}
+	return v / 255
+}
+
+func readPLYHeader(br *bufio.Reader) ([]plyElement, string, error) {
+	magic, err := br.ReadString('\n')
+	if err != nil || strings.TrimSpace(magic) != "ply" {
+		return nil, "", fmt.Errorf("objply: not a PLY file")
+	}
+	var elements []plyElement
+	format := ""
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return nil, "", fmt.Errorf("objply: truncated header: %w", err)
+		}
+		fields := strings.Fields(strings.TrimSpace(line))
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "format":
+			if len(fields) < 2 {
+				return nil, "", fmt.Errorf("objply: bad format line")
+			}
+			format = fields[1]
+			if format != "ascii" && format != "binary_little_endian" {
+				return nil, "", fmt.Errorf("objply: unsupported format %q", format)
+			}
+		case "comment", "obj_info":
+		case "element":
+			if len(fields) < 3 {
+				return nil, "", fmt.Errorf("objply: bad element line")
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 0 {
+				return nil, "", fmt.Errorf("objply: bad element count %q", fields[2])
+			}
+			elements = append(elements, plyElement{name: fields[1], count: n})
+		case "property":
+			if len(elements) == 0 {
+				return nil, "", fmt.Errorf("objply: property before element")
+			}
+			el := &elements[len(elements)-1]
+			if len(fields) >= 5 && fields[1] == "list" {
+				el.props = append(el.props, plyProperty{
+					name: fields[4], isList: true,
+					countType: fields[2], valType: fields[3],
+				})
+			} else if len(fields) >= 3 {
+				el.props = append(el.props, plyProperty{
+					name: fields[2], valType: fields[1],
+				})
+			} else {
+				return nil, "", fmt.Errorf("objply: bad property line %q", line)
+			}
+		case "end_header":
+			if format == "" {
+				return nil, "", fmt.Errorf("objply: missing format line")
+			}
+			return elements, format, nil
+		default:
+			return nil, "", fmt.Errorf("objply: unknown header line %q", fields[0])
+		}
+	}
+}
+
+// readPLYRecord reads one element record; each property yields a slice
+// (length 1 for scalars).
+func readPLYRecord(br *bufio.Reader, el plyElement, format string) ([][]float64, error) {
+	out := make([][]float64, len(el.props))
+	if format == "ascii" {
+		line, err := br.ReadString('\n')
+		if err != nil && (err != io.EOF || strings.TrimSpace(line) == "") {
+			return nil, err
+		}
+		fields := strings.Fields(strings.TrimSpace(line))
+		pos := 0
+		next := func() (float64, error) {
+			if pos >= len(fields) {
+				return 0, fmt.Errorf("short record")
+			}
+			v, err := strconv.ParseFloat(fields[pos], 64)
+			pos++
+			return v, err
+		}
+		for pi, p := range el.props {
+			if p.isList {
+				n, err := next()
+				if err != nil {
+					return nil, err
+				}
+				vals := make([]float64, int(n))
+				for i := range vals {
+					if vals[i], err = next(); err != nil {
+						return nil, err
+					}
+				}
+				out[pi] = vals
+			} else {
+				v, err := next()
+				if err != nil {
+					return nil, err
+				}
+				out[pi] = []float64{v}
+			}
+		}
+		return out, nil
+	}
+
+	// binary_little_endian
+	for pi, p := range el.props {
+		if p.isList {
+			n, err := readPLYScalar(br, p.countType)
+			if err != nil {
+				return nil, err
+			}
+			vals := make([]float64, int(n))
+			for i := range vals {
+				if vals[i], err = readPLYScalar(br, p.valType); err != nil {
+					return nil, err
+				}
+			}
+			out[pi] = vals
+		} else {
+			v, err := readPLYScalar(br, p.valType)
+			if err != nil {
+				return nil, err
+			}
+			out[pi] = []float64{v}
+		}
+	}
+	return out, nil
+}
+
+func readPLYScalar(br *bufio.Reader, typ string) (float64, error) {
+	readN := func(n int) ([]byte, error) {
+		buf := make([]byte, n)
+		_, err := io.ReadFull(br, buf)
+		return buf, err
+	}
+	switch typ {
+	case "char", "int8":
+		b, err := readN(1)
+		if err != nil {
+			return 0, err
+		}
+		return float64(int8(b[0])), nil
+	case "uchar", "uint8":
+		b, err := readN(1)
+		if err != nil {
+			return 0, err
+		}
+		return float64(b[0]), nil
+	case "short", "int16":
+		b, err := readN(2)
+		if err != nil {
+			return 0, err
+		}
+		return float64(int16(binary.LittleEndian.Uint16(b))), nil
+	case "ushort", "uint16":
+		b, err := readN(2)
+		if err != nil {
+			return 0, err
+		}
+		return float64(binary.LittleEndian.Uint16(b)), nil
+	case "int", "int32":
+		b, err := readN(4)
+		if err != nil {
+			return 0, err
+		}
+		return float64(int32(binary.LittleEndian.Uint32(b))), nil
+	case "uint", "uint32":
+		b, err := readN(4)
+		if err != nil {
+			return 0, err
+		}
+		return float64(binary.LittleEndian.Uint32(b)), nil
+	case "float", "float32":
+		b, err := readN(4)
+		if err != nil {
+			return 0, err
+		}
+		return float64(math.Float32frombits(binary.LittleEndian.Uint32(b))), nil
+	case "double", "float64":
+		b, err := readN(8)
+		if err != nil {
+			return 0, err
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(b)), nil
+	default:
+		return 0, fmt.Errorf("objply: unsupported scalar type %q", typ)
+	}
+}

@@ -1,0 +1,174 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// VoxelGrid is a regular scalar field: NX*NY*NZ samples with the sample
+// (i,j,k) located at Origin + (i,j,k)*Spacing. It is both a renderable
+// payload (the paper's planned voxel support, §6) and the input to
+// marching cubes (how the paper's skeleton model was produced).
+type VoxelGrid struct {
+	NX, NY, NZ int
+	Origin     mathx.Vec3
+	Spacing    float64
+	Data       []float32 // len NX*NY*NZ, index i + NX*(j + NY*k)
+}
+
+// NewVoxelGrid allocates a zeroed grid.
+func NewVoxelGrid(nx, ny, nz int, origin mathx.Vec3, spacing float64) *VoxelGrid {
+	return &VoxelGrid{
+		NX: nx, NY: ny, NZ: nz,
+		Origin:  origin,
+		Spacing: spacing,
+		Data:    make([]float32, nx*ny*nz),
+	}
+}
+
+// Validate checks the data length against the dimensions.
+func (g *VoxelGrid) Validate() error {
+	if g.NX < 0 || g.NY < 0 || g.NZ < 0 {
+		return fmt.Errorf("geom: negative voxel dimensions %dx%dx%d", g.NX, g.NY, g.NZ)
+	}
+	if len(g.Data) != g.NX*g.NY*g.NZ {
+		return fmt.Errorf("geom: voxel data length %d != %d*%d*%d", len(g.Data), g.NX, g.NY, g.NZ)
+	}
+	if g.Spacing <= 0 {
+		return fmt.Errorf("geom: non-positive voxel spacing %v", g.Spacing)
+	}
+	return nil
+}
+
+// Index returns the flat index of sample (i, j, k).
+func (g *VoxelGrid) Index(i, j, k int) int { return i + g.NX*(j+g.NY*k) }
+
+// At returns the sample value at (i, j, k).
+func (g *VoxelGrid) At(i, j, k int) float32 { return g.Data[g.Index(i, j, k)] }
+
+// Set stores v at sample (i, j, k).
+func (g *VoxelGrid) Set(i, j, k int, v float32) { g.Data[g.Index(i, j, k)] = v }
+
+// WorldPos returns the world-space position of sample (i, j, k).
+func (g *VoxelGrid) WorldPos(i, j, k int) mathx.Vec3 {
+	return g.Origin.Add(mathx.Vec3{
+		X: float64(i) * g.Spacing,
+		Y: float64(j) * g.Spacing,
+		Z: float64(k) * g.Spacing,
+	})
+}
+
+// Bounds returns the world-space bounding box of the grid.
+func (g *VoxelGrid) Bounds() mathx.AABB {
+	if g.NX == 0 || g.NY == 0 || g.NZ == 0 {
+		return mathx.EmptyAABB()
+	}
+	return mathx.AABB{
+		Min: g.Origin,
+		Max: g.WorldPos(g.NX-1, g.NY-1, g.NZ-1),
+	}
+}
+
+// Clone returns a deep copy.
+func (g *VoxelGrid) Clone() *VoxelGrid {
+	out := *g
+	out.Data = append([]float32(nil), g.Data...)
+	return &out
+}
+
+// Fill evaluates f at every sample position and stores the result.
+func (g *VoxelGrid) Fill(f func(p mathx.Vec3) float64) {
+	for k := 0; k < g.NZ; k++ {
+		for j := 0; j < g.NY; j++ {
+			for i := 0; i < g.NX; i++ {
+				g.Set(i, j, k, float32(f(g.WorldPos(i, j, k))))
+			}
+		}
+	}
+}
+
+// SplitSlabs partitions the grid into at most n slabs along Z (with one
+// sample of overlap so surfaces reconstruct seamlessly), for dataset
+// distribution of volume data across render services. Blending order is
+// back-to-front by slab distance, as the paper describes for Visapult-style
+// volume subsets (§6).
+func (g *VoxelGrid) SplitSlabs(n int) []*VoxelGrid {
+	if n <= 1 || g.NZ <= 1 {
+		return []*VoxelGrid{g.Clone()}
+	}
+	if n > g.NZ-1 {
+		n = g.NZ - 1
+	}
+	var out []*VoxelGrid
+	for s := 0; s < n; s++ {
+		z0 := s * (g.NZ - 1) / n
+		z1 := (s+1)*(g.NZ-1)/n + 1 // inclusive of the shared boundary layer
+		if z1 > g.NZ {
+			z1 = g.NZ
+		}
+		slab := NewVoxelGrid(g.NX, g.NY, z1-z0, g.WorldPos(0, 0, z0), g.Spacing)
+		for k := z0; k < z1; k++ {
+			src := g.Data[g.NX*g.NY*k : g.NX*g.NY*(k+1)]
+			dst := slab.Data[g.NX*g.NY*(k-z0) : g.NX*g.NY*(k-z0+1)]
+			copy(dst, src)
+		}
+		out = append(out, slab)
+	}
+	return out
+}
+
+// SphereField returns a signed field that is positive inside a sphere —
+// handy for tests and synthetic volumes.
+func SphereField(center mathx.Vec3, radius float64) func(p mathx.Vec3) float64 {
+	return func(p mathx.Vec3) float64 {
+		return radius - p.Sub(center).Len()
+	}
+}
+
+// MetaballField sums classic metaball contributions: each ball adds
+// r^2/d^2 and the field is compared against a threshold (positive inside).
+// Metaball isosurfaces are how the procedural "hand" and "skeleton" models
+// are sculpted.
+func MetaballField(centers []mathx.Vec3, radii []float64, threshold float64) func(p mathx.Vec3) float64 {
+	return func(p mathx.Vec3) float64 {
+		sum := 0.0
+		for i, c := range centers {
+			d2 := p.Sub(c).LenSq()
+			if d2 < 1e-12 {
+				d2 = 1e-12
+			}
+			sum += radii[i] * radii[i] / d2
+		}
+		return sum - threshold
+	}
+}
+
+// CapsuleField returns a field positive inside a capsule (a segment with
+// radius), used to sculpt bone-like shapes.
+func CapsuleField(a, b mathx.Vec3, radius float64) func(p mathx.Vec3) float64 {
+	ab := b.Sub(a)
+	abLenSq := ab.LenSq()
+	return func(p mathx.Vec3) float64 {
+		t := 0.0
+		if abLenSq > 0 {
+			t = mathx.Clamp(p.Sub(a).Dot(ab)/abLenSq, 0, 1)
+		}
+		closest := a.Add(ab.Scale(t))
+		return radius - p.Sub(closest).Len()
+	}
+}
+
+// MaxField combines fields with a union (max), so separate solids merge.
+func MaxField(fields ...func(p mathx.Vec3) float64) func(p mathx.Vec3) float64 {
+	return func(p mathx.Vec3) float64 {
+		best := math.Inf(-1)
+		for _, f := range fields {
+			if v := f(p); v > best {
+				best = v
+			}
+		}
+		return best
+	}
+}

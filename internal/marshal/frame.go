@@ -1,0 +1,125 @@
+package marshal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/raster"
+)
+
+// WriteFrame serializes a framebuffer (color + depth) — what one render
+// service sends another for depth compositing under dataset distribution.
+func WriteFrame(out io.Writer, fb *raster.Framebuffer, includeDepth bool) error {
+	w := newWriter(out)
+	w.u32(uint32(fb.W))
+	w.u32(uint32(fb.H))
+	if includeDepth {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	w.bytes(fb.Color)
+	if includeDepth {
+		w.u32(uint32(len(fb.Depth)))
+		for _, d := range fb.Depth {
+			w.u32(math.Float32bits(d))
+		}
+	}
+	return w.flush()
+}
+
+// ReadFrame deserializes a framebuffer written by WriteFrame. Frames
+// without depth get a cleared (all +Inf) depth plane.
+func ReadFrame(in io.Reader) (*raster.Framebuffer, error) {
+	r := newReader(in)
+	w := int(r.u32())
+	h := int(r.u32())
+	hasDepth := r.u8() == 1
+	if r.err != nil {
+		return nil, r.err
+	}
+	if w <= 0 || h <= 0 || w > 1<<14 || h > 1<<14 {
+		return nil, fmt.Errorf("marshal: frame dimensions %dx%d out of range", w, h)
+	}
+	color := r.byteSlice()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(color) != w*h*3 {
+		return nil, fmt.Errorf("marshal: color plane %d bytes, want %d", len(color), w*h*3)
+	}
+	fb := raster.NewFramebuffer(w, h)
+	copy(fb.Color, color)
+	if hasDepth {
+		n := int(r.u32())
+		if r.err != nil {
+			return nil, r.err
+		}
+		if n != w*h {
+			return nil, fmt.Errorf("marshal: depth plane %d floats, want %d", n, w*h)
+		}
+		for i := 0; i < n; i++ {
+			fb.Depth[i] = math.Float32frombits(r.u32())
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+	}
+	return fb, nil
+}
+
+// EncodeFrameDirect converts the color plane to wire bytes with a single
+// bulk copy — the C/C++ thin client's "data pointer is directly cast to
+// the appropriate image format, involving minimal overhead" (§5.1).
+func EncodeFrameDirect(fb *raster.Framebuffer) []byte {
+	out := make([]byte, 8+len(fb.Color))
+	binary.BigEndian.PutUint32(out, uint32(fb.W))
+	binary.BigEndian.PutUint32(out[4:], uint32(fb.H))
+	copy(out[8:], fb.Color)
+	return out
+}
+
+// EncodeFramePerPixel produces the identical bytes, but the way the
+// paper's J2ME client had to: "sending each pixel one at a time,
+// converting to a series of bytes" (§5.1) — each channel is boxed and
+// routed through the generic binary encoder. The paper measured over two
+// minutes per frame this way versus 0.2 s for the direct path;
+// BenchmarkPixelMarshal* reproduces the gap's shape.
+func EncodeFramePerPixel(fb *raster.Framebuffer) []byte {
+	var buf bytes.Buffer
+	buf.Grow(8 + len(fb.Color))
+	_ = binary.Write(&buf, binary.BigEndian, uint32(fb.W))
+	_ = binary.Write(&buf, binary.BigEndian, uint32(fb.H))
+	for y := 0; y < fb.H; y++ {
+		for x := 0; x < fb.W; x++ {
+			r, g, b := fb.At(x, y)
+			// One boxed, reflective write per channel: the per-pixel
+			// conversion cost the PDA could not afford.
+			_ = binary.Write(&buf, binary.BigEndian, r)
+			_ = binary.Write(&buf, binary.BigEndian, g)
+			_ = binary.Write(&buf, binary.BigEndian, b)
+		}
+	}
+	return buf.Bytes()
+}
+
+// DecodeFrameColor reverses EncodeFrameDirect/EncodeFramePerPixel.
+func DecodeFrameColor(data []byte) (*raster.Framebuffer, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("marshal: frame header short (%d bytes)", len(data))
+	}
+	w := int(binary.BigEndian.Uint32(data))
+	h := int(binary.BigEndian.Uint32(data[4:]))
+	if w <= 0 || h <= 0 || w > 1<<14 || h > 1<<14 {
+		return nil, fmt.Errorf("marshal: frame dimensions %dx%d out of range", w, h)
+	}
+	if len(data) != 8+w*h*3 {
+		return nil, fmt.Errorf("marshal: frame body %d bytes, want %d", len(data)-8, w*h*3)
+	}
+	fb := raster.NewFramebuffer(w, h)
+	copy(fb.Color, data[8:])
+	return fb, nil
+}

@@ -1,0 +1,227 @@
+package marshal
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/mathx"
+	"repro/internal/scene"
+)
+
+// randomScene builds a pseudo-random but valid scene from a seed.
+func randomScene(seed int64) *scene.Scene {
+	rng := rand.New(rand.NewSource(seed))
+	s := scene.New()
+	parents := []scene.NodeID{scene.RootID}
+	n := 2 + rng.Intn(12)
+	for i := 0; i < n; i++ {
+		parent := parents[rng.Intn(len(parents))]
+		id := s.AllocID()
+		var payload scene.Payload
+		switch rng.Intn(5) {
+		case 0: // group
+			payload = nil
+		case 1:
+			mesh := &geom.Mesh{}
+			verts := 3 + rng.Intn(20)
+			for v := 0; v < verts; v++ {
+				mesh.Positions = append(mesh.Positions,
+					mathx.V3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()))
+			}
+			tris := 1 + rng.Intn(8)
+			for t := 0; t < tris; t++ {
+				mesh.Indices = append(mesh.Indices,
+					uint32(rng.Intn(verts)), uint32(rng.Intn(verts)), uint32(rng.Intn(verts)))
+			}
+			if rng.Intn(2) == 0 {
+				mesh.ComputeNormals()
+			}
+			if rng.Intn(2) == 0 {
+				mesh.SetUniformColor(mathx.V3(rng.Float64(), rng.Float64(), rng.Float64()))
+			}
+			payload = &scene.MeshPayload{Mesh: mesh}
+		case 2:
+			pc := &geom.PointCloud{}
+			for p := 0; p < 1+rng.Intn(20); p++ {
+				pc.Points = append(pc.Points,
+					mathx.V3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()))
+			}
+			payload = &scene.PointsPayload{Cloud: pc}
+		case 3:
+			nx, ny, nz := 1+rng.Intn(4), 1+rng.Intn(4), 1+rng.Intn(4)
+			g := geom.NewVoxelGrid(nx, ny, nz, mathx.V3(0, 0, 0), 0.5)
+			for i := range g.Data {
+				g.Data[i] = rng.Float32()
+			}
+			payload = &scene.VoxelsPayload{Grid: g, Iso: rng.Float64()}
+		default:
+			payload = &scene.AvatarPayload{
+				User:  string(rune('a' + rng.Intn(26))),
+				Color: mathx.V3(rng.Float64(), rng.Float64(), rng.Float64()),
+			}
+		}
+		tr := mathx.Translate(mathx.V3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())).
+			Mul(mathx.RotateY(rng.Float64() * 6))
+		_ = s.ApplyOp(&scene.AddNodeOp{
+			Parent: parent, ID: id, Name: nodeName(rng), Transform: tr, Payload: payload,
+		})
+		parents = append(parents, id)
+	}
+	return s
+}
+
+func nodeName(rng *rand.Rand) string {
+	letters := "abcdefghij-_ρλ" // include multi-byte runes
+	n := rng.Intn(12)
+	out := make([]rune, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, rune(letters[rng.Intn(10)]))
+	}
+	return string(out)
+}
+
+func TestPropSceneRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		s := randomScene(seed)
+		var buf bytes.Buffer
+		if err := WriteScene(&buf, s); err != nil {
+			return false
+		}
+		back, err := ReadScene(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return false
+		}
+		if back.Version != s.Version || back.NodeCount() != s.NodeCount() {
+			return false
+		}
+		equal := true
+		s.Walk(func(n *scene.Node, world mathx.Mat4) bool {
+			bn := back.Node(n.ID)
+			if bn == nil || bn.Name != n.Name || !bn.Transform.ApproxEq(n.Transform, 0) {
+				equal = false
+				return false
+			}
+			if (n.Payload == nil) != (bn.Payload == nil) {
+				equal = false
+				return false
+			}
+			if n.Payload != nil && n.Payload.Cost() != bn.Payload.Cost() {
+				equal = false
+				return false
+			}
+			return true
+		})
+		return equal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSceneStreamIdenticalForIntrospection(t *testing.T) {
+	f := func(seed int64) bool {
+		s := randomScene(seed)
+		var direct, refl bytes.Buffer
+		if err := WriteScene(&direct, s); err != nil {
+			return false
+		}
+		if err := ReflectWriteScene(&refl, s); err != nil {
+			return false
+		}
+		return bytes.Equal(direct.Bytes(), refl.Bytes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropTruncatedSceneNeverPanics(t *testing.T) {
+	s := randomScene(7)
+	var buf bytes.Buffer
+	if err := WriteScene(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every truncation point must produce an error, not a panic or a
+	// silent success.
+	step := len(full)/50 + 1
+	for cut := 0; cut < len(full); cut += step {
+		if _, err := ReadScene(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d of %d accepted", cut, len(full))
+		}
+	}
+}
+
+func TestPropCorruptedSceneNeverPanics(t *testing.T) {
+	s := randomScene(11)
+	var buf bytes.Buffer
+	if err := WriteScene(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		corrupt := append([]byte(nil), full...)
+		// Flip a few random bytes.
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			corrupt[rng.Intn(len(corrupt))] ^= byte(1 + rng.Intn(255))
+		}
+		// Must not panic; error or (rarely) benign decode both fine.
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: decoder panicked: %v", trial, r)
+				}
+			}()
+			sc, err := ReadScene(bytes.NewReader(corrupt))
+			if err == nil && sc != nil {
+				// A benign flip (e.g. in a float) may decode; the scene
+				// must still be structurally valid.
+				sc.Walk(func(n *scene.Node, _ mathx.Mat4) bool { return true })
+			}
+		}()
+	}
+}
+
+func TestPropOpRoundTrip(t *testing.T) {
+	f := func(id uint32, x, y, z float64, name string) bool {
+		if len(name) > 100 {
+			name = name[:100]
+		}
+		clamp := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return v
+		}
+		ops := []scene.Op{
+			&scene.SetTransformOp{
+				ID:        scene.NodeID(id),
+				Transform: mathx.Translate(mathx.V3(clamp(x), clamp(y), clamp(z))),
+			},
+			&scene.SetNameOp{ID: scene.NodeID(id), Name: name},
+			&scene.RemoveNodeOp{ID: scene.NodeID(id)},
+		}
+		for _, op := range ops {
+			var buf bytes.Buffer
+			if err := WriteOp(&buf, op); err != nil {
+				return false
+			}
+			back, err := ReadOp(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				return false
+			}
+			if back.Kind() != op.Kind() || back.Touches() != op.Touches() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

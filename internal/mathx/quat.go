@@ -1,0 +1,109 @@
+package mathx
+
+import "math"
+
+// Quat is a rotation quaternion with scalar part W.
+type Quat struct {
+	W, X, Y, Z float64
+}
+
+// QuatIdentity returns the identity (no-rotation) quaternion.
+func QuatIdentity() Quat { return Quat{W: 1} }
+
+// QuatFromAxisAngle builds a quaternion rotating angle radians about the
+// given axis.
+func QuatFromAxisAngle(axis Vec3, angle float64) Quat {
+	a := axis.Normalize()
+	s := math.Sin(angle / 2)
+	return Quat{
+		W: math.Cos(angle / 2),
+		X: a.X * s,
+		Y: a.Y * s,
+		Z: a.Z * s,
+	}
+}
+
+// QuatFromEuler builds a quaternion from yaw (about Y), pitch (about X)
+// and roll (about Z), applied roll-first.
+func QuatFromEuler(yaw, pitch, roll float64) Quat {
+	qy := QuatFromAxisAngle(Vec3{0, 1, 0}, yaw)
+	qx := QuatFromAxisAngle(Vec3{1, 0, 0}, pitch)
+	qz := QuatFromAxisAngle(Vec3{0, 0, 1}, roll)
+	return qy.Mul(qx).Mul(qz)
+}
+
+// Mul returns the Hamilton product q * p (apply p, then q).
+func (q Quat) Mul(p Quat) Quat {
+	return Quat{
+		W: q.W*p.W - q.X*p.X - q.Y*p.Y - q.Z*p.Z,
+		X: q.W*p.X + q.X*p.W + q.Y*p.Z - q.Z*p.Y,
+		Y: q.W*p.Y - q.X*p.Z + q.Y*p.W + q.Z*p.X,
+		Z: q.W*p.Z + q.X*p.Y - q.Y*p.X + q.Z*p.W,
+	}
+}
+
+// Conjugate returns the conjugate of q, which for a unit quaternion is its
+// inverse rotation.
+func (q Quat) Conjugate() Quat { return Quat{q.W, -q.X, -q.Y, -q.Z} }
+
+// Len returns the quaternion norm.
+func (q Quat) Len() float64 {
+	return math.Sqrt(q.W*q.W + q.X*q.X + q.Y*q.Y + q.Z*q.Z)
+}
+
+// Normalize returns q scaled to unit norm. The zero quaternion maps to the
+// identity.
+func (q Quat) Normalize() Quat {
+	l := q.Len()
+	if l < Epsilon {
+		return QuatIdentity()
+	}
+	return Quat{q.W / l, q.X / l, q.Y / l, q.Z / l}
+}
+
+// Rotate applies the rotation q to vector v.
+func (q Quat) Rotate(v Vec3) Vec3 {
+	p := Quat{0, v.X, v.Y, v.Z}
+	r := q.Mul(p).Mul(q.Conjugate())
+	return Vec3{r.X, r.Y, r.Z}
+}
+
+// Mat4 converts the unit quaternion q to a rotation matrix.
+func (q Quat) Mat4() Mat4 {
+	w, x, y, z := q.W, q.X, q.Y, q.Z
+	return Mat4{
+		1 - 2*(y*y+z*z), 2 * (x*y - w*z), 2 * (x*z + w*y), 0,
+		2 * (x*y + w*z), 1 - 2*(x*x+z*z), 2 * (y*z - w*x), 0,
+		2 * (x*z - w*y), 2 * (y*z + w*x), 1 - 2*(x*x+y*y), 0,
+		0, 0, 0, 1,
+	}
+}
+
+// Slerp spherically interpolates between q and p at parameter t in [0, 1].
+func (q Quat) Slerp(p Quat, t float64) Quat {
+	dot := q.W*p.W + q.X*p.X + q.Y*p.Y + q.Z*p.Z
+	// Take the short path around the hypersphere.
+	if dot < 0 {
+		p = Quat{-p.W, -p.X, -p.Y, -p.Z}
+		dot = -dot
+	}
+	if dot > 1-Epsilon {
+		// Nearly parallel: fall back to normalized lerp.
+		return Quat{
+			q.W + (p.W-q.W)*t,
+			q.X + (p.X-q.X)*t,
+			q.Y + (p.Y-q.Y)*t,
+			q.Z + (p.Z-q.Z)*t,
+		}.Normalize()
+	}
+	theta := math.Acos(dot)
+	sinTheta := math.Sin(theta)
+	a := math.Sin((1-t)*theta) / sinTheta
+	b := math.Sin(t*theta) / sinTheta
+	return Quat{
+		a*q.W + b*p.W,
+		a*q.X + b*p.X,
+		a*q.Y + b*p.Y,
+		a*q.Z + b*p.Z,
+	}
+}

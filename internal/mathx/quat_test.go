@@ -1,0 +1,125 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuatIdentityRotation(t *testing.T) {
+	q := QuatIdentity()
+	v := V3(1, 2, 3)
+	if got := q.Rotate(v); !got.ApproxEq(v) {
+		t.Errorf("identity rotate: got %v", got)
+	}
+	if !q.Mat4().IsIdentity() {
+		t.Error("identity quat matrix is not identity")
+	}
+}
+
+func TestQuatAxisAngleMatchesMatrix(t *testing.T) {
+	for _, tc := range []struct {
+		axis  Vec3
+		angle float64
+	}{
+		{V3(1, 0, 0), 0.6},
+		{V3(0, 1, 0), -1.3},
+		{V3(0, 0, 1), math.Pi / 3},
+		{V3(1, 1, 1), 2.0},
+	} {
+		q := QuatFromAxisAngle(tc.axis, tc.angle)
+		if !q.Mat4().ApproxEq(RotateAxis(tc.axis, tc.angle), 1e-9) {
+			t.Errorf("axis %v angle %v: quat matrix mismatch", tc.axis, tc.angle)
+		}
+		v := V3(0.3, -2, 1.5)
+		got := q.Rotate(v)
+		want := RotateAxis(tc.axis, tc.angle).TransformPoint(v)
+		if !got.ApproxEq(want) {
+			t.Errorf("axis %v angle %v: rotate mismatch %v vs %v", tc.axis, tc.angle, got, want)
+		}
+	}
+}
+
+func TestQuatComposition(t *testing.T) {
+	q1 := QuatFromAxisAngle(V3(0, 1, 0), 0.5)
+	q2 := QuatFromAxisAngle(V3(1, 0, 0), 0.8)
+	v := V3(1, 2, 3)
+	// q1*q2 applies q2 first.
+	got := q1.Mul(q2).Rotate(v)
+	want := q1.Rotate(q2.Rotate(v))
+	if !got.ApproxEq(want) {
+		t.Errorf("composition: got %v want %v", got, want)
+	}
+}
+
+func TestQuatConjugateInverts(t *testing.T) {
+	q := QuatFromEuler(0.4, -0.9, 1.7)
+	v := V3(2, -1, 0.5)
+	if got := q.Conjugate().Rotate(q.Rotate(v)); !got.ApproxEq(v) {
+		t.Errorf("conjugate round trip: got %v want %v", got, v)
+	}
+}
+
+func TestQuatNormalize(t *testing.T) {
+	q := Quat{2, 0, 0, 0}.Normalize()
+	almostEq(t, q.Len(), 1, 1e-12, "normalized length")
+	if z := (Quat{}).Normalize(); z != QuatIdentity() {
+		t.Errorf("zero quat normalize: got %v", z)
+	}
+}
+
+func TestQuatSlerpEndpoints(t *testing.T) {
+	a := QuatFromAxisAngle(V3(0, 1, 0), 0)
+	b := QuatFromAxisAngle(V3(0, 1, 0), math.Pi/2)
+	v := V3(1, 0, 0)
+	if got := a.Slerp(b, 0).Rotate(v); !got.ApproxEq(a.Rotate(v)) {
+		t.Errorf("slerp t=0: got %v", got)
+	}
+	if got := a.Slerp(b, 1).Rotate(v); !got.ApproxEq(b.Rotate(v)) {
+		t.Errorf("slerp t=1: got %v", got)
+	}
+	// Midpoint should rotate by pi/4.
+	mid := a.Slerp(b, 0.5).Rotate(v)
+	want := RotateY(math.Pi / 4).TransformPoint(v)
+	if !mid.ApproxEq(want) {
+		t.Errorf("slerp midpoint: got %v want %v", mid, want)
+	}
+}
+
+func TestQuatSlerpShortPath(t *testing.T) {
+	a := QuatFromAxisAngle(V3(0, 0, 1), 0.1)
+	b := QuatFromAxisAngle(V3(0, 0, 1), 0.2)
+	// Negated quaternion represents the same rotation; slerp must take the
+	// short path rather than spinning nearly 2*pi.
+	bNeg := Quat{-b.W, -b.X, -b.Y, -b.Z}
+	v := V3(1, 0, 0)
+	got := a.Slerp(bNeg, 0.5).Rotate(v)
+	want := RotateZ(0.15).TransformPoint(v)
+	if !got.ApproxEq(want) {
+		t.Errorf("short path: got %v want %v", got, want)
+	}
+}
+
+func TestPropQuatRotatePreservesLength(t *testing.T) {
+	f := func(vx, vy, vz, yaw, pitch, roll float64) bool {
+		v := sv(Vec3{vx, vy, vz})
+		q := QuatFromEuler(small(yaw), small(pitch), small(roll))
+		return math.Abs(q.Rotate(v).Len()-v.Len()) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropQuatMat4Agrees(t *testing.T) {
+	f := func(vx, vy, vz, angle float64) bool {
+		v := sv(Vec3{vx, vy, vz})
+		q := QuatFromAxisAngle(V3(1, -2, 0.5), small(angle))
+		a := q.Rotate(v)
+		b := q.Mat4().TransformPoint(v)
+		return a.Sub(b).Len() < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

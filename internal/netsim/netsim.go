@@ -1,0 +1,235 @@
+// Package netsim simulates the network links of the paper's testbed: the
+// 100 Mbit lab ethernet and the 11 Mbit 802.11b wireless the PDA used,
+// whose useful bandwidth is "shared between other network users, and is
+// proportional to signal quality" (§5.1). It provides analytic transfer
+// times for the benchmark harness and a clock-driven simulated connection
+// for end-to-end service tests.
+package netsim
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// Link models one direction of a network path.
+type Link struct {
+	// BandwidthBps is the nominal link rate in bits per second.
+	BandwidthBps float64
+	// Efficiency is the fraction of nominal bandwidth actually usable
+	// (protocol overhead, MAC contention); 802.11b delivers well under
+	// half its nominal 11 Mbit.
+	Efficiency float64
+	// Latency is the one-way propagation + stack delay.
+	Latency time.Duration
+	// Quality in (0, 1] scales usable bandwidth with wireless signal
+	// quality; 1 for wired links.
+	Quality float64
+}
+
+// Ethernet100 returns the lab's 100 Mbit switched ethernet.
+func Ethernet100() Link {
+	return Link{BandwidthBps: 100e6, Efficiency: 0.94, Latency: 300 * time.Microsecond, Quality: 1}
+}
+
+// Ethernet10 returns a 10 Mbit legacy segment.
+func Ethernet10() Link {
+	return Link{BandwidthBps: 10e6, Efficiency: 0.9, Latency: 500 * time.Microsecond, Quality: 1}
+}
+
+// Wireless11 returns an 802.11b link at the given signal quality
+// (0 < quality <= 1).
+func Wireless11(quality float64) Link {
+	if quality <= 0 {
+		quality = 0.01
+	}
+	if quality > 1 {
+		quality = 1
+	}
+	return Link{BandwidthBps: 11e6, Efficiency: 0.45, Latency: 3 * time.Millisecond, Quality: quality}
+}
+
+// EffectiveBps returns the usable bandwidth in bits per second.
+func (l Link) EffectiveBps() float64 {
+	q := l.Quality
+	if q <= 0 {
+		q = 1
+	}
+	e := l.Efficiency
+	if e <= 0 {
+		e = 1
+	}
+	return l.BandwidthBps * e * q
+}
+
+// TransferTime returns the modeled time to deliver the given payload:
+// latency plus serialization at the effective bandwidth.
+func (l Link) TransferTime(bytes int) time.Duration {
+	ser := float64(bytes) * 8 / l.EffectiveBps()
+	return l.Latency + time.Duration(ser*float64(time.Second))
+}
+
+// Throughput returns the steady-state payload throughput in bits per
+// second for back-to-back frames of the given size (latency amortized).
+func (l Link) Throughput(frameBytes int) float64 {
+	t := l.TransferTime(frameBytes).Seconds()
+	if t <= 0 {
+		return l.EffectiveBps()
+	}
+	return float64(frameBytes) * 8 / t
+}
+
+// SignalQuality models 802.11b signal attenuation with distance from the
+// access point (meters) and intervening walls: full quality up to 10 m,
+// then linear falloff to 10% at 100 m, with each wall removing 15%.
+func SignalQuality(distanceMeters float64, walls int) float64 {
+	q := 1.0
+	if distanceMeters > 10 {
+		q = 1 - 0.9*(distanceMeters-10)/90
+	}
+	q -= 0.15 * float64(walls)
+	if q < 0.05 {
+		q = 0.05
+	}
+	if q > 1 {
+		q = 1
+	}
+	return q
+}
+
+// delivery is one in-flight chunk on a simulated connection.
+type delivery struct {
+	at   time.Time
+	data []byte
+}
+
+// endpoint is one directional receiver of a SimConn.
+type endpoint struct {
+	clock vclock.Clock
+	link  Link
+
+	mu        sync.Mutex
+	busyUntil time.Time
+	closed    bool
+
+	queue chan delivery
+	buf   bytes.Buffer
+}
+
+// SimConn is a full-duplex in-memory connection whose deliveries are
+// delayed per a Link model on each direction, driven by a Clock (virtual
+// in tests, real in demos). It implements io.ReadWriteCloser on both
+// ends.
+type SimConn struct {
+	in  *endpoint // data arriving at this end
+	out *endpoint // the peer's inbox
+}
+
+// SimPipe returns the two ends of a simulated connection: a->b traffic
+// crosses ab, b->a traffic crosses ba.
+func SimPipe(clock vclock.Clock, ab, ba Link) (*SimConn, *SimConn) {
+	mk := func(l Link) *endpoint {
+		return &endpoint{clock: clock, link: l, queue: make(chan delivery, 1024)}
+	}
+	aIn := mk(ba) // a receives what b sends over ba
+	bIn := mk(ab)
+	a := &SimConn{in: aIn, out: bIn}
+	b := &SimConn{in: bIn, out: aIn}
+	return a, b
+}
+
+// Write queues data for delivery to the peer after the modeled transfer
+// time, respecting serialization (back-to-back writes queue behind each
+// other on the link).
+func (c *SimConn) Write(p []byte) (int, error) {
+	ep := c.out
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return 0, io.ErrClosedPipe
+	}
+	now := ep.clock.Now()
+	start := now
+	if ep.busyUntil.After(start) {
+		start = ep.busyUntil
+	}
+	ser := time.Duration(float64(len(p)) * 8 / ep.link.EffectiveBps() * float64(time.Second))
+	ep.busyUntil = start.Add(ser)
+	arrival := ep.busyUntil.Add(ep.link.Latency)
+	ep.mu.Unlock()
+
+	data := append([]byte(nil), p...)
+	select {
+	case ep.queue <- delivery{at: arrival, data: data}:
+		return len(p), nil
+	default:
+		return 0, io.ErrShortWrite // queue overflow: drop like a congested link
+	}
+}
+
+// Read blocks until data has "arrived" on the simulated link.
+func (c *SimConn) Read(p []byte) (int, error) {
+	ep := c.in
+	for {
+		ep.mu.Lock()
+		if ep.buf.Len() > 0 {
+			n, _ := ep.buf.Read(p)
+			ep.mu.Unlock()
+			return n, nil
+		}
+		closed := ep.closed
+		ep.mu.Unlock()
+		if closed {
+			// Drain anything still queued before reporting EOF.
+			select {
+			case d := <-ep.queue:
+				c.waitUntil(d.at)
+				ep.mu.Lock()
+				ep.buf.Write(d.data)
+				ep.mu.Unlock()
+				continue
+			default:
+				return 0, io.EOF
+			}
+		}
+		d, ok := <-ep.queue
+		if !ok {
+			return 0, io.EOF
+		}
+		c.waitUntil(d.at)
+		ep.mu.Lock()
+		ep.buf.Write(d.data)
+		ep.mu.Unlock()
+	}
+}
+
+// waitUntil sleeps on the clock until the delivery time.
+func (c *SimConn) waitUntil(at time.Time) {
+	now := c.in.clock.Now()
+	if at.After(now) {
+		c.in.clock.Sleep(at.Sub(now))
+	}
+}
+
+// Close shuts down this end: the peer's reads drain then return EOF, and
+// writes from the peer fail.
+func (c *SimConn) Close() error {
+	for _, ep := range []*endpoint{c.in, c.out} {
+		ep.mu.Lock()
+		ep.closed = true
+		ep.mu.Unlock()
+	}
+	// Wake a blocked reader on the peer side.
+	select {
+	case c.out.queue <- delivery{at: c.in.clock.Now()}:
+	default:
+	}
+	select {
+	case c.in.queue <- delivery{at: c.in.clock.Now()}:
+	default:
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+package netsim
+
+import (
+	"io"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+func TestEffectiveBandwidth(t *testing.T) {
+	eth := Ethernet100()
+	if got := eth.EffectiveBps(); got < 90e6 || got > 100e6 {
+		t.Errorf("ethernet effective: %v", got)
+	}
+	w := Wireless11(1)
+	if got := w.EffectiveBps(); got < 4e6 || got > 6e6 {
+		t.Errorf("wireless effective: %v (802.11b delivers ~5Mbps)", got)
+	}
+	half := Wireless11(0.5)
+	if math.Abs(half.EffectiveBps()-w.EffectiveBps()/2) > 1 {
+		t.Error("quality does not scale bandwidth")
+	}
+	// Quality clamps.
+	if Wireless11(-1).EffectiveBps() <= 0 {
+		t.Error("negative quality gave non-positive bandwidth")
+	}
+	if Wireless11(2).EffectiveBps() > w.EffectiveBps() {
+		t.Error("quality above 1 not clamped")
+	}
+}
+
+// Table 2's receipt column: a 200x200x24bpp frame (120kB) over wireless
+// takes ~0.2s.
+func TestTable2FrameTransferTime(t *testing.T) {
+	w := Wireless11(1)
+	got := w.TransferTime(120_000)
+	if got < 150*time.Millisecond || got > 250*time.Millisecond {
+		t.Errorf("120kB over 11Mbit wireless: %v, paper ~0.2s", got)
+	}
+	// And the paper's ~580Kb/sec observed effective rate... in bytes:
+	// ~72kB/s of payload at 5 fps of 120kB frames is the serialized view;
+	// our throughput model should land in the same decade.
+	bps := w.Throughput(120_000)
+	if bps < 3e6 || bps > 6e6 {
+		t.Errorf("throughput: %v bps", bps)
+	}
+}
+
+func TestEthernetFastForLAN(t *testing.T) {
+	eth := Ethernet100()
+	// A 920kB 640x480 frame crosses the LAN in well under a second.
+	if got := eth.TransferTime(920_000); got > 100*time.Millisecond {
+		t.Errorf("LAN transfer: %v", got)
+	}
+	if Ethernet10().TransferTime(1_000_000) <= eth.TransferTime(1_000_000) {
+		t.Error("10Mbit not slower than 100Mbit")
+	}
+}
+
+func TestSignalQuality(t *testing.T) {
+	if q := SignalQuality(5, 0); q != 1 {
+		t.Errorf("close quality: %v", q)
+	}
+	if q := SignalQuality(55, 0); q <= 0.4 || q >= 0.7 {
+		t.Errorf("mid-range quality: %v", q)
+	}
+	if q := SignalQuality(200, 0); q != 0.05 {
+		t.Errorf("far quality floor: %v", q)
+	}
+	if SignalQuality(5, 2) >= SignalQuality(5, 1) {
+		t.Error("walls do not attenuate")
+	}
+	if SignalQuality(5, 100) != 0.05 {
+		t.Error("wall floor missing")
+	}
+}
+
+func TestSimPipeDeliversWithDelay(t *testing.T) {
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	a, b := SimPipe(clk, Wireless11(1), Ethernet100())
+
+	msg := make([]byte, 12500) // 100 kbit -> ~20ms at 4.95Mbps
+	go func() {
+		if _, err := a.Write(msg); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	got := make(chan int, 1)
+	go func() {
+		buf := make([]byte, len(msg))
+		n, err := io.ReadFull(b, buf)
+		if err != nil {
+			t.Error(err)
+		}
+		got <- n
+	}()
+
+	// Before advancing past the transfer time nothing arrives.
+	select {
+	case <-got:
+		t.Fatal("data arrived with no time passing")
+	case <-time.After(20 * time.Millisecond):
+	}
+	clk.Advance(100 * time.Millisecond)
+	select {
+	case n := <-got:
+		if n != len(msg) {
+			t.Fatalf("read %d bytes", n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("data never arrived")
+	}
+}
+
+func TestSimPipeBidirectional(t *testing.T) {
+	clk := vclock.Real{}
+	a, b := SimPipe(clk, Ethernet100(), Ethernet100())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 5)
+		if _, err := io.ReadFull(b, buf); err != nil {
+			t.Error(err)
+			return
+		}
+		if string(buf) != "hello" {
+			t.Errorf("got %q", buf)
+		}
+		if _, err := b.Write([]byte("world")); err != nil {
+			t.Error(err)
+		}
+	}()
+	if _, err := a.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(a, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "world" {
+		t.Errorf("reply %q", buf)
+	}
+	<-done
+}
+
+func TestSimPipeSerialization(t *testing.T) {
+	// Two back-to-back writes serialize: the second arrives later than it
+	// would alone.
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	link := Wireless11(1)
+	a, b := SimPipe(clk, link, link)
+	payload := make([]byte, 61875) // exactly 0.1s at 4.95 Mbps
+	go func() {
+		a.Write(payload)
+		a.Write(payload)
+	}()
+	done := make(chan time.Time, 1)
+	go func() {
+		buf := make([]byte, 2*len(payload))
+		if _, err := io.ReadFull(b, buf); err != nil {
+			t.Error(err)
+		}
+		done <- clk.Now()
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		select {
+		case at := <-done:
+			// Both chunks need ~0.2s serialization; allow latency slop.
+			if at.Sub(time.Unix(0, 0)) < 190*time.Millisecond {
+				t.Errorf("second chunk arrived too early: %v", at.Sub(time.Unix(0, 0)))
+			}
+			return
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("transfer never completed")
+		}
+		clk.Advance(10 * time.Millisecond)
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSimPipeClose(t *testing.T) {
+	clk := vclock.Real{}
+	a, b := SimPipe(clk, Ethernet100(), Ethernet100())
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Write([]byte("x")); err == nil {
+		t.Error("write to closed pipe succeeded")
+	}
+	buf := make([]byte, 4)
+	if _, err := b.Read(buf); err != io.EOF {
+		t.Errorf("read after close: %v", err)
+	}
+}

@@ -1,0 +1,62 @@
+package perfmodel
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+
+	"repro/internal/uddi"
+	"repro/internal/wsdl"
+)
+
+// CountUDDICalls measures how many SOAP round trips the real uddi.Proxy
+// implementation performs for (a) an incremental access-point scan with a
+// warm proxy and (b) a full cold bootstrap, against a live registry
+// populated like the paper's testbed (one RAVE business with a data
+// service and a render service). Table 5 charges each counted call the
+// 2004 middleware cost.
+func CountUDDICalls() (scanCalls, fullCalls int, err error) {
+	reg := uddi.NewRegistry()
+	var calls int64
+	handler := uddi.NewServer(reg)
+	counting := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt64(&calls, 1)
+		handler.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(counting)
+	defer ts.Close()
+
+	// Populate like the testbed.
+	pub := uddi.Connect(ts.URL)
+	if _, err := pub.RegisterService("RAVE", "Skull", "tcp://adrenochrome:9000", wsdl.DataServicePortType); err != nil {
+		return 0, 0, err
+	}
+	if _, err := pub.RegisterService("RAVE", "Skull-internal", "tcp://tower:9001", wsdl.RenderServicePortType); err != nil {
+		return 0, 0, err
+	}
+
+	// Warm proxy: bootstrap once, then count one incremental scan.
+	warm := uddi.Connect(ts.URL)
+	if _, err := warm.Bootstrap("RAVE", wsdl.RenderServicePortType); err != nil {
+		return 0, 0, err
+	}
+	atomic.StoreInt64(&calls, 0)
+	if _, err := warm.ScanAccessPoints(wsdl.RenderServicePortType); err != nil {
+		return 0, 0, err
+	}
+	scanCalls = int(atomic.LoadInt64(&calls))
+
+	// Cold proxy: count the full bootstrap.
+	atomic.StoreInt64(&calls, 0)
+	cold := uddi.Connect(ts.URL)
+	if _, err := cold.Bootstrap("RAVE", wsdl.RenderServicePortType); err != nil {
+		return 0, 0, err
+	}
+	fullCalls = int(atomic.LoadInt64(&calls))
+
+	if scanCalls == 0 || fullCalls == 0 {
+		return 0, 0, fmt.Errorf("perfmodel: UDDI call counting measured nothing")
+	}
+	return scanCalls, fullCalls, nil
+}

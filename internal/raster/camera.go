@@ -1,0 +1,96 @@
+package raster
+
+import (
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// Camera is a perspective camera. It is the piece of state collaborating
+// render services share so their framebuffers align exactly during
+// workload distribution (§3.2.5).
+type Camera struct {
+	Eye    mathx.Vec3
+	Target mathx.Vec3
+	Up     mathx.Vec3
+	FovY   float64 // vertical field of view, radians
+	Near   float64
+	Far    float64
+}
+
+// DefaultCamera returns a camera looking at the origin from +Z.
+func DefaultCamera() Camera {
+	return Camera{
+		Eye:    mathx.V3(0, 0, 10),
+		Target: mathx.V3(0, 0, 0),
+		Up:     mathx.V3(0, 1, 0),
+		FovY:   mathx.Radians(45),
+		Near:   0.1,
+		Far:    1000,
+	}
+}
+
+// View returns the view matrix.
+func (c Camera) View() mathx.Mat4 {
+	return mathx.LookAt(c.Eye, c.Target, c.Up)
+}
+
+// Projection returns the perspective projection for the given image
+// aspect ratio (width/height).
+func (c Camera) Projection(aspect float64) mathx.Mat4 {
+	return mathx.Perspective(c.FovY, aspect, c.Near, c.Far)
+}
+
+// ViewProjection returns projection * view.
+func (c Camera) ViewProjection(aspect float64) mathx.Mat4 {
+	return c.Projection(aspect).Mul(c.View())
+}
+
+// FitToBounds positions the camera so the given bounding box fills the
+// view, looking from direction dir (need not be normalized) towards the
+// box center.
+func (c Camera) FitToBounds(b mathx.AABB, dir mathx.Vec3) Camera {
+	if b.IsEmpty() {
+		return c
+	}
+	center := b.Center()
+	radius := b.Diagonal() / 2
+	dist := radius / math.Tan(c.FovY/2) * 1.15
+	out := c
+	out.Target = center
+	out.Eye = center.Add(dir.Normalize().Scale(dist))
+	out.Near = math.Max(dist/100, 0.01)
+	out.Far = dist + radius*4
+	return out
+}
+
+// Orbit rotates the camera around its target by yaw (about the world Y
+// axis) and pitch (about the camera's right axis) — the drag interaction
+// the thin client GUI maps onto a PDA stylus.
+func (c Camera) Orbit(yaw, pitch float64) Camera {
+	offset := c.Eye.Sub(c.Target)
+	// Yaw about world up.
+	offset = mathx.RotateY(yaw).TransformPoint(offset)
+	// Pitch about the right axis, clamped to avoid gimbal flip.
+	fwd := offset.Neg().Normalize()
+	right := fwd.Cross(c.Up).Normalize()
+	rotated := mathx.RotateAxis(right, pitch).TransformPoint(offset)
+	// Reject the pitch if it takes us too close to the poles.
+	if math.Abs(rotated.Normalize().Dot(c.Up)) < 0.99 {
+		offset = rotated
+	}
+	out := c
+	out.Eye = c.Target.Add(offset)
+	return out
+}
+
+// Dolly moves the camera towards (factor < 1) or away from (factor > 1)
+// its target.
+func (c Camera) Dolly(factor float64) Camera {
+	if factor <= 0 {
+		return c
+	}
+	out := c
+	out.Eye = c.Target.Add(c.Eye.Sub(c.Target).Scale(factor))
+	return out
+}

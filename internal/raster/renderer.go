@@ -1,0 +1,389 @@
+package raster
+
+import (
+	"image"
+	"math"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/mathx"
+)
+
+// Options controls a render pass.
+type Options struct {
+	// Light is the direction towards the light source, in world space.
+	Light mathx.Vec3
+	// Ambient is the ambient light fraction in [0, 1].
+	Ambient float64
+	// Workers is the number of goroutines rasterizing scanline bands in
+	// parallel; values below 2 render sequentially.
+	Workers int
+	// Tile restricts rendering to this rectangle of the full image
+	// (framebuffer distribution). The framebuffer must be exactly the
+	// tile's size. A zero rectangle renders the full image.
+	Tile image.Rectangle
+	// FullW, FullH give the full image size when rendering a tile. When
+	// zero they default to the framebuffer size.
+	FullW, FullH int
+	// DefaultColor is used for meshes without vertex colors.
+	DefaultColor mathx.Vec3
+}
+
+// DefaultOptions returns a headlight-style setup.
+func DefaultOptions() Options {
+	return Options{
+		Light:        mathx.V3(0.4, 0.7, 1),
+		Ambient:      0.25,
+		DefaultColor: mathx.V3(0.8, 0.8, 0.78),
+	}
+}
+
+// Renderer draws geometry into a Framebuffer.
+type Renderer struct {
+	FB   *Framebuffer
+	Opts Options
+
+	// TrianglesDrawn counts triangles that survived culling and clipping
+	// in the last render call — the quantity device cost models charge.
+	TrianglesDrawn int
+}
+
+// New returns a renderer targeting fb with default options.
+func New(fb *Framebuffer) *Renderer {
+	return &Renderer{FB: fb, Opts: DefaultOptions()}
+}
+
+// fullSize returns the logical full-image dimensions.
+func (r *Renderer) fullSize() (int, int) {
+	w, h := r.Opts.FullW, r.Opts.FullH
+	if w == 0 {
+		w = r.FB.W
+	}
+	if h == 0 {
+		h = r.FB.H
+	}
+	return w, h
+}
+
+// tileOrigin returns the tile's offset within the full image.
+func (r *Renderer) tileOrigin() (int, int) {
+	if r.Opts.Tile.Empty() {
+		return 0, 0
+	}
+	return r.Opts.Tile.Min.X, r.Opts.Tile.Min.Y
+}
+
+// shadedVert is a vertex after the vertex stage: clip-space position plus
+// a lit RGB color.
+type shadedVert struct {
+	clip  mathx.Vec4
+	color mathx.Vec3
+}
+
+// screenVert is a vertex ready for rasterization.
+type screenVert struct {
+	x, y  float64
+	z     float64 // NDC depth, linear in screen space
+	invW  float64 // 1/w for perspective-correct attribute interpolation
+	color mathx.Vec3
+}
+
+// RenderMesh draws the mesh under the given model transform and camera.
+func (r *Renderer) RenderMesh(m *geom.Mesh, model mathx.Mat4, cam Camera) {
+	fullW, fullH := r.fullSize()
+	aspect := float64(fullW) / float64(fullH)
+	mvp := cam.ViewProjection(aspect).Mul(model)
+	light := r.Opts.Light.Normalize()
+	ambient := mathx.Clamp(r.Opts.Ambient, 0, 1)
+
+	// Vertex stage: transform and light every vertex once.
+	verts := make([]shadedVert, len(m.Positions))
+	for i, p := range m.Positions {
+		clip := mvp.MulVec4(mathx.FromPoint(p))
+		base := r.Opts.DefaultColor
+		if m.Colors != nil {
+			base = m.Colors[i]
+		}
+		intensity := 1.0
+		if m.Normals != nil {
+			n := model.TransformDir(m.Normals[i]).Normalize()
+			diffuse := math.Max(0, n.Dot(light))
+			intensity = ambient + (1-ambient)*diffuse
+		}
+		verts[i] = shadedVert{clip: clip, color: base.Scale(intensity)}
+	}
+
+	// Assemble, clip and project triangles.
+	var tris []([3]screenVert)
+	ox, oy := r.tileOrigin()
+	for i := 0; i < m.TriangleCount(); i++ {
+		tri := [3]shadedVert{
+			verts[m.Indices[3*i]],
+			verts[m.Indices[3*i+1]],
+			verts[m.Indices[3*i+2]],
+		}
+		for _, clipped := range clipNear(tri[:]) {
+			sv, ok := toScreen(clipped, fullW, fullH, ox, oy)
+			if !ok {
+				continue
+			}
+			tris = append(tris, sv)
+		}
+	}
+	r.TrianglesDrawn = len(tris)
+	r.rasterize(tris)
+}
+
+// RenderPoints draws a point cloud as single-pixel splats.
+func (r *Renderer) RenderPoints(pc *geom.PointCloud, model mathx.Mat4, cam Camera) {
+	fullW, fullH := r.fullSize()
+	aspect := float64(fullW) / float64(fullH)
+	mvp := cam.ViewProjection(aspect).Mul(model)
+	ox, oy := r.tileOrigin()
+	for i, p := range pc.Points {
+		clip := mvp.MulVec4(mathx.FromPoint(p))
+		if clip.W <= nearEps {
+			continue
+		}
+		ndc := clip.PerspectiveDivide()
+		if ndc.Z < -1 || ndc.Z > 1 {
+			continue
+		}
+		x := int((ndc.X*0.5+0.5)*float64(fullW)) - ox
+		y := int((0.5-ndc.Y*0.5)*float64(fullH)) - oy
+		c := r.Opts.DefaultColor
+		if pc.Colors != nil {
+			c = pc.Colors[i]
+		}
+		r.FB.Plot(x, y, float32(ndc.Z), toByte(c.X), toByte(c.Y), toByte(c.Z))
+	}
+}
+
+// RenderVoxels draws all cells with value > iso as splats whose size
+// approximates the projected cell footprint and whose brightness encodes
+// the scalar value.
+func (r *Renderer) RenderVoxels(g *geom.VoxelGrid, iso float64, model mathx.Mat4, cam Camera) {
+	fullW, fullH := r.fullSize()
+	aspect := float64(fullW) / float64(fullH)
+	mvp := cam.ViewProjection(aspect).Mul(model)
+	ox, oy := r.tileOrigin()
+
+	maxVal := float32(math.Inf(-1))
+	for _, v := range g.Data {
+		if v > maxVal {
+			maxVal = v
+		}
+	}
+	span := float64(maxVal) - iso
+	if span <= 0 {
+		span = 1
+	}
+
+	for k := 0; k < g.NZ; k++ {
+		for j := 0; j < g.NY; j++ {
+			for i := 0; i < g.NX; i++ {
+				v := float64(g.At(i, j, k))
+				if v <= iso {
+					continue
+				}
+				p := g.WorldPos(i, j, k)
+				clip := mvp.MulVec4(mathx.FromPoint(p))
+				if clip.W <= nearEps {
+					continue
+				}
+				ndc := clip.PerspectiveDivide()
+				if ndc.Z < -1 || ndc.Z > 1 {
+					continue
+				}
+				x := int((ndc.X*0.5+0.5)*float64(fullW)) - ox
+				y := int((0.5-ndc.Y*0.5)*float64(fullH)) - oy
+				// Splat size: projected spacing in pixels.
+				size := int(g.Spacing / clip.W * float64(fullH))
+				if size < 1 {
+					size = 1
+				}
+				if size > 8 {
+					size = 8
+				}
+				bright := mathx.Clamp(0.3+0.7*(v-iso)/span, 0, 1)
+				c := r.Opts.DefaultColor.Scale(bright)
+				for dy := 0; dy < size; dy++ {
+					for dx := 0; dx < size; dx++ {
+						r.FB.Plot(x+dx, y+dy, float32(ndc.Z), toByte(c.X), toByte(c.Y), toByte(c.Z))
+					}
+				}
+			}
+		}
+	}
+}
+
+const nearEps = 1e-6
+
+// clipNear clips a triangle against the near plane (clip.Z + clip.W > 0),
+// returning 0, 1 or 2 triangles.
+func clipNear(tri []shadedVert) [][3]shadedVert {
+	inside := func(v shadedVert) bool { return v.clip.Z+v.clip.W > nearEps }
+	var poly []shadedVert
+	for i := 0; i < 3; i++ {
+		cur, next := tri[i], tri[(i+1)%3]
+		curIn, nextIn := inside(cur), inside(next)
+		if curIn {
+			poly = append(poly, cur)
+		}
+		if curIn != nextIn {
+			// Intersection parameter where z + w = 0 along the edge.
+			d0 := cur.clip.Z + cur.clip.W
+			d1 := next.clip.Z + next.clip.W
+			t := d0 / (d0 - d1)
+			poly = append(poly, shadedVert{
+				clip:  cur.clip.Lerp(next.clip, t),
+				color: cur.color.Lerp(next.color, t),
+			})
+		}
+	}
+	switch len(poly) {
+	case 3:
+		return [][3]shadedVert{{poly[0], poly[1], poly[2]}}
+	case 4:
+		return [][3]shadedVert{
+			{poly[0], poly[1], poly[2]},
+			{poly[0], poly[2], poly[3]},
+		}
+	default:
+		return nil
+	}
+}
+
+// toScreen projects a clipped triangle into screen space (tile-local
+// coordinates) and backface-culls it. Front faces wind counter-clockwise
+// in world space, which with the screen's downward y axis gives negative
+// signed area.
+func toScreen(tri [3]shadedVert, fullW, fullH, ox, oy int) ([3]screenVert, bool) {
+	var out [3]screenVert
+	for i, v := range tri {
+		if v.clip.W <= nearEps {
+			return out, false
+		}
+		ndc := v.clip.PerspectiveDivide()
+		out[i] = screenVert{
+			x:     (ndc.X*0.5+0.5)*float64(fullW) - float64(ox),
+			y:     (0.5-ndc.Y*0.5)*float64(fullH) - float64(oy),
+			z:     ndc.Z,
+			invW:  1 / v.clip.W,
+			color: v.color,
+		}
+	}
+	area2 := (out[1].x-out[0].x)*(out[2].y-out[0].y) - (out[2].x-out[0].x)*(out[1].y-out[0].y)
+	if area2 >= 0 {
+		return out, false // backface or degenerate
+	}
+	return out, true
+}
+
+// rasterize fills the triangles into the framebuffer, optionally in
+// parallel across horizontal bands. Each worker owns a disjoint band of
+// rows, so no synchronization is needed on the pixel buffers.
+func (r *Renderer) rasterize(tris [][3]screenVert) {
+	workers := r.Opts.Workers
+	if workers < 2 {
+		r.rasterizeBand(tris, 0, r.FB.H)
+		return
+	}
+	if workers > r.FB.H {
+		workers = r.FB.H
+	}
+	var wg sync.WaitGroup
+	rowsPer := (r.FB.H + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		y0 := w * rowsPer
+		y1 := y0 + rowsPer
+		if y1 > r.FB.H {
+			y1 = r.FB.H
+		}
+		if y0 >= y1 {
+			break
+		}
+		wg.Add(1)
+		go func(y0, y1 int) {
+			defer wg.Done()
+			r.rasterizeBand(tris, y0, y1)
+		}(y0, y1)
+	}
+	wg.Wait()
+}
+
+// rasterizeBand fills triangles, restricted to rows [y0, y1).
+func (r *Renderer) rasterizeBand(tris [][3]screenVert, y0, y1 int) {
+	fb := r.FB
+	for _, tri := range tris {
+		minX := int(math.Floor(math.Min(tri[0].x, math.Min(tri[1].x, tri[2].x))))
+		maxX := int(math.Ceil(math.Max(tri[0].x, math.Max(tri[1].x, tri[2].x))))
+		minY := int(math.Floor(math.Min(tri[0].y, math.Min(tri[1].y, tri[2].y))))
+		maxY := int(math.Ceil(math.Max(tri[0].y, math.Max(tri[1].y, tri[2].y))))
+		if minX < 0 {
+			minX = 0
+		}
+		if maxX >= fb.W {
+			maxX = fb.W - 1
+		}
+		if minY < y0 {
+			minY = y0
+		}
+		if maxY >= y1 {
+			maxY = y1 - 1
+		}
+		if minX > maxX || minY > maxY {
+			continue
+		}
+
+		// Edge functions: for a CW-on-screen (front-facing) triangle the
+		// interior has all edge values <= 0; normalize by 2*area so they
+		// become barycentric coordinates.
+		x0f, y0f := tri[0].x, tri[0].y
+		x1f, y1f := tri[1].x, tri[1].y
+		x2f, y2f := tri[2].x, tri[2].y
+		area2 := (x1f-x0f)*(y2f-y0f) - (x2f-x0f)*(y1f-y0f)
+		invArea := 1 / area2
+
+		for y := minY; y <= maxY; y++ {
+			py := float64(y) + 0.5
+			for x := minX; x <= maxX; x++ {
+				px := float64(x) + 0.5
+				// Barycentric coordinates via edge functions.
+				w0 := ((x2f-x1f)*(py-y1f) - (y2f-y1f)*(px-x1f)) * invArea
+				w1 := ((x0f-x2f)*(py-y2f) - (y0f-y2f)*(px-x2f)) * invArea
+				w2 := 1 - w0 - w1
+				if w0 < 0 || w1 < 0 || w2 < 0 {
+					continue
+				}
+				z := w0*tri[0].z + w1*tri[1].z + w2*tri[2].z
+				if z < -1 || z > 1 {
+					continue
+				}
+				di := y*fb.W + x
+				zf := float32(z)
+				if zf >= fb.Depth[di] {
+					continue
+				}
+				// Perspective-correct color interpolation.
+				iw := w0*tri[0].invW + w1*tri[1].invW + w2*tri[2].invW
+				cr := (w0*tri[0].color.X*tri[0].invW + w1*tri[1].color.X*tri[1].invW + w2*tri[2].color.X*tri[2].invW) / iw
+				cg := (w0*tri[0].color.Y*tri[0].invW + w1*tri[1].color.Y*tri[1].invW + w2*tri[2].color.Y*tri[2].invW) / iw
+				cb := (w0*tri[0].color.Z*tri[0].invW + w1*tri[1].color.Z*tri[1].invW + w2*tri[2].color.Z*tri[2].invW) / iw
+				fb.Depth[di] = zf
+				ci := di * 3
+				fb.Color[ci] = toByte(cr)
+				fb.Color[ci+1] = toByte(cg)
+				fb.Color[ci+2] = toByte(cb)
+			}
+		}
+	}
+}
+
+func toByte(v float64) uint8 {
+	b := mathx.Clamp(v, 0, 1)*255 + 0.5
+	if b > 255 {
+		b = 255
+	}
+	return uint8(b)
+}

@@ -1,0 +1,143 @@
+package renderservice
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/scene"
+)
+
+// TestConcurrentFramesAndUpdates hammers one session with parallel frame
+// renders, camera moves and scene updates — the render service's real
+// situation with several thin clients attached while the data service
+// streams edits. Run with -race.
+func TestConcurrentFramesAndUpdates(t *testing.T) {
+	svc := newService("rs")
+	sc := testScene(t)
+	sess, err := svc.OpenSession("s", sc, testCamera(sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	const (
+		renderers = 4
+		frames    = 15
+		updates   = 30
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, renderers*frames+updates)
+
+	for r := 0; r < renderers; r++ {
+		wg.Add(1)
+		go func(viewer int) {
+			defer wg.Done()
+			for i := 0; i < frames; i++ {
+				f, err := sess.RenderFrame(48, 48, "bob")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if f.FB == nil {
+					errs <- err
+					return
+				}
+			}
+		}(r)
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < updates; i++ {
+			op := &scene.SetTransformOp{ID: 2, Transform: mathx.RotateY(float64(i) * 0.05)}
+			if err := sess.ApplyOp(op); err != nil {
+				errs <- err
+				return
+			}
+			sess.SetCamera(sess.Camera().Orbit(0.01, 0))
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// The session survived and is at the expected version.
+	if got := sess.Version(); got < uint64(updates) {
+		t.Errorf("version %d after %d updates", got, updates)
+	}
+}
+
+// TestConcurrentSessionOpenClose exercises the refcounted session map.
+func TestConcurrentSessionOpenClose(t *testing.T) {
+	svc := newService("rs")
+	sc := testScene(t)
+	cam := testCamera(sc)
+	base, err := svc.OpenSession("shared", sc, cam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 20; k++ {
+				sess, err := svc.OpenSession("shared", nil, cam)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := sess.RenderFrame(16, 16, ""); err != nil {
+					t.Error(err)
+					return
+				}
+				sess.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	base.Close()
+	if svc.SessionCount() != 0 {
+		t.Errorf("sessions leaked: %d", svc.SessionCount())
+	}
+}
+
+// TestConcurrentCapacityQueries mixes capacity/load interrogation with
+// rendering.
+func TestConcurrentCapacityQueries(t *testing.T) {
+	svc := newService("rs")
+	sc := testScene(t)
+	sess, err := svc.OpenSession("s", sc, testCamera(sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				if rep := svc.Capacity(); rep.PolysPerSecond <= 0 {
+					t.Error("bad capacity")
+					return
+				}
+				_ = svc.LoadReport()
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 5; k++ {
+				if _, err := sess.RenderFrame(24, 24, ""); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,130 @@
+package renderservice
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/device"
+)
+
+// offscreenSession opens a session on a service with the given device.
+func offscreenSession(t *testing.T, dev device.Profile) (*Service, *Session) {
+	t.Helper()
+	svc := New(Config{Name: "off", Device: dev, Workers: 2})
+	sc := testScene(t)
+	sess, err := svc.OpenSession("s", sc, testCamera(sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sess.Close)
+	return svc, sess
+}
+
+func TestOffscreenSingleRequest(t *testing.T) {
+	svc, sess := offscreenSession(t, device.AthlonDesktop)
+	q := svc.NewOffscreenQueue()
+	req, err := q.Submit(sess, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.InFlight() != 1 {
+		t.Errorf("in flight: %d", q.InFlight())
+	}
+	f, err := req.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.FB.CoveredPixels() == 0 {
+		t.Error("empty off-screen frame")
+	}
+	if f.DeviceTime <= 0 {
+		t.Error("no modeled device time")
+	}
+	if !req.Done() {
+		t.Error("completed request not done")
+	}
+	if q.InFlight() != 0 {
+		t.Errorf("in flight after wait: %d", q.InFlight())
+	}
+	// Waiting again returns the same frame without error.
+	f2, err := req.Wait()
+	if err != nil || f2 != f {
+		t.Error("re-wait changed the result")
+	}
+}
+
+func TestOffscreenSubmitValidation(t *testing.T) {
+	svc, sess := offscreenSession(t, device.AthlonDesktop)
+	q := svc.NewOffscreenQueue()
+	if _, err := q.Submit(nil, 10, 10); err == nil {
+		t.Error("nil session accepted")
+	}
+	if _, err := q.Submit(sess, 0, 10); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := q.Submit(sess, 1<<14, 10); err == nil {
+		t.Error("oversized frame accepted")
+	}
+}
+
+// TestInterleavedFasterThanSequential is Table 4 as executable code: the
+// same four off-screen frames complete faster with all requests in
+// flight than issued one at a time, because the poll/readback overhead
+// hides behind rendering.
+func TestInterleavedFasterThanSequential(t *testing.T) {
+	svc, sess := offscreenSession(t, device.CentrinoLaptop)
+	q := svc.NewOffscreenQueue()
+
+	frames, seqTime, err := q.RenderBatchSequential(sess, 64, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 4 {
+		t.Fatalf("sequential frames: %d", len(frames))
+	}
+
+	q2 := svc.NewOffscreenQueue()
+	frames2, intTime, err := q2.RenderBatchInterleaved(sess, 64, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames2) != 4 {
+		t.Fatalf("interleaved frames: %d", len(frames2))
+	}
+
+	// The device profile's fixed off-screen overhead (~14ms per request on
+	// the Centrino model) dominates these small frames, so interleaving
+	// should be markedly faster; allow slack for wall-clock noise.
+	if float64(intTime) > 0.8*float64(seqTime) {
+		t.Errorf("interleaved %v not faster than sequential %v", intTime, seqTime)
+	}
+	// Both produce identical pixels.
+	for i := range frames {
+		for b := range frames[i].FB.Color {
+			if frames[i].FB.Color[b] != frames2[i].FB.Color[b] {
+				t.Fatal("batch modes produced different pixels")
+			}
+		}
+	}
+}
+
+func TestOffscreenDonePolling(t *testing.T) {
+	svc, sess := offscreenSession(t, device.CentrinoLaptop)
+	q := svc.NewOffscreenQueue()
+	req, err := q.Submit(sess, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poll until done, as the paper's Java3D loop did.
+	deadline := time.Now().Add(2 * time.Second)
+	for !req.Done() {
+		if time.Now().After(deadline) {
+			t.Fatal("request never completed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	f, err := req.Wait()
+	if err != nil || f == nil {
+		t.Fatalf("wait after done: %v", err)
+	}
+}

@@ -1,0 +1,670 @@
+// Package renderservice implements RAVE's render service (§3.1.2): a
+// background process that replicates scene data from a data service,
+// renders on demand for thin clients (off-screen) or a local console
+// (on-screen), reports its capacity when interrogated, renders scene
+// subsets or framebuffer tiles during workload distribution, and monitors
+// its own frame rate to feed the migration engine.
+package renderservice
+
+import (
+	"bytes"
+	"fmt"
+	"image"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/collab"
+	"repro/internal/device"
+	"repro/internal/imgcodec"
+	"repro/internal/marshal"
+	"repro/internal/mathx"
+	"repro/internal/raster"
+	"repro/internal/scene"
+	"repro/internal/transport"
+	"repro/internal/vclock"
+)
+
+// Config configures a render service.
+type Config struct {
+	// Name identifies the service in capacity/load reports and UDDI.
+	Name string
+	// Device is the modeled hardware profile (capacity reports and
+	// simulated timings derive from it).
+	Device device.Profile
+	// Workers is the rasterizer's parallel band count.
+	Workers int
+	// TargetFPS is the interactive rate the service tries to hold; the
+	// migration threshold discussion (§3.2.7) is relative to this.
+	TargetFPS float64
+	// Clock drives timing; defaults to the real clock.
+	Clock vclock.Clock
+	// SimulateDeviceTime, when set, makes render calls sleep for the
+	// device model's frame time on the configured clock, so end-to-end
+	// simulations reproduce 2004 pacing.
+	SimulateDeviceTime bool
+}
+
+// Service is a render service hosting any number of render sessions.
+// "Multiple render sessions are supported by each render service, so
+// multiple users may share available rendering resources."
+type Service struct {
+	cfg Config
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+}
+
+// New creates a render service.
+func New(cfg Config) *Service {
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.Real{}
+	}
+	if cfg.TargetFPS <= 0 {
+		cfg.TargetFPS = 10
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	return &Service{cfg: cfg, sessions: map[string]*Session{}}
+}
+
+// Name returns the service name.
+func (s *Service) Name() string { return s.cfg.Name }
+
+// Session is one render session: a scene replica plus camera. If several
+// users view the same data-service session, they share one Session ("a
+// single copy of the data are stored in the render service to save
+// resources").
+type Session struct {
+	name string
+	svc  *Service
+
+	mu       sync.Mutex
+	scene    *scene.Scene
+	camera   raster.Camera
+	refcount int
+
+	// Frame statistics for load reports.
+	lastFrameTime time.Duration
+	framesDrawn   int
+
+	adaptive *imgcodec.Adaptive
+	prevSent []byte
+}
+
+// OpenSession creates (or attaches to) the session replica bootstrapped
+// from the given snapshot. The returned session must be released with
+// Close.
+func (s *Service) OpenSession(name string, snapshot *scene.Scene, cam raster.Camera) (*Session, error) {
+	if name == "" {
+		return nil, fmt.Errorf("renderservice: session name required")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sess, ok := s.sessions[name]; ok {
+		sess.mu.Lock()
+		sess.refcount++
+		sess.mu.Unlock()
+		return sess, nil
+	}
+	if snapshot == nil {
+		return nil, fmt.Errorf("renderservice: session %q needs a bootstrap snapshot", name)
+	}
+	sess := &Session{
+		name:     name,
+		svc:      s,
+		scene:    snapshot.Clone(),
+		camera:   cam,
+		refcount: 1,
+		adaptive: imgcodec.NewAdaptive(),
+	}
+	s.sessions[name] = sess
+	return sess, nil
+}
+
+// Close releases one reference; the replica is dropped when the last
+// user leaves.
+func (sess *Session) Close() {
+	sess.mu.Lock()
+	sess.refcount--
+	drop := sess.refcount <= 0
+	sess.mu.Unlock()
+	if drop {
+		sess.svc.mu.Lock()
+		delete(sess.svc.sessions, sess.name)
+		sess.svc.mu.Unlock()
+	}
+}
+
+// SessionCount reports live sessions (for UDDI instance listings).
+func (s *Service) SessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// Sessions lists live session names.
+func (s *Service) Sessions() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for n := range s.sessions {
+		out = append(out, n)
+	}
+	return out
+}
+
+// ApplyOp applies one scene update to the replica.
+func (sess *Session) ApplyOp(op scene.Op) error {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.scene.ApplyOp(op)
+}
+
+// SetCamera updates the shared session camera.
+func (sess *Session) SetCamera(cam raster.Camera) {
+	sess.mu.Lock()
+	sess.camera = cam
+	sess.mu.Unlock()
+}
+
+// Camera returns the current camera.
+func (sess *Session) Camera() raster.Camera {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.camera
+}
+
+// Version returns the replica's scene version.
+func (sess *Session) Version() uint64 {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.scene.Version
+}
+
+// SceneCost returns the replica's total cost (for capacity accounting).
+func (sess *Session) SceneCost() scene.Cost {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.scene.TotalCost()
+}
+
+// renderLocked draws the replica into fb with the given tile settings,
+// culling whole nodes against the view frustum before they reach the
+// rasterizer. Callers hold sess.mu.
+func (sess *Session) renderLocked(fb *raster.Framebuffer, tile image.Rectangle, fullW, fullH int, viewer string) int {
+	r := raster.New(fb)
+	r.Opts.Workers = sess.svc.cfg.Workers
+	r.Opts.Tile = tile
+	r.Opts.FullW, r.Opts.FullH = fullW, fullH
+	cam := sess.camera
+	aspect := float64(fullW) / float64(fullH)
+	frustum := mathx.FrustumFromMatrix(cam.ViewProjection(aspect))
+	tris := 0
+	sess.scene.Walk(func(n *scene.Node, world mathx.Mat4) bool {
+		if n.Payload != nil {
+			bounds := n.Payload.BoundsLocal().Transform(world)
+			if !frustum.IntersectsAABB(bounds) {
+				// Off-screen node: skip the payload (children keep their
+				// own bounds, so keep walking).
+				return true
+			}
+		}
+		switch p := n.Payload.(type) {
+		case *scene.MeshPayload:
+			r.RenderMesh(p.Mesh, world, cam)
+			tris += r.TrianglesDrawn
+		case *scene.PointsPayload:
+			r.RenderPoints(p.Cloud, world, cam)
+		case *scene.VoxelsPayload:
+			r.RenderVoxels(p.Grid, p.Iso, world, cam)
+		case *scene.AvatarPayload:
+			if p.User != viewer {
+				r.RenderMesh(collab.AvatarMesh(p.Color), world, cam)
+				tris += r.TrianglesDrawn
+			}
+		}
+		return true
+	})
+	return tris
+}
+
+// Frame is a rendered result with its scene version and modeled timing.
+type Frame struct {
+	FB      *raster.Framebuffer
+	Version uint64
+	// DeviceTime is the modeled render time on the service's device.
+	DeviceTime time.Duration
+}
+
+// RenderFrame renders a full frame at w x h for the given viewer (whose
+// own avatar is hidden).
+func (sess *Session) RenderFrame(w, h int, viewer string) (*Frame, error) {
+	if w <= 0 || h <= 0 || w > 1<<13 || h > 1<<13 {
+		return nil, fmt.Errorf("renderservice: bad frame size %dx%d", w, h)
+	}
+	fb := raster.NewFramebuffer(w, h)
+	sess.mu.Lock()
+	tris := sess.renderLocked(fb, image.Rectangle{}, w, h, viewer)
+	version := sess.scene.Version
+	dt := sess.svc.cfg.Device.OffScreenTime(device.Workload{
+		Triangles: tris, Pixels: w * h,
+	})
+	sess.lastFrameTime = dt
+	sess.framesDrawn++
+	sess.mu.Unlock()
+	if sess.svc.cfg.SimulateDeviceTime {
+		sess.svc.cfg.Clock.Sleep(dt)
+	}
+	return &Frame{FB: fb, Version: version, DeviceTime: dt}, nil
+}
+
+// RenderTile renders one tile of a fullW x fullH image — framebuffer
+// distribution's assisting role ("renders to an off-screen buffer, which
+// it then forwards directly to the requesting render service").
+func (sess *Session) RenderTile(rect image.Rectangle, fullW, fullH int) (*Frame, error) {
+	if rect.Dx() <= 0 || rect.Dy() <= 0 || fullW <= 0 || fullH <= 0 ||
+		rect.Min.X < 0 || rect.Min.Y < 0 || rect.Max.X > fullW || rect.Max.Y > fullH {
+		return nil, fmt.Errorf("renderservice: bad tile %v of %dx%d", rect, fullW, fullH)
+	}
+	fb := raster.NewFramebuffer(rect.Dx(), rect.Dy())
+	sess.mu.Lock()
+	tris := sess.renderLocked(fb, rect, fullW, fullH, "")
+	version := sess.scene.Version
+	dt := sess.svc.cfg.Device.OffScreenTime(device.Workload{
+		Triangles: tris, Pixels: rect.Dx() * rect.Dy(),
+	})
+	sess.lastFrameTime = dt
+	sess.framesDrawn++
+	sess.mu.Unlock()
+	if sess.svc.cfg.SimulateDeviceTime {
+		sess.svc.cfg.Clock.Sleep(dt)
+	}
+	return &Frame{FB: fb, Version: version, DeviceTime: dt}, nil
+}
+
+// EncodeFrame encodes a rendered frame with the requested codec ("raw",
+// "rle", "delta-rle", "adaptive"), using the link throughput estimate for
+// the adaptive choice.
+func (sess *Session) EncodeFrame(f *Frame, codecName string, throughputBps float64) ([]byte, error) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	switch codecName {
+	case "", "raw":
+		return imgcodec.Encode(imgcodec.Raw, f.FB.W, f.FB.H, f.FB.Color, nil)
+	case "rle":
+		return imgcodec.Encode(imgcodec.RLE, f.FB.W, f.FB.H, f.FB.Color, nil)
+	case "flate":
+		return imgcodec.Encode(imgcodec.Flate, f.FB.W, f.FB.H, f.FB.Color, nil)
+	case "delta-rle":
+		enc, err := imgcodec.Encode(imgcodec.DeltaRLE, f.FB.W, f.FB.H, f.FB.Color, sess.prevSent)
+		if err == nil {
+			sess.prevSent = append(sess.prevSent[:0], f.FB.Color...)
+		}
+		return enc, err
+	case "adaptive":
+		enc, _, err := sess.adaptive.EncodeFrame(f.FB.W, f.FB.H, f.FB.Color, throughputBps)
+		return enc, err
+	default:
+		return nil, fmt.Errorf("renderservice: unknown codec %q", codecName)
+	}
+}
+
+// RenderSceneOnce renders an arbitrary scene (typically a distribution
+// subset streamed by the data service) without keeping replica state,
+// returning the frame+depth buffer for compositing and the modeled
+// device time.
+func (s *Service) RenderSceneOnce(sc *scene.Scene, cam raster.Camera, w, h int) (*raster.Framebuffer, time.Duration, error) {
+	if w <= 0 || h <= 0 || w > 1<<13 || h > 1<<13 {
+		return nil, 0, fmt.Errorf("renderservice: bad frame size %dx%d", w, h)
+	}
+	tmp := &Session{name: "once", svc: s, scene: sc, camera: cam}
+	fb := raster.NewFramebuffer(w, h)
+	tris := tmp.renderLocked(fb, image.Rectangle{}, w, h, "")
+	dt := s.cfg.Device.OffScreenTime(device.Workload{Triangles: tris, Pixels: w * h})
+	if s.cfg.SimulateDeviceTime {
+		s.cfg.Clock.Sleep(dt)
+	}
+	return fb, dt, nil
+}
+
+// Capacity answers capacity interrogation (§3.2.5) from the device
+// profile and current load across sessions.
+func (s *Service) Capacity() transport.CapacityReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	work := 0.0
+	for _, sess := range s.sessions {
+		work += sess.SceneCost().Work()
+	}
+	return transport.CapacityReport{
+		Name:              s.cfg.Name,
+		PolysPerSecond:    s.cfg.Device.PolysPerSecond(),
+		PointsPerSecond:   s.cfg.Device.PolysPerSecond() * 4,
+		VoxelsPerSecond:   s.cfg.Device.PolysPerSecond() * 20,
+		TextureMemory:     s.cfg.Device.TextureMemory,
+		HardwareVolume:    s.cfg.Device.HardwareVolume,
+		CurrentWork:       work,
+		TargetFPS:         s.cfg.TargetFPS,
+		OffscreenHardware: !s.cfg.Device.OffscreenSoftware,
+	}
+}
+
+// LoadReport summarizes the service's current rendering rate for the
+// data service's migration engine.
+func (s *Service) LoadReport() transport.LoadReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var worst time.Duration
+	work := 0.0
+	var texture int64
+	for _, sess := range s.sessions {
+		sess.mu.Lock()
+		if sess.lastFrameTime > worst {
+			worst = sess.lastFrameTime
+		}
+		c := sess.scene.TotalCost()
+		work += c.Work()
+		texture += c.Bytes
+		sess.mu.Unlock()
+	}
+	fps := 0.0
+	if worst > 0 {
+		fps = float64(time.Second) / float64(worst)
+	}
+	return transport.LoadReport{
+		Name:        s.cfg.Name,
+		FPS:         fps,
+		WorkPerSec:  work * fps,
+		TextureUsed: texture,
+	}
+}
+
+// ServeClient runs the thin-client protocol on a direct socket: the
+// client sends camera updates and frame requests; the service replies
+// with encoded frames. Returns when the client says Bye or the socket
+// fails. linkBps is the throughput estimate handed to the adaptive codec.
+func (s *Service) ServeClient(rw io.ReadWriter, linkBps float64) error {
+	conn := transport.NewConn(rw)
+	t, payload, err := conn.Receive()
+	if err != nil {
+		return err
+	}
+	if t != transport.MsgHello {
+		return fmt.Errorf("renderservice: expected hello, got %s", t)
+	}
+	var hello transport.Hello
+	if err := transport.DecodeJSON(payload, &hello); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	sess, ok := s.sessions[hello.Session]
+	s.mu.Unlock()
+	// Peers (other services driving subset renders) may connect before
+	// this service has joined the session: subset rendering is stateless.
+	if !ok && hello.Role != "peer" {
+		conn.SendJSON(transport.MsgError, transport.ErrorInfo{
+			Message: fmt.Sprintf("no session %q on render service %s", hello.Session, s.cfg.Name),
+		})
+		return fmt.Errorf("renderservice: unknown session %q", hello.Session)
+	}
+	if err := conn.Send(transport.MsgOK, nil); err != nil {
+		return err
+	}
+	needSession := func() bool {
+		if sess != nil {
+			return false
+		}
+		conn.SendJSON(transport.MsgError, transport.ErrorInfo{
+			Message: fmt.Sprintf("render service %s has no replica of session %q", s.cfg.Name, hello.Session),
+		})
+		return true
+	}
+
+	for {
+		t, payload, err := conn.Receive()
+		if err != nil {
+			return err
+		}
+		switch t {
+		case transport.MsgBye:
+			return nil
+		case transport.MsgCameraUpdate:
+			var cs transport.CameraState
+			if err := transport.DecodeJSON(payload, &cs); err != nil {
+				return err
+			}
+			if needSession() {
+				continue
+			}
+			sess.SetCamera(CameraFromState(cs))
+		case transport.MsgFrameRequest:
+			var req transport.FrameRequest
+			if err := transport.DecodeJSON(payload, &req); err != nil {
+				return err
+			}
+			if needSession() {
+				continue
+			}
+			frame, err := sess.RenderFrame(req.W, req.H, hello.Name)
+			if err != nil {
+				if serr := conn.SendJSON(transport.MsgError, transport.ErrorInfo{Message: err.Error()}); serr != nil {
+					return serr
+				}
+				continue
+			}
+			enc, err := sess.EncodeFrame(frame, req.Codec, linkBps)
+			if err != nil {
+				if serr := conn.SendJSON(transport.MsgError, transport.ErrorInfo{Message: err.Error()}); serr != nil {
+					return serr
+				}
+				continue
+			}
+			if err := conn.Send(transport.MsgFrame, enc); err != nil {
+				return err
+			}
+		case transport.MsgCapacityQuery:
+			if err := conn.SendJSON(transport.MsgCapacityReport, s.Capacity()); err != nil {
+				return err
+			}
+		case transport.MsgSubsetAssign:
+			var sa transport.SubsetAssign
+			if err := transport.DecodeJSON(payload, &sa); err != nil {
+				return err
+			}
+			// The subset scene follows immediately.
+			t2, snap, err := conn.Receive()
+			if err != nil {
+				return err
+			}
+			if t2 != transport.MsgSceneSnapshot {
+				return fmt.Errorf("renderservice: expected subset snapshot, got %s", t2)
+			}
+			subset, err := marshal.ReadScene(bytes.NewReader(snap))
+			if err != nil {
+				return err
+			}
+			fb, _, err := s.RenderSceneOnce(subset, CameraFromState(sa.Camera), sa.W, sa.H)
+			if err != nil {
+				if serr := conn.SendJSON(transport.MsgError, transport.ErrorInfo{Message: err.Error()}); serr != nil {
+					return serr
+				}
+				continue
+			}
+			var buf bytes.Buffer
+			if err := marshal.WriteFrame(&buf, fb, true); err != nil {
+				return err
+			}
+			if err := conn.Send(transport.MsgFrameDepth, buf.Bytes()); err != nil {
+				return err
+			}
+		case transport.MsgTileAssign:
+			var ta transport.TileAssign
+			if err := transport.DecodeJSON(payload, &ta); err != nil {
+				return err
+			}
+			if needSession() {
+				continue
+			}
+			rect := image.Rect(ta.X0, ta.Y0, ta.X1, ta.Y1)
+			frame, err := sess.RenderTile(rect, ta.FullW, ta.FullH)
+			if err != nil {
+				if serr := conn.SendJSON(transport.MsgError, transport.ErrorInfo{Message: err.Error()}); serr != nil {
+					return serr
+				}
+				continue
+			}
+			hdr := transport.TileHeader{
+				X0: ta.X0, Y0: ta.Y0, X1: ta.X1, Y1: ta.Y1, Version: frame.Version,
+			}
+			if err := conn.SendJSON(transport.MsgTileFrame, hdr); err != nil {
+				return err
+			}
+			var buf bytes.Buffer
+			if err := marshal.WriteFrame(&buf, frame.FB, true); err != nil {
+				return err
+			}
+			if err := conn.Send(transport.MsgFrameDepth, buf.Bytes()); err != nil {
+				return err
+			}
+		default:
+			if err := conn.SendJSON(transport.MsgError, transport.ErrorInfo{
+				Message: fmt.Sprintf("unexpected message %s", t),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// SubscribeToData runs the data-service subscription protocol on a
+// direct socket: send hello, receive the bootstrap snapshot, then apply
+// streamed ops and camera updates until the socket closes. It opens (and
+// on exit closes) the local session replica, and invokes onReady once the
+// bootstrap completes.
+func (s *Service) SubscribeToData(rw io.ReadWriter, sessionName string, onReady func(*Session)) error {
+	conn := transport.NewConn(rw)
+	err := conn.SendJSON(transport.MsgHello, transport.Hello{
+		Role: "render-service", Name: s.cfg.Name, Session: sessionName,
+	})
+	if err != nil {
+		return err
+	}
+	t, payload, err := conn.Receive()
+	if err != nil {
+		return err
+	}
+	if t == transport.MsgError {
+		var ei transport.ErrorInfo
+		transport.DecodeJSON(payload, &ei)
+		return fmt.Errorf("renderservice: subscription refused: %s", ei.Message)
+	}
+	if t != transport.MsgSceneSnapshot {
+		return fmt.Errorf("renderservice: expected snapshot, got %s", t)
+	}
+	snapshot, err := marshal.ReadScene(bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	sess, err := s.OpenSession(sessionName, snapshot, raster.DefaultCamera())
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	if onReady != nil {
+		onReady(sess)
+	}
+
+	for {
+		t, payload, err := conn.Receive()
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		switch t {
+		case transport.MsgBye:
+			return nil
+		case transport.MsgSceneOp:
+			op, err := marshal.ReadOp(bytes.NewReader(payload))
+			if err != nil {
+				return err
+			}
+			if err := sess.ApplyOp(op); err != nil {
+				return err
+			}
+		case transport.MsgCameraUpdate:
+			var cs transport.CameraState
+			if err := transport.DecodeJSON(payload, &cs); err != nil {
+				return err
+			}
+			sess.SetCamera(CameraFromState(cs))
+		case transport.MsgCapacityQuery:
+			if err := conn.SendJSON(transport.MsgCapacityReport, s.Capacity()); err != nil {
+				return err
+			}
+		default:
+			// Ignore messages this role does not handle.
+		}
+	}
+}
+
+// StartLoadReporting periodically sends this service's load report over
+// the data-service subscription socket (the §3.2.7 signal driving the
+// migration engine) until stop is closed or a send fails. Run it in a
+// goroutine alongside SubscribeToData, passing the same underlying
+// stream (transport.Conn serializes concurrent sends).
+func (s *Service) StartLoadReporting(conn *transport.Conn, interval time.Duration, stop <-chan struct{}) error {
+	if interval <= 0 {
+		return fmt.Errorf("renderservice: non-positive report interval")
+	}
+	for {
+		select {
+		case <-stop:
+			return nil
+		case <-s.cfg.Clock.After(interval):
+			if err := conn.SendJSON(transport.MsgLoadReport, s.LoadReport()); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// CameraFromState converts the wire camera to a raster camera.
+func CameraFromState(cs transport.CameraState) raster.Camera {
+	cam := raster.Camera{
+		Eye:    mathx.V3(cs.Eye[0], cs.Eye[1], cs.Eye[2]),
+		Target: mathx.V3(cs.Target[0], cs.Target[1], cs.Target[2]),
+		Up:     mathx.V3(cs.Up[0], cs.Up[1], cs.Up[2]),
+		FovY:   cs.FovY,
+		Near:   cs.Near,
+		Far:    cs.Far,
+	}
+	if cam.FovY <= 0 {
+		cam.FovY = mathx.Radians(45)
+	}
+	if cam.Near <= 0 {
+		cam.Near = 0.1
+	}
+	if cam.Far <= cam.Near {
+		cam.Far = cam.Near + 1000
+	}
+	if cam.Up == (mathx.Vec3{}) {
+		cam.Up = mathx.V3(0, 1, 0)
+	}
+	return cam
+}
+
+// StateFromCamera converts a raster camera to its wire form.
+func StateFromCamera(cam raster.Camera) transport.CameraState {
+	return transport.CameraState{
+		Eye:    [3]float64{cam.Eye.X, cam.Eye.Y, cam.Eye.Z},
+		Target: [3]float64{cam.Target.X, cam.Target.Y, cam.Target.Z},
+		Up:     [3]float64{cam.Up.X, cam.Up.Y, cam.Up.Z},
+		FovY:   cam.FovY,
+		Near:   cam.Near,
+		Far:    cam.Far,
+	}
+}

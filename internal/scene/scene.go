@@ -1,0 +1,289 @@
+package scene
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mathx"
+)
+
+// Scene is a scene tree with an index for O(1) node lookup. A Scene is
+// not safe for concurrent mutation; the owning service serializes access.
+type Scene struct {
+	Root *Node
+	// Version counts applied updates; replicas compare versions to detect
+	// staleness (tile tearing in Figure 5 is adjacent tiles rendered at
+	// different versions).
+	Version uint64
+
+	nextID NodeID
+	index  map[NodeID]*Node
+	parent map[NodeID]NodeID
+}
+
+// New returns a scene holding only the root group node (ID 1, identity
+// transform).
+func New() *Scene {
+	root := &Node{ID: RootID, Name: "root", Transform: mathx.Identity()}
+	s := &Scene{
+		Root:   root,
+		nextID: RootID + 1,
+		index:  map[NodeID]*Node{RootID: root},
+		parent: map[NodeID]NodeID{},
+	}
+	return s
+}
+
+// AllocID reserves a fresh node ID. Only the authoritative copy (the data
+// service) allocates IDs; replicas receive them inside AddNode ops.
+func (s *Scene) AllocID() NodeID {
+	id := s.nextID
+	s.nextID++
+	return id
+}
+
+// Node returns the node with the given ID, or nil.
+func (s *Scene) Node(id NodeID) *Node { return s.index[id] }
+
+// Parent returns the parent ID of a node (0 for the root or unknown IDs).
+func (s *Scene) Parent(id NodeID) NodeID { return s.parent[id] }
+
+// NodeCount returns the number of nodes including the root.
+func (s *Scene) NodeCount() int { return len(s.index) }
+
+// Attach inserts a prepared node under the given parent. The node's ID
+// must be unused (allocate with AllocID on the authoritative scene). The
+// node must not have children; build subtrees by attaching repeatedly.
+func (s *Scene) Attach(parentID NodeID, n *Node) error {
+	if n == nil {
+		return fmt.Errorf("scene: attach nil node")
+	}
+	if n.ID == 0 {
+		return fmt.Errorf("scene: node has no ID")
+	}
+	if _, exists := s.index[n.ID]; exists {
+		return fmt.Errorf("scene: node %d already present", n.ID)
+	}
+	if len(n.Children) != 0 {
+		return fmt.Errorf("scene: attach node %d with children", n.ID)
+	}
+	p := s.index[parentID]
+	if p == nil {
+		return fmt.Errorf("scene: parent %d not found", parentID)
+	}
+	p.Children = append(p.Children, n)
+	s.index[n.ID] = n
+	s.parent[n.ID] = parentID
+	if n.ID >= s.nextID {
+		s.nextID = n.ID + 1
+	}
+	return nil
+}
+
+// Remove detaches the node and its entire subtree. The root cannot be
+// removed.
+func (s *Scene) Remove(id NodeID) error {
+	if id == RootID {
+		return fmt.Errorf("scene: cannot remove root")
+	}
+	n := s.index[id]
+	if n == nil {
+		return fmt.Errorf("scene: node %d not found", id)
+	}
+	parentID := s.parent[id]
+	p := s.index[parentID]
+	for i, c := range p.Children {
+		if c.ID == id {
+			p.Children = append(p.Children[:i], p.Children[i+1:]...)
+			break
+		}
+	}
+	// Unindex the whole subtree.
+	var drop func(n *Node)
+	drop = func(n *Node) {
+		delete(s.index, n.ID)
+		delete(s.parent, n.ID)
+		for _, c := range n.Children {
+			drop(c)
+		}
+	}
+	drop(n)
+	return nil
+}
+
+// SetTransform replaces a node's local transform.
+func (s *Scene) SetTransform(id NodeID, m mathx.Mat4) error {
+	n := s.index[id]
+	if n == nil {
+		return fmt.Errorf("scene: node %d not found", id)
+	}
+	n.Transform = m
+	return nil
+}
+
+// WorldTransform composes transforms from the root down to the node.
+func (s *Scene) WorldTransform(id NodeID) (mathx.Mat4, error) {
+	if s.index[id] == nil {
+		return mathx.Identity(), fmt.Errorf("scene: node %d not found", id)
+	}
+	// Collect the ancestor chain.
+	var chain []NodeID
+	for cur := id; cur != 0; cur = s.parent[cur] {
+		chain = append(chain, cur)
+		if cur == RootID {
+			break
+		}
+	}
+	m := mathx.Identity()
+	for i := len(chain) - 1; i >= 0; i-- {
+		m = m.Mul(s.index[chain[i]].Transform)
+	}
+	return m, nil
+}
+
+// Walk visits every node depth-first with its composed world transform.
+// Returning false from fn prunes that node's subtree.
+func (s *Scene) Walk(fn func(n *Node, world mathx.Mat4) bool) {
+	var rec func(n *Node, m mathx.Mat4)
+	rec = func(n *Node, m mathx.Mat4) {
+		world := m.Mul(n.Transform)
+		if !fn(n, world) {
+			return
+		}
+		for _, c := range n.Children {
+			rec(c, world)
+		}
+	}
+	rec(s.Root, mathx.Identity())
+}
+
+// Clone deep-copies the scene (including version and ID allocator state).
+func (s *Scene) Clone() *Scene {
+	out := &Scene{
+		Root:    s.Root.clone(),
+		Version: s.Version,
+		nextID:  s.nextID,
+		index:   make(map[NodeID]*Node, len(s.index)),
+		parent:  make(map[NodeID]NodeID, len(s.parent)),
+	}
+	var reindex func(n *Node, parent NodeID)
+	reindex = func(n *Node, parent NodeID) {
+		out.index[n.ID] = n
+		if n.ID != RootID {
+			out.parent[n.ID] = parent
+		}
+		for _, c := range n.Children {
+			reindex(c, n.ID)
+		}
+	}
+	reindex(out.Root, 0)
+	return out
+}
+
+// SubtreeCost sums payload costs over the node and its descendants.
+func (s *Scene) SubtreeCost(id NodeID) (Cost, error) {
+	n := s.index[id]
+	if n == nil {
+		return Cost{}, fmt.Errorf("scene: node %d not found", id)
+	}
+	var rec func(n *Node) Cost
+	rec = func(n *Node) Cost {
+		c := Cost{}
+		if n.Payload != nil {
+			c = n.Payload.Cost()
+		}
+		for _, child := range n.Children {
+			c = c.Add(rec(child))
+		}
+		return c
+	}
+	return rec(n), nil
+}
+
+// TotalCost sums payload costs over the whole scene.
+func (s *Scene) TotalCost() Cost {
+	c, _ := s.SubtreeCost(RootID)
+	return c
+}
+
+// Bounds returns the world-space bounding box of all payloads.
+func (s *Scene) Bounds() mathx.AABB {
+	b := mathx.EmptyAABB()
+	s.Walk(func(n *Node, world mathx.Mat4) bool {
+		if n.Payload != nil {
+			b = b.Union(n.Payload.BoundsLocal().Transform(world))
+		}
+		return true
+	})
+	return b
+}
+
+// PayloadIDs lists the IDs of nodes carrying payloads, sorted — the
+// distributable units of the scene.
+func (s *Scene) PayloadIDs() []NodeID {
+	var out []NodeID
+	s.Walk(func(n *Node, _ mathx.Mat4) bool {
+		if n.Payload != nil {
+			out = append(out, n.ID)
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ExtractSubset returns a new scene containing exactly the requested
+// nodes plus every ancestor needed to orient them — "a subset of the
+// scene tree, including the parent nodes to orientate the scene subset in
+// the world" (§3.2.5). Payloads of unrequested ancestors are stripped;
+// node IDs and transforms are preserved.
+func (s *Scene) ExtractSubset(ids []NodeID) (*Scene, error) {
+	want := make(map[NodeID]bool, len(ids))
+	keep := make(map[NodeID]bool)
+	for _, id := range ids {
+		if s.index[id] == nil {
+			return nil, fmt.Errorf("scene: node %d not found", id)
+		}
+		want[id] = true
+		for cur := id; cur != 0; cur = s.parent[cur] {
+			keep[cur] = true
+			if cur == RootID {
+				break
+			}
+		}
+	}
+	keep[RootID] = true
+
+	out := New()
+	out.Version = s.Version
+	out.nextID = s.nextID
+	out.Root.Transform = s.Root.Transform
+	out.Root.Name = s.Root.Name
+	if want[RootID] && s.Root.Payload != nil {
+		out.Root.Payload = s.Root.Payload.ClonePayload()
+	}
+
+	var rec func(src *Node, dstParent NodeID) error
+	rec = func(src *Node, dstParent NodeID) error {
+		for _, c := range src.Children {
+			if !keep[c.ID] {
+				continue
+			}
+			n := &Node{ID: c.ID, Name: c.Name, Transform: c.Transform}
+			if want[c.ID] && c.Payload != nil {
+				n.Payload = c.Payload.ClonePayload()
+			}
+			if err := out.Attach(dstParent, n); err != nil {
+				return err
+			}
+			if err := rec(c, c.ID); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(s.Root, RootID); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,277 @@
+// Package soap implements the XML remote-procedure-call layer RAVE wraps
+// its services in (§4.3). As in the paper, SOAP carries only discovery,
+// status interrogation and subscription traffic — procedure arguments and
+// results travel as plain-text XML, which is architecture-neutral but
+// "not suited to large data transmission or low latency", so services
+// hand off to the transport package's direct sockets for bulk data.
+//
+// The envelope follows the SOAP 1.2 shape: an Envelope with a Body whose
+// single child element names the action and whose children are string
+// parameters. Faults are reported in a Fault element.
+package soap
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// EnvelopeNS is the namespace used on envelopes.
+const EnvelopeNS = "http://www.w3.org/2003/05/soap-envelope"
+
+// Params are the string-typed arguments/results of a call.
+type Params map[string]string
+
+// Marshal builds a SOAP envelope for an action with parameters. Parameter
+// elements are emitted in sorted order so envelopes are deterministic.
+func Marshal(action string, params Params) ([]byte, error) {
+	if action == "" {
+		return nil, fmt.Errorf("soap: empty action")
+	}
+	var buf bytes.Buffer
+	buf.WriteString(xml.Header)
+	enc := xml.NewEncoder(&buf)
+	env := xml.StartElement{
+		Name: xml.Name{Local: "soap:Envelope"},
+		Attr: []xml.Attr{{Name: xml.Name{Local: "xmlns:soap"}, Value: EnvelopeNS}},
+	}
+	if err := enc.EncodeToken(env); err != nil {
+		return nil, err
+	}
+	body := xml.StartElement{Name: xml.Name{Local: "soap:Body"}}
+	if err := enc.EncodeToken(body); err != nil {
+		return nil, err
+	}
+	act := xml.StartElement{Name: xml.Name{Local: action}}
+	if err := enc.EncodeToken(act); err != nil {
+		return nil, fmt.Errorf("soap: bad action name %q: %w", action, err)
+	}
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		el := xml.StartElement{Name: xml.Name{Local: k}}
+		if err := enc.EncodeToken(el); err != nil {
+			return nil, fmt.Errorf("soap: bad parameter name %q: %w", k, err)
+		}
+		if err := enc.EncodeToken(xml.CharData(params[k])); err != nil {
+			return nil, err
+		}
+		if err := enc.EncodeToken(el.End()); err != nil {
+			return nil, err
+		}
+	}
+	for _, end := range []xml.EndElement{act.End(), body.End(), env.End()} {
+		if err := enc.EncodeToken(end); err != nil {
+			return nil, err
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Fault is a SOAP-level failure returned by the peer.
+type Fault struct {
+	Reason string
+}
+
+// Error implements error.
+func (f *Fault) Error() string { return "soap: fault: " + f.Reason }
+
+// MarshalFault builds a fault envelope.
+func MarshalFault(reason string) ([]byte, error) {
+	return Marshal("Fault", Params{"Reason": reason})
+}
+
+// Unmarshal parses an envelope, returning the action and parameters. A
+// Fault action is returned as a *Fault error.
+func Unmarshal(data []byte) (string, Params, error) {
+	dec := xml.NewDecoder(bytes.NewReader(data))
+	depth := 0
+	action := ""
+	params := Params{}
+	var paramName string
+	var text bytes.Buffer
+	sawEnvelope, sawBody := false, false
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return "", nil, fmt.Errorf("soap: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			depth++
+			switch depth {
+			case 1:
+				if t.Name.Local != "Envelope" {
+					return "", nil, fmt.Errorf("soap: root element %q, want Envelope", t.Name.Local)
+				}
+				sawEnvelope = true
+			case 2:
+				if t.Name.Local != "Body" {
+					return "", nil, fmt.Errorf("soap: element %q, want Body", t.Name.Local)
+				}
+				sawBody = true
+			case 3:
+				if action != "" {
+					return "", nil, fmt.Errorf("soap: multiple actions in body")
+				}
+				action = t.Name.Local
+			case 4:
+				paramName = t.Name.Local
+				text.Reset()
+			default:
+				return "", nil, fmt.Errorf("soap: nested parameter %q not supported", t.Name.Local)
+			}
+		case xml.CharData:
+			if depth == 4 {
+				text.Write(t)
+			}
+		case xml.EndElement:
+			if depth == 4 {
+				params[paramName] = text.String()
+			}
+			depth--
+		}
+	}
+	if !sawEnvelope || !sawBody || action == "" {
+		return "", nil, fmt.Errorf("soap: incomplete envelope")
+	}
+	if action == "Fault" {
+		return "", nil, &Fault{Reason: params["Reason"]}
+	}
+	return action, params, nil
+}
+
+// Handler processes one SOAP action.
+type Handler func(params Params) (Params, error)
+
+// Server dispatches SOAP envelopes received over HTTP POST to registered
+// action handlers. It is the "Grid/Web service container" role Apache
+// Axis + Tomcat played in the paper's implementation.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{handlers: map[string]Handler{}}
+}
+
+// Register binds an action name to a handler, replacing any previous one.
+func (s *Server) Register(action string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[action] = h
+}
+
+// Actions lists registered action names, sorted — the basis of the WSDL
+// document advertised through UDDI.
+func (s *Server) Actions() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.handlers))
+	for a := range s.handlers {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "soap endpoint requires POST", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<22))
+	if err != nil {
+		http.Error(w, "read error", http.StatusBadRequest)
+		return
+	}
+	reply, status := s.Dispatch(body)
+	w.Header().Set("Content-Type", "application/soap+xml; charset=utf-8")
+	w.WriteHeader(status)
+	w.Write(reply)
+}
+
+// Dispatch processes one raw envelope and returns the reply envelope and
+// an HTTP status, so in-process callers can skip HTTP entirely.
+func (s *Server) Dispatch(body []byte) ([]byte, int) {
+	fault := func(reason string, status int) ([]byte, int) {
+		data, err := MarshalFault(reason)
+		if err != nil {
+			return []byte("soap fault"), http.StatusInternalServerError
+		}
+		return data, status
+	}
+	action, params, err := Unmarshal(body)
+	if err != nil {
+		return fault(err.Error(), http.StatusBadRequest)
+	}
+	s.mu.RLock()
+	h, ok := s.handlers[action]
+	s.mu.RUnlock()
+	if !ok {
+		return fault(fmt.Sprintf("unknown action %q", action), http.StatusNotFound)
+	}
+	result, err := h(params)
+	if err != nil {
+		return fault(err.Error(), http.StatusOK)
+	}
+	reply, err := Marshal(action+"Response", result)
+	if err != nil {
+		return fault(err.Error(), http.StatusInternalServerError)
+	}
+	return reply, http.StatusOK
+}
+
+// Client calls SOAP actions on a remote endpoint.
+type Client struct {
+	// Endpoint is the service URL.
+	Endpoint string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// Call performs one action and returns the response parameters. Peer
+// faults come back as *Fault errors.
+func (c *Client) Call(action string, params Params) (Params, error) {
+	body, err := Marshal(action, params)
+	if err != nil {
+		return nil, err
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Post(c.Endpoint, "application/soap+xml; charset=utf-8", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("soap: call %s: %w", action, err)
+	}
+	defer resp.Body.Close()
+	reply, err := io.ReadAll(io.LimitReader(resp.Body, 1<<22))
+	if err != nil {
+		return nil, fmt.Errorf("soap: read reply: %w", err)
+	}
+	replyAction, result, err := Unmarshal(reply)
+	if err != nil {
+		return nil, err
+	}
+	if replyAction != action+"Response" {
+		return nil, fmt.Errorf("soap: reply action %q for call %q", replyAction, action)
+	}
+	return result, nil
+}

@@ -1,0 +1,194 @@
+package soap
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	params := Params{"name": "skull", "url": "http://host:8080/data", "empty": ""}
+	data, err := Marshal("CreateInstance", params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	action, got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if action != "CreateInstance" {
+		t.Errorf("action %q", action)
+	}
+	if len(got) != len(params) {
+		t.Fatalf("params: %v", got)
+	}
+	for k, v := range params {
+		if got[k] != v {
+			t.Errorf("param %s: %q vs %q", k, got[k], v)
+		}
+	}
+}
+
+func TestMarshalDeterministic(t *testing.T) {
+	p := Params{"b": "2", "a": "1", "c": "3"}
+	d1, err := Marshal("X", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _ := Marshal("X", p)
+	if string(d1) != string(d2) {
+		t.Error("envelopes differ between runs")
+	}
+	// Sorted parameter order.
+	ia := strings.Index(string(d1), "<a>")
+	ib := strings.Index(string(d1), "<b>")
+	if ia == -1 || ib == -1 || ia > ib {
+		t.Error("parameters not sorted")
+	}
+}
+
+func TestMarshalEscapesXML(t *testing.T) {
+	data, err := Marshal("Echo", Params{"v": `<evil attr="x">&`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["v"] != `<evil attr="x">&` {
+		t.Errorf("escaped round trip: %q", got["v"])
+	}
+}
+
+func TestMarshalErrors(t *testing.T) {
+	if _, err := Marshal("", nil); err == nil {
+		t.Error("empty action accepted")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"<NotEnvelope/>",
+		"<Envelope><NotBody/></Envelope>",
+		"<Envelope><Body></Body></Envelope>", // no action
+		"<Envelope><Body><A/><B/></Body></Envelope>",                // two actions
+		"<Envelope><Body><A><p><nested/></p></A></Body></Envelope>", // deep nesting
+		"<Envelope><Body><A>",                                       // truncated
+	}
+	for i, src := range cases {
+		if _, _, err := Unmarshal([]byte(src)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestFaultRoundTrip(t *testing.T) {
+	data, err := MarshalFault("no resources available")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Unmarshal(data)
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("want Fault, got %v", err)
+	}
+	if f.Reason != "no resources available" {
+		t.Errorf("reason %q", f.Reason)
+	}
+}
+
+func newEchoServer() *Server {
+	s := NewServer()
+	s.Register("Echo", func(p Params) (Params, error) {
+		return p, nil
+	})
+	s.Register("Fail", func(p Params) (Params, error) {
+		return nil, fmt.Errorf("deliberate: %s", p["why"])
+	})
+	return s
+}
+
+func TestServerClientOverHTTP(t *testing.T) {
+	srv := newEchoServer()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	c := &Client{Endpoint: ts.URL}
+	got, err := c.Call("Echo", Params{"msg": "hello"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["msg"] != "hello" {
+		t.Errorf("echo: %v", got)
+	}
+
+	// Handler error becomes a Fault.
+	_, err = c.Call("Fail", Params{"why": "testing"})
+	var f *Fault
+	if !errors.As(err, &f) || !strings.Contains(f.Reason, "testing") {
+		t.Errorf("want fault, got %v", err)
+	}
+
+	// Unknown action.
+	_, err = c.Call("Nope", nil)
+	if !errors.As(err, &f) {
+		t.Errorf("unknown action error: %v", err)
+	}
+}
+
+func TestServerRejectsGET(t *testing.T) {
+	ts := httptest.NewServer(newEchoServer())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status: %d", resp.StatusCode)
+	}
+}
+
+func TestServerDispatchInProcess(t *testing.T) {
+	srv := newEchoServer()
+	env, err := Marshal("Echo", Params{"k": "v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, status := srv.Dispatch(env)
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	action, params, err := Unmarshal(reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if action != "EchoResponse" || params["k"] != "v" {
+		t.Errorf("dispatch reply: %s %v", action, params)
+	}
+	// Garbage in = fault out.
+	_, status = srv.Dispatch([]byte("not xml"))
+	if status != http.StatusBadRequest {
+		t.Errorf("garbage status: %d", status)
+	}
+}
+
+func TestServerActions(t *testing.T) {
+	srv := newEchoServer()
+	got := srv.Actions()
+	if len(got) != 2 || got[0] != "Echo" || got[1] != "Fail" {
+		t.Errorf("actions: %v", got)
+	}
+}
+
+func TestClientBadEndpoint(t *testing.T) {
+	c := &Client{Endpoint: "http://127.0.0.1:1/nope"}
+	if _, err := c.Call("Echo", nil); err == nil {
+		t.Error("unreachable endpoint succeeded")
+	}
+}

@@ -1,0 +1,263 @@
+// Package transport implements the length-prefixed binary socket protocol
+// RAVE services use for bulk traffic. The paper is explicit about the
+// split (§4.3): SOAP is only used for discovery, status interrogation and
+// subscription, "then back off from SOAP and use direct socket
+// communication to send binary information". Conn is that direct socket.
+package transport
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// MsgType tags a protocol message.
+type MsgType uint16
+
+// Protocol messages.
+const (
+	// MsgHello opens a socket session; payload: Hello (JSON).
+	MsgHello MsgType = iota + 1
+	// MsgOK acknowledges; payload optional.
+	MsgOK
+	// MsgError reports failure; payload: ErrorInfo (JSON).
+	MsgError
+	// MsgSceneSnapshot carries a full marshalled scene.
+	MsgSceneSnapshot
+	// MsgSceneOp carries one marshalled scene update op.
+	MsgSceneOp
+	// MsgCameraUpdate carries a CameraState (JSON).
+	MsgCameraUpdate
+	// MsgFrameRequest asks a render service for a frame; payload:
+	// FrameRequest (JSON).
+	MsgFrameRequest
+	// MsgFrame carries an imgcodec-encoded color frame.
+	MsgFrame
+	// MsgFrameDepth carries a marshalled frame+depth buffer for
+	// compositing.
+	MsgFrameDepth
+	// MsgTileAssign asks a render service to render a tile; payload:
+	// TileAssign (JSON).
+	MsgTileAssign
+	// MsgTileFrame returns a rendered tile; payload: TileHeader (JSON)
+	// followed by the raw frame in the next message.
+	MsgTileFrame
+	// MsgCapacityQuery interrogates a render service's capacity.
+	MsgCapacityQuery
+	// MsgCapacityReport answers with a CapacityReport (JSON).
+	MsgCapacityReport
+	// MsgLoadReport is a render service's periodic load report to the
+	// data service (JSON LoadReport).
+	MsgLoadReport
+	// MsgSubsetAssign gives a render service a scene subset to render
+	// (JSON SubsetAssign; the subset scene follows as MsgSceneSnapshot).
+	MsgSubsetAssign
+	// MsgBye closes the session cleanly.
+	MsgBye
+	// MsgSetInterest registers a subscriber's dataset-distribution
+	// interest set with the data service (JSON SetInterest).
+	MsgSetInterest
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	names := map[MsgType]string{
+		MsgHello: "hello", MsgOK: "ok", MsgError: "error",
+		MsgSceneSnapshot: "scene-snapshot", MsgSceneOp: "scene-op",
+		MsgCameraUpdate: "camera-update", MsgFrameRequest: "frame-request",
+		MsgFrame: "frame", MsgFrameDepth: "frame-depth",
+		MsgTileAssign: "tile-assign", MsgTileFrame: "tile-frame",
+		MsgCapacityQuery: "capacity-query", MsgCapacityReport: "capacity-report",
+		MsgLoadReport: "load-report", MsgSubsetAssign: "subset-assign",
+		MsgBye: "bye", MsgSetInterest: "set-interest",
+	}
+	if n, ok := names[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("msg(%d)", uint16(t))
+}
+
+// frameMagic guards each frame against desync.
+const frameMagic uint16 = 0x5256 // "RV"
+
+// MaxPayload bounds a single message (a 2.8 M-triangle scene snapshot is
+// ~250 MB; leave headroom).
+const MaxPayload = 1 << 30
+
+// Conn frames messages over any reliable byte stream (net.Conn, net.Pipe,
+// or a simulated link). Sends are serialized by an internal mutex;
+// receives must be driven by a single reader goroutine.
+type Conn struct {
+	rw  io.ReadWriter
+	wmu sync.Mutex
+}
+
+// NewConn wraps a byte stream.
+func NewConn(rw io.ReadWriter) *Conn { return &Conn{rw: rw} }
+
+// Send writes one message. Safe for concurrent use.
+func (c *Conn) Send(t MsgType, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("transport: payload %d bytes exceeds limit", len(payload))
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint16(hdr[0:], frameMagic)
+	binary.BigEndian.PutUint16(hdr[2:], uint16(t))
+	binary.BigEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.rw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: send header: %w", err)
+	}
+	if len(payload) > 0 {
+		if _, err := c.rw.Write(payload); err != nil {
+			return fmt.Errorf("transport: send payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// SendJSON marshals v as the payload of a t message.
+func (c *Conn) SendJSON(t MsgType, v interface{}) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("transport: encode %s: %w", t, err)
+	}
+	return c.Send(t, data)
+}
+
+// Receive reads one message.
+func (c *Conn) Receive() (MsgType, []byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(c.rw, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	if binary.BigEndian.Uint16(hdr[0:]) != frameMagic {
+		return 0, nil, fmt.Errorf("transport: bad frame magic %#x", binary.BigEndian.Uint16(hdr[0:]))
+	}
+	t := MsgType(binary.BigEndian.Uint16(hdr[2:]))
+	n := binary.BigEndian.Uint32(hdr[4:])
+	if n > MaxPayload {
+		return 0, nil, fmt.Errorf("transport: payload %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c.rw, payload); err != nil {
+		return 0, nil, fmt.Errorf("transport: read payload: %w", err)
+	}
+	return t, payload, nil
+}
+
+// DecodeJSON unmarshals a JSON payload into v.
+func DecodeJSON(payload []byte, v interface{}) error {
+	return json.Unmarshal(payload, v)
+}
+
+// --- typed control payloads ---
+
+// Hello opens a session on a direct socket. Role distinguishes render
+// services (which receive updates and serve render requests) from thin
+// clients (which only receive frames).
+type Hello struct {
+	Role     string `json:"role"` // "render-service", "thin-client", "peer"
+	Name     string `json:"name"`
+	Session  string `json:"session"`
+	Instance string `json:"instance,omitempty"`
+}
+
+// ErrorInfo carries a failure back to the peer — e.g. the paper's
+// "request is refused with an explanatory error message" when resources
+// are insufficient (§3.2.5).
+type ErrorInfo struct {
+	Message string `json:"message"`
+}
+
+// CameraState is the shared camera of a collaborative session.
+type CameraState struct {
+	Eye    [3]float64 `json:"eye"`
+	Target [3]float64 `json:"target"`
+	Up     [3]float64 `json:"up"`
+	FovY   float64    `json:"fovy"`
+	Near   float64    `json:"near"`
+	Far    float64    `json:"far"`
+}
+
+// FrameRequest asks a render service for a rendered frame.
+type FrameRequest struct {
+	W int `json:"w"`
+	H int `json:"h"`
+	// Codec: "raw", "rle", "delta-rle", "adaptive".
+	Codec string `json:"codec,omitempty"`
+}
+
+// TileAssign assigns a tile of the full image to an assisting render
+// service.
+type TileAssign struct {
+	X0      int    `json:"x0"`
+	Y0      int    `json:"y0"`
+	X1      int    `json:"x1"`
+	Y1      int    `json:"y1"`
+	FullW   int    `json:"full_w"`
+	FullH   int    `json:"full_h"`
+	Session string `json:"session"`
+}
+
+// TileHeader precedes a tile's pixels.
+type TileHeader struct {
+	X0      int    `json:"x0"`
+	Y0      int    `json:"y0"`
+	X1      int    `json:"x1"`
+	Y1      int    `json:"y1"`
+	Version uint64 `json:"version"`
+}
+
+// CapacityReport answers a capacity interrogation: "available polygons
+// per second, texture memory, support for hardware assisted volume
+// rendering" (§3.2.5).
+type CapacityReport struct {
+	Name              string  `json:"name"`
+	PolysPerSecond    float64 `json:"polys_per_second"`
+	PointsPerSecond   float64 `json:"points_per_second"`
+	VoxelsPerSecond   float64 `json:"voxels_per_second"`
+	TextureMemory     int64   `json:"texture_memory"`
+	HardwareVolume    bool    `json:"hardware_volume"`
+	CurrentWork       float64 `json:"current_work"`
+	TargetFPS         float64 `json:"target_fps"`
+	OffscreenHardware bool    `json:"offscreen_hardware"`
+}
+
+// SpareWork returns how much additional per-frame work the service can
+// absorb while holding its target frame rate.
+func (c CapacityReport) SpareWork() float64 {
+	budget := c.PolysPerSecond / c.TargetFPS
+	return budget - c.CurrentWork
+}
+
+// LoadReport is the periodic load signal driving workload migration
+// (§3.2.7): a render rate below threshold marks the service overloaded.
+type LoadReport struct {
+	Name        string  `json:"name"`
+	FPS         float64 `json:"fps"`
+	WorkPerSec  float64 `json:"work_per_sec"`
+	TextureUsed int64   `json:"texture_used"`
+}
+
+// SetInterest marks scene nodes as being of interest to the sending
+// subscriber (§3.2.5); the data service then filters its update stream.
+// An empty NodeIDs clears the filter.
+type SetInterest struct {
+	NodeIDs []uint64 `json:"node_ids"`
+}
+
+// SubsetAssign asks a render service to render a scene subset under
+// dataset distribution: the subset scene itself follows in the next
+// message as a MsgSceneSnapshot, and the service replies with a
+// MsgFrameDepth for compositing.
+type SubsetAssign struct {
+	Session string      `json:"session"`
+	NodeIDs []uint64    `json:"node_ids,omitempty"`
+	W       int         `json:"w"`
+	H       int         `json:"h"`
+	Camera  CameraState `json:"camera"`
+}

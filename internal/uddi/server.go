@@ -1,0 +1,287 @@
+package uddi
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/soap"
+)
+
+// listSep joins multi-valued SOAP parameters.
+const listSep = "\n"
+
+// NewServer exposes a registry over SOAP. The action set mirrors the
+// UDDI v2 inquiry/publication API surface RAVE uses.
+func NewServer(r *Registry) *soap.Server {
+	s := soap.NewServer()
+
+	s.Register("save_tModel", func(p soap.Params) (soap.Params, error) {
+		t, err := r.SaveTModel(p["name"], p["description"], p["overviewURL"])
+		if err != nil {
+			return nil, err
+		}
+		return soap.Params{"tModelKey": t.Key, "name": t.Name}, nil
+	})
+
+	s.Register("find_tModel", func(p soap.Params) (soap.Params, error) {
+		t, ok := r.FindTModel(p["name"])
+		if !ok {
+			return nil, fmt.Errorf("tModel %q not found", p["name"])
+		}
+		return soap.Params{"tModelKey": t.Key, "overviewURL": t.OverviewURL}, nil
+	})
+
+	s.Register("save_business", func(p soap.Params) (soap.Params, error) {
+		b, err := r.SaveBusiness(p["name"], p["description"])
+		if err != nil {
+			return nil, err
+		}
+		return soap.Params{"businessKey": b.Key}, nil
+	})
+
+	s.Register("find_business", func(p soap.Params) (soap.Params, error) {
+		found := r.FindBusinesses(p["name"])
+		keys := make([]string, len(found))
+		names := make([]string, len(found))
+		for i, b := range found {
+			keys[i] = b.Key
+			names[i] = b.Name
+		}
+		return soap.Params{
+			"businessKeys": strings.Join(keys, listSep),
+			"names":        strings.Join(names, listSep),
+		}, nil
+	})
+
+	s.Register("save_service", func(p soap.Params) (soap.Params, error) {
+		svc, err := r.SaveService(p["businessKey"], p["name"])
+		if err != nil {
+			return nil, err
+		}
+		return soap.Params{"serviceKey": svc.Key}, nil
+	})
+
+	s.Register("find_service", func(p soap.Params) (soap.Params, error) {
+		found := r.ServicesOf(p["businessKey"])
+		keys := make([]string, len(found))
+		names := make([]string, len(found))
+		for i, svc := range found {
+			keys[i] = svc.Key
+			names[i] = svc.Name
+		}
+		return soap.Params{
+			"serviceKeys": strings.Join(keys, listSep),
+			"names":       strings.Join(names, listSep),
+		}, nil
+	})
+
+	s.Register("save_binding", func(p soap.Params) (soap.Params, error) {
+		var tms []string
+		if p["tModelKeys"] != "" {
+			tms = strings.Split(p["tModelKeys"], listSep)
+		}
+		b, err := r.SaveBinding(p["serviceKey"], p["accessPoint"], tms)
+		if err != nil {
+			return nil, err
+		}
+		return soap.Params{"bindingKey": b.Key}, nil
+	})
+
+	s.Register("delete_binding", func(p soap.Params) (soap.Params, error) {
+		if err := r.DeleteBinding(p["bindingKey"]); err != nil {
+			return nil, err
+		}
+		return soap.Params{}, nil
+	})
+
+	s.Register("get_bindings", func(p soap.Params) (soap.Params, error) {
+		found := r.BindingsOf(p["serviceKey"])
+		points := make([]string, len(found))
+		for i, b := range found {
+			points[i] = b.AccessPoint
+		}
+		return soap.Params{"accessPoints": strings.Join(points, listSep)}, nil
+	})
+
+	s.Register("scan_accessPoints", func(p soap.Params) (soap.Params, error) {
+		points := r.AccessPoints(p["tModelKey"])
+		return soap.Params{"accessPoints": strings.Join(points, listSep)}, nil
+	})
+
+	s.Register("dump", func(p soap.Params) (soap.Params, error) {
+		data, err := json.Marshal(r.Dump())
+		if err != nil {
+			return nil, err
+		}
+		return soap.Params{"entries": string(data)}, nil
+	})
+
+	return s
+}
+
+// Proxy is a client-side handle on a remote UDDI registry. Creating the
+// proxy and performing the business/service/binding scans is the "full
+// UDDI bootstrap" Table 5 times at ~4-5 s on 2004 middleware; once live,
+// ScanAccessPoints is the ~0.7 s incremental check.
+type Proxy struct {
+	client *soap.Client
+	// tmodelKeys caches name->key so incremental scans are one call.
+	tmodelKeys map[string]string
+}
+
+// Connect returns a proxy for the registry at the SOAP endpoint.
+func Connect(endpoint string) *Proxy {
+	return &Proxy{
+		client:     &soap.Client{Endpoint: endpoint},
+		tmodelKeys: map[string]string{},
+	}
+}
+
+// EnsureTModel registers (or resolves) a technical model and caches its
+// key.
+func (p *Proxy) EnsureTModel(name, description, overviewURL string) (string, error) {
+	if key, ok := p.tmodelKeys[name]; ok {
+		return key, nil
+	}
+	res, err := p.client.Call("save_tModel", soap.Params{
+		"name": name, "description": description, "overviewURL": overviewURL,
+	})
+	if err != nil {
+		return "", err
+	}
+	p.tmodelKeys[name] = res["tModelKey"]
+	return res["tModelKey"], nil
+}
+
+// RegisterService publishes a service instance: business, service and
+// binding in one go. Returns the binding key for later removal.
+func (p *Proxy) RegisterService(business, service, accessPoint, tmodelName string) (string, error) {
+	tmKey, err := p.EnsureTModel(tmodelName, "", "")
+	if err != nil {
+		return "", err
+	}
+	bres, err := p.client.Call("save_business", soap.Params{"name": business})
+	if err != nil {
+		return "", err
+	}
+	sres, err := p.client.Call("save_service", soap.Params{
+		"businessKey": bres["businessKey"], "name": service,
+	})
+	if err != nil {
+		return "", err
+	}
+	bind, err := p.client.Call("save_binding", soap.Params{
+		"serviceKey":  sres["serviceKey"],
+		"accessPoint": accessPoint,
+		"tModelKeys":  tmKey,
+	})
+	if err != nil {
+		return "", err
+	}
+	return bind["bindingKey"], nil
+}
+
+// Unregister removes a binding by key.
+func (p *Proxy) Unregister(bindingKey string) error {
+	_, err := p.client.Call("delete_binding", soap.Params{"bindingKey": bindingKey})
+	return err
+}
+
+// splitList splits a multi-valued SOAP parameter.
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, listSep)
+}
+
+// Bootstrap performs the full discovery sequence the paper times
+// (§5.5): find the business representing the project, scan its services,
+// then collect the access points advertising the wanted tModel. It also
+// warms the tModel cache so subsequent ScanAccessPoints calls are a
+// single request.
+func (p *Proxy) Bootstrap(business, tmodelName string) ([]string, error) {
+	tm, err := p.client.Call("find_tModel", soap.Params{"name": tmodelName})
+	if err != nil {
+		return nil, fmt.Errorf("uddi: bootstrap tModel: %w", err)
+	}
+	p.tmodelKeys[tmodelName] = tm["tModelKey"]
+
+	bres, err := p.client.Call("find_business", soap.Params{"name": business})
+	if err != nil {
+		return nil, fmt.Errorf("uddi: bootstrap business: %w", err)
+	}
+	bizKeys := splitList(bres["businessKeys"])
+	if len(bizKeys) == 0 {
+		return nil, fmt.Errorf("uddi: business %q not found", business)
+	}
+
+	var points []string
+	for _, bk := range bizKeys {
+		sres, err := p.client.Call("find_service", soap.Params{"businessKey": bk})
+		if err != nil {
+			return nil, fmt.Errorf("uddi: bootstrap services: %w", err)
+		}
+		for _, sk := range splitList(sres["serviceKeys"]) {
+			gres, err := p.client.Call("get_bindings", soap.Params{"serviceKey": sk})
+			if err != nil {
+				return nil, fmt.Errorf("uddi: bootstrap bindings: %w", err)
+			}
+			points = append(points, splitList(gres["accessPoints"])...)
+		}
+	}
+	// Filter to the wanted tModel with one scan, intersected with the
+	// business's points.
+	scan, err := p.ScanAccessPoints(tmodelName)
+	if err != nil {
+		return nil, err
+	}
+	inScan := map[string]bool{}
+	for _, ap := range scan {
+		inScan[ap] = true
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, ap := range points {
+		if inScan[ap] && !seen[ap] {
+			out = append(out, ap)
+			seen[ap] = true
+		}
+	}
+	return out, nil
+}
+
+// ScanAccessPoints is the incremental check: one call returning current
+// access points for a technical model, "to check for service removal or
+// insertion" (§5.5). The tModel key must already be cached (Bootstrap or
+// EnsureTModel); otherwise one extra resolution call is made.
+func (p *Proxy) ScanAccessPoints(tmodelName string) ([]string, error) {
+	key, ok := p.tmodelKeys[tmodelName]
+	if !ok {
+		res, err := p.client.Call("find_tModel", soap.Params{"name": tmodelName})
+		if err != nil {
+			return nil, err
+		}
+		key = res["tModelKey"]
+		p.tmodelKeys[tmodelName] = key
+	}
+	res, err := p.client.Call("scan_accessPoints", soap.Params{"tModelKey": key})
+	if err != nil {
+		return nil, err
+	}
+	return splitList(res["accessPoints"]), nil
+}
+
+// DumpEntries fetches the registry tree for the browser GUI.
+func (p *Proxy) DumpEntries() ([]Entry, error) {
+	res, err := p.client.Call("dump", nil)
+	if err != nil {
+		return nil, err
+	}
+	var out []Entry
+	if err := json.Unmarshal([]byte(res["entries"]), &out); err != nil {
+		return nil, fmt.Errorf("uddi: decode dump: %w", err)
+	}
+	return out, nil
+}

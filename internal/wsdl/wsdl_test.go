@@ -1,0 +1,116 @@
+package wsdl
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleDef() Definition {
+	return Definition{
+		ServiceName: "render-tower",
+		PortType:    RenderServicePortType,
+		Endpoint:    "http://tower:8080/rave/render",
+		Operations: []Operation{
+			{Name: "Capacity", Outputs: []string{"polys_per_second"}},
+			{Name: "Connect", Inputs: []string{"instance", "name"}, Outputs: []string{"socket"}},
+		},
+	}
+}
+
+func TestGenerateParseRoundTrip(t *testing.T) {
+	doc, err := Generate(sampleDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ServiceName != "render-tower" || got.PortType != RenderServicePortType {
+		t.Errorf("identity: %+v", got)
+	}
+	if got.Endpoint != "http://tower:8080/rave/render" {
+		t.Errorf("endpoint: %q", got.Endpoint)
+	}
+	if len(got.Operations) != 2 {
+		t.Fatalf("operations: %v", got.Operations)
+	}
+	// Operations come back sorted (Capacity < Connect).
+	if got.Operations[0].Name != "Capacity" || got.Operations[1].Name != "Connect" {
+		t.Errorf("operation order: %v", got.Operations)
+	}
+	if len(got.Operations[1].Inputs) != 2 || got.Operations[1].Inputs[0] != "instance" {
+		t.Errorf("connect inputs: %v", got.Operations[1].Inputs)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Definition{}); err == nil {
+		t.Error("empty definition accepted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse([]byte("not xml at all <<<")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Parse([]byte("<definitions/>")); err == nil {
+		t.Error("empty definitions accepted")
+	}
+}
+
+func TestCompatible(t *testing.T) {
+	a := sampleDef()
+	b := sampleDef()
+	b.ServiceName = "render-adrenochrome"
+	b.Endpoint = "http://adrenochrome:9090/rave/render"
+	if !Compatible(a, b) {
+		t.Error("same-API services reported incompatible")
+	}
+	c := sampleDef()
+	c.PortType = DataServicePortType
+	if Compatible(a, c) {
+		t.Error("different port types compatible")
+	}
+	d := sampleDef()
+	d.Operations = d.Operations[:1]
+	if Compatible(a, d) {
+		t.Error("different operation sets compatible")
+	}
+	e := sampleDef()
+	e.Operations = append([]Operation(nil), e.Operations...)
+	e.Operations[1] = Operation{Name: "Connect", Inputs: []string{"other"}, Outputs: []string{"socket"}}
+	if Compatible(a, e) {
+		t.Error("different signatures compatible")
+	}
+}
+
+func TestCanonicalDefinitions(t *testing.T) {
+	ds := DataServiceDefinition("data-adrenochrome", "http://adrenochrome:8080/rave/data")
+	rs := RenderServiceDefinition("render-tower", "http://tower:8080/rave/render")
+	if Compatible(ds, rs) {
+		t.Error("data and render technical models must differ")
+	}
+	// Two instances of the same role are compatible.
+	ds2 := DataServiceDefinition("data-tower", "http://tower:8081/rave/data")
+	if !Compatible(ds, ds2) {
+		t.Error("two data services incompatible")
+	}
+	// Both generate valid documents.
+	for _, d := range []Definition{ds, rs} {
+		doc, err := Generate(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(doc), d.PortType) {
+			t.Error("port type missing from document")
+		}
+		back, err := Parse(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Compatible(d, back) {
+			t.Error("round trip lost compatibility")
+		}
+	}
+}
