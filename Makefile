@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: all vet build test race ci
+
+all: ci
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# ci is the full gate: static checks, a clean build, and the test suite
+# under the race detector (the chaos suite exercises concurrent failure
+# recovery, so -race is part of the bar, not an extra).
+ci: vet build race

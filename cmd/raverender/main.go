@@ -8,14 +8,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/device"
 	"repro/internal/renderservice"
+	"repro/internal/retry"
 	"repro/internal/uddi"
 	"repro/internal/wsdl"
 )
@@ -49,6 +53,10 @@ func main() {
 	dataAddr := flag.String("data", "", "data service address (skips UDDI discovery)")
 	registry := flag.String("registry", "", "UDDI registry URL (for discovery and registration)")
 	linkBps := flag.Float64("linkbps", 94e6, "client link throughput estimate for the adaptive codec")
+	reconnects := flag.Int("reconnects", 5, "reconnection attempts after the data connection fails (0 = forever)")
+	idle := flag.Duration("idle-timeout", 30*time.Second, "declare the data connection dead after this silence (0 disables)")
+	probe := flag.Duration("probe-interval", 5*time.Second, "version-probe cadence for dropped-update detection (0 disables)")
+	report := flag.Duration("report-interval", 2*time.Second, "load-report cadence (0 disables)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -82,14 +90,25 @@ func main() {
 		fmt.Printf("raverender: discovered data service at %s\n", target)
 	}
 
-	conn, err := net.Dial("tcp", target)
-	if err != nil {
-		fail(err)
+	policy := retry.DefaultPolicy()
+	policy.MaxAttempts = *reconnects
+	opts := renderservice.SubscribeOpts{
+		Retry:          policy,
+		IdleTimeout:    *idle,
+		ProbeInterval:  *probe,
+		ReportInterval: *report,
 	}
+	dial := func() (io.ReadWriteCloser, error) { return net.Dial("tcp", target) }
 	subErr := make(chan error, 1)
-	ready := make(chan struct{})
+	ready := make(chan struct{}, 1)
 	go func() {
-		subErr <- rs.SubscribeToData(conn, *session, func(*renderservice.Session) { close(ready) })
+		subErr <- rs.SubscribeToDataResilient(context.Background(), dial, *session, opts,
+			func(*renderservice.Session) {
+				select {
+				case ready <- struct{}{}:
+				default:
+				}
+			})
 	}()
 	select {
 	case <-ready:

@@ -115,6 +115,61 @@ func DistributeNodes(nodes []NodeItem, services []ServiceCapacity) (Assignment, 
 	return out, nil
 }
 
+// ReassignNodes places orphaned nodes (work whose render service failed)
+// onto the surviving services. services must carry their current Assigned
+// load so spare capacity is accurate. Without overcommit it behaves like
+// DistributeNodes and returns ErrInsufficient when the orphans do not fit
+// — the caller may then recruit replacements via UDDI. With
+// allowOvercommit the placement degrades gracefully instead: every orphan
+// lands on the least-loaded survivor even past its capacity, keeping
+// frames flowing (slower) rather than stalling the session.
+func ReassignNodes(orphans []NodeItem, services []ServiceCapacity, allowOvercommit bool) (Assignment, error) {
+	if len(services) == 0 {
+		return nil, &ErrInsufficient{Needed: totalWork(orphans), Available: 0}
+	}
+	if !allowOvercommit {
+		return DistributeNodes(orphans, services)
+	}
+
+	sorted := append([]NodeItem(nil), orphans...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Cost.Work() != sorted[j].Cost.Work() {
+			return sorted[i].Cost.Work() > sorted[j].Cost.Work()
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	caps := append([]ServiceCapacity(nil), services...)
+	sort.Slice(caps, func(i, j int) bool { return caps[i].Name < caps[j].Name })
+
+	out := Assignment{}
+	for _, n := range sorted {
+		// Prefer a survivor that can hold the node outright; otherwise
+		// overcommit the one with the lowest utilization.
+		best := -1
+		var bestSpare float64
+		for i := range caps {
+			spare := caps[i].Spare()
+			if spare >= n.Cost.Work() &&
+				caps[i].TextureBytes-caps[i].AssignedBytes >= n.Cost.Bytes &&
+				(best == -1 || spare > bestSpare) {
+				best = i
+				bestSpare = spare
+			}
+		}
+		if best == -1 {
+			for i := range caps {
+				if best == -1 || caps[i].Utilization() < caps[best].Utilization() {
+					best = i
+				}
+			}
+		}
+		caps[best].Assigned += n.Cost.Work()
+		caps[best].AssignedBytes += n.Cost.Bytes
+		out[caps[best].Name] = append(out[caps[best].Name], n.ID)
+	}
+	return out, nil
+}
+
 func totalWork(nodes []NodeItem) float64 {
 	t := 0.0
 	for _, n := range nodes {

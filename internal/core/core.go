@@ -7,7 +7,9 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"sync"
@@ -250,6 +252,36 @@ func (d *Deployment) ConnectRenderToData(rs *renderservice.Service, dataAddr, se
 		return err
 	case <-time.After(30 * time.Second):
 		conn.Close()
+		return fmt.Errorf("core: bootstrap timed out")
+	}
+}
+
+// ConnectRenderToDataResilient is ConnectRenderToData with failure
+// recovery: the subscription redials with backoff when the socket breaks
+// or stalls, re-bootstrapping the replica each time. It returns once the
+// first bootstrap completes; the recovery loop then runs until ctx is
+// canceled or the data service says goodbye cleanly.
+func (d *Deployment) ConnectRenderToDataResilient(ctx context.Context, rs *renderservice.Service, dataAddr, session string, opts renderservice.SubscribeOpts) error {
+	dial := func() (io.ReadWriteCloser, error) {
+		return net.Dial("tcp", stripScheme(dataAddr))
+	}
+	ready := make(chan struct{})
+	var once sync.Once
+	errc := make(chan error, 1)
+	go func() {
+		errc <- rs.SubscribeToDataResilient(ctx, dial, session, opts, func(*renderservice.Session) {
+			once.Do(func() { close(ready) })
+		})
+	}()
+	select {
+	case <-ready:
+		return nil
+	case err := <-errc:
+		if err == nil {
+			err = fmt.Errorf("core: subscription ended before bootstrap")
+		}
+		return err
+	case <-time.After(30 * time.Second):
 		return fmt.Errorf("core: bootstrap timed out")
 	}
 }

@@ -35,6 +35,16 @@ type Subscriber interface {
 	SendCamera(cam transport.CameraState) error
 }
 
+// VersionedSubscriber is optionally implemented by subscribers that can
+// carry the authoritative scene version with each op (MsgSceneOpVer on
+// the wire), letting replicas detect dropped updates and resync. The
+// fan-out prefers it over plain SendOp.
+type VersionedSubscriber interface {
+	// SendOpVer delivers one scene update tagged with the authoritative
+	// version it produced.
+	SendOpVer(op scene.Op, version uint64) error
+}
+
 // Config configures a data service.
 type Config struct {
 	Name  string
@@ -223,18 +233,32 @@ func (sess *Session) ApplyUpdate(op scene.Op, origin string) error {
 			return fmt.Errorf("dataservice: audit append: %w", err)
 		}
 	}
-	subs := make(map[string]Subscriber, len(sess.subscribers))
+	version := sess.scene.Version
+	type target struct {
+		name string
+		sub  Subscriber
+		// Interest-filtered subscribers miss ops by design, so their
+		// stream carries no version tags (a gap there is not a fault).
+		filtered bool
+	}
+	var targets []target
 	for name, sub := range sess.subscribers {
 		if name != origin && sess.wantsOp(name, op) {
-			subs[name] = sub
+			targets = append(targets, target{name, sub, sess.interests[name] != nil})
 		}
 	}
 	sess.mu.Unlock()
 
 	var firstErr error
-	for name, sub := range subs {
-		if err := sub.SendOp(op); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("dataservice: fan-out to %s: %w", name, err)
+	for _, tg := range targets {
+		var err error
+		if vs, ok := tg.sub.(VersionedSubscriber); ok && !tg.filtered {
+			err = vs.SendOpVer(op, version)
+		} else {
+			err = tg.sub.SendOp(op)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("dataservice: fan-out to %s: %w", tg.name, err)
 		}
 	}
 	return firstErr
@@ -315,6 +339,17 @@ func (c *connSubscriber) SendOp(op scene.Op) error {
 		return err
 	}
 	return c.conn.Send(transport.MsgSceneOp, buf.Bytes())
+}
+
+// SendOpVer implements VersionedSubscriber: the op travels as
+// MsgSceneOpVer with the authoritative version prefixed, so the replica
+// can detect missed updates on a lossy or recovering link.
+func (c *connSubscriber) SendOpVer(op scene.Op, version uint64) error {
+	var buf bytes.Buffer
+	if err := marshal.WriteOp(&buf, op); err != nil {
+		return err
+	}
+	return c.conn.Send(transport.MsgSceneOpVer, transport.PackVersioned(version, buf.Bytes()))
 }
 
 // SendCamera implements Subscriber.
@@ -415,6 +450,19 @@ func (s *Service) ServeConn(rw io.ReadWriter) error {
 				return err
 			}
 			sess.handleLoadReport(lr)
+		case transport.MsgVersionQuery:
+			if err := conn.SendJSON(transport.MsgVersionReport, transport.VersionReport{Version: sess.Version()}); err != nil {
+				return err
+			}
+		case transport.MsgResyncRequest:
+			// The replica detected a gap: ship a fresh bootstrap snapshot.
+			var buf bytes.Buffer
+			if err := marshal.WriteScene(&buf, sess.Snapshot()); err != nil {
+				return err
+			}
+			if err := conn.Send(transport.MsgSceneSnapshot, buf.Bytes()); err != nil {
+				return err
+			}
 		default:
 			// Ignore messages this role does not handle.
 		}

@@ -1,0 +1,226 @@
+package netsim
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrKilled is returned from reads and writes on a connection that was
+// killed mid-stream by a fault (the peer process died without MsgBye).
+// Unlike io.EOF it is abrupt: queued in-flight data is lost.
+var ErrKilled = errors.New("netsim: connection killed")
+
+// timeoutError satisfies net.Error so transport code can distinguish a
+// stalled link from a dead one.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "netsim: i/o timeout" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+// ErrTimeout is returned when a read deadline expires before delivery.
+var ErrTimeout error = timeoutError{}
+
+// Faults is an injectable fault model for one direction of a SimConn.
+// All decisions are functions of the write index, byte offset and the
+// fault seed, so a fault schedule replays identically under the virtual
+// clock. A nil *Faults injects nothing. Safe for concurrent use.
+type Faults struct {
+	mu sync.Mutex
+
+	seed     uint64
+	writeIdx int
+	byteOff  int64
+
+	dropFrac float64
+	dropAt   map[int]bool
+	truncAt  map[int]int
+	corrupt  map[int]bool
+
+	spikeFrom, spikeTo int // write-index window, inclusive/exclusive
+	spikeExtra         time.Duration
+	stallUntil         time.Time
+
+	killAfterWrites int
+	killAtByte      int64
+
+	dropped int
+}
+
+// NewFaults returns an empty fault plan whose probabilistic decisions
+// derive from seed.
+func NewFaults(seed uint64) *Faults {
+	return &Faults{seed: seed, killAfterWrites: -1, killAtByte: -1}
+}
+
+// DropFraction drops roughly frac of writes, decided deterministically
+// per write index from the seed.
+func (f *Faults) DropFraction(frac float64) *Faults {
+	f.mu.Lock()
+	f.dropFrac = frac
+	f.mu.Unlock()
+	return f
+}
+
+// DropWrites drops the given write indices (0-based).
+func (f *Faults) DropWrites(idx ...int) *Faults {
+	f.mu.Lock()
+	if f.dropAt == nil {
+		f.dropAt = map[int]bool{}
+	}
+	for _, i := range idx {
+		f.dropAt[i] = true
+	}
+	f.mu.Unlock()
+	return f
+}
+
+// TruncateWrite delivers only the first keep bytes of write idx.
+func (f *Faults) TruncateWrite(idx, keep int) *Faults {
+	f.mu.Lock()
+	if f.truncAt == nil {
+		f.truncAt = map[int]int{}
+	}
+	f.truncAt[idx] = keep
+	f.mu.Unlock()
+	return f
+}
+
+// CorruptWrite flips bits in write idx (deterministically from the seed).
+func (f *Faults) CorruptWrite(idx ...int) *Faults {
+	f.mu.Lock()
+	if f.corrupt == nil {
+		f.corrupt = map[int]bool{}
+	}
+	for _, i := range idx {
+		f.corrupt[i] = true
+	}
+	f.mu.Unlock()
+	return f
+}
+
+// SpikeLatency adds extra delivery delay to writes in [from, to).
+func (f *Faults) SpikeLatency(from, to int, extra time.Duration) *Faults {
+	f.mu.Lock()
+	f.spikeFrom, f.spikeTo, f.spikeExtra = from, to, extra
+	f.mu.Unlock()
+	return f
+}
+
+// StallUntil holds every delivery written before t until at least t on
+// the link clock — a stalled socket that later unblocks.
+func (f *Faults) StallUntil(t time.Time) *Faults {
+	f.mu.Lock()
+	f.stallUntil = t
+	f.mu.Unlock()
+	return f
+}
+
+// KillAfterWrites kills the connection once n writes have completed: the
+// n+1st write fails and both ends observe ErrKilled.
+func (f *Faults) KillAfterWrites(n int) *Faults {
+	f.mu.Lock()
+	f.killAfterWrites = n
+	f.mu.Unlock()
+	return f
+}
+
+// KillAtByte kills the connection mid-write at the given byte offset:
+// the write crossing it delivers only the prefix, then the connection
+// dies — a peer lost partway through a frame.
+func (f *Faults) KillAtByte(n int64) *Faults {
+	f.mu.Lock()
+	f.killAtByte = n
+	f.mu.Unlock()
+	return f
+}
+
+// Dropped reports how many writes were dropped so far.
+func (f *Faults) Dropped() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dropped
+}
+
+// splitmix64 is the deterministic per-index hash behind DropFraction and
+// CorruptWrite.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// writeAction is the fault decision for one write.
+type writeAction struct {
+	idx        int
+	drop       bool
+	keep       int // bytes delivered; -1 = all
+	corrupt    bool
+	extra      time.Duration
+	stallUntil time.Time
+	killNow    bool // fail the write outright
+	killAfter  bool // deliver (possibly truncated), then kill
+}
+
+// nextWrite consumes one write of n bytes and returns what to do with it.
+func (f *Faults) nextWrite(n int) writeAction {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	idx := f.writeIdx
+	f.writeIdx++
+	start := f.byteOff
+	f.byteOff += int64(n)
+
+	act := writeAction{idx: idx, keep: -1, stallUntil: f.stallUntil}
+	if f.killAfterWrites >= 0 && idx >= f.killAfterWrites {
+		act.killNow = true
+		return act
+	}
+	if f.killAtByte >= 0 && start >= f.killAtByte {
+		act.killNow = true
+		return act
+	}
+	if f.killAtByte >= 0 && start+int64(n) > f.killAtByte {
+		act.keep = int(f.killAtByte - start)
+		act.killAfter = true
+		return act
+	}
+	if f.dropAt[idx] {
+		act.drop = true
+		f.dropped++
+		return act
+	}
+	if f.dropFrac > 0 {
+		r := float64(splitmix64(f.seed^uint64(idx))>>11) / float64(1<<53)
+		if r < f.dropFrac {
+			act.drop = true
+			f.dropped++
+			return act
+		}
+	}
+	if k, ok := f.truncAt[idx]; ok && k < n {
+		act.keep = k
+	}
+	if f.corrupt[idx] {
+		act.corrupt = true
+	}
+	if idx >= f.spikeFrom && idx < f.spikeTo {
+		act.extra = f.spikeExtra
+	}
+	return act
+}
+
+// corruptBytes flips a few bits of data in place, deterministically.
+func (f *Faults) corruptBytes(idx int, data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	h := splitmix64(f.seed ^ (uint64(idx) << 32))
+	for k := 0; k < 3; k++ {
+		pos := int(h % uint64(len(data)))
+		data[pos] ^= byte(1 + (h>>8)%255)
+		h = splitmix64(h)
+	}
+}

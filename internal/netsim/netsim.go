@@ -114,15 +114,31 @@ type endpoint struct {
 	mu        sync.Mutex
 	busyUntil time.Time
 	closed    bool
+	killed    bool
+	signaled  bool
+	deadline  time.Time
+	pending   *delivery
+	faults    *Faults
 
+	done  chan struct{}
 	queue chan delivery
 	buf   bytes.Buffer
+}
+
+// signalLocked wakes blocked readers after a state change. Callers hold
+// ep.mu.
+func (ep *endpoint) signalLocked() {
+	if !ep.signaled {
+		ep.signaled = true
+		close(ep.done)
+	}
 }
 
 // SimConn is a full-duplex in-memory connection whose deliveries are
 // delayed per a Link model on each direction, driven by a Clock (virtual
 // in tests, real in demos). It implements io.ReadWriteCloser on both
-// ends.
+// ends, supports read deadlines against its clock, and accepts
+// injectable Faults per direction.
 type SimConn struct {
 	in  *endpoint // data arriving at this end
 	out *endpoint // the peer's inbox
@@ -132,7 +148,11 @@ type SimConn struct {
 // crosses ab, b->a traffic crosses ba.
 func SimPipe(clock vclock.Clock, ab, ba Link) (*SimConn, *SimConn) {
 	mk := func(l Link) *endpoint {
-		return &endpoint{clock: clock, link: l, queue: make(chan delivery, 1024)}
+		return &endpoint{
+			clock: clock, link: l,
+			queue: make(chan delivery, 1024),
+			done:  make(chan struct{}),
+		}
 	}
 	aIn := mk(ba) // a receives what b sends over ba
 	bIn := mk(ab)
@@ -141,36 +161,136 @@ func SimPipe(clock vclock.Clock, ab, ba Link) (*SimConn, *SimConn) {
 	return a, b
 }
 
+// InjectFaults attaches a fault plan to this end's outgoing direction:
+// everything this end writes passes through f. A nil plan clears faults.
+func (c *SimConn) InjectFaults(f *Faults) {
+	c.out.mu.Lock()
+	c.out.faults = f
+	c.out.mu.Unlock()
+}
+
 // Write queues data for delivery to the peer after the modeled transfer
 // time, respecting serialization (back-to-back writes queue behind each
-// other on the link).
+// other on the link) and applying any injected faults.
 func (c *SimConn) Write(p []byte) (int, error) {
 	ep := c.out
 	ep.mu.Lock()
+	if ep.killed {
+		ep.mu.Unlock()
+		return 0, ErrKilled
+	}
 	if ep.closed {
 		ep.mu.Unlock()
 		return 0, io.ErrClosedPipe
 	}
+	faults := ep.faults
+	ep.mu.Unlock()
+
+	data := append([]byte(nil), p...)
+	var act writeAction
+	act.keep = -1
+	if faults != nil {
+		act = faults.nextWrite(len(p))
+	}
+	if act.killNow {
+		c.Kill()
+		return 0, ErrKilled
+	}
+	if act.drop {
+		return len(p), nil // silently lost on the wire
+	}
+	if act.keep >= 0 && act.keep < len(data) {
+		data = data[:act.keep]
+	}
+	if act.corrupt {
+		faults.corruptBytes(act.idx, data)
+	}
+
+	ep.mu.Lock()
 	now := ep.clock.Now()
 	start := now
 	if ep.busyUntil.After(start) {
 		start = ep.busyUntil
 	}
-	ser := time.Duration(float64(len(p)) * 8 / ep.link.EffectiveBps() * float64(time.Second))
+	ser := time.Duration(float64(len(data)) * 8 / ep.link.EffectiveBps() * float64(time.Second))
 	ep.busyUntil = start.Add(ser)
-	arrival := ep.busyUntil.Add(ep.link.Latency)
+	arrival := ep.busyUntil.Add(ep.link.Latency).Add(act.extra)
+	if !act.stallUntil.IsZero() && arrival.Before(act.stallUntil) {
+		arrival = act.stallUntil
+	}
 	ep.mu.Unlock()
 
-	data := append([]byte(nil), p...)
-	select {
-	case ep.queue <- delivery{at: arrival, data: data}:
-		return len(p), nil
-	default:
-		return 0, io.ErrShortWrite // queue overflow: drop like a congested link
+	if len(data) > 0 {
+		select {
+		case ep.queue <- delivery{at: arrival, data: data}:
+		default:
+			return 0, io.ErrShortWrite // queue overflow: drop like a congested link
+		}
 	}
+	if act.killAfter {
+		c.Kill()
+		return act.keep, ErrKilled
+	}
+	return len(p), nil
 }
 
-// Read blocks until data has "arrived" on the simulated link.
+// deliverStatus reports how a queued delivery resolved.
+type deliverStatus int
+
+const (
+	delivered deliverStatus = iota
+	deliverDeadline
+	deliverLost
+)
+
+// waitDelivery sleeps on the clock until the delivery time, honoring the
+// read deadline and close/kill wakeups, then appends the data to the
+// receive buffer.
+func (c *SimConn) waitDelivery(d delivery) deliverStatus {
+	ep := c.in
+	for {
+		ep.mu.Lock()
+		killed := ep.killed
+		closed := ep.closed
+		dl := ep.deadline
+		ep.mu.Unlock()
+		if killed {
+			return deliverLost // in-flight data dies with the connection
+		}
+		now := ep.clock.Now()
+		if !d.at.After(now) || closed {
+			break // arrived (or draining a closed conn: no more waiting)
+		}
+		var dlCh <-chan time.Time
+		if !dl.IsZero() {
+			rem := dl.Sub(now)
+			if rem <= 0 {
+				ep.mu.Lock()
+				ep.pending = &d
+				ep.mu.Unlock()
+				return deliverDeadline
+			}
+			dlCh = ep.clock.After(rem)
+		}
+		select {
+		case <-ep.clock.After(d.at.Sub(now)):
+		case <-ep.done:
+		case <-dlCh:
+			ep.mu.Lock()
+			ep.pending = &d
+			ep.mu.Unlock()
+			return deliverDeadline
+		}
+	}
+	ep.mu.Lock()
+	ep.buf.Write(d.data)
+	ep.mu.Unlock()
+	return delivered
+}
+
+// Read blocks until data has "arrived" on the simulated link, the read
+// deadline expires, or the connection closes. A killed connection
+// returns ErrKilled immediately, abandoning in-flight data.
 func (c *SimConn) Read(p []byte) (int, error) {
 	ep := c.in
 	for {
@@ -180,56 +300,82 @@ func (c *SimConn) Read(p []byte) (int, error) {
 			ep.mu.Unlock()
 			return n, nil
 		}
+		killed := ep.killed
 		closed := ep.closed
+		dl := ep.deadline
+		pend := ep.pending
+		ep.pending = nil
 		ep.mu.Unlock()
+		if killed {
+			return 0, ErrKilled
+		}
+		if pend != nil {
+			if c.waitDelivery(*pend) == deliverDeadline {
+				return 0, ErrTimeout
+			}
+			continue
+		}
 		if closed {
 			// Drain anything still queued before reporting EOF.
 			select {
 			case d := <-ep.queue:
-				c.waitUntil(d.at)
-				ep.mu.Lock()
-				ep.buf.Write(d.data)
-				ep.mu.Unlock()
+				c.waitDelivery(d)
 				continue
 			default:
 				return 0, io.EOF
 			}
 		}
-		d, ok := <-ep.queue
-		if !ok {
-			return 0, io.EOF
+		var dlCh <-chan time.Time
+		if !dl.IsZero() {
+			rem := dl.Sub(ep.clock.Now())
+			if rem <= 0 {
+				return 0, ErrTimeout
+			}
+			dlCh = ep.clock.After(rem)
 		}
-		c.waitUntil(d.at)
-		ep.mu.Lock()
-		ep.buf.Write(d.data)
-		ep.mu.Unlock()
+		select {
+		case d := <-ep.queue:
+			if c.waitDelivery(d) == deliverDeadline {
+				return 0, ErrTimeout
+			}
+		case <-ep.done:
+			// State changed (close or kill): loop re-checks.
+		case <-dlCh:
+			return 0, ErrTimeout
+		}
 	}
 }
 
-// waitUntil sleeps on the clock until the delivery time.
-func (c *SimConn) waitUntil(at time.Time) {
-	now := c.in.clock.Now()
-	if at.After(now) {
-		c.in.clock.Sleep(at.Sub(now))
-	}
+// SetReadDeadline bounds future Reads: past the deadline (on the link
+// clock) they fail with ErrTimeout. The zero time clears it.
+func (c *SimConn) SetReadDeadline(t time.Time) error {
+	ep := c.in
+	ep.mu.Lock()
+	ep.deadline = t
+	ep.mu.Unlock()
+	return nil
 }
 
-// Close shuts down this end: the peer's reads drain then return EOF, and
-// writes from the peer fail.
+// Close shuts down this end gracefully: the peer's reads drain queued
+// data then return EOF, and further writes fail.
 func (c *SimConn) Close() error {
 	for _, ep := range []*endpoint{c.in, c.out} {
 		ep.mu.Lock()
 		ep.closed = true
+		ep.signalLocked()
 		ep.mu.Unlock()
 	}
-	// Wake a blocked reader on the peer side.
-	select {
-	case c.out.queue <- delivery{at: c.in.clock.Now()}:
-	default:
-	}
-	select {
-	case c.in.queue <- delivery{at: c.in.clock.Now()}:
-	default:
-	}
 	return nil
+}
+
+// Kill terminates the connection abruptly, as a crashed peer would:
+// both ends' reads and writes fail with ErrKilled and in-flight data is
+// lost. Blocked readers wake immediately.
+func (c *SimConn) Kill() {
+	for _, ep := range []*endpoint{c.in, c.out} {
+		ep.mu.Lock()
+		ep.killed = true
+		ep.signalLocked()
+		ep.mu.Unlock()
+	}
 }

@@ -8,6 +8,8 @@ package renderservice
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"image"
 	"io"
@@ -20,6 +22,7 @@ import (
 	"repro/internal/marshal"
 	"repro/internal/mathx"
 	"repro/internal/raster"
+	"repro/internal/retry"
 	"repro/internal/scene"
 	"repro/internal/transport"
 	"repro/internal/vclock"
@@ -160,6 +163,23 @@ func (sess *Session) ApplyOp(op scene.Op) error {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	return sess.scene.ApplyOp(op)
+}
+
+// ResetScene replaces the replica with a fresh snapshot — the resync path
+// after the versioned op stream detects dropped updates, and the
+// re-bootstrap path after a subscription reconnects.
+func (sess *Session) ResetScene(snapshot *scene.Scene) {
+	sess.mu.Lock()
+	sess.scene = snapshot.Clone()
+	sess.mu.Unlock()
+}
+
+// retain adds a reference so the replica survives a subscription drop
+// (paired with Close).
+func (sess *Session) retain() {
+	sess.mu.Lock()
+	sess.refcount++
+	sess.mu.Unlock()
 }
 
 // SetCamera updates the shared session camera.
@@ -538,75 +558,281 @@ func (s *Service) ServeClient(rw io.ReadWriter, linkBps float64) error {
 	}
 }
 
+// SubscribeOpts tunes the subscription loop's failure handling. The zero
+// value disables every timer: no idle watchdog, no version probing, no
+// load reporting, and (for the resilient variant) default retry pacing.
+type SubscribeOpts struct {
+	// Retry paces reconnection attempts in SubscribeToDataResilient.
+	Retry retry.Policy
+	// IdleTimeout declares the connection dead when no message (op,
+	// camera, or probe reply) arrives within it. Requires the underlying
+	// stream to support read deadlines; zero disables the watchdog.
+	IdleTimeout time.Duration
+	// ProbeInterval is how often to send MsgVersionQuery so dropped
+	// trailing ops are detected even when the op stream goes quiet.
+	ProbeInterval time.Duration
+	// ReportInterval is how often to send load reports over the
+	// subscription socket (the §3.2.7 migration signal).
+	ReportInterval time.Duration
+}
+
 // SubscribeToData runs the data-service subscription protocol on a
 // direct socket: send hello, receive the bootstrap snapshot, then apply
 // streamed ops and camera updates until the socket closes. It opens (and
 // on exit closes) the local session replica, and invokes onReady once the
 // bootstrap completes.
 func (s *Service) SubscribeToData(rw io.ReadWriter, sessionName string, onReady func(*Session)) error {
-	conn := transport.NewConn(rw)
-	err := conn.SendJSON(transport.MsgHello, transport.Hello{
+	_, err := s.subscribe(context.Background(), transport.NewConn(rw), sessionName, SubscribeOpts{}, onReady)
+	return err
+}
+
+// heartbeat periodically sends version probes and load reports over the
+// subscription socket until stop closes or a send fails (the read loop
+// surfaces the broken connection).
+func (s *Service) heartbeat(conn *transport.Conn, opts SubscribeOpts, stop <-chan struct{}) {
+	var probeCh, reportCh <-chan time.Time
+	for {
+		if opts.ProbeInterval > 0 && probeCh == nil {
+			probeCh = s.cfg.Clock.After(opts.ProbeInterval)
+		}
+		if opts.ReportInterval > 0 && reportCh == nil {
+			reportCh = s.cfg.Clock.After(opts.ReportInterval)
+		}
+		select {
+		case <-stop:
+			return
+		case <-probeCh:
+			probeCh = nil
+			if conn.Send(transport.MsgVersionQuery, nil) != nil {
+				return
+			}
+		case <-reportCh:
+			reportCh = nil
+			if conn.SendJSON(transport.MsgLoadReport, s.LoadReport()) != nil {
+				return
+			}
+		}
+	}
+}
+
+// subscribe performs one subscription: hello, bootstrap, then the op
+// stream. It reports whether the bootstrap completed (so reconnection
+// backoff can reset) alongside the terminal error. The op stream is
+// version-checked: a gap (dropped MsgSceneOpVer) or a version probe
+// showing the replica behind triggers MsgResyncRequest, and the fresh
+// snapshot replaces the replica.
+func (s *Service) subscribe(ctx context.Context, conn *transport.Conn, sessionName string, opts SubscribeOpts, onReady func(*Session)) (bootstrapped bool, err error) {
+	err = conn.SendJSON(transport.MsgHello, transport.Hello{
 		Role: "render-service", Name: s.cfg.Name, Session: sessionName,
 	})
 	if err != nil {
-		return err
+		return false, err
+	}
+	canDeadline := opts.IdleTimeout > 0
+	if canDeadline {
+		// The bootstrap is covered by the idle watchdog too: a data
+		// service that stalls before sending the snapshot must not hang
+		// the subscription forever.
+		if conn.SetReadDeadline(s.cfg.Clock.Now().Add(opts.IdleTimeout)) != nil {
+			canDeadline = false
+		}
 	}
 	t, payload, err := conn.Receive()
 	if err != nil {
-		return err
+		return false, err
 	}
 	if t == transport.MsgError {
 		var ei transport.ErrorInfo
 		transport.DecodeJSON(payload, &ei)
-		return fmt.Errorf("renderservice: subscription refused: %s", ei.Message)
+		return false, fmt.Errorf("renderservice: subscription refused: %s", ei.Message)
 	}
 	if t != transport.MsgSceneSnapshot {
-		return fmt.Errorf("renderservice: expected snapshot, got %s", t)
+		return false, fmt.Errorf("renderservice: expected snapshot, got %s", t)
 	}
 	snapshot, err := marshal.ReadScene(bytes.NewReader(payload))
 	if err != nil {
-		return err
+		return false, err
 	}
 	sess, err := s.OpenSession(sessionName, snapshot, raster.DefaultCamera())
 	if err != nil {
-		return err
+		return false, err
 	}
 	defer sess.Close()
+	// Re-bootstrap an already-open replica (reconnection path).
+	sess.ResetScene(snapshot)
 	if onReady != nil {
 		onReady(sess)
 	}
 
+	stop := make(chan struct{})
+	defer close(stop)
+	if opts.ProbeInterval > 0 || opts.ReportInterval > 0 {
+		go s.heartbeat(conn, opts, stop)
+	}
+
+	resyncing := false
 	for {
+		if err := ctx.Err(); err != nil {
+			return true, err
+		}
+		if canDeadline {
+			if conn.SetReadDeadline(s.cfg.Clock.Now().Add(opts.IdleTimeout)) != nil {
+				canDeadline = false // stream has no deadline support
+			}
+		}
 		t, payload, err := conn.Receive()
 		if err != nil {
 			if err == io.EOF {
-				return nil
+				// Only an explicit Bye is a clean shutdown. A bare EOF
+				// means the peer died or the link dropped (over TCP a
+				// killed process still produces EOF), so the resilient
+				// loop must treat it as a failure and reconnect.
+				return true, ErrConnectionLost
 			}
-			return err
+			return true, err
 		}
 		switch t {
 		case transport.MsgBye:
-			return nil
+			return true, nil
 		case transport.MsgSceneOp:
 			op, err := marshal.ReadOp(bytes.NewReader(payload))
 			if err != nil {
-				return err
+				return true, err
 			}
 			if err := sess.ApplyOp(op); err != nil {
-				return err
+				return true, err
+			}
+		case transport.MsgSceneOpVer:
+			ver, body, err := transport.UnpackVersioned(payload)
+			if err != nil {
+				return true, err
+			}
+			if resyncing {
+				continue // a fresh snapshot is on its way
+			}
+			local := sess.Version()
+			if ver <= local {
+				continue // stale duplicate
+			}
+			if ver > local+1 {
+				// Gap: updates were lost on the wire — request resync.
+				if err := conn.Send(transport.MsgResyncRequest, nil); err != nil {
+					return true, err
+				}
+				resyncing = true
+				continue
+			}
+			op, err := marshal.ReadOp(bytes.NewReader(body))
+			if err != nil {
+				return true, err
+			}
+			if err := sess.ApplyOp(op); err != nil {
+				return true, err
+			}
+		case transport.MsgSceneSnapshot:
+			snap, err := marshal.ReadScene(bytes.NewReader(payload))
+			if err != nil {
+				return true, err
+			}
+			sess.ResetScene(snap)
+			resyncing = false
+		case transport.MsgVersionReport:
+			var vr transport.VersionReport
+			if err := transport.DecodeJSON(payload, &vr); err != nil {
+				return true, err
+			}
+			// Re-request even while resyncing: the snapshot itself may have
+			// been lost, and a duplicate snapshot is harmless.
+			if vr.Version > sess.Version() {
+				if err := conn.Send(transport.MsgResyncRequest, nil); err != nil {
+					return true, err
+				}
+				resyncing = true
 			}
 		case transport.MsgCameraUpdate:
 			var cs transport.CameraState
 			if err := transport.DecodeJSON(payload, &cs); err != nil {
-				return err
+				return true, err
 			}
 			sess.SetCamera(CameraFromState(cs))
 		case transport.MsgCapacityQuery:
 			if err := conn.SendJSON(transport.MsgCapacityReport, s.Capacity()); err != nil {
-				return err
+				return true, err
 			}
 		default:
 			// Ignore messages this role does not handle.
+		}
+	}
+}
+
+// ErrConnectionLost reports a subscription stream that ended without an
+// explicit Bye: the data service died or the link dropped. Resilient
+// subscribers treat it as a reconnect signal, never a clean shutdown.
+var ErrConnectionLost = errors.New("renderservice: data connection lost without bye")
+
+// Dialer opens a fresh connection to the data service.
+type Dialer func() (io.ReadWriteCloser, error)
+
+// SubscribeToDataResilient keeps a data-service subscription alive across
+// failures: when the socket breaks, stalls past the idle timeout, or the
+// dial fails, it backs off per opts.Retry and reconnects, re-bootstrapping
+// the replica from a fresh snapshot. The replica stays open between
+// reconnects so thin clients keep rendering the last good scene. A clean
+// shutdown (an explicit Bye) or context cancellation ends the loop; a
+// bare EOF is a lost peer (ErrConnectionLost) and reconnects; exhausting
+// the retry budget without ever re-bootstrapping returns the last error.
+// onReady fires after every successful bootstrap.
+func (s *Service) SubscribeToDataResilient(ctx context.Context, dial Dialer, sessionName string, opts SubscribeOpts, onReady func(*Session)) error {
+	policy := opts.Retry
+	if policy.BaseDelay <= 0 {
+		policy = retry.DefaultPolicy()
+	}
+	var held *Session
+	defer func() {
+		if held != nil {
+			held.Close()
+		}
+	}()
+	wrapped := func(sess *Session) {
+		if held == nil {
+			held = sess
+			held.retain()
+		}
+		if onReady != nil {
+			onReady(sess)
+		}
+	}
+
+	attempt := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var lastErr error
+		rw, err := dial()
+		if err != nil {
+			lastErr = err
+		} else {
+			bootstrapped, err := s.subscribe(ctx, transport.NewConn(rw), sessionName, opts, wrapped)
+			rw.Close()
+			if err == nil {
+				return nil
+			}
+			if ctx.Err() != nil {
+				return err
+			}
+			lastErr = err
+			if bootstrapped {
+				attempt = 0 // made real progress: reset the backoff budget
+			}
+		}
+		attempt++
+		if policy.MaxAttempts > 0 && attempt >= policy.MaxAttempts {
+			return fmt.Errorf("renderservice: subscription to %q gave up after %d attempts: %w",
+				sessionName, attempt, lastErr)
+		}
+		if err := policy.Sleep(ctx, s.cfg.Clock, attempt); err != nil {
+			return err
 		}
 	}
 }

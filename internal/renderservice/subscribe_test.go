@@ -2,6 +2,7 @@ package renderservice
 
 import (
 	"bytes"
+	"errors"
 	"net"
 	"testing"
 
@@ -114,5 +115,33 @@ func TestSubscribeCleanByeEndsNil(t *testing.T) {
 	})
 	if err := rs.SubscribeToData(conn, "s", nil); err != nil {
 		t.Fatalf("clean shutdown errored: %v", err)
+	}
+}
+
+// TestSubscribeBareEOFIsConnectionLost: a stream that ends without an
+// explicit Bye is a dead peer, not a clean shutdown — over TCP a killed
+// data service still produces EOF, and resilient subscribers must treat
+// that as a reconnect signal.
+func TestSubscribeBareEOFIsConnectionLost(t *testing.T) {
+	rs := newService("rs")
+	sc := testScene(t)
+	var snap bytes.Buffer
+	if err := marshal.WriteScene(&snap, sc); err != nil {
+		t.Fatal(err)
+	}
+	serverEnd, clientEnd := net.Pipe()
+	defer clientEnd.Close()
+	go func() {
+		conn := transport.NewConn(serverEnd)
+		if _, _, err := conn.Receive(); err != nil {
+			return
+		}
+		conn.Send(transport.MsgSceneSnapshot, snap.Bytes())
+		// Die without Bye: the client sees a bare EOF.
+		serverEnd.Close()
+	}()
+	err := rs.SubscribeToData(clientEnd, "s", nil)
+	if !errors.Is(err, ErrConnectionLost) {
+		t.Fatalf("bare EOF surfaced as %v, want ErrConnectionLost", err)
 	}
 }

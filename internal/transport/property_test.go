@@ -1,0 +1,204 @@
+package transport
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/vclock"
+)
+
+// instant is a link with no modeled delay, so SimConn deliveries need no
+// clock advancement and fault behaviour alone is under test.
+func instant() netsim.Link {
+	return netsim.Link{BandwidthBps: 1e15, Efficiency: 1, Latency: 0, Quality: 1}
+}
+
+// randomPayloads builds count payloads of varied size from a fixed seed.
+func randomPayloads(rng *rand.Rand, count int) [][]byte {
+	out := make([][]byte, count)
+	for i := range out {
+		p := make([]byte, rng.Intn(2048))
+		rng.Read(p)
+		out[i] = p
+	}
+	return out
+}
+
+// typedError reports whether err is one of the protocol's declared
+// failure modes — the property every faulty stream must satisfy: a typed
+// error or clean EOF, never a panic, hang, or junk message.
+func typedError(err error) bool {
+	return errors.Is(err, ErrBadMagic) || errors.Is(err, ErrChecksum) ||
+		errors.Is(err, ErrTooLarge) || errors.Is(err, ErrTruncated) ||
+		errors.Is(err, netsim.ErrKilled) || errors.Is(err, io.EOF)
+}
+
+// runFaulty sends payloads through a fault-injected simulated connection
+// and drains the receiver, returning how many messages survived intact
+// and the terminal receive error (nil for clean EOF).
+func runFaulty(t *testing.T, faults *netsim.Faults, payloads [][]byte) (ok int, terminal error) {
+	t.Helper()
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	a, b := netsim.SimPipe(clk, instant(), instant())
+	a.InjectFaults(faults)
+	sender, receiver := NewConn(a), NewConn(b)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			_, payload, err := receiver.Receive()
+			if err != nil {
+				if !errors.Is(err, io.EOF) {
+					terminal = err
+				}
+				return
+			}
+			ok++
+			_ = payload
+		}
+	}()
+	for i, p := range payloads {
+		if err := sender.Send(MsgType(1+i%16), p); err != nil {
+			break // killed mid-stream: stop sending like a dead process
+		}
+	}
+	a.Close()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("receiver hung on faulty stream")
+	}
+	return ok, terminal
+}
+
+// TestFramingSurvivesWholeMessageDrops: dropped messages disappear
+// cleanly (each Send is one link write), the rest decode intact.
+func TestFramingSurvivesWholeMessageDrops(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	payloads := randomPayloads(rng, 100)
+	faults := netsim.NewFaults(2).DropFraction(0.2)
+	ok, terminal := runFaulty(t, faults, payloads)
+	if terminal != nil {
+		t.Fatalf("whole-message drops must not desync the stream: %v", terminal)
+	}
+	if ok != len(payloads)-faults.Dropped() {
+		t.Fatalf("received %d, want %d (sent %d, dropped %d)",
+			ok, len(payloads)-faults.Dropped(), len(payloads), faults.Dropped())
+	}
+	if faults.Dropped() == 0 {
+		t.Fatal("fault plan dropped nothing; test is vacuous")
+	}
+}
+
+// TestCorruptionDetectedByChecksum: corrupted payload bits surface as
+// ErrChecksum (or ErrBadMagic if the header was hit), never as a valid
+// message.
+func TestCorruptionDetectedByChecksum(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for seed := uint64(0); seed < 20; seed++ {
+		payloads := randomPayloads(rng, 10)
+		// Ensure the corrupted message is non-empty so flipping payload
+		// bits is possible; header-only messages get header corruption,
+		// which is equally detectable.
+		faults := netsim.NewFaults(seed).CorruptWrite(4)
+		_, terminal := runFaulty(t, faults, payloads)
+		if terminal == nil {
+			t.Fatalf("seed %d: corruption went undetected", seed)
+		}
+		if !typedError(terminal) {
+			t.Fatalf("seed %d: corruption surfaced as untyped error %v", seed, terminal)
+		}
+	}
+}
+
+// TestTruncationMidMessage: a stream dying inside a frame yields
+// ErrTruncated (via graceful close) or ErrKilled (abrupt kill) — typed
+// either way, and the receiver never hangs.
+func TestTruncationMidMessage(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	payloads := randomPayloads(rng, 10)
+	// Graceful: truncate one message's tail, then close.
+	faults := netsim.NewFaults(7).TruncateWrite(3, 9)
+	_, terminal := runFaulty(t, faults, payloads)
+	if terminal == nil || !typedError(terminal) {
+		t.Fatalf("truncated frame surfaced as %v, want typed error", terminal)
+	}
+
+	// Abrupt: kill mid-message at a byte offset.
+	faults = netsim.NewFaults(8).KillAtByte(600)
+	_, terminal = runFaulty(t, faults, payloads)
+	if terminal == nil || !typedError(terminal) {
+		t.Fatalf("mid-message kill surfaced as %v, want typed error", terminal)
+	}
+}
+
+// TestRandomFaultSoup: many seeds, mixed faults — the invariant is only
+// that every outcome is a typed error or clean EOF and intact messages
+// decode correctly. Exercises drop+corrupt+truncate+kill interleavings.
+func TestRandomFaultSoup(t *testing.T) {
+	for seed := uint64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		payloads := randomPayloads(rng, 40)
+		faults := netsim.NewFaults(seed).
+			DropFraction(0.1).
+			CorruptWrite(int(seed % 13)).
+			TruncateWrite(int(seed%7)+20, int(seed%5)).
+			KillAfterWrites(30 + int(seed%10))
+		ok, terminal := runFaulty(t, faults, payloads)
+		if terminal != nil && !typedError(terminal) {
+			t.Fatalf("seed %d: untyped terminal error %v", seed, terminal)
+		}
+		if ok > len(payloads) {
+			t.Fatalf("seed %d: received more messages than sent", seed)
+		}
+	}
+}
+
+// TestOversizeHeaderRejected: a header announcing an absurd payload is
+// rejected before allocation.
+func TestOversizeHeaderRejected(t *testing.T) {
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	a, b := netsim.SimPipe(clk, instant(), instant())
+	raw := make([]byte, headerSize)
+	raw[0], raw[1] = 0x52, 0x56
+	raw[2], raw[3] = 0, 1
+	raw[4], raw[5], raw[6], raw[7] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, err := a.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	_, _, err := NewConn(b).Receive()
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("got %v, want ErrTooLarge", err)
+	}
+}
+
+// TestReceiveDeadlineSurfacesTimeout: transport.Conn.SetReadDeadline on a
+// simulated link turns a stalled peer into a timeout error, not a hang.
+func TestReceiveDeadlineSurfacesTimeout(t *testing.T) {
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	_, b := netsim.SimPipe(clk, instant(), instant())
+	conn := NewConn(b)
+	if err := conn.SetReadDeadline(clk.Now().Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := conn.Receive()
+		done <- err
+	}()
+	clk.Advance(2 * time.Second)
+	select {
+	case err := <-done:
+		if !errors.Is(err, netsim.ErrTimeout) {
+			t.Fatalf("got %v, want netsim.ErrTimeout", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Receive ignored the read deadline")
+	}
+}

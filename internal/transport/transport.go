@@ -8,9 +8,12 @@ package transport
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sync"
+	"time"
 )
 
 // MsgType tags a protocol message.
@@ -59,6 +62,19 @@ const (
 	// MsgSetInterest registers a subscriber's dataset-distribution
 	// interest set with the data service (JSON SetInterest).
 	MsgSetInterest
+	// MsgSceneOpVer carries one marshalled scene op prefixed with the
+	// authoritative scene version it produced (PackVersioned framing), so
+	// replicas detect dropped updates and resynchronize.
+	MsgSceneOpVer
+	// MsgVersionQuery asks the data service for the session's current
+	// scene version; payload empty.
+	MsgVersionQuery
+	// MsgVersionReport answers with a VersionReport (JSON).
+	MsgVersionReport
+	// MsgResyncRequest asks the data service for a fresh bootstrap
+	// snapshot after a detected update gap; the service replies with a
+	// MsgSceneSnapshot.
+	MsgResyncRequest
 )
 
 // String names the message type.
@@ -72,6 +88,8 @@ func (t MsgType) String() string {
 		MsgCapacityQuery: "capacity-query", MsgCapacityReport: "capacity-report",
 		MsgLoadReport: "load-report", MsgSubsetAssign: "subset-assign",
 		MsgBye: "bye", MsgSetInterest: "set-interest",
+		MsgSceneOpVer: "scene-op-ver", MsgVersionQuery: "version-query",
+		MsgVersionReport: "version-report", MsgResyncRequest: "resync-request",
 	}
 	if n, ok := names[t]; ok {
 		return n
@@ -82,9 +100,25 @@ func (t MsgType) String() string {
 // frameMagic guards each frame against desync.
 const frameMagic uint16 = 0x5256 // "RV"
 
+// headerSize is magic(2) + type(2) + length(4) + payload CRC-32(4).
+const headerSize = 12
+
 // MaxPayload bounds a single message (a 2.8 M-triangle scene snapshot is
 // ~250 MB; leave headroom).
 const MaxPayload = 1 << 30
+
+// Typed framing errors, so recovery code can tell a desynced or corrupted
+// stream (reconnect and resync) from a clean shutdown (io.EOF).
+var (
+	// ErrBadMagic means the stream lost framing sync.
+	ErrBadMagic = errors.New("transport: bad frame magic")
+	// ErrChecksum means a payload arrived corrupted.
+	ErrChecksum = errors.New("transport: payload checksum mismatch")
+	// ErrTooLarge means a frame header announced an oversize payload.
+	ErrTooLarge = errors.New("transport: payload exceeds limit")
+	// ErrTruncated means the stream ended mid-frame.
+	ErrTruncated = errors.New("transport: truncated frame")
+)
 
 // Conn frames messages over any reliable byte stream (net.Conn, net.Pipe,
 // or a simulated link). Sends are serialized by an internal mutex;
@@ -97,24 +131,42 @@ type Conn struct {
 // NewConn wraps a byte stream.
 func NewConn(rw io.ReadWriter) *Conn { return &Conn{rw: rw} }
 
-// Send writes one message. Safe for concurrent use.
+// readDeadliner is implemented by net.Conn and netsim.SimConn.
+type readDeadliner interface {
+	SetReadDeadline(time.Time) error
+}
+
+// ErrNoDeadline is returned by SetReadDeadline when the underlying
+// stream cannot time out reads.
+var ErrNoDeadline = errors.New("transport: stream does not support read deadlines")
+
+// SetReadDeadline bounds future Receives when the underlying stream
+// supports deadlines (net.Conn, netsim.SimConn). The zero time clears
+// it. Service loops use this to detect stalled subscription sockets.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	if d, ok := c.rw.(readDeadliner); ok {
+		return d.SetReadDeadline(t)
+	}
+	return ErrNoDeadline
+}
+
+// Send writes one message as a single underlying Write (header, CRC and
+// payload together), so a simulated-link fault drops or truncates whole
+// messages, never interleavings. Safe for concurrent use.
 func (c *Conn) Send(t MsgType, payload []byte) error {
 	if len(payload) > MaxPayload {
-		return fmt.Errorf("transport: payload %d bytes exceeds limit", len(payload))
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
 	}
-	var hdr [8]byte
-	binary.BigEndian.PutUint16(hdr[0:], frameMagic)
-	binary.BigEndian.PutUint16(hdr[2:], uint16(t))
-	binary.BigEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	msg := make([]byte, headerSize+len(payload))
+	binary.BigEndian.PutUint16(msg[0:], frameMagic)
+	binary.BigEndian.PutUint16(msg[2:], uint16(t))
+	binary.BigEndian.PutUint32(msg[4:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(msg[8:], crc32.ChecksumIEEE(payload))
+	copy(msg[headerSize:], payload)
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	if _, err := c.rw.Write(hdr[:]); err != nil {
-		return fmt.Errorf("transport: send header: %w", err)
-	}
-	if len(payload) > 0 {
-		if _, err := c.rw.Write(payload); err != nil {
-			return fmt.Errorf("transport: send payload: %w", err)
-		}
+	if _, err := c.rw.Write(msg); err != nil {
+		return fmt.Errorf("transport: send %s: %w", t, err)
 	}
 	return nil
 }
@@ -128,23 +180,39 @@ func (c *Conn) SendJSON(t MsgType, v interface{}) error {
 	return c.Send(t, data)
 }
 
-// Receive reads one message.
+// Receive reads one message, verifying framing and the payload checksum.
+// A clean end-of-stream before any header byte is io.EOF; a stream dying
+// mid-frame wraps ErrTruncated; desync and corruption surface as
+// ErrBadMagic / ErrChecksum.
 func (c *Conn) Receive() (MsgType, []byte, error) {
-	var hdr [8]byte
+	var hdr [headerSize]byte
 	if _, err := io.ReadFull(c.rw, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		if err == io.ErrUnexpectedEOF {
+			return 0, nil, fmt.Errorf("%w: stream ended inside header", ErrTruncated)
+		}
 		return 0, nil, err
 	}
 	if binary.BigEndian.Uint16(hdr[0:]) != frameMagic {
-		return 0, nil, fmt.Errorf("transport: bad frame magic %#x", binary.BigEndian.Uint16(hdr[0:]))
+		return 0, nil, fmt.Errorf("%w: %#x", ErrBadMagic, binary.BigEndian.Uint16(hdr[0:]))
 	}
 	t := MsgType(binary.BigEndian.Uint16(hdr[2:]))
 	n := binary.BigEndian.Uint32(hdr[4:])
 	if n > MaxPayload {
-		return 0, nil, fmt.Errorf("transport: payload %d bytes exceeds limit", n)
+		return 0, nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, n)
 	}
+	sum := binary.BigEndian.Uint32(hdr[8:])
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(c.rw, payload); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, nil, fmt.Errorf("%w: stream ended inside %s payload", ErrTruncated, t)
+		}
 		return 0, nil, fmt.Errorf("transport: read payload: %w", err)
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return 0, nil, fmt.Errorf("%w: %s payload", ErrChecksum, t)
 	}
 	return t, payload, nil
 }
@@ -152,6 +220,23 @@ func (c *Conn) Receive() (MsgType, []byte, error) {
 // DecodeJSON unmarshals a JSON payload into v.
 func DecodeJSON(payload []byte, v interface{}) error {
 	return json.Unmarshal(payload, v)
+}
+
+// PackVersioned prefixes a marshalled scene op with the authoritative
+// scene version it produced, for MsgSceneOpVer.
+func PackVersioned(version uint64, body []byte) []byte {
+	out := make([]byte, 8+len(body))
+	binary.BigEndian.PutUint64(out, version)
+	copy(out[8:], body)
+	return out
+}
+
+// UnpackVersioned splits a MsgSceneOpVer payload.
+func UnpackVersioned(payload []byte) (version uint64, body []byte, err error) {
+	if len(payload) < 8 {
+		return 0, nil, fmt.Errorf("%w: versioned op shorter than its prefix", ErrTruncated)
+	}
+	return binary.BigEndian.Uint64(payload), payload[8:], nil
 }
 
 // --- typed control payloads ---
@@ -241,6 +326,13 @@ type LoadReport struct {
 	FPS         float64 `json:"fps"`
 	WorkPerSec  float64 `json:"work_per_sec"`
 	TextureUsed int64   `json:"texture_used"`
+}
+
+// VersionReport answers a MsgVersionQuery with the session's current
+// authoritative scene version; replicas compare it against their own to
+// detect missed updates.
+type VersionReport struct {
+	Version uint64 `json:"version"`
 }
 
 // SetInterest marks scene nodes as being of interest to the sending

@@ -3,6 +3,7 @@ package uddi
 import (
 	"encoding/json"
 	"fmt"
+	"net/http"
 	"strings"
 
 	"repro/internal/soap"
@@ -134,6 +135,16 @@ type Proxy struct {
 func Connect(endpoint string) *Proxy {
 	return &Proxy{
 		client:     &soap.Client{Endpoint: endpoint},
+		tmodelKeys: map[string]string{},
+	}
+}
+
+// ConnectHTTP returns a proxy whose SOAP calls go through the given HTTP
+// client — the hook chaos tests use to make the registry unreachable or
+// slow (a failing RoundTripper) while recruitment retries.
+func ConnectHTTP(endpoint string, hc *http.Client) *Proxy {
+	return &Proxy{
+		client:     &soap.Client{Endpoint: endpoint, HTTPClient: hc},
 		tmodelKeys: map[string]string{},
 	}
 }
