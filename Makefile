@@ -1,11 +1,34 @@
 GO ?= go
 
-.PHONY: all vet build test race ci
+.PHONY: all vet fmt-check lint vulncheck build test race ci
 
 all: ci
 
 vet:
 	$(GO) vet ./...
+
+# fmt-check fails if any tracked Go file is not gofmt-clean (testdata is
+# exempt: lint fixtures deliberately hold findings, but they are still
+# kept formatted).
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# lint runs the repo's own analyzer suite (wallclock, nondeterminism,
+# lockedio, ctxloop — see DESIGN.md "Static analysis & the determinism
+# contract") followed by go vet.
+lint:
+	$(GO) run ./cmd/ravelint ./...
+	$(GO) vet ./...
+
+# vulncheck runs govulncheck when the binary is available; the offline
+# build container has neither the tool nor network access to the vuln
+# database, so it skips gracefully there.
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping"; fi
 
 build:
 	$(GO) build ./...
@@ -16,7 +39,8 @@ test:
 race:
 	$(GO) test -race ./...
 
-# ci is the full gate: static checks, a clean build, and the test suite
-# under the race detector (the chaos suite exercises concurrent failure
-# recovery, so -race is part of the bar, not an extra).
-ci: vet build race
+# ci is the full gate: formatting, static checks (ravelint + vet +
+# govulncheck when present), a clean build, and the test suite under the
+# race detector (the chaos suite exercises concurrent failure recovery,
+# so -race is part of the bar, not an extra).
+ci: fmt-check lint vulncheck build race

@@ -19,8 +19,14 @@ import (
 	"repro/internal/client"
 	"repro/internal/device"
 	"repro/internal/uddi"
+	"repro/internal/vclock"
 	"repro/internal/wsdl"
 )
+
+// clock is the binary's single time source; frame timing and watchdogs
+// run on vclock.Real per the wallclock contract, keeping the code path
+// identical to what the deterministic harnesses drive with a Virtual.
+var clock vclock.Clock = vclock.Real{}
 
 func main() {
 	user := flag.String("user", "active-user", "user name (your avatar identity)")
@@ -77,11 +83,11 @@ func main() {
 		fmt.Printf("raveactive: joined session %q (device %s)\n", *session, profile.Name)
 	case err := <-errc:
 		fail(fmt.Errorf("subscription: %v", err))
-	case <-time.After(60 * time.Second):
+	case <-clock.After(60 * time.Second):
 		fail(fmt.Errorf("bootstrap timed out"))
 	}
 
-	start := time.Now()
+	start := clock.Now()
 	for i := 0; i < *frames; i++ {
 		f, err := os.Create(*out)
 		if err != nil {
@@ -93,7 +99,7 @@ func main() {
 		}
 		f.Close()
 	}
-	elapsed := time.Since(start)
+	elapsed := clock.Now().Sub(start)
 	fmt.Printf("raveactive: rendered %d frame(s) of %dx%d locally in %v; wrote %s\n",
 		*frames, *width, *height, elapsed.Round(time.Millisecond), *out)
 }

@@ -1,0 +1,116 @@
+// Command ravelint runs the repo's custom analyzer suite — wallclock,
+// nondeterminism, lockedio and ctxloop — over module packages. It is the
+// enforcement point for the determinism and resilience contracts: make
+// ci fails if any analyzer reports a finding.
+//
+//	ravelint ./...              # whole module
+//	ravelint ./internal/...     # one subtree
+//	ravelint ./internal/retry   # one package
+//
+// Findings print as file:line:col: message [analyzer]. The exit status
+// is 1 when anything is reported, 2 on usage or load errors.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := loader.FindRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := loader.NewProgram(root)
+	if err != nil {
+		fatal(err)
+	}
+	all, err := prog.PackageDirs()
+	if err != nil {
+		fatal(err)
+	}
+	var targets []string
+	for _, path := range all {
+		for _, pat := range patterns {
+			if prog.Match(pat, path) {
+				targets = append(targets, path)
+				break
+			}
+		}
+	}
+	if len(targets) == 0 {
+		fatal(fmt.Errorf("no packages match %v", patterns))
+	}
+
+	type finding struct {
+		file      string
+		line, col int
+		msg       string
+		analyzer  string
+	}
+	var findings []finding
+	for _, path := range targets {
+		pkg, err := prog.Load(path)
+		if err != nil {
+			fatal(err)
+		}
+		for _, a := range lint.Analyzers() {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      prog.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			name := a.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := prog.Fset.Position(d.Pos)
+				file := pos.Filename
+				if rel, err := filepath.Rel(cwd, file); err == nil {
+					file = rel
+				}
+				findings = append(findings, finding{file, pos.Line, pos.Column, d.Message, name})
+			}
+			if err := a.Run(pass); err != nil {
+				fatal(fmt.Errorf("%s: %s: %w", path, a.Name, err))
+			}
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		return a.col < b.col
+	})
+	for _, f := range findings {
+		fmt.Printf("%s:%d:%d: %s [%s]\n", f.file, f.line, f.col, f.msg, f.analyzer)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "ravelint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ravelint:", err)
+	os.Exit(2)
+}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/scene"
 	"repro/internal/transport"
 	"repro/internal/uddi"
+	"repro/internal/vclock"
 	"repro/internal/wsdl"
 )
 
@@ -56,13 +57,26 @@ var _ dataservice.RenderHandle = (*LocalHandle)(nil)
 // SocketHandle drives a remote render service over a direct socket using
 // the subset-assignment protocol. The remote service must already hold
 // the session (SubscribeToData) so the hello succeeds.
+//
+// Request/response exchanges are serialized by a channel semaphore, not
+// a mutex: the lockedio contract forbids holding a sync.Mutex across
+// socket I/O, because a netsim-stalled link would then block every
+// goroutine touching the lock with no way out. With the semaphore, a
+// stall confines itself to the in-flight exchange, and acquisition stays
+// interruptible (a future caller can select against it).
 type SocketHandle struct {
 	name    string
 	session string
 
-	mu   sync.Mutex
+	sem  chan struct{} // capacity 1: owns the conn's request pipeline
 	conn *transport.Conn
 }
+
+// acquire takes ownership of the request pipeline.
+func (h *SocketHandle) acquire() { h.sem <- struct{}{} }
+
+// release returns ownership.
+func (h *SocketHandle) release() { <-h.sem }
 
 // DialSocketHandle performs the thin-client style hello on rw and
 // returns a handle for subset rendering.
@@ -89,7 +103,7 @@ func DialSocketHandle(rw interface {
 	if t != transport.MsgOK {
 		return nil, fmt.Errorf("core: expected ok, got %s", t)
 	}
-	return &SocketHandle{name: name, session: session, conn: conn}, nil
+	return &SocketHandle{name: name, session: session, conn: conn, sem: make(chan struct{}, 1)}, nil
 }
 
 // Name implements dataservice.RenderHandle.
@@ -97,8 +111,8 @@ func (h *SocketHandle) Name() string { return h.name }
 
 // Capacity implements dataservice.RenderHandle.
 func (h *SocketHandle) Capacity() (transport.CapacityReport, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.acquire()
+	defer h.release()
 	if err := h.conn.Send(transport.MsgCapacityQuery, nil); err != nil {
 		return transport.CapacityReport{}, err
 	}
@@ -118,8 +132,8 @@ func (h *SocketHandle) Capacity() (transport.CapacityReport, error) {
 
 // RenderSubset implements dataservice.RenderHandle.
 func (h *SocketHandle) RenderSubset(subset *scene.Scene, cam transport.CameraState, w, hgt int) (*raster.Framebuffer, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.acquire()
+	defer h.release()
 	err := h.conn.SendJSON(transport.MsgSubsetAssign, transport.SubsetAssign{
 		Session: h.session, W: w, H: hgt, Camera: cam,
 	})
@@ -158,6 +172,8 @@ type Deployment struct {
 	RegistryURL string
 	Data        *dataservice.Service
 
+	clock vclock.Clock
+
 	mu        sync.Mutex
 	renders   map[string]*renderservice.Service
 	listeners []net.Listener
@@ -178,6 +194,7 @@ func NewDeployment(dataName string) (*Deployment, error) {
 		Registry:    reg,
 		RegistryURL: "http://" + ln.Addr().String(),
 		Data:        dataservice.New(dataservice.Config{Name: dataName}),
+		clock:       vclock.Real{},
 		renders:     map[string]*renderservice.Service{},
 		httpSrv:     srv,
 	}
@@ -250,7 +267,7 @@ func (d *Deployment) ConnectRenderToData(rs *renderservice.Service, dataAddr, se
 			err = fmt.Errorf("core: subscription ended before bootstrap")
 		}
 		return err
-	case <-time.After(30 * time.Second):
+	case <-d.clock.After(30 * time.Second):
 		conn.Close()
 		return fmt.Errorf("core: bootstrap timed out")
 	}
@@ -281,7 +298,7 @@ func (d *Deployment) ConnectRenderToDataResilient(ctx context.Context, rs *rende
 			err = fmt.Errorf("core: subscription ended before bootstrap")
 		}
 		return err
-	case <-time.After(30 * time.Second):
+	case <-d.clock.After(30 * time.Second):
 		return fmt.Errorf("core: bootstrap timed out")
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/scene"
+	"repro/internal/vclock"
 )
 
 // Source is an external program producing scene updates per step.
@@ -89,16 +90,20 @@ func (b *Bridge) Step(dt time.Duration) error {
 	return nil
 }
 
-// Run steps the simulation until stop is closed, at the given period.
-// Errors stop the loop and are available via Err.
+// Run steps the simulation until stop is closed, at the given period on
+// the real clock. Errors stop the loop and are available via Err.
 func (b *Bridge) Run(period time.Duration, stop <-chan struct{}) {
-	ticker := time.NewTicker(period)
-	defer ticker.Stop()
+	b.RunClock(vclock.Real{}, period, stop)
+}
+
+// RunClock is Run on an injected clock, so bridged simulations pace
+// deterministically under a vclock.Virtual in tests and replays.
+func (b *Bridge) RunClock(clock vclock.Clock, period time.Duration, stop <-chan struct{}) {
 	for {
 		select {
 		case <-stop:
 			return
-		case <-ticker.C:
+		case <-clock.After(period):
 			if err := b.Step(period); err != nil {
 				return
 			}

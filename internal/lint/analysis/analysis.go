@@ -1,0 +1,109 @@
+// Package analysis is the minimal analyzer framework ravelint is built
+// on. It mirrors the shape of golang.org/x/tools/go/analysis — Analyzer,
+// Pass, Diagnostic — but is self-contained on the standard library, so
+// the lint suite builds with no external modules. Analyzers receive one
+// type-checked package per Pass and report diagnostics through it; the
+// drivers (cmd/ravelint and the linttest harness) own loading and
+// diagnostic presentation.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one lint rule.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //lint:allow
+	// annotations.
+	Name string
+	// Doc is a one-paragraph description of the invariant the analyzer
+	// enforces; the first line is the summary.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report receives each diagnostic. Drivers install it.
+	Report func(Diagnostic)
+
+	// allowLines maps filename -> set of lines carrying a
+	// //lint:allow <name> annotation for this analyzer.
+	allowLines map[string]map[int]bool
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// AllowDirective is the comment prefix of the annotation escape hatch:
+// "//lint:allow <analyzer> [justification]".
+const AllowDirective = "//lint:allow"
+
+// buildAllowIndex scans the pass's files for //lint:allow annotations
+// naming this analyzer. An annotation covers its own source line and the
+// line immediately below it, so both trailing and preceding comments
+// work:
+//
+//	conn.Send(...) //lint:allow lockedio: wmu is the write-serialization point
+//
+//	//lint:allow wallclock: benchmark measures real elapsed time
+//	start := time.Now()
+func (p *Pass) buildAllowIndex() {
+	p.allowLines = map[string]map[int]bool{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, AllowDirective)
+				if !ok {
+					continue
+				}
+				rest = strings.TrimSpace(rest)
+				name := rest
+				if i := strings.IndexAny(rest, " \t:"); i >= 0 {
+					name = rest[:i]
+				}
+				if name != p.Analyzer.Name {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				lines := p.allowLines[pos.Filename]
+				if lines == nil {
+					lines = map[int]bool{}
+					p.allowLines[pos.Filename] = lines
+				}
+				lines[pos.Line] = true
+				lines[pos.Line+1] = true
+			}
+		}
+	}
+}
+
+// Allowed reports whether pos is covered by a //lint:allow annotation
+// for this analyzer. Each analyzer decides where the escape hatch is
+// honored (wallclock, for example, ignores it under internal/).
+func (p *Pass) Allowed(pos token.Pos) bool {
+	if p.allowLines == nil {
+		p.buildAllowIndex()
+	}
+	where := p.Fset.Position(pos)
+	return p.allowLines[where.Filename][where.Line]
+}

@@ -1,0 +1,181 @@
+// Package ctxloop enforces the resilience contract's cancellation rule:
+// a retry or reconnect loop that sleeps between attempts must observe
+// its context on every iteration. A backoff loop that only checks the
+// context before it starts (or never) keeps a goroutine and its
+// connection attempts alive long after the caller gave up — under
+// chaos-suite faults that is a leak the scheduler replays forever.
+//
+// The rule applies to functions that take a named context.Context
+// parameter. Inside them, any for/range loop whose body calls a
+// sleep-like function (Sleep, After, a timer constructor — on the time
+// package, a vclock.Clock, or a retry.Policy) must either call
+// ctx.Done() / ctx.Err() in the loop or pass the context into a call
+// made by the loop (delegating cancellation, as retry.Policy.Sleep
+// does). Nested loops and function literals are judged on their own.
+package ctxloop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+// sleepNames are callee names that pause the caller or arm a timer.
+var sleepNames = map[string]bool{
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// Analyzer is the ctxloop rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxloop",
+	Doc: "a backoff/reconnect loop must check ctx.Done()/ctx.Err() (or pass ctx on) " +
+		"every iteration, or cancellation leaks goroutines mid-retry",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if !lintutil.HasSegment(path, "internal") && !lintutil.HasSegment(path, "cmd") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var ftyp *ast.FuncType
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ftyp, body = fn.Type, fn.Body
+			case *ast.FuncLit:
+				ftyp, body = fn.Type, fn.Body
+			default:
+				return true
+			}
+			if body == nil || !hasCtxParam(pass.TypesInfo, ftyp) {
+				return true
+			}
+			checkLoops(pass, body)
+			return true
+		})
+	}
+	return nil
+}
+
+// hasCtxParam reports whether the signature has a named context.Context
+// parameter (an unnamed one cannot be checked, so such functions are out
+// of the rule's scope).
+func hasCtxParam(info *types.Info, ftyp *ast.FuncType) bool {
+	if ftyp.Params == nil {
+		return false
+	}
+	for _, field := range ftyp.Params.List {
+		for _, name := range field.Names {
+			if obj, ok := info.Defs[name].(*types.Var); ok && isCtxType(obj.Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isCtxType reports whether t is context.Context.
+func isCtxType(t types.Type) bool {
+	named := lintutil.NamedOf(t)
+	return named != nil && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}
+
+// checkLoops finds the for/range loops directly inside body (not inside
+// nested loops or function literals — those are judged on their own)
+// and reports the ones that sleep without observing the context.
+func checkLoops(pass *analysis.Pass, body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		var loopBody *ast.BlockStmt
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			loopBody = loop.Body
+		case *ast.RangeStmt:
+			loopBody = loop.Body
+		case *ast.FuncLit:
+			return false // separate scope; run handles it if it takes a ctx
+		default:
+			return true
+		}
+		if sleeps(pass.TypesInfo, loopBody) && !observesCtx(pass.TypesInfo, loopBody) && !pass.Allowed(n.Pos()) {
+			pass.Reportf(n.Pos(), "loop sleeps between iterations without checking ctx.Done()/ctx.Err(): cancellation would leak this retry loop")
+		}
+		checkLoops(pass, loopBody) // nested loops judged independently
+		return false
+	})
+}
+
+// inspectShallow walks the loop body but stays out of nested loops and
+// function literals, which are judged independently.
+func inspectShallow(body ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == body {
+			return true
+		}
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// sleeps reports whether the loop body (shallowly) calls a sleep-like
+// function or method.
+func sleeps(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	inspectShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if f := lintutil.Callee(info, call); f != nil && sleepNames[f.Name()] {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// observesCtx reports whether the loop body (shallowly) calls Done/Err
+// on a context or passes a context value into a call.
+func observesCtx(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	inspectShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if (sel.Sel.Name == "Done" || sel.Sel.Name == "Err") && exprIsCtx(info, sel.X) {
+				found = true
+				return true
+			}
+		}
+		for _, arg := range call.Args {
+			if exprIsCtx(info, arg) {
+				found = true
+				return true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// exprIsCtx reports whether the expression's static type is
+// context.Context.
+func exprIsCtx(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Type != nil && isCtxType(tv.Type)
+}

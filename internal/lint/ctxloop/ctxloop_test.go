@@ -1,0 +1,16 @@
+package ctxloop_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/ctxloop"
+	"repro/internal/lint/linttest"
+)
+
+// TestCtxLoop proves the rule flags backoff loops that sleep without
+// observing their context each iteration, and accepts every sanctioned
+// form: a ctx.Done() select arm, a ctx.Err() guard, and delegating
+// cancellation by passing ctx into the sleep (retry.Policy.Sleep).
+func TestCtxLoop(t *testing.T) {
+	linttest.Run(t, ctxloop.Analyzer, "testdata/internal_pkg", "repro/internal/example")
+}

@@ -1,0 +1,98 @@
+// Package example exercises the ctxloop rule on the reconnect/backoff
+// loop shapes the services actually use, with repro's own vclock and
+// retry packages in the starring roles.
+package example
+
+import (
+	"context"
+
+	"repro/internal/retry"
+	"repro/internal/vclock"
+)
+
+// unboundedBackoff sleeps forever without ever looking at ctx.
+func unboundedBackoff(ctx context.Context, clock vclock.Clock) {
+	for { // want `loop sleeps between iterations without checking ctx`
+		clock.Sleep(1)
+	}
+}
+
+// rangeBackoff is the same defect in a range loop.
+func rangeBackoff(ctx context.Context, clock vclock.Clock, attempts []int) {
+	for range attempts { // want `loop sleeps between iterations without checking ctx`
+		<-clock.After(1)
+	}
+}
+
+// selectDone is the canonical compliant form: the sleep races ctx.Done.
+func selectDone(ctx context.Context, clock vclock.Clock) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-clock.After(1):
+		}
+	}
+}
+
+// errGuard checks ctx.Err at the top of every iteration.
+func errGuard(ctx context.Context, clock vclock.Clock) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		clock.Sleep(1)
+	}
+}
+
+// delegated passes ctx into the sleep itself; retry.Policy.Sleep returns
+// early on cancellation, so the loop is bounded.
+func delegated(ctx context.Context, clock vclock.Clock, p retry.Policy) error {
+	for attempt := 1; ; attempt++ {
+		if err := p.Sleep(ctx, clock, attempt); err != nil {
+			return err
+		}
+	}
+}
+
+// noCtx has no context parameter: the stop-channel discipline is a
+// different contract, out of this rule's scope.
+func noCtx(clock vclock.Clock, stop <-chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-clock.After(1):
+		}
+	}
+}
+
+// nested judges each loop on its own: the outer loop observes ctx, the
+// inner one sleeps blind.
+func nested(ctx context.Context, clock vclock.Clock) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		for i := 0; i < 3; i++ { // want `loop sleeps between iterations without checking ctx`
+			clock.Sleep(1)
+		}
+	}
+}
+
+// literal applies the rule inside function literals that take a ctx.
+func literal(clock vclock.Clock) func(context.Context) {
+	return func(ctx context.Context) {
+		for { // want `loop sleeps between iterations without checking ctx`
+			clock.Sleep(1)
+		}
+	}
+}
+
+// annotated is the escape hatch for a loop whose bound lives elsewhere.
+func annotated(ctx context.Context, clock vclock.Clock, done func() bool) {
+	//lint:allow ctxloop: bounded by done(), not ctx
+	for !done() {
+		clock.Sleep(1)
+	}
+}

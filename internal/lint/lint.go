@@ -1,0 +1,23 @@
+// Package lint assembles ravelint's analyzer suite: the machine-checked
+// form of the determinism and resilience contracts the fabric's
+// correctness rests on (see DESIGN.md, "Static analysis & the
+// determinism contract").
+package lint
+
+import (
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/ctxloop"
+	"repro/internal/lint/lockedio"
+	"repro/internal/lint/nondeterminism"
+	"repro/internal/lint/wallclock"
+)
+
+// Analyzers returns the full suite in a stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		wallclock.Analyzer,
+		nondeterminism.Analyzer,
+		lockedio.Analyzer,
+		ctxloop.Analyzer,
+	}
+}

@@ -1,0 +1,192 @@
+// Package linttest runs an analyzer over a testdata package and checks
+// its diagnostics against expectations written in the sources, in the
+// style of golang.org/x/tools/go/analysis/analysistest: a comment
+//
+//	time.Sleep(d) // want `direct time\.Sleep`
+//
+// asserts that the analyzer reports a diagnostic on that line matching
+// the quoted regular expression. Every diagnostic must be expected and
+// every expectation must fire, so the tests prove both that the rule
+// catches violations and that it stays silent on compliant code.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+// expectation is one "want" pattern at a file:line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run applies the analyzer to the Go files in dir, type-checked as a
+// package with import path pkgPath (path-scoped analyzers key off it),
+// and verifies the diagnostics against the files' want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir, pkgPath string) {
+	t.Helper()
+	root, err := loader.FindRoot(".")
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	prog, err := loader.NewProgram(root)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(prog.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("linttest: parse: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("linttest: no Go files in %s", dir)
+	}
+
+	info := loader.NewInfo()
+	conf := types.Config{Importer: prog}
+	tpkg, err := conf.Check(pkgPath, prog.Fset, files, info)
+	if err != nil {
+		t.Fatalf("linttest: type-check %s: %v", dir, err)
+	}
+
+	wants, err := collectWants(prog, files)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      prog.Fset,
+		Files:     files,
+		Pkg:       tpkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("linttest: analyzer %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// wantMarker locates the expectation inside a comment. The marker may
+// trail other text, because "x() //lint:allow y // want ..." is one
+// comment to the parser.
+var wantMarker = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// collectWants parses the want comments of the files.
+func collectWants(prog *loader.Program, files []*ast.File) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantMarker.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				rest := m[1]
+				pos := prog.Fset.Position(c.Pos())
+				for _, pat := range splitQuoted(rest) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	return wants, nil
+}
+
+// splitQuoted extracts the quoted (double-quoted or backquoted) strings
+// of a want comment's tail.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) {
+				if s[end] == '\\' {
+					end += 2
+					continue
+				}
+				if s[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(s) {
+				return out
+			}
+			if unq, err := strconv.Unquote(s[:end+1]); err == nil {
+				out = append(out, unq)
+			}
+			s = s[end+1:]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return out
+			}
+			out = append(out, s[1:1+end])
+			s = s[end+2:]
+		default:
+			return out
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Package lintutil holds the small type-resolution helpers the ravelint
+// analyzers share.
+package lintutil
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Callee resolves the function or method a call invokes, or nil when the
+// callee is not a declared function (a func-typed variable, say).
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	f, _ := info.Uses[id].(*types.Func)
+	return f
+}
+
+// IsPkgLevel reports whether f is a package-level function (not a
+// method) of the package at pkgPath.
+func IsPkgLevel(f *types.Func, pkgPath string) bool {
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// HasSegment reports whether the import path contains seg as a complete
+// path segment ("repro/internal/feed" has segment "internal").
+func HasSegment(path, seg string) bool {
+	return strings.Contains("/"+path+"/", "/"+seg+"/")
+}
+
+// Deref unwraps one level of pointer.
+func Deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// NamedOf returns the named type of t (through one pointer), or nil.
+func NamedOf(t types.Type) *types.Named {
+	n, _ := Deref(t).(*types.Named)
+	return n
+}

@@ -1,0 +1,249 @@
+// Package loader type-checks this module's packages for the lint suite
+// without golang.org/x/tools: module-internal imports resolve by the
+// directory convention (module path prefix maps onto the repo tree), and
+// standard-library imports are type-checked from GOROOT source via
+// go/importer's "source" mode. Everything is memoized in one Program, so
+// checking the whole repo visits each package once.
+package loader
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked module package with its syntax.
+type Package struct {
+	// Path is the import path.
+	Path string
+	// Dir is the directory holding the package sources.
+	Dir string
+	// Files is the parsed syntax (comments included), sorted by filename.
+	Files []*ast.File
+	// Types is the checked package.
+	Types *types.Package
+	// Info holds the type-checker's fact tables for the syntax.
+	Info *types.Info
+}
+
+// Program loads and caches packages of one module.
+type Program struct {
+	// Fset positions every loaded file, including std sources.
+	Fset *token.FileSet
+	// Root is the module root directory (where go.mod lives).
+	Root string
+	// ModulePath is the module's import-path prefix.
+	ModulePath string
+
+	std     types.ImporterFrom
+	pkgs    map[string]*Package // loaded module packages by import path
+	loading map[string]bool     // cycle guard
+}
+
+// NewProgram creates a loader rooted at the module directory root. The
+// module path is read from go.mod.
+func NewProgram(root string) (*Program, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	// Std sources are type-checked from GOROOT; cgo packages must select
+	// their pure-Go variants since no C toolchain runs here.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	p := &Program{
+		Fset:       fset,
+		Root:       root,
+		ModulePath: modPath,
+		pkgs:       map[string]*Package{},
+		loading:    map[string]bool{},
+	}
+	p.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return p, nil
+}
+
+// FindRoot walks up from dir to the enclosing module root (the first
+// directory containing go.mod).
+func FindRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("loader: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("loader: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("loader: no module directive in %s", gomod)
+}
+
+// Import implements types.Importer: module packages load from the repo
+// tree, everything else from GOROOT source.
+func (p *Program) Import(path string) (*types.Package, error) {
+	if path == p.ModulePath || strings.HasPrefix(path, p.ModulePath+"/") {
+		pkg, err := p.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return p.std.Import(path)
+}
+
+// Load type-checks (or returns the cached) module package at the given
+// import path.
+func (p *Program) Load(path string) (*Package, error) {
+	if pkg, ok := p.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if p.loading[path] {
+		return nil, fmt.Errorf("loader: import cycle through %s", path)
+	}
+	p.loading[path] = true
+	defer delete(p.loading, path)
+
+	rel := strings.TrimPrefix(path, p.ModulePath)
+	dir := filepath.Join(p.Root, filepath.FromSlash(strings.TrimPrefix(rel, "/")))
+	files, err := p.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("loader: no Go files in %s", dir)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: p}
+	tpkg, err := conf.Check(path, p.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("loader: %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	p.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// NewInfo allocates the types.Info fact tables the analyzers consume.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}
+
+// parseDir parses the non-test Go files of one directory, comments
+// included, in filename order.
+func (p *Program) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("loader: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") ||
+			strings.HasSuffix(n, "_test.go") || strings.HasPrefix(n, ".") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(p.Fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("loader: %w", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// PackageDirs walks the module tree and returns the import paths of
+// every directory holding non-test Go files, honoring the toolchain's
+// conventions: testdata trees, hidden and underscore-prefixed
+// directories are skipped.
+func (p *Program) PackageDirs() ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(p.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			n := d.Name()
+			if path != p.Root && (n == "testdata" || strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_") || n == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		n := d.Name()
+		if !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(p.Root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		ip := p.ModulePath
+		if rel != "." {
+			ip += "/" + filepath.ToSlash(rel)
+		}
+		if len(paths) == 0 || paths[len(paths)-1] != ip {
+			paths = append(paths, ip)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// Match reports whether the import path matches a Go-style package
+// pattern relative to the module root: "./..." matches everything,
+// "./x/..." a subtree, "./x" one package. Patterns without the leading
+// "./" are accepted too.
+func (p *Program) Match(pattern, importPath string) bool {
+	pat := strings.TrimPrefix(pattern, "./")
+	rel := strings.TrimPrefix(strings.TrimPrefix(importPath, p.ModulePath), "/")
+	if rel == "" {
+		rel = "."
+	}
+	if pat == "..." || pat == "" {
+		return true
+	}
+	if sub, ok := strings.CutSuffix(pat, "/..."); ok {
+		return rel == sub || strings.HasPrefix(rel, sub+"/")
+	}
+	return rel == pat
+}

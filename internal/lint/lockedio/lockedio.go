@@ -1,0 +1,199 @@
+// Package lockedio enforces the resilience contract's locking rule: no
+// goroutine may perform socket I/O while holding a sync.Mutex or
+// RWMutex. The chaos suite's netsim faults can stall any read or write
+// indefinitely, and a stalled call that holds a lock turns one slow link
+// into a fabric-wide pileup — every other path through that lock blocks
+// behind the fault. The rule flags transport.Conn traffic
+// (Send/SendJSON/Receive), Read/Write-family calls on interface-typed
+// streams (net.Conn, io.ReadWriter — statically any of these can be a
+// live socket), net package conns, and io copy helpers, when they happen
+// between Lock and Unlock (or after Lock with a deferred Unlock).
+//
+// The analysis is intra-procedural and lexical: it tracks lock state in
+// source order within each function body, treats a function literal as a
+// fresh goroutine-like scope, and honors "//lint:allow lockedio" for
+// the one legitimate case — a mutex whose entire purpose is serializing
+// writes on a single stream (transport.Conn's own write mutex).
+package lockedio
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+// streamMethods are the Read/Write-family methods that move bytes on a
+// stream.
+var streamMethods = map[string]bool{
+	"Read":      true,
+	"Write":     true,
+	"ReadFrom":  true,
+	"WriteTo":   true,
+	"ReadByte":  true,
+	"WriteByte": true,
+}
+
+// transportMethods are transport.Conn's I/O entry points.
+var transportMethods = map[string]bool{
+	"Send":     true,
+	"SendJSON": true,
+	"Receive":  true,
+}
+
+// ioHelpers are io package functions that drive a stream passed to them.
+var ioHelpers = map[string]bool{
+	"ReadFull":    true,
+	"ReadAll":     true,
+	"ReadAtLeast": true,
+	"Copy":        true,
+	"CopyN":       true,
+	"WriteString": true,
+}
+
+// Analyzer is the lockedio rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockedio",
+	Doc: "socket I/O while holding a sync.Mutex/RWMutex turns a stalled link into a " +
+		"fabric-wide pileup; copy shared state under the lock, do I/O outside it",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				scan(pass, fd.Body, map[string]bool{})
+			}
+		}
+	}
+	return nil
+}
+
+// scan walks one function body in source order, tracking which mutexes
+// are held and reporting I/O performed while any of them is.
+func scan(pass *analysis.Pass, body ast.Node, held map[string]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A literal runs in its own (often concurrent) frame: locks
+			// held here are not held there, and vice versa.
+			scan(pass, n.Body, map[string]bool{})
+			return false
+		case *ast.DeferStmt:
+			// A deferred Unlock releases at return, so the lock stays held
+			// for the rest of the body: skip it so it does not clear state.
+			if kind, _ := lockOp(pass.TypesInfo, n.Call); kind == opUnlock {
+				return false
+			}
+			return true
+		case *ast.CallExpr:
+			switch kind, key := lockOp(pass.TypesInfo, n); kind {
+			case opLock:
+				held[key] = true
+				return true
+			case opUnlock:
+				delete(held, key)
+				return true
+			}
+			if len(held) == 0 {
+				return true
+			}
+			if desc, ok := ioCall(pass.TypesInfo, n); ok && !pass.Allowed(n.Pos()) {
+				pass.Reportf(n.Pos(), "%s while holding mutex %s: a netsim-stalled link would block every path through this lock", desc, heldNames(held))
+			}
+		}
+		return true
+	})
+}
+
+type op int
+
+const (
+	opNone op = iota
+	opLock
+	opUnlock
+)
+
+// lockOp classifies a call as a sync lock or unlock and keys it by the
+// receiver expression, so mu.Lock pairs with mu.Unlock.
+func lockOp(info *types.Info, call *ast.CallExpr) (op, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return opNone, ""
+	}
+	f, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return opNone, ""
+	}
+	key := types.ExprString(sel.X)
+	switch f.Name() {
+	case "Lock", "RLock":
+		return opLock, key
+	case "Unlock", "RUnlock":
+		return opUnlock, key
+	}
+	return opNone, ""
+}
+
+// ioCall reports whether the call is stream I/O, with a description for
+// the diagnostic.
+func ioCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	f, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || f.Pkg() == nil {
+		return "", false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	if sig.Recv() == nil {
+		// Package-level: io helpers that pump a caller-supplied stream.
+		if f.Pkg().Path() == "io" && ioHelpers[f.Name()] {
+			return "io." + f.Name(), true
+		}
+		return "", false
+	}
+	recv := sig.Recv().Type()
+	if named := lintutil.NamedOf(recv); named != nil && named.Obj().Pkg() != nil {
+		pkg := named.Obj().Pkg().Path()
+		if strings.HasSuffix(pkg, "internal/transport") && named.Obj().Name() == "Conn" && transportMethods[f.Name()] {
+			return "transport.Conn." + f.Name(), true
+		}
+		if pkg == "net" && streamMethods[f.Name()] {
+			return "net conn " + f.Name(), true
+		}
+	}
+	// A Read/Write on an interface-typed stream: statically it can be a
+	// live socket (net.Conn, io.ReadWriter over TCP, a netsim link).
+	if _, isIface := lintutil.Deref(recv).Underlying().(*types.Interface); isIface && streamMethods[f.Name()] {
+		return "stream " + f.Name() + " via " + types.TypeString(recv, nil), true
+	}
+	return "", false
+}
+
+// heldNames renders the held lock set for the diagnostic.
+func heldNames(held map[string]bool) string {
+	var names []string
+	for k := range held {
+		names = append(names, k)
+	}
+	if len(names) == 1 {
+		return names[0]
+	}
+	// Deterministic order for multi-lock messages.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	return strings.Join(names, ", ")
+}

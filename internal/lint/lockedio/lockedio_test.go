@@ -1,0 +1,18 @@
+package lockedio_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/lockedio"
+)
+
+// TestLockedIO proves the rule flags socket I/O — net.Conn and
+// interface-stream Read/Write, transport.Conn Send/Receive, io helpers —
+// performed while a sync.Mutex or RWMutex is held (including via a
+// deferred Unlock), and stays silent for I/O outside the lock, in-memory
+// buffers, goroutine bodies launched under the lock, and the annotated
+// serialization mutex.
+func TestLockedIO(t *testing.T) {
+	linttest.Run(t, lockedio.Analyzer, "testdata/internal_pkg", "repro/internal/example")
+}

@@ -1,0 +1,100 @@
+// Package example exercises the lockedio rule: stream I/O between Lock
+// and Unlock is a stall-under-fault hazard; the same I/O outside the
+// critical section, on in-memory buffers, or in a separately scheduled
+// goroutine is fine.
+package example
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/transport"
+)
+
+type handle struct {
+	mu   sync.Mutex
+	rwmu sync.RWMutex
+	conn net.Conn
+	tc   *transport.Conn
+	rw   io.ReadWriter
+	buf  bytes.Buffer
+}
+
+// lockedNetIO holds the mutex across net.Conn traffic.
+func (h *handle) lockedNetIO(p []byte) {
+	h.mu.Lock()
+	h.conn.Write(p) // want `while holding mutex h\.mu`
+	h.conn.Read(p)  // want `while holding mutex h\.mu`
+	h.mu.Unlock()
+	h.conn.Write(p) // released: clean
+}
+
+// deferredUnlock keeps the lock to the end of the function, so the I/O
+// after Lock is held-across-I/O too.
+func (h *handle) deferredUnlock(p []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.rw.Write(p) // want `while holding mutex h\.mu`
+}
+
+// readLocked shows RLock counts: a stalled reader still blocks writers.
+func (h *handle) readLocked(p []byte) {
+	h.rwmu.RLock()
+	_, _ = io.ReadFull(h.rw, p) // want `io\.ReadFull while holding mutex h\.rwmu`
+	h.rwmu.RUnlock()
+}
+
+// transportIO holds the mutex across transport.Conn calls, the request/
+// response pattern the rule exists to break up.
+func (h *handle) transportIO() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.tc.Send(transport.MsgOK, nil)       // want `transport\.Conn\.Send while holding mutex h\.mu`
+	_, _, _ = h.tc.Receive()              // want `transport\.Conn\.Receive while holding mutex h\.mu`
+	_ = h.tc.SendJSON(transport.MsgOK, 1) // want `transport\.Conn\.SendJSON while holding mutex h\.mu`
+}
+
+// inMemory writes to a bytes.Buffer under the lock: not a socket, clean.
+func (h *handle) inMemory(p []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.buf.Write(p)
+}
+
+// goroutineUnderLock launches I/O in a literal while holding the lock:
+// the literal runs in its own frame without the lock, clean.
+func (h *handle) goroutineUnderLock(p []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	go func() {
+		h.conn.Write(p)
+	}()
+}
+
+// literalTakesOwnLock shows lock tracking restarts inside a literal.
+func (h *handle) literalTakesOwnLock(p []byte) func() {
+	return func() {
+		h.mu.Lock()
+		h.conn.Write(p) // want `while holding mutex h\.mu`
+		h.mu.Unlock()
+	}
+}
+
+// annotated is the documented exception: a mutex whose entire purpose is
+// serializing writes on one stream.
+func (h *handle) annotated(p []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.rw.Write(p) //lint:allow lockedio: this mutex only serializes this stream's writes
+}
+
+// twoLocks names every held mutex in the diagnostic.
+func (h *handle) twoLocks(p []byte) {
+	h.mu.Lock()
+	h.rwmu.Lock()
+	h.conn.Write(p) // want `while holding mutex h\.mu, h\.rwmu`
+	h.rwmu.Unlock()
+	h.mu.Unlock()
+}

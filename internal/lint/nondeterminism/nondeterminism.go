@@ -1,0 +1,64 @@
+// Package nondeterminism enforces the determinism contract's randomness
+// rule: packages under internal/ must not draw from math/rand's (or
+// math/rand/v2's) global, process-seeded source — jitter, shuffles and
+// sampling must come from an explicitly seeded *rand.Rand so schedules
+// replay bit-for-bit in the chaos suite. Constructors (rand.New,
+// rand.NewSource, ...) and methods on a *rand.Rand value are fine; the
+// package-level convenience functions are what the rule bans. The
+// "//lint:allow nondeterminism" annotation is the documented escape
+// hatch for the rare spot where true entropy is the point.
+package nondeterminism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+// constructors are the package-level functions that build explicit
+// sources instead of consuming the global one.
+var constructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// Analyzer is the nondeterminism rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "nondeterminism",
+	Doc: "math/rand's global source is seeded per process and breaks replay; " +
+		"deterministic packages must use an explicitly seeded *rand.Rand",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if !lintutil.HasSegment(path, "internal") {
+		return nil // the contract covers the deterministic fabric only
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || constructors[obj.Name()] {
+				return true
+			}
+			if !lintutil.IsPkgLevel(obj, "math/rand") && !lintutil.IsPkgLevel(obj, "math/rand/v2") {
+				return true
+			}
+			if pass.Allowed(sel.Pos()) {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "global rand.%s draws from the process-seeded source in deterministic package %s: use an explicitly seeded *rand.Rand", obj.Name(), path)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+package nondeterminism_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/nondeterminism"
+)
+
+// TestInternal proves the rule bans the global-source convenience
+// functions of math/rand and math/rand/v2 under internal/, while seeded
+// *rand.Rand values, the constructors, and the annotation escape hatch
+// stay clean.
+func TestInternal(t *testing.T) {
+	linttest.Run(t, nondeterminism.Analyzer, "testdata/internal_pkg", "repro/internal/example")
+}
+
+// TestOutside proves packages outside internal/ are not in scope: a
+// command may roll dice however it likes.
+func TestOutside(t *testing.T) {
+	linttest.Run(t, nondeterminism.Analyzer, "testdata/cmd_pkg", "repro/cmd/example")
+}

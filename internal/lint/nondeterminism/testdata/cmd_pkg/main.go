@@ -1,0 +1,9 @@
+// Package main stands in for a command: outside internal/, the
+// determinism contract does not constrain randomness.
+package main
+
+import "math/rand"
+
+func main() {
+	_ = rand.Intn(6)
+}

@@ -1,0 +1,36 @@
+// Package example exercises the nondeterminism rule: global math/rand
+// draws are flagged, explicitly seeded sources are the sanctioned
+// replacement.
+package example
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+func violations() {
+	_ = rand.Intn(6)     // want `global rand\.Intn draws from the process-seeded source`
+	_ = rand.Float64()   // want `global rand\.Float64 draws from the process-seeded source`
+	_ = rand.Int63()     // want `global rand\.Int63 draws from the process-seeded source`
+	_ = rand.Perm(4)     // want `global rand\.Perm draws from the process-seeded source`
+	rand.Shuffle(3, nil) // want `global rand\.Shuffle draws from the process-seeded source`
+	rand.Seed(42)        // want `global rand\.Seed draws from the process-seeded source`
+	_ = randv2.Int()     // want `global rand\.Int draws from the process-seeded source`
+	_ = randv2.IntN(6)   // want `global rand\.IntN draws from the process-seeded source`
+	_ = randv2.Uint64()  // want `global rand\.Uint64 draws from the process-seeded source`
+}
+
+// seeded is the sanctioned pattern: an explicit seed, methods on the
+// resulting *rand.Rand.
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(3, func(i, j int) {})
+	r2 := randv2.New(randv2.NewPCG(1, 2))
+	return rng.Float64() + r2.Float64()
+}
+
+// annotated shows the documented escape hatch for the rare place true
+// entropy is wanted.
+func annotated() int {
+	return rand.Intn(6) //lint:allow nondeterminism: entropy is the point here
+}

@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+// TestRepoIsClean runs the whole analyzer suite over every module
+// package, the same sweep cmd/ravelint performs in make ci: the
+// determinism and resilience contracts hold repo-wide, so any finding is
+// a regression. Keeping this inside go test means tier-1 alone enforces
+// zero findings.
+func TestRepoIsClean(t *testing.T) {
+	root, err := loader.FindRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := loader.NewProgram(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := prog.PackageDirs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 10 {
+		t.Fatalf("suspiciously few packages found (%d): loader walk is broken", len(paths))
+	}
+	for _, path := range paths {
+		pkg, err := prog.Load(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		for _, a := range Analyzers() {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      prog.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				t.Errorf("%s: %s [%s]", prog.Fset.Position(d.Pos), d.Message, a.Name)
+			}
+			if err := a.Run(pass); err != nil {
+				t.Fatalf("%s: %s: %v", path, a.Name, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,20 @@
+// Package main exercises the wallclock rule in a command: direct uses
+// are flagged unless carrying an explicit //lint:allow wallclock
+// annotation, on the same line or the line above.
+package main
+
+import "time"
+
+func main() {
+	_ = time.Now()               // want `direct time\.Now in command`
+	time.Sleep(time.Millisecond) // want `direct time\.Sleep in command`
+
+	_ = time.Now() //lint:allow wallclock: trailing annotation
+
+	//lint:allow wallclock: preceding annotation
+	start := time.Now()
+	_ = start
+
+	// An annotation naming a different analyzer does not suppress.
+	_ = time.Now() //lint:allow lockedio // want `direct time\.Now in command`
+}

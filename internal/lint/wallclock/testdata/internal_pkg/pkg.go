@@ -1,0 +1,32 @@
+// Package example exercises the wallclock rule inside internal/: every
+// wall-clock entry point is flagged, Duration arithmetic is not, and the
+// annotation escape hatch is ignored (internal code must inject a
+// vclock.Clock instead).
+package example
+
+import "time"
+
+func violations() {
+	_ = time.Now()                       // want `direct time\.Now in internal package`
+	time.Sleep(time.Millisecond)         // want `direct time\.Sleep in internal package`
+	<-time.After(time.Second)            // want `direct time\.After in internal package`
+	_ = time.NewTimer(time.Second)       // want `direct time\.NewTimer in internal package`
+	_ = time.NewTicker(time.Second)      // want `direct time\.NewTicker in internal package`
+	_ = time.Tick(time.Second)           // want `direct time\.Tick in internal package`
+	_ = time.Since(time.Time{})          // want `direct time\.Since in internal package`
+	_ = time.Until(time.Time{})          // want `direct time\.Until in internal package`
+	_ = time.AfterFunc(time.Second, nil) // want `direct time\.AfterFunc in internal package`
+}
+
+// annotated shows the escape hatch does not work under internal/.
+func annotated() {
+	_ = time.Now() //lint:allow wallclock // want `direct time\.Now in internal package`
+}
+
+// clean uses time values and arithmetic, which are deterministic and
+// allowed everywhere.
+func clean(d time.Duration) time.Duration {
+	deadline := time.Time{}.Add(d)
+	_ = deadline
+	return 2 * time.Second / 3
+}

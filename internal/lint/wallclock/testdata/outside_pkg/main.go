@@ -1,0 +1,10 @@
+// Package main stands in for examples/: outside internal/ and cmd/, the
+// wallclock contract does not apply.
+package main
+
+import "time"
+
+func main() {
+	_ = time.Now()
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,9 @@
+// Package vclock stands in for the real injection point: the one
+// internal package allowed to touch the wall clock directly.
+package vclock
+
+import "time"
+
+func now() time.Time            { return time.Now() }
+func sleep(d time.Duration)     { time.Sleep(d) }
+func after(d time.Duration) any { return time.After(d) }

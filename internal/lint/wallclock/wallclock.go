@@ -1,0 +1,75 @@
+// Package wallclock enforces the determinism contract's timing rule: all
+// timing inside the service fabric flows through vclock.Clock, so the
+// chaos suite can replay every schedule on a virtual clock. Direct use
+// of the wall clock — time.Now, time.Sleep, time.After and friends — is
+// banned under internal/ (only internal/vclock, the injection point
+// itself, touches the real clock). Command binaries may opt into the
+// wall clock, but each use needs an explicit "//lint:allow wallclock"
+// annotation so the exceptions stay visible and reviewable.
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+// Banned lists the time package's wall-clock entry points. time.Duration
+// arithmetic and time.Time values are fine — it is reading or waiting on
+// the real clock that breaks replay.
+var Banned = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// Analyzer is the wallclock rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc: "direct wall-clock use outside internal/vclock breaks deterministic replay; " +
+		"inject timing via vclock.Clock (commands may annotate //lint:allow wallclock)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	internal := lintutil.HasSegment(path, "internal")
+	cmd := lintutil.HasSegment(path, "cmd")
+	if !internal && !cmd {
+		return nil // examples and the module root are outside the contract
+	}
+	if strings.HasSuffix(path, "internal/vclock") {
+		return nil // the one package allowed to touch the real clock
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || !lintutil.IsPkgLevel(obj, "time") || !Banned[obj.Name()] {
+				return true
+			}
+			switch {
+			case internal:
+				// Strict: the annotation escape hatch does not apply under
+				// internal/ — the fix is always to inject a vclock.Clock.
+				pass.Reportf(sel.Pos(), "direct time.%s in internal package %s: inject timing via vclock.Clock", obj.Name(), path)
+			case !pass.Allowed(sel.Pos()):
+				pass.Reportf(sel.Pos(), "direct time.%s in command: route timing through vclock.Real or annotate %s wallclock", obj.Name(), analysis.AllowDirective)
+			}
+			return true
+		})
+	}
+	return nil
+}

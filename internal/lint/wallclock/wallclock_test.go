@@ -1,0 +1,31 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/wallclock"
+)
+
+// TestInternal proves the rule fires on every banned time function under
+// internal/ and that the annotation escape hatch is NOT honored there.
+func TestInternal(t *testing.T) {
+	linttest.Run(t, wallclock.Analyzer, "testdata/internal_pkg", "repro/internal/example")
+}
+
+// TestVclock proves the injection point itself is exempt.
+func TestVclock(t *testing.T) {
+	linttest.Run(t, wallclock.Analyzer, "testdata/vclock_pkg", "repro/internal/vclock")
+}
+
+// TestCmd proves commands are flagged unless annotated, and that both
+// trailing and preceding annotation placements work.
+func TestCmd(t *testing.T) {
+	linttest.Run(t, wallclock.Analyzer, "testdata/cmd_pkg", "repro/cmd/example")
+}
+
+// TestOutside proves packages outside internal/ and cmd/ are out of the
+// contract's scope.
+func TestOutside(t *testing.T) {
+	linttest.Run(t, wallclock.Analyzer, "testdata/outside_pkg", "repro/examples/demo")
+}

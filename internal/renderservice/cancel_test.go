@@ -1,0 +1,86 @@
+package renderservice
+
+import (
+	"context"
+	"errors"
+	"io"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/retry"
+	"repro/internal/vclock"
+)
+
+// TestResilientCanceledMidReconnect cancels the subscription context
+// while SubscribeToDataResilient is provably parked in reconnect
+// backoff (the virtual clock holds exactly one pending timer): the loop
+// must return the context's error without dialing again, and without
+// the clock advancing.
+func TestResilientCanceledMidReconnect(t *testing.T) {
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	rs := New(Config{Name: "rs", Device: device.CentrinoLaptop, Workers: 1, Clock: clk})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var dials int32
+	dial := func() (io.ReadWriteCloser, error) {
+		atomic.AddInt32(&dials, 1)
+		return nil, errors.New("data service unreachable")
+	}
+	opts := SubscribeOpts{Retry: retry.Policy{MaxAttempts: 0, BaseDelay: time.Minute}}
+
+	errc := make(chan error, 1)
+	go func() { errc <- rs.SubscribeToDataResilient(ctx, dial, "skull", opts, nil) }()
+
+	// The first dial fails instantly, so the loop parks in backoff.
+	deadline := time.Now().Add(5 * time.Second)
+	for clk.PendingWaiters() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("reconnect loop never parked in backoff: %d waiters", clk.PendingWaiters())
+		}
+		runtime.Gosched()
+	}
+	cancel()
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled reconnect returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("SubscribeToDataResilient never returned after cancel")
+	}
+	if n := atomic.LoadInt32(&dials); n != 1 {
+		t.Fatalf("dialed %d times, want exactly 1 (cancel must not trigger another dial)", n)
+	}
+	if got := clk.Now(); !got.Equal(time.Unix(0, 0)) {
+		t.Fatalf("clock advanced to %v during canceled backoff", got)
+	}
+	if rs.SessionCount() != 0 {
+		t.Errorf("canceled subscription left %d sessions open", rs.SessionCount())
+	}
+}
+
+// TestResilientCanceledBeforeStart: an already-canceled context returns
+// immediately, before the first dial.
+func TestResilientCanceledBeforeStart(t *testing.T) {
+	rs := newService("rs")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	var dials int32
+	dial := func() (io.ReadWriteCloser, error) {
+		atomic.AddInt32(&dials, 1)
+		return nil, errors.New("unreachable")
+	}
+	err := rs.SubscribeToDataResilient(ctx, dial, "skull", SubscribeOpts{}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled subscription returned %v, want context.Canceled", err)
+	}
+	if n := atomic.LoadInt32(&dials); n != 0 {
+		t.Fatalf("dialed %d times with a dead context, want 0", n)
+	}
+}

@@ -1,0 +1,89 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// waitForParked spins until the virtual clock has exactly n pending
+// timers, proving the goroutine under test is parked inside a backoff.
+func waitForParked(t *testing.T, clk *vclock.Virtual, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for clk.PendingWaiters() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timer never parked: %d waiters, want %d", clk.PendingWaiters(), n)
+		}
+		runtime.Gosched()
+	}
+}
+
+// TestSleepCanceledMidBackoff pins down the precise mid-backoff case:
+// Sleep is provably parked on the clock (PendingWaiters == 1) when the
+// context is canceled, and it must return the context's error without
+// the clock ever advancing.
+func TestSleepCanceledMidBackoff(t *testing.T) {
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	p := Policy{BaseDelay: time.Minute} // far longer than the test runs
+	errc := make(chan error, 1)
+	go func() { errc <- p.Sleep(ctx, clk, 1) }()
+
+	waitForParked(t, clk, 1)
+	cancel()
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Sleep returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep never returned after cancel")
+	}
+	if got := clk.Now(); !got.Equal(time.Unix(0, 0)) {
+		t.Fatalf("clock advanced to %v during canceled backoff", got)
+	}
+}
+
+// TestDoCanceledMidBackoffStopsCalling proves cancellation during the
+// backoff between attempts ends the loop without another call to fn:
+// the cancel arrives while Do is provably parked in Sleep, and the
+// returned error wraps the last real failure.
+func TestDoCanceledMidBackoffStopsCalling(t *testing.T) {
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	sentinel := errors.New("data service down")
+	calls := 0
+	errc := make(chan error, 1)
+	go func() {
+		errc <- Do(ctx, clk, Policy{MaxAttempts: 0, BaseDelay: time.Minute}, func() error {
+			calls++
+			return sentinel
+		})
+	}()
+
+	waitForParked(t, clk, 1)
+	cancel()
+
+	var err error
+	select {
+	case err = <-errc:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do never returned after cancel")
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("canceled Do returned %v, want it to wrap %v", err, sentinel)
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want exactly 1 (cancel must not trigger another attempt)", calls)
+	}
+}

@@ -146,7 +146,7 @@ func TestRandomFaultSoup(t *testing.T) {
 		payloads := randomPayloads(rng, 40)
 		faults := netsim.NewFaults(seed).
 			DropFraction(0.1).
-			CorruptWrite(int(seed % 13)).
+			CorruptWrite(int(seed%13)).
 			TruncateWrite(int(seed%7)+20, int(seed%5)).
 			KillAfterWrites(30 + int(seed%10))
 		ok, terminal := runFaulty(t, faults, payloads)

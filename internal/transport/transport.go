@@ -165,7 +165,12 @@ func (c *Conn) Send(t MsgType, payload []byte) error {
 	copy(msg[headerSize:], payload)
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	if _, err := c.rw.Write(msg); err != nil {
+	// wmu exists solely to keep concurrent frames from interleaving on
+	// this one stream — it guards no other state, so a stalled link
+	// blocks only this Conn's senders. This is the one sanctioned
+	// mutex-across-I/O in the codebase; callers must never hold their
+	// own locks across Send (the lockedio analyzer enforces that).
+	if _, err := c.rw.Write(msg); err != nil { //lint:allow lockedio: wmu only serializes this stream's writes
 		return fmt.Errorf("transport: send %s: %w", t, err)
 	}
 	return nil
