@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet fmt-check lint vulncheck build test race ci
+.PHONY: all vet fmt-check lint vulncheck build test race chaos ci
 
 all: ci
 
@@ -15,8 +15,8 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # lint runs the repo's own analyzer suite (wallclock, nondeterminism,
-# lockedio, ctxloop — see DESIGN.md "Static analysis & the determinism
-# contract") followed by go vet.
+# lockedio, ctxloop, leakedgoroutine — see DESIGN.md "Static analysis &
+# the determinism contract") followed by go vet.
 lint:
 	$(GO) run ./cmd/ravelint ./...
 	$(GO) vet ./...
@@ -39,8 +39,15 @@ test:
 race:
 	$(GO) test -race ./...
 
+# chaos runs the kill-and-recover suite twice under the race detector:
+# failover and recovery schedules are goroutine-heavy, and a second run
+# shakes out order-dependent flakes the first can mask.
+chaos:
+	$(GO) test ./internal/chaos/ -race -count=2
+
 # ci is the full gate: formatting, static checks (ravelint + vet +
-# govulncheck when present), a clean build, and the test suite under the
-# race detector (the chaos suite exercises concurrent failure recovery,
-# so -race is part of the bar, not an extra).
-ci: fmt-check lint vulncheck build race
+# govulncheck when present), a clean build, the test suite under the
+# race detector, and a doubled chaos pass (the chaos suite exercises
+# concurrent failure recovery, so -race is part of the bar, not an
+# extra).
+ci: fmt-check lint vulncheck build race chaos

@@ -1,23 +1,44 @@
 // Command ravedata runs a RAVE data service: it imports a model into a
 // session, listens for direct-socket subscriptions from render services
-// and clients, optionally records the audit trail, and registers its
-// access point with a UDDI registry.
+// and clients, optionally records the audit trail and a durable
+// write-ahead journal, and registers its access point with a UDDI
+// registry.
+//
+// High availability: with -journal the session survives a crash —
+// restarting with the same -journal replays the log to the exact op
+// version that was committed before the crash. With -lease the service
+// holds a UDDI lease it renews on a heartbeat; with -standby it instead
+// follows the named primary's op stream as a hot standby, promoting
+// itself (claiming the lease at the next epoch and re-registering in
+// UDDI) when the primary's lease lapses.
 //
 //	ravedata -session skull -model skeletal-hand -addr :9000 \
-//	         -registry http://host:8090 -record skull.rava
+//	         -registry http://host:8090 -record skull.rava -journal skull.wal
+//	ravedata -session skull -addr :9001 -registry http://host:8090 \
+//	         -standby tcp://host:9000 -journal standby.wal
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"strings"
+	"time"
 
 	"repro/internal/dataservice"
+	"repro/internal/dataservice/failover"
+	"repro/internal/dataservice/wal"
 	"repro/internal/geom/genmodel"
 	"repro/internal/uddi"
+	"repro/internal/vclock"
 	"repro/internal/wsdl"
 )
+
+// clock is the binary's single time source; lease renewal and failover
+// polling run on vclock.Real per the wallclock contract.
+var clock vclock.Clock = vclock.Real{}
 
 func main() {
 	name := flag.String("name", "rave-data", "service name")
@@ -28,6 +49,11 @@ func main() {
 	triangles := flag.Int("triangles", 0, "triangle budget for generated models (0 = paper size)")
 	registry := flag.String("registry", "", "UDDI registry URL to register with (optional)")
 	record := flag.String("record", "", "record the session audit trail to this file")
+	journal := flag.String("journal", "", "durable session journal (WAL) path; recovers the session if the file exists")
+	compactEvery := flag.Int("compact-every", 256, "journal checkpoint compaction threshold in ops")
+	lease := flag.Bool("lease", false, "hold a UDDI lease for the session (requires -registry)")
+	leaseRenew := flag.Duration("lease-renew", 2*time.Second, "lease renewal heartbeat interval")
+	standby := flag.String("standby", "", "run as hot standby of the primary at this address (requires -registry)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -35,52 +61,80 @@ func main() {
 		os.Exit(1)
 	}
 
-	svc := dataservice.New(dataservice.Config{Name: *name})
-	var sess *dataservice.Session
-	if mesh, err := genmodel.ByName(*model, *triangles); err == nil {
-		sess, err = svc.CreateSessionFromMesh(*session, *model, mesh)
-		if err != nil {
-			fail(err)
-		}
-	} else {
-		f, ferr := os.Open(*model)
-		if ferr != nil {
-			fail(fmt.Errorf("model %q is neither a generator nor a readable file: %v", *model, ferr))
-		}
-		sess, err = svc.CreateSessionFromOBJ(*session, f)
-		f.Close()
-		if err != nil {
-			fail(err)
-		}
-	}
-
-	if *record != "" {
-		f, err := os.Create(*record)
-		if err != nil {
-			fail(err)
-		}
-		defer f.Close()
-		if err := sess.StartRecording(f); err != nil {
-			fail(err)
-		}
-		fmt.Printf("ravedata: recording audit trail to %s\n", *record)
-	}
+	svc := dataservice.New(dataservice.Config{Name: *name, Clock: clock})
+	leaseName := "data:" + *session
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("ravedata: session %q on tcp://%s\n", *session, ln.Addr())
+	accessPoint := "tcp://" + ln.Addr().String()
 
+	var proxy *uddi.Proxy
 	if *registry != "" {
-		proxy := uddi.Connect(*registry)
-		_, err := proxy.RegisterService("RAVE", *name, "tcp://"+ln.Addr().String(), wsdl.DataServicePortType)
-		if err != nil {
-			fail(fmt.Errorf("UDDI registration: %w", err))
+		proxy = uddi.Connect(*registry)
+	}
+	register := func() error {
+		if proxy == nil {
+			return nil
 		}
-		fmt.Printf("ravedata: registered with %s\n", *registry)
+		if _, err := proxy.RegisterService("RAVE", *name, accessPoint, wsdl.DataServicePortType); err != nil {
+			return fmt.Errorf("UDDI registration: %w", err)
+		}
+		fmt.Printf("ravedata: registered %s with %s\n", accessPoint, *registry)
+		return nil
 	}
 
+	ctx := context.Background()
+
+	if *standby != "" {
+		// Hot-standby mode: follow the primary's op stream; promote when
+		// its lease lapses.
+		if proxy == nil {
+			fail(fmt.Errorf("-standby requires -registry for lease monitoring"))
+		}
+		runStandby(ctx, svc, proxy, *standby, *session, *name, leaseName, accessPoint, *journal, *compactEvery, *leaseRenew, register, fail)
+	} else {
+		sess := openSession(svc, *session, *model, *triangles, *journal, *compactEvery, fail)
+
+		if *record != "" {
+			f, err := os.Create(*record)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			if err := sess.StartRecording(f); err != nil {
+				fail(err)
+			}
+			fmt.Printf("ravedata: recording audit trail to %s\n", *record)
+		}
+		if err := register(); err != nil {
+			fail(err)
+		}
+		if *lease {
+			if proxy == nil {
+				fail(fmt.Errorf("-lease requires -registry"))
+			}
+			keeper := &failover.Keeper{
+				Leases: proxy, Clock: clock,
+				Service: leaseName, Holder: *name, Renew: *leaseRenew,
+			}
+			if _, err := keeper.Acquire(); err != nil {
+				fail(fmt.Errorf("lease: %w", err))
+			}
+			fmt.Printf("ravedata: holding lease %q (renew every %v)\n", leaseName, *leaseRenew)
+			go func() {
+				if err := keeper.Run(ctx); err != nil && ctx.Err() == nil {
+					// Deposed: a standby took over at a newer epoch. Stand
+					// down rather than split the brain.
+					fmt.Fprintln(os.Stderr, "ravedata: lease lost, demoting to read-only:", err)
+					sess.SetReadOnly(true)
+				}
+			}()
+		}
+	}
+
+	fmt.Printf("ravedata: session %q on %s\n", *session, accessPoint)
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -93,4 +147,111 @@ func main() {
 			}
 		}(conn)
 	}
+}
+
+// openSession creates the primary session: recovered from an existing
+// journal when one is present, imported from the model otherwise.
+func openSession(svc *dataservice.Service, session, model string, triangles int, journal string, compactEvery int, fail func(error)) *dataservice.Session {
+	if journal != "" {
+		store := wal.NewOSStore(journal)
+		if wal.Exists(store) {
+			sess, rec, err := svc.RecoverSession(session, store, compactEvery)
+			if err != nil {
+				fail(fmt.Errorf("journal recovery: %w", err))
+			}
+			torn := ""
+			if rec.Torn != nil {
+				torn = fmt.Sprintf(" (discarded torn tail: %v)", rec.Torn)
+			}
+			fmt.Printf("ravedata: recovered session %q from %s at version %d (%d ops replayed)%s\n",
+				session, journal, rec.Version, len(rec.Ops), torn)
+			return sess
+		}
+	}
+
+	var sess *dataservice.Session
+	if mesh, err := genmodel.ByName(model, triangles); err == nil {
+		sess, err = svc.CreateSessionFromMesh(session, model, mesh)
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		f, ferr := os.Open(model)
+		if ferr != nil {
+			fail(fmt.Errorf("model %q is neither a generator nor a readable file: %v", model, ferr))
+		}
+		var cerr error
+		sess, cerr = svc.CreateSessionFromOBJ(session, f)
+		f.Close()
+		if cerr != nil {
+			fail(cerr)
+		}
+	}
+	if journal != "" {
+		if err := sess.StartJournal(wal.NewOSStore(journal), compactEvery); err != nil {
+			fail(err)
+		}
+		fmt.Printf("ravedata: journaling session %q to %s\n", session, journal)
+	}
+	return sess
+}
+
+// runStandby follows the primary and blocks until promotion, after
+// which the (now authoritative) service keeps serving connections.
+func runStandby(ctx context.Context, svc *dataservice.Service, proxy *uddi.Proxy, primaryAddr, session, name, leaseName, accessPoint, journal string, compactEvery int, leaseRenew time.Duration, register func() error, fail func(error)) {
+	st := &failover.Standby{
+		Service: svc, SessionName: session, Name: "standby:" + name,
+		IdleTimeout: failover.DefaultMissedRenewals * leaseRenew, Clock: clock,
+	}
+	// Replication loop: redial the primary until promoted.
+	go func() {
+		for ctx.Err() == nil && !st.Promoted() {
+			conn, err := net.Dial("tcp", strings.TrimPrefix(primaryAddr, "tcp://"))
+			if err != nil {
+				clock.Sleep(leaseRenew)
+				continue
+			}
+			err = st.Run(ctx, conn)
+			conn.Close()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ravedata: replication:", err)
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-clock.After(leaseRenew):
+			}
+		}
+	}()
+	mon := &failover.Monitor{
+		Leases: proxy, Clock: clock,
+		Service: leaseName, Holder: name, Poll: leaseRenew,
+		Standby: st, Reregister: register,
+	}
+	fmt.Printf("ravedata: standing by for %q behind %s (lease %q)\n", session, primaryAddr, leaseName)
+	promo, err := mon.Run(ctx)
+	if err != nil {
+		fail(fmt.Errorf("failover monitor: %w", err))
+	}
+	fmt.Printf("ravedata: promoted at version %d, epoch %d\n", promo.Version, promo.Lease.Epoch)
+	if journal != "" {
+		if err := promo.Session.StartJournal(wal.NewOSStore(journal), compactEvery); err != nil {
+			fail(err)
+		}
+		fmt.Printf("ravedata: journaling promoted session %q to %s\n", session, journal)
+	}
+	// Keep the claimed lease alive as the new primary.
+	keeper := &failover.Keeper{
+		Leases: proxy, Clock: clock,
+		Service: leaseName, Holder: name, Renew: leaseRenew,
+	}
+	if _, err := keeper.Acquire(); err != nil {
+		fail(fmt.Errorf("lease after promotion: %w", err))
+	}
+	go func() {
+		if err := keeper.Run(ctx); err != nil && ctx.Err() == nil {
+			fmt.Fprintln(os.Stderr, "ravedata: lease lost, demoting to read-only:", err)
+			promo.Session.SetReadOnly(true)
+		}
+	}()
 }

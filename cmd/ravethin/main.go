@@ -3,13 +3,21 @@
 // the camera while requesting frames, reports the achieved frame rate,
 // and writes the final frame as a PNG.
 //
+// A bare EOF on the frame stream is NOT a clean shutdown: it means the
+// render service died or the link dropped, so the client reconnects
+// with backoff (re-discovering through UDDI when -registry is given)
+// and resumes requesting frames — the same ErrConnectionLost treatment
+// raverender applies to its data subscription.
+//
 //	ravethin -render 127.0.0.1:9001 -session skull -frames 10 -out view.png
 //	ravethin -registry http://host:8090 -session skull
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"strings"
@@ -17,13 +25,15 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/raster"
+	"repro/internal/retry"
 	"repro/internal/uddi"
 	"repro/internal/vclock"
 	"repro/internal/wsdl"
 )
 
 // clock is the binary's single time source; the frame-rate measurement
-// runs on vclock.Real per the wallclock contract.
+// and the reconnect backoff run on vclock.Real per the wallclock
+// contract.
 var clock vclock.Clock = vclock.Real{}
 
 func main() {
@@ -37,6 +47,7 @@ func main() {
 	codec := flag.String("codec", "adaptive", "frame codec: raw, rle, delta-rle, adaptive")
 	out := flag.String("out", "ravethin.png", "PNG path for the final frame")
 	orbit := flag.Bool("orbit", false, "orbit the camera between frames (otherwise keep the session's fitted view)")
+	maxAttempts := flag.Int("max-reconnects", 6, "reconnect attempts before giving up (0 = retry forever)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -44,35 +55,53 @@ func main() {
 		os.Exit(1)
 	}
 
-	target := *renderAddr
-	if target == "" {
+	// dial resolves a render service fresh on every attempt: a fixed
+	// address redials it; a registry re-queries UDDI, so a reconnect
+	// after a crash finds whichever render service is registered now.
+	var dial client.Dialer
+	if *renderAddr != "" {
+		addr := *renderAddr
+		dial = func() (io.ReadWriteCloser, error) {
+			return net.Dial("tcp", addr)
+		}
+	} else {
 		if *registry == "" {
 			fail(fmt.Errorf("need -render or -registry"))
 		}
 		proxy := uddi.Connect(*registry)
-		points, err := proxy.Bootstrap("RAVE", wsdl.RenderServicePortType)
-		if err != nil {
-			fail(fmt.Errorf("UDDI discovery: %w", err))
+		dial = func() (io.ReadWriteCloser, error) {
+			points, err := proxy.Bootstrap("RAVE", wsdl.RenderServicePortType)
+			if err != nil {
+				return nil, fmt.Errorf("UDDI discovery: %w", err)
+			}
+			if len(points) == 0 {
+				return nil, fmt.Errorf("no render services registered")
+			}
+			var lastErr error
+			for _, p := range points {
+				target := strings.TrimPrefix(p, "tcp://")
+				conn, err := net.Dial("tcp", target)
+				if err == nil {
+					fmt.Printf("ravethin: discovered render service at %s\n", target)
+					return conn, nil
+				}
+				lastErr = err
+			}
+			return nil, fmt.Errorf("all %d discovered render services failed: %w", len(points), lastErr)
 		}
-		if len(points) == 0 {
-			fail(fmt.Errorf("no render services registered"))
-		}
-		target = strings.TrimPrefix(points[0], "tcp://")
-		fmt.Printf("ravethin: discovered render service at %s\n", target)
 	}
 
-	conn, err := net.Dial("tcp", target)
-	if err != nil {
-		fail(err)
-	}
-	defer conn.Close()
-	thin, err := client.DialThin(conn, *user, *session)
+	policy := retry.DefaultPolicy()
+	policy.MaxAttempts = *maxAttempts
+
+	ctx := context.Background()
+	thin, err := client.DialThinResilient(ctx, dial, *user, *session, policy, clock)
 	if err != nil {
 		fail(err)
 	}
 	defer thin.Close()
 
-	rep, err := thin.Capacity()
+	rep, err := thin.Capacity(ctx)
 	if err != nil {
 		fail(err)
 	}
@@ -85,11 +114,11 @@ func main() {
 	for i := 0; i < *frames; i++ {
 		if *orbit {
 			cam = cam.Orbit(0.15, 0.02)
-			if err := thin.SetCamera(cam); err != nil {
+			if err := thin.SetCamera(ctx, cam); err != nil {
 				fail(err)
 			}
 		}
-		fb, err := thin.RequestFrame(*width, *height, *codec)
+		fb, err := thin.RequestFrame(ctx, *width, *height, *codec)
 		if err != nil {
 			fail(err)
 		}

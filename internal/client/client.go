@@ -73,7 +73,9 @@ func (c *Thin) RequestFrame(w, h int, codec string) (*raster.Framebuffer, error)
 	if t == transport.MsgError {
 		var ei transport.ErrorInfo
 		transport.DecodeJSON(payload, &ei)
-		return nil, fmt.Errorf("client: frame refused: %s", ei.Message)
+		// A refusal is an application answer on a healthy stream, typed
+		// so resilient wrappers know not to reconnect over it.
+		return nil, &RefusedError{Op: "frame", Message: ei.Message}
 	}
 	if t != transport.MsgFrame {
 		return nil, fmt.Errorf("client: expected frame, got %s", t)

@@ -303,6 +303,51 @@ func (d *Deployment) ConnectRenderToDataResilient(ctx context.Context, rs *rende
 	}
 }
 
+// AccessScanner is the slice of the UDDI proxy that re-discovery needs:
+// one incremental scan returning current access points for a technical
+// model (*uddi.Proxy satisfies it).
+type AccessScanner interface {
+	ScanAccessPoints(tmodelName string) ([]string, error)
+}
+
+// DiscoverDialer returns a dialer that re-queries UDDI on every dial:
+// it scans the registry for access points advertising tmodelName and
+// connects to the first that answers. This is how a subscriber finds a
+// promoted standby after its primary dies — the standby re-registers
+// its access point, and the next reconnect attempt discovers it instead
+// of hammering the dead address. connect maps an access point to a
+// stream; nil means a plain TCP dial.
+func DiscoverDialer(scanner AccessScanner, tmodelName string, connect func(accessPoint string) (io.ReadWriteCloser, error)) renderservice.Dialer {
+	if connect == nil {
+		connect = func(ap string) (io.ReadWriteCloser, error) {
+			return net.Dial("tcp", stripScheme(ap))
+		}
+	}
+	return func() (io.ReadWriteCloser, error) {
+		points, err := scanner.ScanAccessPoints(tmodelName)
+		if err != nil {
+			return nil, fmt.Errorf("core: discovery scan: %w", err)
+		}
+		if len(points) == 0 {
+			return nil, fmt.Errorf("core: no %s access points registered", tmodelName)
+		}
+		var lastErr error
+		for _, ap := range points {
+			rw, err := connect(ap)
+			if err == nil {
+				return rw, nil
+			}
+			lastErr = err
+		}
+		return nil, fmt.Errorf("core: all %d %s access points failed: %w", len(points), tmodelName, lastErr)
+	}
+}
+
+// DataDialer is DiscoverDialer preconfigured for data services over TCP.
+func DataDialer(proxy *uddi.Proxy) renderservice.Dialer {
+	return DiscoverDialer(proxy, wsdl.DataServicePortType, nil)
+}
+
 // DialThin connects a thin client to a render service address.
 func (d *Deployment) DialThin(renderAddr, user, session string) (*rthin.Thin, error) {
 	conn, err := net.Dial("tcp", stripScheme(renderAddr))

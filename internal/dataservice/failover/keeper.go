@@ -1,0 +1,195 @@
+package failover
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/dataservice"
+	"repro/internal/uddi"
+	"repro/internal/vclock"
+)
+
+// ErrLeaseLost means the keeper's renewal was rejected as stale: some
+// other instance claimed the lease at a later epoch while we were gone.
+// The holder must stand down immediately (demote its session to
+// read-only) — continuing to accept writes would split the brain.
+var ErrLeaseLost = errors.New("failover: lease lost to a newer epoch")
+
+// DefaultMissedRenewals is how many renewal intervals fit in a lease
+// TTL by default: the primary may miss N-1 heartbeats before the lease
+// lapses and the standby may take over.
+const DefaultMissedRenewals = 3
+
+// Keeper is the primary side of the lease protocol: acquire once, then
+// renew every Renew until cancelled or deposed.
+type Keeper struct {
+	Leases  LeaseAPI
+	Clock   vclock.Clock
+	Service string // logical lease name, e.g. "data:" + session
+	Holder  string // this instance
+	// Renew is the heartbeat interval; TTL defaults to
+	// DefaultMissedRenewals * Renew when zero.
+	Renew time.Duration
+	TTL   time.Duration
+
+	mu    sync.Mutex
+	lease uddi.Lease
+}
+
+// ttl resolves the effective lease TTL.
+func (k *Keeper) ttl() time.Duration {
+	if k.TTL > 0 {
+		return k.TTL
+	}
+	return time.Duration(DefaultMissedRenewals) * k.Renew
+}
+
+// Acquire claims the lease (epoch rules per uddi.Registry.AcquireLease).
+func (k *Keeper) Acquire() (uddi.Lease, error) {
+	l, err := k.Leases.AcquireLease(k.Service, k.Holder, k.ttl(), k.Clock.Now())
+	if err != nil {
+		return uddi.Lease{}, err
+	}
+	k.mu.Lock()
+	k.lease = l
+	k.mu.Unlock()
+	return l, nil
+}
+
+// Lease returns the last granted lease.
+func (k *Keeper) Lease() uddi.Lease {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.lease
+}
+
+// Run renews the lease every Renew interval until ctx is cancelled
+// (returns ctx.Err()) or the renewal is rejected as stale (returns
+// ErrLeaseLost — the caller must demote). Transient registry errors are
+// tolerated: the keeper keeps trying until the lease is actually lost.
+func (k *Keeper) Run(ctx context.Context) error {
+	if k.Renew <= 0 {
+		return fmt.Errorf("failover: keeper needs a positive renew interval")
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-k.Clock.After(k.Renew):
+		}
+		k.mu.Lock()
+		epoch := k.lease.Epoch
+		k.mu.Unlock()
+		l, err := k.Leases.RenewLease(k.Service, k.Holder, epoch, k.ttl(), k.Clock.Now())
+		if err != nil {
+			if errors.Is(err, uddi.ErrLeaseStale) {
+				return fmt.Errorf("%w: %v", ErrLeaseLost, err)
+			}
+			// Registry unreachable: keep heartbeating; the lease decides.
+			continue
+		}
+		k.mu.Lock()
+		k.lease = l
+		k.mu.Unlock()
+	}
+}
+
+// Release drops the lease cleanly so a standby can take over without
+// waiting out the TTL.
+func (k *Keeper) Release() error {
+	k.mu.Lock()
+	l := k.lease
+	k.mu.Unlock()
+	if l.Service == "" {
+		return nil
+	}
+	return k.Leases.ReleaseLease(l.Service, l.Holder, l.Epoch)
+}
+
+// Monitor is the standby side: poll the lease, and when it lapses —
+// the primary missed enough renewals — claim it at the next epoch and
+// promote the standby.
+type Monitor struct {
+	Leases  LeaseAPI
+	Clock   vclock.Clock
+	Service string // logical lease name (must match the Keeper's)
+	Holder  string // this standby instance
+	// Poll is the lease polling interval; TTL is the lease TTL this
+	// monitor will hold after promotion (defaults to the Keeper rule).
+	Poll time.Duration
+	TTL  time.Duration
+
+	Standby *Standby
+	// Reregister, when non-nil, republishes this instance's access
+	// point in UDDI after promotion so re-discovering subscribers find
+	// the new primary.
+	Reregister func() error
+	// OnPromote, when non-nil, runs after a successful promotion (e.g.
+	// re-attach live feeds, restart a migration).
+	OnPromote func(sess *dataservice.Session)
+}
+
+// Promotion describes a completed failover.
+type Promotion struct {
+	// Lease is the newly claimed lease (epoch bumped past the primary's).
+	Lease uddi.Lease
+	// Session is the promoted, now-authoritative session.
+	Session *dataservice.Session
+	// Version is the op version the standby had applied at promotion.
+	Version uint64
+	// At is the virtual-clock promotion time.
+	At time.Time
+}
+
+// Run polls until the lease lapses, then promotes. Returns the
+// promotion record, or ctx.Err() when cancelled first. A lease that was
+// never registered does not trigger promotion — there is no primary to
+// succeed; the monitor keeps waiting.
+func (m *Monitor) Run(ctx context.Context) (*Promotion, error) {
+	if m.Poll <= 0 {
+		return nil, fmt.Errorf("failover: monitor needs a positive poll interval")
+	}
+	ttl := m.TTL
+	if ttl <= 0 {
+		ttl = time.Duration(DefaultMissedRenewals) * m.Poll
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-m.Clock.After(m.Poll):
+		}
+		now := m.Clock.Now()
+		lease, live, err := m.Leases.GetLease(m.Service, now)
+		if err != nil || live || lease.Service == "" {
+			// Unreachable registry, a live primary, or no primary yet:
+			// nothing to succeed.
+			continue
+		}
+		if lease.Holder == m.Holder {
+			// Our own stale registration (e.g. restarted standby).
+			continue
+		}
+		claimed, err := m.Leases.AcquireLease(m.Service, m.Holder, ttl, now)
+		if err != nil {
+			// Raced a primary renewal or another standby; keep watching.
+			continue
+		}
+		sess, err := m.Standby.Promote()
+		if err != nil {
+			return nil, err
+		}
+		if m.Reregister != nil {
+			if err := m.Reregister(); err != nil {
+				return nil, fmt.Errorf("failover: re-register after promotion: %w", err)
+			}
+		}
+		if m.OnPromote != nil {
+			m.OnPromote(sess)
+		}
+		return &Promotion{Lease: claimed, Session: sess, Version: m.Standby.Applied(), At: m.Clock.Now()}, nil
+	}
+}

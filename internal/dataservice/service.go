@@ -10,6 +10,7 @@ package dataservice
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -83,7 +84,72 @@ type Session struct {
 	subscribers map[string]Subscriber
 	interests   map[string]*interestSet
 	recorder    *Recorder
+	journal     *journalSink
 	distributor *Distributor
+
+	// history is a bounded ring of recently committed ops so an
+	// interrupted subscriber can resume at its last applied version and
+	// resync only the gap instead of re-bootstrapping the whole scene.
+	history opHistory
+	// readOnly marks a hot-standby session: external updates are
+	// refused until promotion, but the replication path still applies.
+	readOnly bool
+	// standbyAcks tracks, per standby replica, the highest op version it
+	// acknowledged as applied (replication lag observability).
+	standbyAcks map[string]uint64
+	// snapshotsServed / resumesServed count bootstrap paths taken, so
+	// tests can assert a reconnect resynced only the gap.
+	snapshotsServed uint64
+	resumesServed   uint64
+}
+
+// ErrReadOnly is returned for updates sent to a standby session that
+// has not been promoted: only the primary accepts external writes.
+var ErrReadOnly = errors.New("dataservice: session is a read-only standby")
+
+// historyCap bounds the per-session resume ring. 512 ops of lag is far
+// beyond any reconnect window the chaos suite exercises; beyond it a
+// returning subscriber falls back to a full snapshot.
+const historyCap = 512
+
+// histOp is one retained committed op.
+type histOp struct {
+	version uint64
+	op      scene.Op
+}
+
+// opHistory is a contiguous ring of the most recent committed ops.
+type opHistory struct {
+	ops []histOp
+}
+
+func (h *opHistory) push(version uint64, op scene.Op) {
+	if len(h.ops) > 0 && h.ops[len(h.ops)-1].version+1 != version {
+		// A discontinuity (e.g. a recovered session resuming at a later
+		// version) invalidates the ring; restart it.
+		h.ops = h.ops[:0]
+	}
+	h.ops = append(h.ops, histOp{version, op})
+	if len(h.ops) > historyCap {
+		h.ops = h.ops[len(h.ops)-historyCap:]
+	}
+}
+
+// since returns the ops covering (v, latest] and true when the ring is
+// contiguous from v+1; otherwise false and the caller must fall back to
+// a snapshot bootstrap.
+func (h *opHistory) since(v, latest uint64) ([]histOp, bool) {
+	if v == latest {
+		return nil, true
+	}
+	if len(h.ops) == 0 || h.ops[0].version > v+1 || h.ops[len(h.ops)-1].version != latest {
+		return nil, false
+	}
+	start := int(v + 1 - h.ops[0].version)
+	if start < 0 || start >= len(h.ops) {
+		return nil, false
+	}
+	return append([]histOp(nil), h.ops[start:]...), true
 }
 
 // CreateSession creates an empty session.
@@ -102,6 +168,7 @@ func (s *Service) CreateSession(name string) (*Session, error) {
 		scene:       scene.New(),
 		subscribers: map[string]Subscriber{},
 		interests:   map[string]*interestSet{},
+		standbyAcks: map[string]uint64{},
 	}
 	cam := raster.DefaultCamera()
 	sess.camera = cameraState(cam)
@@ -204,6 +271,16 @@ func (sess *Session) Scene(fn func(sc *scene.Scene)) {
 	fn(sess.scene)
 }
 
+// InstallScene replaces the authoritative scene wholesale — the
+// replication path installing a bootstrap or resync snapshot from a
+// primary. The op-history ring is reset (it described the old scene).
+func (sess *Session) InstallScene(sc *scene.Scene) {
+	sess.mu.Lock()
+	sess.scene = sc
+	sess.history.ops = sess.history.ops[:0]
+	sess.mu.Unlock()
+}
+
 // Snapshot returns a deep copy of the authoritative scene.
 func (sess *Session) Snapshot() *scene.Scene {
 	sess.mu.Lock()
@@ -219,10 +296,27 @@ func (sess *Session) Version() uint64 {
 }
 
 // ApplyUpdate applies an op to the authoritative scene, records it in
-// the audit trail, and fans it out to every subscriber except origin
-// (which already applied it locally).
+// the audit trail and the durable journal, and fans it out to every
+// subscriber except origin (which already applied it locally). On a
+// read-only standby session it refuses with ErrReadOnly; the
+// replication path uses ApplyReplicated instead.
 func (sess *Session) ApplyUpdate(op scene.Op, origin string) error {
+	return sess.applyUpdate(op, origin, false)
+}
+
+// ApplyReplicated applies an op arriving over the replication stream
+// from the primary. It bypasses the read-only guard — a standby must
+// keep following its primary right up until promotion.
+func (sess *Session) ApplyReplicated(op scene.Op, origin string) error {
+	return sess.applyUpdate(op, origin, true)
+}
+
+func (sess *Session) applyUpdate(op scene.Op, origin string, replicated bool) error {
 	sess.mu.Lock()
+	if sess.readOnly && !replicated {
+		sess.mu.Unlock()
+		return fmt.Errorf("%w: session %q", ErrReadOnly, sess.Name)
+	}
 	if err := sess.scene.ApplyOp(op); err != nil {
 		sess.mu.Unlock()
 		return err
@@ -233,7 +327,14 @@ func (sess *Session) ApplyUpdate(op scene.Op, origin string) error {
 			return fmt.Errorf("dataservice: audit append: %w", err)
 		}
 	}
+	if sess.journal != nil {
+		if err := sess.journal.append(sess, op); err != nil {
+			sess.mu.Unlock()
+			return fmt.Errorf("dataservice: journal append: %w", err)
+		}
+	}
 	version := sess.scene.Version
+	sess.history.push(version, op)
 	type target struct {
 		name string
 		sub  Subscriber
@@ -305,6 +406,96 @@ func (sess *Session) Subscribe(name string, sub Subscriber) (*scene.Scene, error
 	}
 	sess.subscribers[name] = sub
 	return sess.scene.Clone(), nil
+}
+
+// ReplayOp is one op returned by SubscribeSince for gap-only resync.
+type ReplayOp struct {
+	Version uint64
+	Op      scene.Op
+}
+
+// SubscribeSince registers a subscriber that may already hold a replica
+// at scene version since. When the session's op history is contiguous
+// from since+1, it returns the missed ops (possibly empty) and a nil
+// snapshot — the subscriber resyncs only the gap. Otherwise it falls
+// back to Subscribe semantics and returns a full bootstrap snapshot.
+// The returned version is the authoritative version the subscriber will
+// be at after applying what it was given.
+func (sess *Session) SubscribeSince(name string, sub Subscriber, since uint64) (ops []ReplayOp, snapshot *scene.Scene, version uint64, err error) {
+	if name == "" {
+		return nil, nil, 0, fmt.Errorf("dataservice: subscriber name required")
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if _, dup := sess.subscribers[name]; dup {
+		return nil, nil, 0, fmt.Errorf("dataservice: subscriber %q already attached", name)
+	}
+	sess.subscribers[name] = sub
+	version = sess.scene.Version
+	// since == 0 means "no replica": always a full bootstrap.
+	if since > 0 && since <= version {
+		if tail, ok := sess.history.since(since, version); ok {
+			sess.resumesServed++
+			for _, h := range tail {
+				ops = append(ops, ReplayOp{Version: h.version, Op: h.op})
+			}
+			return ops, nil, version, nil
+		}
+	}
+	sess.snapshotsServed++
+	return nil, sess.scene.Clone(), version, nil
+}
+
+// BootstrapStats reports how many subscriber bootstraps were served as
+// full snapshots vs. gap-only resumes (including resync snapshots).
+func (sess *Session) BootstrapStats() (snapshots, resumes uint64) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.snapshotsServed, sess.resumesServed
+}
+
+// noteSnapshot counts a resync snapshot served outside SubscribeSince.
+func (sess *Session) noteSnapshot() {
+	sess.mu.Lock()
+	sess.snapshotsServed++
+	sess.mu.Unlock()
+}
+
+// SetReadOnly marks or unmarks the session as a standby: while set,
+// ApplyUpdate refuses external writes with ErrReadOnly and only the
+// replication stream (ApplyReplicated) may change the scene.
+func (sess *Session) SetReadOnly(ro bool) {
+	sess.mu.Lock()
+	sess.readOnly = ro
+	sess.mu.Unlock()
+}
+
+// IsReadOnly reports whether the session refuses external writes.
+func (sess *Session) IsReadOnly() bool {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.readOnly
+}
+
+// RecordStandbyAck notes that standby name has applied the op stream
+// through version.
+func (sess *Session) RecordStandbyAck(name string, version uint64) {
+	sess.mu.Lock()
+	if version > sess.standbyAcks[name] {
+		sess.standbyAcks[name] = version
+	}
+	sess.mu.Unlock()
+}
+
+// StandbyAcks returns the highest acknowledged version per standby.
+func (sess *Session) StandbyAcks() map[string]uint64 {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	out := make(map[string]uint64, len(sess.standbyAcks))
+	for k, v := range sess.standbyAcks {
+		out[k] = v
+	}
+	return out
 }
 
 // Unsubscribe removes a subscriber.
@@ -383,19 +574,32 @@ func (s *Service) ServeConn(rw io.ReadWriter) error {
 	}
 
 	sub := &connSubscriber{conn: conn}
-	snapshot, err := sess.Subscribe(hello.Name, sub)
+	ops, snapshot, version, err := sess.SubscribeSince(hello.Name, sub, hello.SinceVersion)
 	if err != nil {
 		conn.SendJSON(transport.MsgError, transport.ErrorInfo{Message: err.Error()})
 		return err
 	}
 	defer sess.Unsubscribe(hello.Name)
 
-	var buf bytes.Buffer
-	if err := marshal.WriteScene(&buf, snapshot); err != nil {
-		return err
-	}
-	if err := conn.Send(transport.MsgSceneSnapshot, buf.Bytes()); err != nil {
-		return err
+	if snapshot != nil {
+		var buf bytes.Buffer
+		if err := marshal.WriteScene(&buf, snapshot); err != nil {
+			return err
+		}
+		if err := conn.Send(transport.MsgSceneSnapshot, buf.Bytes()); err != nil {
+			return err
+		}
+	} else {
+		// The subscriber's replica is close enough to resume: confirm,
+		// then replay only the gap as versioned ops.
+		if err := conn.SendJSON(transport.MsgResumeOK, transport.ResumeInfo{Version: version, Since: hello.SinceVersion}); err != nil {
+			return err
+		}
+		for _, rop := range ops {
+			if err := sub.SendOpVer(rop.Op, rop.Version); err != nil {
+				return err
+			}
+		}
 	}
 	if err := conn.SendJSON(transport.MsgCameraUpdate, sess.Camera()); err != nil {
 		return err
@@ -456,6 +660,7 @@ func (s *Service) ServeConn(rw io.ReadWriter) error {
 			}
 		case transport.MsgResyncRequest:
 			// The replica detected a gap: ship a fresh bootstrap snapshot.
+			sess.noteSnapshot()
 			var buf bytes.Buffer
 			if err := marshal.WriteScene(&buf, sess.Snapshot()); err != nil {
 				return err
@@ -463,6 +668,12 @@ func (s *Service) ServeConn(rw io.ReadWriter) error {
 			if err := conn.Send(transport.MsgSceneSnapshot, buf.Bytes()); err != nil {
 				return err
 			}
+		case transport.MsgStandbyAck:
+			var vr transport.VersionReport
+			if err := transport.DecodeJSON(payload, &vr); err != nil {
+				return err
+			}
+			sess.RecordStandbyAck(hello.Name, vr.Version)
 		default:
 			// Ignore messages this role does not handle.
 		}

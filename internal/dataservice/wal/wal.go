@@ -1,0 +1,401 @@
+// Package wal is the data service's durable session journal: a
+// fsync-on-commit write-ahead log that generalizes the audit trail's
+// RAVA layout (base snapshot + ops) with versioned, CRC-guarded records
+// and checkpoint compaction. Where the audit trail exists for playback
+// and asynchronous collaboration, the WAL exists for crash recovery:
+// after a power cut mid-session, Recover replays the log to the exact
+// op version that was last committed, tolerating a torn tail (a record
+// that was being written when the machine died) without losing any
+// record that a commit acknowledged.
+//
+// Segment layout (all integers big-endian):
+//
+//	magic "RAVW" | format uint16
+//	checkpoint: tag 'S' | version uint64 | nanos int64 | len uint32 | crc uint32 | scene
+//	op:         tag 'O' | version uint64 | nanos int64 | len uint32 | crc uint32 | op
+//
+// Every record is written as a single Write call followed by Sync, so
+// the only possible damage from a crash is a truncated or torn final
+// record — which Recover detects by length or CRC and discards. A
+// segment always begins with a checkpoint; compaction rewrites the
+// segment as a fresh checkpoint at the current version and atomically
+// promotes it, bounding both recovery time and disk growth.
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"time"
+
+	"repro/internal/marshal"
+	"repro/internal/scene"
+)
+
+// Magic opens every segment.
+const Magic = 0x52415657 // "RAVW"
+
+// Format is the segment format version.
+const Format uint16 = 1
+
+// Record tags.
+const (
+	tagCheckpoint = 'S'
+	tagOp         = 'O'
+)
+
+// headerSize is magic(4) + format(2).
+const headerSize = 6
+
+// recHeaderSize is tag(1) + version(8) + nanos(8) + len(4) + crc(4).
+const recHeaderSize = 25
+
+// maxRecord bounds one record body (matches transport.MaxPayload).
+const maxRecord = 1 << 30
+
+// Typed errors for damaged segments. Recover treats damage at the tail
+// as a survivable crash artifact; damage before the tail, or in strict
+// readers, surfaces as an error wrapping one of these.
+var (
+	// ErrBadMagic means the stream is not a WAL segment.
+	ErrBadMagic = errors.New("wal: bad segment magic")
+	// ErrBadFormat means the segment was written by an unknown format.
+	ErrBadFormat = errors.New("wal: unknown segment format")
+	// ErrTruncated means the segment ended inside a record.
+	ErrTruncated = errors.New("wal: truncated record")
+	// ErrChecksum means a record body does not match its CRC.
+	ErrChecksum = errors.New("wal: record checksum mismatch")
+	// ErrTooLarge means a record announced an oversize body.
+	ErrTooLarge = errors.New("wal: record exceeds size limit")
+	// ErrNoCheckpoint means the segment does not begin with a checkpoint.
+	ErrNoCheckpoint = errors.New("wal: segment does not start with a checkpoint")
+)
+
+// WriteSyncCloser is the durable sink a Store hands out: Sync must not
+// return until previously written bytes are on stable storage.
+type WriteSyncCloser interface {
+	io.WriteCloser
+	Sync() error
+}
+
+// Store abstracts where segments live, so the journal runs identically
+// over OS files (cmd/ravedata) and in-memory buffers (deterministic
+// tests, which also use MemStore's synced-bytes view to simulate a
+// crash that loses unsynced writes).
+type Store interface {
+	// Open returns the active segment for recovery, or an error wrapping
+	// fs.ErrNotExist when no segment has ever been committed.
+	Open() (io.ReadCloser, error)
+	// Append opens the active segment for appending, creating it when
+	// absent.
+	Append() (WriteSyncCloser, error)
+	// Replace begins a compacted replacement segment.
+	Replace() (WriteSyncCloser, error)
+	// Promote atomically makes the last Replace segment the active one.
+	// The caller has already Synced and Closed the replacement.
+	Promote() error
+}
+
+// writeRecord frames one record as a single Write (header + body), so a
+// crash or injected fault tears whole records, never interleavings.
+func writeRecord(w io.Writer, tag byte, version uint64, at time.Time, body []byte) error {
+	if len(body) > maxRecord {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(body))
+	}
+	rec := make([]byte, recHeaderSize+len(body))
+	rec[0] = tag
+	binary.BigEndian.PutUint64(rec[1:], version)
+	binary.BigEndian.PutUint64(rec[9:], uint64(at.UnixNano()))
+	binary.BigEndian.PutUint32(rec[17:], uint32(len(body)))
+	binary.BigEndian.PutUint32(rec[21:], crc32.ChecksumIEEE(body))
+	copy(rec[recHeaderSize:], body)
+	if _, err := w.Write(rec); err != nil {
+		return fmt.Errorf("wal: write record: %w", err)
+	}
+	return nil
+}
+
+// Log appends committed session updates to the active segment. Not safe
+// for concurrent use; the data service serializes appends under its
+// session lock, which is exactly the commit ordering the journal must
+// preserve.
+type Log struct {
+	store   Store
+	seg     WriteSyncCloser
+	err     error // sticky: a failed append poisons the log
+	version uint64
+
+	// CompactEvery triggers checkpoint compaction after this many ops
+	// since the last checkpoint (0 = never compact automatically).
+	CompactEvery int
+	opsSince     int
+}
+
+// Create starts a fresh journal whose first checkpoint is base at
+// baseVersion, replacing any previous segment. The checkpoint is synced
+// before Create returns.
+func Create(store Store, base *scene.Scene, baseVersion uint64, at time.Time) (*Log, error) {
+	l := &Log{store: store, version: baseVersion}
+	if err := l.rewrite(base, baseVersion, at); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// rewrite writes a replacement segment holding only a checkpoint and
+// promotes it, then reopens the active segment for appending.
+func (l *Log) rewrite(base *scene.Scene, version uint64, at time.Time) error {
+	if l.seg != nil {
+		l.seg.Close()
+		l.seg = nil
+	}
+	seg, err := l.store.Replace()
+	if err != nil {
+		return fmt.Errorf("wal: begin segment: %w", err)
+	}
+	var hdr [headerSize]byte
+	binary.BigEndian.PutUint32(hdr[:4], Magic)
+	binary.BigEndian.PutUint16(hdr[4:], Format)
+	if _, err := seg.Write(hdr[:]); err != nil {
+		seg.Close()
+		return fmt.Errorf("wal: write header: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := marshal.WriteScene(&buf, base); err != nil {
+		seg.Close()
+		return err
+	}
+	if err := writeRecord(seg, tagCheckpoint, version, at, buf.Bytes()); err != nil {
+		seg.Close()
+		return err
+	}
+	if err := seg.Sync(); err != nil {
+		seg.Close()
+		return fmt.Errorf("wal: sync checkpoint: %w", err)
+	}
+	if err := seg.Close(); err != nil {
+		return fmt.Errorf("wal: close segment: %w", err)
+	}
+	if err := l.store.Promote(); err != nil {
+		return fmt.Errorf("wal: promote segment: %w", err)
+	}
+	active, err := l.store.Append()
+	if err != nil {
+		return fmt.Errorf("wal: reopen segment: %w", err)
+	}
+	l.seg = active
+	l.version = version
+	l.opsSince = 0
+	return nil
+}
+
+// Append commits one op at the version it produced. The record is
+// synced before Append returns (fsync-on-commit): once Append reports
+// success the op survives any crash. snapshot is consulted only when a
+// compaction threshold is crossed; it must return the scene at exactly
+// the version just appended (the data service passes its authoritative
+// scene under the session lock). A nil snapshot defers compaction.
+func (l *Log) Append(op scene.Op, version uint64, at time.Time, snapshot func() *scene.Scene) error {
+	if l.err != nil {
+		return l.err
+	}
+	if version != l.version+1 {
+		l.err = fmt.Errorf("wal: append version %d does not follow %d", version, l.version)
+		return l.err
+	}
+	var buf bytes.Buffer
+	if err := marshal.WriteOp(&buf, op); err != nil {
+		l.err = err
+		return err
+	}
+	if err := writeRecord(l.seg, tagOp, version, at, buf.Bytes()); err != nil {
+		l.err = err
+		return err
+	}
+	if err := l.seg.Sync(); err != nil {
+		l.err = fmt.Errorf("wal: sync op %d: %w", version, err)
+		return l.err
+	}
+	l.version = version
+	l.opsSince++
+	if l.CompactEvery > 0 && l.opsSince >= l.CompactEvery && snapshot != nil {
+		if err := l.rewrite(snapshot(), version, at); err != nil {
+			l.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// Version returns the last committed op version.
+func (l *Log) Version() uint64 { return l.version }
+
+// Err returns the sticky error, if any.
+func (l *Log) Err() error { return l.err }
+
+// Close releases the active segment.
+func (l *Log) Close() error {
+	if l.seg == nil {
+		return nil
+	}
+	err := l.seg.Close()
+	l.seg = nil
+	return err
+}
+
+// VersionedOp is one recovered journal record.
+type VersionedOp struct {
+	Version uint64
+	At      time.Time
+	Op      scene.Op
+}
+
+// Recovered is the state reconstructed from a segment.
+type Recovered struct {
+	// Base is the checkpoint scene; BaseVersion its version.
+	Base        *scene.Scene
+	BaseVersion uint64
+	// Ops are the committed ops after the checkpoint, in version order.
+	Ops []VersionedOp
+	// Version is the exact version of the last complete record.
+	Version uint64
+	// Torn reports the damage that ended the scan, if any: a truncated
+	// or corrupt tail record, discarded because its commit can never
+	// have been acknowledged. nil means the segment ended cleanly.
+	Torn error
+}
+
+// Scene replays the recovered ops onto the checkpoint, yielding the
+// scene at exactly Recovered.Version.
+func (rec *Recovered) Scene() (*scene.Scene, error) {
+	s := rec.Base.Clone()
+	for _, vop := range rec.Ops {
+		if err := s.ApplyOp(vop.Op); err != nil {
+			return nil, fmt.Errorf("wal: replay op %d: %w", vop.Version, err)
+		}
+		if s.Version != vop.Version {
+			return nil, fmt.Errorf("wal: replay version drift: scene %d, record %d", s.Version, vop.Version)
+		}
+	}
+	return s, nil
+}
+
+// Recover scans the store's active segment, tolerating a torn tail:
+// scanning stops at the first truncated or corrupt record and every
+// complete record before it is returned. Damage anywhere else — a bad
+// magic, an unknown format, a checkpoint that cannot be decoded, or an
+// out-of-sequence version — is unrecoverable and returns an error.
+func Recover(store Store) (*Recovered, error) {
+	r, err := store.Open()
+	if err != nil {
+		return nil, fmt.Errorf("wal: open segment: %w", err)
+	}
+	defer r.Close()
+	return Scan(r)
+}
+
+// Exists reports whether the store has an active segment to recover.
+func Exists(store Store) bool {
+	r, err := store.Open()
+	if err != nil {
+		return !errors.Is(err, fs.ErrNotExist)
+	}
+	r.Close()
+	return true
+}
+
+// Scan reads one segment stream (see Recover for the damage rules).
+func Scan(r io.Reader) (*Recovered, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: segment header: %v", ErrTruncated, err)
+	}
+	if binary.BigEndian.Uint32(hdr[:4]) != Magic {
+		return nil, fmt.Errorf("%w: %#x", ErrBadMagic, binary.BigEndian.Uint32(hdr[:4]))
+	}
+	if f := binary.BigEndian.Uint16(hdr[4:]); f != Format {
+		return nil, fmt.Errorf("%w: %d", ErrBadFormat, f)
+	}
+
+	tag, version, at, body, err := readRecord(r)
+	if err != nil {
+		return nil, fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if tag != tagCheckpoint {
+		return nil, ErrNoCheckpoint
+	}
+	base, err := marshal.ReadScene(bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("wal: decode checkpoint: %w", err)
+	}
+	rec := &Recovered{Base: base, BaseVersion: version, Version: version}
+	_ = at
+
+	for {
+		tag, version, at, body, err := readRecord(r)
+		if err != nil {
+			if err == io.EOF {
+				return rec, nil
+			}
+			// Tail damage: the record being written when the crash hit.
+			// Its commit was never acknowledged, so dropping it is safe.
+			if errors.Is(err, ErrTruncated) || errors.Is(err, ErrChecksum) {
+				rec.Torn = err
+				return rec, nil
+			}
+			return nil, err
+		}
+		switch tag {
+		case tagOp:
+			if version != rec.Version+1 {
+				return nil, fmt.Errorf("wal: op version %d does not follow %d", version, rec.Version)
+			}
+			op, err := marshal.ReadOp(bytes.NewReader(body))
+			if err != nil {
+				return nil, fmt.Errorf("wal: decode op %d: %w", version, err)
+			}
+			rec.Ops = append(rec.Ops, VersionedOp{Version: version, At: at, Op: op})
+			rec.Version = version
+		case tagCheckpoint:
+			// A mid-segment checkpoint only appears if a compaction's
+			// Promote was interrupted in a way the Store cannot express
+			// atomically; treat it as unrecoverable corruption.
+			return nil, fmt.Errorf("wal: unexpected mid-segment checkpoint at version %d", version)
+		default:
+			return nil, fmt.Errorf("wal: unknown record tag %q", tag)
+		}
+	}
+}
+
+// readRecord reads one record. io.EOF at a record boundary is a clean
+// end; anything shorter wraps ErrTruncated, and a body/CRC mismatch
+// wraps ErrChecksum.
+func readRecord(r io.Reader) (tag byte, version uint64, at time.Time, body []byte, err error) {
+	var hdr [recHeaderSize]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, 0, time.Time{}, nil, io.EOF
+		}
+		return 0, 0, time.Time{}, nil, fmt.Errorf("%w: record header", ErrTruncated)
+	}
+	tag = hdr[0]
+	version = binary.BigEndian.Uint64(hdr[1:])
+	at = time.Unix(0, int64(binary.BigEndian.Uint64(hdr[9:])))
+	n := binary.BigEndian.Uint32(hdr[17:])
+	if n > maxRecord {
+		return 0, 0, time.Time{}, nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, n)
+	}
+	sum := binary.BigEndian.Uint32(hdr[21:])
+	body = make([]byte, n)
+	if _, err = io.ReadFull(r, body); err != nil {
+		return 0, 0, time.Time{}, nil, fmt.Errorf("%w: record body", ErrTruncated)
+	}
+	if crc32.ChecksumIEEE(body) != sum {
+		return 0, 0, time.Time{}, nil, fmt.Errorf("%w: version %d", ErrChecksum, version)
+	}
+	return tag, version, at, body, nil
+}

@@ -67,8 +67,27 @@ func NewBridge(sess Session, src Source, name string) (*Bridge, error) {
 	return &Bridge{src: src, sess: sess, name: name}, nil
 }
 
+// Retarget re-points the bridge at another session — the failover path:
+// when a standby data service is promoted, live feeds re-attach to the
+// promoted session (an exact replica of the one that died, at the same
+// scene version with the same node IDs) and keep stepping without
+// re-running Attach.
+func (b *Bridge) Retarget(sess Session) error {
+	if sess == nil {
+		return fmt.Errorf("feed: retarget needs a session")
+	}
+	b.mu.Lock()
+	b.sess = sess
+	b.lastErr = nil
+	b.mu.Unlock()
+	return nil
+}
+
 // Step advances the simulation once and applies its updates.
 func (b *Bridge) Step(dt time.Duration) error {
+	b.mu.Lock()
+	sess := b.sess
+	b.mu.Unlock()
 	ops, err := b.src.Step(dt)
 	if err != nil {
 		b.mu.Lock()
@@ -77,7 +96,7 @@ func (b *Bridge) Step(dt time.Duration) error {
 		return err
 	}
 	for _, op := range ops {
-		if err := b.sess.ApplyUpdate(op, b.name); err != nil {
+		if err := sess.ApplyUpdate(op, b.name); err != nil {
 			b.mu.Lock()
 			b.lastErr = err
 			b.mu.Unlock()

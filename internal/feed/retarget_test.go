@@ -1,0 +1,59 @@
+package feed
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dataservice"
+	"repro/internal/mathx"
+)
+
+// TestBridgeRetargetAfterFailover: a live feed re-pointed at a promoted
+// standby (an exact replica at the same scene version with the same
+// node IDs) keeps stepping without re-running Attach, and its updates
+// land only in the new session.
+func TestBridgeRetargetAfterFailover(t *testing.T) {
+	primary := newSession(t)
+	mol := NewWaterlikeMolecule()
+	bridge, err := NewBridge(primary, mol, "simulator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bridge.Step(10 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	// The promoted standby: same scene, same version, same node IDs.
+	svc := dataservice.New(dataservice.Config{Name: "standby"})
+	promoted, err := svc.CreateSession("sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	promoted.InstallScene(primary.Snapshot())
+
+	if err := bridge.Retarget(nil); err == nil {
+		t.Error("nil retarget accepted")
+	}
+	if err := bridge.Retarget(promoted); err != nil {
+		t.Fatal(err)
+	}
+
+	beforeOld := primary.Version()
+	beforeNew := promoted.Version()
+	// Perturb an atom so the settled molecule emits updates this step.
+	if err := mol.ApplyForce(0, mathx.V3(40, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := bridge.Step(10 * time.Millisecond); err != nil {
+		t.Fatalf("step after retarget: %v", err)
+	}
+	if promoted.Version() <= beforeNew {
+		t.Error("retargeted step did not update the promoted session")
+	}
+	if primary.Version() != beforeOld {
+		t.Error("retargeted step leaked ops into the dead primary")
+	}
+	if bridge.Steps() != 2 {
+		t.Errorf("steps = %d, want 2", bridge.Steps())
+	}
+}

@@ -1,0 +1,114 @@
+// Package leakedgoroutine enforces the failover suite's goroutine
+// hygiene rule: a `go func() { ... }()` literal that references a
+// context.Context — captured from the enclosing scope or received as a
+// parameter — must observe cancellation. A goroutine that reads the
+// context's values (or merely closes over it) without ever calling
+// ctx.Done() / ctx.Err(), and without passing the context on to a call
+// that will, outlives its caller's cancellation: under the chaos
+// suite's kill schedules those goroutines pile up behind every failover
+// and reconnect, holding sessions and conns that should have died with
+// their context.
+//
+// Spawning a named function (`go worker(ctx)`) is out of scope — the
+// context is handed across a call boundary, making cancellation the
+// callee's contract, which this rule checks at the callee's own `go`
+// literals. Goroutines that never touch a context are likewise out of
+// scope: the stop-channel discipline is a different contract.
+package leakedgoroutine
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+// Analyzer is the leakedgoroutine rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "leakedgoroutine",
+	Doc: "a go-literal that references a context must observe ctx.Done()/ctx.Err() " +
+		"(or pass ctx on), or cancellation leaks the goroutine",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !lintutil.HasSegment(pass.Pkg.Path(), "internal") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				// go f(ctx): cancellation is f's contract, checked at
+				// f's own go statements.
+				return true
+			}
+			if usesCtx(pass.TypesInfo, lit.Body) && !observesCtx(pass.TypesInfo, lit.Body) && !pass.Allowed(g.Pos()) {
+				pass.Reportf(g.Pos(), "goroutine references a context but never observes ctx.Done()/ctx.Err() nor passes it on: cancellation leaks this goroutine")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// usesCtx reports whether the body references any variable of type
+// context.Context (a capture or a parameter).
+func usesCtx(info *types.Info, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return !found
+		}
+		if obj, ok := info.Uses[id].(*types.Var); ok && isCtxType(obj.Type()) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// observesCtx reports whether the body calls Done/Err on a context or
+// passes a context value into a call (delegating cancellation). The
+// whole body counts, including helper literals it defines and runs.
+func observesCtx(info *types.Info, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if (sel.Sel.Name == "Done" || sel.Sel.Name == "Err") && exprIsCtx(info, sel.X) {
+				found = true
+			}
+		}
+		for _, arg := range call.Args {
+			if exprIsCtx(info, arg) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isCtxType reports whether t is context.Context.
+func isCtxType(t types.Type) bool {
+	named := lintutil.NamedOf(t)
+	return named != nil && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}
+
+// exprIsCtx reports whether the expression's static type is
+// context.Context.
+func exprIsCtx(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Type != nil && isCtxType(tv.Type)
+}

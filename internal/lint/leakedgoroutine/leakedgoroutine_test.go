@@ -1,0 +1,18 @@
+package leakedgoroutine_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/leakedgoroutine"
+	"repro/internal/lint/linttest"
+)
+
+// TestLeakedGoroutine proves the rule flags go-literals that reference
+// a context without observing cancellation, and accepts every
+// sanctioned form: a ctx.Done() select arm, a ctx.Err() guard,
+// delegation by passing ctx into a call, a named-function spawn, a
+// context-free stop-channel goroutine, and the //lint:allow escape
+// hatch.
+func TestLeakedGoroutine(t *testing.T) {
+	linttest.Run(t, leakedgoroutine.Analyzer, "testdata/internal_pkg", "repro/internal/example")
+}

@@ -1,0 +1,110 @@
+// Package example exercises the leakedgoroutine rule on the goroutine
+// shapes the service fabric actually spawns: replication pumps, lease
+// keepers, and reconnect loops.
+package example
+
+import "context"
+
+type ctxKey struct{}
+
+func work(v any) {}
+
+func step(ctx context.Context) error { return nil }
+
+// leakedCapture closes over ctx, reads its values, and can never be
+// cancelled.
+func leakedCapture(ctx context.Context, ch chan int) {
+	go func() { // want `goroutine references a context but never observes`
+		for v := range ch {
+			work(v)
+			work(ctx.Value(ctxKey{}))
+		}
+	}()
+}
+
+// leakedParam is the same defect with the context handed in as an
+// argument to the literal.
+func leakedParam(ctx context.Context, ch chan int) {
+	go func(c context.Context) { // want `goroutine references a context but never observes`
+		for v := range ch {
+			work(v)
+			work(c.Value(ctxKey{}))
+		}
+	}(ctx)
+}
+
+// selectDone is the canonical compliant pump: every iteration races
+// ctx.Done.
+func selectDone(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				work(v)
+			}
+		}
+	}()
+}
+
+// errGuard polls ctx.Err instead of selecting on Done.
+func errGuard(ctx context.Context) {
+	go func() {
+		for ctx.Err() == nil {
+			work(nil)
+		}
+	}()
+}
+
+// delegated hands the context to the callee, whose own contract covers
+// cancellation — the standard errc <- run(ctx) shape.
+func delegated(ctx context.Context, errc chan error) {
+	go func() { errc <- step(ctx) }()
+}
+
+// named spawns a function rather than a literal: the context crosses a
+// call boundary and the rule checks the callee's own go statements.
+func named(ctx context.Context) {
+	go runner(ctx)
+}
+
+func runner(ctx context.Context) { <-ctx.Done() }
+
+// noCtx never touches a context; the stop-channel discipline is a
+// different contract, out of this rule's scope.
+func noCtx(stop chan struct{}, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case v := <-ch:
+				work(v)
+			}
+		}
+	}()
+}
+
+// helperLiteral observes cancellation through a helper closure it
+// defines and runs — the whole body counts.
+func helperLiteral(ctx context.Context, ch chan int) {
+	go func() {
+		alive := func() bool { return ctx.Err() == nil }
+		for alive() {
+			work(<-ch)
+		}
+	}()
+}
+
+// annotated is the escape hatch for a goroutine whose lifetime is
+// bounded by something other than the context.
+func annotated(ctx context.Context, ch chan int) {
+	//lint:allow leakedgoroutine: bounded by ch closing at conn teardown
+	go func() {
+		for v := range ch {
+			work(v)
+			work(ctx.Value(ctxKey{}))
+		}
+	}()
+}

@@ -7,6 +7,7 @@ package lint
 import (
 	"repro/internal/lint/analysis"
 	"repro/internal/lint/ctxloop"
+	"repro/internal/lint/leakedgoroutine"
 	"repro/internal/lint/lockedio"
 	"repro/internal/lint/nondeterminism"
 	"repro/internal/lint/wallclock"
@@ -19,5 +20,6 @@ func Analyzers() []*analysis.Analyzer {
 		nondeterminism.Analyzer,
 		lockedio.Analyzer,
 		ctxloop.Analyzer,
+		leakedgoroutine.Analyzer,
 	}
 }

@@ -1,0 +1,96 @@
+package renderservice
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net"
+	"testing"
+
+	"repro/internal/marshal"
+	"repro/internal/scene"
+	"repro/internal/transport"
+)
+
+// TestResumeAtVersionAfterReconnect: with a retained replica, the second
+// hello advertises SinceVersion, and a MsgResumeOK bootstrap applies
+// only the gap ops instead of resetting the scene from a snapshot.
+func TestResumeAtVersionAfterReconnect(t *testing.T) {
+	rs := newService("rs")
+	sc := testScene(t)
+	baseVersion := sc.Version
+	var snap bytes.Buffer
+	if err := marshal.WriteScene(&snap, sc); err != nil {
+		t.Fatal(err)
+	}
+	opBytes := func(name string) []byte {
+		var buf bytes.Buffer
+		if err := marshal.WriteOp(&buf, &scene.SetNameOp{ID: scene.RootID, Name: name}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	// First connection: full snapshot, one op, then death without Bye.
+	first := func(conn *transport.Conn, raw net.Conn) {
+		var hello transport.Hello
+		if _, payload, err := conn.Receive(); err != nil {
+			return
+		} else if err := transport.DecodeJSON(payload, &hello); err != nil {
+			return
+		}
+		if hello.SinceVersion != 0 {
+			t.Errorf("first hello advertised since=%d, want 0", hello.SinceVersion)
+		}
+		conn.Send(transport.MsgSceneSnapshot, snap.Bytes())
+		conn.Send(transport.MsgSceneOpVer, transport.PackVersioned(baseVersion+1, opBytes("after-op-1")))
+		raw.Close()
+	}
+	// Second connection: the render service must ask to resume at its
+	// replica's version; serve the gap as versioned ops, then Bye.
+	second := func(conn *transport.Conn, raw net.Conn) {
+		var hello transport.Hello
+		if _, payload, err := conn.Receive(); err != nil {
+			return
+		} else if err := transport.DecodeJSON(payload, &hello); err != nil {
+			return
+		}
+		if hello.SinceVersion != baseVersion+1 {
+			t.Errorf("resume hello advertised since=%d, want %d", hello.SinceVersion, baseVersion+1)
+		}
+		conn.SendJSON(transport.MsgResumeOK, transport.ResumeInfo{Version: baseVersion + 3, Since: hello.SinceVersion})
+		conn.Send(transport.MsgSceneOpVer, transport.PackVersioned(baseVersion+2, opBytes("after-op-2")))
+		conn.Send(transport.MsgSceneOpVer, transport.PackVersioned(baseVersion+3, opBytes("after-op-3")))
+		conn.Send(transport.MsgBye, nil)
+	}
+
+	scripts := []func(*transport.Conn, net.Conn){first, second}
+	dials := 0
+	dial := func() (io.ReadWriteCloser, error) {
+		serverEnd, clientEnd := net.Pipe()
+		script := scripts[dials]
+		dials++
+		go func() { script(transport.NewConn(serverEnd), serverEnd) }()
+		return clientEnd, nil
+	}
+
+	var got *Session
+	err := rs.SubscribeToDataResilient(context.Background(), dial, "s", SubscribeOpts{}, func(sess *Session) {
+		got = sess
+	})
+	if err != nil {
+		t.Fatalf("resilient subscription: %v", err)
+	}
+	if dials != 2 {
+		t.Fatalf("dialed %d times, want 2", dials)
+	}
+	if got == nil {
+		t.Fatal("bootstrap callback never ran")
+	}
+	// Version proves both gap ops applied: a skipped or failed op would
+	// have ended the subscription with an error (replica divergence is
+	// fatal) or left the version short.
+	if v := got.Version(); v != baseVersion+3 {
+		t.Errorf("replica at version %d after resume, want %d", v, baseVersion+3)
+	}
+}

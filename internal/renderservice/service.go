@@ -147,6 +147,18 @@ func (s *Service) SessionCount() int {
 	return len(s.sessions)
 }
 
+// sessionVersion reports a live replica's scene version (0, false when
+// no replica of that session exists).
+func (s *Service) sessionVersion(name string) (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[name]
+	if !ok {
+		return 0, false
+	}
+	return sess.Version(), true
+}
+
 // Sessions lists live session names.
 func (s *Service) Sessions() []string {
 	s.mu.Lock()
@@ -622,8 +634,12 @@ func (s *Service) heartbeat(conn *transport.Conn, opts SubscribeOpts, stop <-cha
 // showing the replica behind triggers MsgResyncRequest, and the fresh
 // snapshot replaces the replica.
 func (s *Service) subscribe(ctx context.Context, conn *transport.Conn, sessionName string, opts SubscribeOpts, onReady func(*Session)) (bootstrapped bool, err error) {
+	// A retained replica from a previous connection lets us ask to
+	// resume at its version: if the data service's op history covers the
+	// gap, it replays only the missed ops instead of a full snapshot.
+	since, _ := s.sessionVersion(sessionName)
 	err = conn.SendJSON(transport.MsgHello, transport.Hello{
-		Role: "render-service", Name: s.cfg.Name, Session: sessionName,
+		Role: "render-service", Name: s.cfg.Name, Session: sessionName, SinceVersion: since,
 	})
 	if err != nil {
 		return false, err
@@ -646,20 +662,34 @@ func (s *Service) subscribe(ctx context.Context, conn *transport.Conn, sessionNa
 		transport.DecodeJSON(payload, &ei)
 		return false, fmt.Errorf("renderservice: subscription refused: %s", ei.Message)
 	}
-	if t != transport.MsgSceneSnapshot {
+	var sess *Session
+	switch t {
+	case transport.MsgSceneSnapshot:
+		snapshot, err := marshal.ReadScene(bytes.NewReader(payload))
+		if err != nil {
+			return false, err
+		}
+		sess, err = s.OpenSession(sessionName, snapshot, raster.DefaultCamera())
+		if err != nil {
+			return false, err
+		}
+		// Re-bootstrap an already-open replica (reconnection path).
+		sess.ResetScene(snapshot)
+	case transport.MsgResumeOK:
+		// The service accepted our resume point: the retained replica is
+		// the bootstrap, and only the gap follows as MsgSceneOpVer.
+		var ri transport.ResumeInfo
+		if err := transport.DecodeJSON(payload, &ri); err != nil {
+			return false, err
+		}
+		sess, err = s.OpenSession(sessionName, nil, raster.DefaultCamera())
+		if err != nil {
+			return false, fmt.Errorf("renderservice: resume without a replica: %w", err)
+		}
+	default:
 		return false, fmt.Errorf("renderservice: expected snapshot, got %s", t)
 	}
-	snapshot, err := marshal.ReadScene(bytes.NewReader(payload))
-	if err != nil {
-		return false, err
-	}
-	sess, err := s.OpenSession(sessionName, snapshot, raster.DefaultCamera())
-	if err != nil {
-		return false, err
-	}
 	defer sess.Close()
-	// Re-bootstrap an already-open replica (reconnection path).
-	sess.ResetScene(snapshot)
 	if onReady != nil {
 		onReady(sess)
 	}

@@ -75,6 +75,17 @@ const (
 	// snapshot after a detected update gap; the service replies with a
 	// MsgSceneSnapshot.
 	MsgResyncRequest
+	// MsgStandbyAck is a hot-standby replica's acknowledgement that it
+	// has durably applied the op stream up to a version (JSON
+	// VersionReport). The primary tracks acks per standby so operators
+	// can see replication lag before deciding a failover is safe.
+	MsgStandbyAck
+	// MsgResumeOK accepts a resume-at-version subscription (Hello with
+	// SinceVersion set): the service's op history covers the gap, so
+	// instead of a full MsgSceneSnapshot it replies with a ResumeInfo
+	// (JSON) naming the current version, then replays only the missed
+	// ops as MsgSceneOpVer messages.
+	MsgResumeOK
 )
 
 // String names the message type.
@@ -90,6 +101,7 @@ func (t MsgType) String() string {
 		MsgBye: "bye", MsgSetInterest: "set-interest",
 		MsgSceneOpVer: "scene-op-ver", MsgVersionQuery: "version-query",
 		MsgVersionReport: "version-report", MsgResyncRequest: "resync-request",
+		MsgStandbyAck: "standby-ack", MsgResumeOK: "resume-ok",
 	}
 	if n, ok := names[t]; ok {
 		return n
@@ -250,10 +262,16 @@ func UnpackVersioned(payload []byte) (version uint64, body []byte, err error) {
 // services (which receive updates and serve render requests) from thin
 // clients (which only receive frames).
 type Hello struct {
-	Role     string `json:"role"` // "render-service", "thin-client", "peer"
+	Role     string `json:"role"` // "render-service", "thin-client", "peer", "standby"
 	Name     string `json:"name"`
 	Session  string `json:"session"`
 	Instance string `json:"instance,omitempty"`
+	// SinceVersion, when non-zero, asks to resume an interrupted
+	// subscription: the subscriber already holds a replica at this scene
+	// version and wants only the ops it missed. The service answers
+	// MsgResumeOK + the op tail when its history covers the gap, or
+	// falls back to a full MsgSceneSnapshot bootstrap when it does not.
+	SinceVersion uint64 `json:"since_version,omitempty"`
 }
 
 // ErrorInfo carries a failure back to the peer — e.g. the paper's
@@ -335,9 +353,20 @@ type LoadReport struct {
 
 // VersionReport answers a MsgVersionQuery with the session's current
 // authoritative scene version; replicas compare it against their own to
-// detect missed updates.
+// detect missed updates. It is also the MsgStandbyAck payload, where
+// Version is the highest op version the standby has applied.
 type VersionReport struct {
 	Version uint64 `json:"version"`
+}
+
+// ResumeInfo answers a resume-at-version Hello (MsgResumeOK): the
+// service will replay ops (SinceVersion, Version] as MsgSceneOpVer
+// instead of shipping a full bootstrap snapshot.
+type ResumeInfo struct {
+	// Version is the session's current authoritative scene version.
+	Version uint64 `json:"version"`
+	// Since echoes the subscriber's resume point.
+	Since uint64 `json:"since"`
 }
 
 // SetInterest marks scene nodes as being of interest to the sending

@@ -1,0 +1,157 @@
+package uddi
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestLeaseLifecycle(t *testing.T) {
+	r := NewRegistry()
+	t0 := time.Unix(1000, 0)
+	ttl := 6 * time.Second
+
+	l, err := r.AcquireLease("data:skull", "primary", ttl, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Epoch != 1 || l.Holder != "primary" {
+		t.Fatalf("first acquire: %+v", l)
+	}
+
+	// A live lease cannot be stolen.
+	if _, err := r.AcquireLease("data:skull", "standby", ttl, t0.Add(time.Second)); !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("steal of live lease = %v, want ErrLeaseHeld", err)
+	}
+
+	// The holder renews at its epoch and stays live.
+	l2, err := r.RenewLease("data:skull", "primary", l.Epoch, ttl, t0.Add(4*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l2.Expires.Equal(t0.Add(10 * time.Second)) {
+		t.Errorf("renewal expiry %v", l2.Expires)
+	}
+
+	// Re-acquire by the same holder keeps the epoch (idempotent restart
+	// within the TTL).
+	l3, err := r.AcquireLease("data:skull", "primary", ttl, t0.Add(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l3.Epoch != l.Epoch {
+		t.Errorf("self re-acquire bumped epoch to %d", l3.Epoch)
+	}
+
+	// Lapse: the standby claims the succession at the next epoch.
+	lateNow := l2.Expires.Add(time.Second)
+	got, live, err := r.GetLease("data:skull", lateNow)
+	if err != nil || live {
+		t.Fatalf("lapsed lease live=%v err=%v", live, err)
+	}
+	if got.Epoch != l.Epoch {
+		t.Errorf("lapsed lease lost its epoch: %d", got.Epoch)
+	}
+	l4, err := r.AcquireLease("data:skull", "standby", ttl, lateNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l4.Epoch != l.Epoch+1 || l4.Holder != "standby" {
+		t.Fatalf("takeover: %+v", l4)
+	}
+
+	// Split-brain guard: the deposed primary's renewals are stale even
+	// though it still believes it holds epoch 1.
+	if _, err := r.RenewLease("data:skull", "primary", l.Epoch, ttl, lateNow.Add(time.Second)); !errors.Is(err, ErrLeaseStale) {
+		t.Fatalf("deposed renew = %v, want ErrLeaseStale", err)
+	}
+	// And it cannot re-acquire over the live new holder either.
+	if _, err := r.AcquireLease("data:skull", "primary", ttl, lateNow.Add(time.Second)); !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("deposed acquire = %v, want ErrLeaseHeld", err)
+	}
+
+	// Clean release opens the lease immediately.
+	if err := r.ReleaseLease("data:skull", "standby", l4.Epoch); err != nil {
+		t.Fatal(err)
+	}
+	if _, live, _ := r.GetLease("data:skull", lateNow); live {
+		t.Error("released lease still live")
+	}
+}
+
+func TestLeaseValidation(t *testing.T) {
+	r := NewRegistry()
+	now := time.Unix(0, 0)
+	if _, err := r.AcquireLease("", "h", time.Second, now); err == nil {
+		t.Error("empty service accepted")
+	}
+	if _, err := r.AcquireLease("s", "", time.Second, now); err == nil {
+		t.Error("empty holder accepted")
+	}
+	if _, err := r.AcquireLease("s", "h", 0, now); err == nil {
+		t.Error("zero ttl accepted")
+	}
+	if _, err := r.RenewLease("nope", "h", 1, time.Second, now); !errors.Is(err, ErrLeaseStale) {
+		t.Error("renew of unregistered lease not stale")
+	}
+	if err := r.ReleaseLease("nope", "h", 1); !errors.Is(err, ErrLeaseStale) {
+		t.Error("release of unregistered lease not stale")
+	}
+	if _, live, err := r.GetLease("nope", now); err != nil || live {
+		t.Error("missing lease reported live")
+	}
+}
+
+// TestLeaseRenewExpiredUnclaimed: expiry opens a takeover window but
+// does not depose by itself — if no standby claimed, the old holder's
+// renewal still succeeds.
+func TestLeaseRenewExpiredUnclaimed(t *testing.T) {
+	r := NewRegistry()
+	t0 := time.Unix(0, 0)
+	l, err := r.AcquireLease("s", "h", time.Second, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RenewLease("s", "h", l.Epoch, time.Second, t0.Add(time.Hour)); err != nil {
+		t.Errorf("renew of expired-but-unclaimed lease: %v", err)
+	}
+}
+
+// TestLeaseSOAPRoundTrip: the lease verbs work through the SOAP server
+// and proxy, preserving the typed errors across the wire.
+func TestLeaseSOAPRoundTrip(t *testing.T) {
+	_, ts := newTestRegistry(t)
+	p := Connect(ts.URL)
+	t0 := time.Unix(5000, 0)
+	ttl := 6 * time.Second
+
+	l, err := p.AcquireLease("data:skull", "primary", ttl, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Epoch != 1 {
+		t.Fatalf("epoch %d over SOAP", l.Epoch)
+	}
+	if _, err := p.AcquireLease("data:skull", "standby", ttl, t0.Add(time.Second)); !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("ErrLeaseHeld lost over SOAP: %v", err)
+	}
+	if _, err := p.RenewLease("data:skull", "primary", 99, ttl, t0.Add(time.Second)); !errors.Is(err, ErrLeaseStale) {
+		t.Fatalf("ErrLeaseStale lost over SOAP: %v", err)
+	}
+	got, live, err := p.GetLease("data:skull", t0.Add(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !live || got.Holder != "primary" || got.Epoch != 1 {
+		t.Fatalf("GetLease over SOAP: %+v live=%v", got, live)
+	}
+	if _, live, _ := p.GetLease("data:skull", t0.Add(time.Hour)); live {
+		t.Error("expired lease live over SOAP")
+	}
+	if err := p.ReleaseLease("data:skull", "primary", 1); err != nil {
+		t.Fatal(err)
+	}
+	if got, _, _ := p.GetLease("data:skull", t0); got.Service != "" {
+		t.Error("released lease still registered over SOAP")
+	}
+}

@@ -57,6 +57,7 @@ type Registry struct {
 	businesses map[string]Business
 	services   map[string]Service
 	bindings   map[string]Binding
+	leases     map[string]Lease // by logical service name
 }
 
 // NewRegistry returns an empty registry.
@@ -66,6 +67,7 @@ func NewRegistry() *Registry {
 		businesses: map[string]Business{},
 		services:   map[string]Service{},
 		bindings:   map[string]Binding{},
+		leases:     map[string]Lease{},
 	}
 }
 

@@ -4,10 +4,25 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/soap"
 )
+
+// leaseTimes decodes the shared ttl/now lease parameters.
+func leaseTimes(p soap.Params) (time.Duration, time.Time, error) {
+	ttlNanos, err := strconv.ParseInt(p["ttl"], 10, 64)
+	if err != nil {
+		return 0, time.Time{}, fmt.Errorf("uddi: bad ttl %q", p["ttl"])
+	}
+	nowNanos, err := strconv.ParseInt(p["now"], 10, 64)
+	if err != nil {
+		return 0, time.Time{}, fmt.Errorf("uddi: bad now %q", p["now"])
+	}
+	return time.Duration(ttlNanos), time.Unix(0, nowNanos), nil
+}
 
 // listSep joins multi-valued SOAP parameters.
 const listSep = "\n"
@@ -108,6 +123,75 @@ func NewServer(r *Registry) *soap.Server {
 	s.Register("scan_accessPoints", func(p soap.Params) (soap.Params, error) {
 		points := r.AccessPoints(p["tModelKey"])
 		return soap.Params{"accessPoints": strings.Join(points, listSep)}, nil
+	})
+
+	// Lease actions carry the caller's clock reading as nanoseconds: the
+	// registry stays a passive store (no clock of its own), and the
+	// chaos suite drives everything from one virtual clock.
+	leaseParams := func(l Lease) soap.Params {
+		return soap.Params{
+			"service": l.Service,
+			"holder":  l.Holder,
+			"epoch":   strconv.FormatUint(l.Epoch, 10),
+			"expires": strconv.FormatInt(l.Expires.UnixNano(), 10),
+		}
+	}
+
+	s.Register("acquire_lease", func(p soap.Params) (soap.Params, error) {
+		ttl, now, err := leaseTimes(p)
+		if err != nil {
+			return nil, err
+		}
+		l, err := r.AcquireLease(p["service"], p["holder"], ttl, now)
+		if err != nil {
+			return nil, err
+		}
+		return leaseParams(l), nil
+	})
+
+	s.Register("renew_lease", func(p soap.Params) (soap.Params, error) {
+		ttl, now, err := leaseTimes(p)
+		if err != nil {
+			return nil, err
+		}
+		epoch, err := strconv.ParseUint(p["epoch"], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("uddi: bad epoch %q", p["epoch"])
+		}
+		l, err := r.RenewLease(p["service"], p["holder"], epoch, ttl, now)
+		if err != nil {
+			return nil, err
+		}
+		return leaseParams(l), nil
+	})
+
+	s.Register("get_lease", func(p soap.Params) (soap.Params, error) {
+		nanos, err := strconv.ParseInt(p["now"], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("uddi: bad now %q", p["now"])
+		}
+		l, live, err := r.GetLease(p["service"], time.Unix(0, nanos))
+		if err != nil {
+			return nil, err
+		}
+		if l.Service == "" {
+			return soap.Params{"registered": "false"}, nil
+		}
+		out := leaseParams(l)
+		out["registered"] = "true"
+		out["live"] = strconv.FormatBool(live)
+		return out, nil
+	})
+
+	s.Register("release_lease", func(p soap.Params) (soap.Params, error) {
+		epoch, err := strconv.ParseUint(p["epoch"], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("uddi: bad epoch %q", p["epoch"])
+		}
+		if err := r.ReleaseLease(p["service"], p["holder"], epoch); err != nil {
+			return nil, err
+		}
+		return soap.Params{}, nil
 	})
 
 	s.Register("dump", func(p soap.Params) (soap.Params, error) {
@@ -282,6 +366,97 @@ func (p *Proxy) ScanAccessPoints(tmodelName string) ([]string, error) {
 		return nil, err
 	}
 	return splitList(res["accessPoints"]), nil
+}
+
+// decodeLease rebuilds a Lease from SOAP response params.
+func decodeLease(res soap.Params) (Lease, error) {
+	epoch, err := strconv.ParseUint(res["epoch"], 10, 64)
+	if err != nil {
+		return Lease{}, fmt.Errorf("uddi: bad lease epoch %q", res["epoch"])
+	}
+	nanos, err := strconv.ParseInt(res["expires"], 10, 64)
+	if err != nil {
+		return Lease{}, fmt.Errorf("uddi: bad lease expiry %q", res["expires"])
+	}
+	return Lease{
+		Service: res["service"],
+		Holder:  res["holder"],
+		Epoch:   epoch,
+		Expires: time.Unix(0, nanos),
+	}, nil
+}
+
+// restoreLeaseErr re-types lease faults that crossed the SOAP boundary
+// as strings, so failover code can errors.Is on them.
+func restoreLeaseErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	msg := err.Error()
+	switch {
+	case strings.Contains(msg, ErrLeaseHeld.Error()):
+		return fmt.Errorf("%w: %v", ErrLeaseHeld, err)
+	case strings.Contains(msg, ErrLeaseStale.Error()):
+		return fmt.Errorf("%w: %v", ErrLeaseStale, err)
+	}
+	return err
+}
+
+// AcquireLease claims a lease through the registry (see
+// Registry.AcquireLease for the epoch rules).
+func (p *Proxy) AcquireLease(service, holder string, ttl time.Duration, now time.Time) (Lease, error) {
+	res, err := p.client.Call("acquire_lease", soap.Params{
+		"service": service, "holder": holder,
+		"ttl": strconv.FormatInt(int64(ttl), 10),
+		"now": strconv.FormatInt(now.UnixNano(), 10),
+	})
+	if err != nil {
+		return Lease{}, restoreLeaseErr(err)
+	}
+	return decodeLease(res)
+}
+
+// RenewLease extends a held lease; ErrLeaseStale means this holder has
+// been deposed and must stand down.
+func (p *Proxy) RenewLease(service, holder string, epoch uint64, ttl time.Duration, now time.Time) (Lease, error) {
+	res, err := p.client.Call("renew_lease", soap.Params{
+		"service": service, "holder": holder,
+		"epoch": strconv.FormatUint(epoch, 10),
+		"ttl":   strconv.FormatInt(int64(ttl), 10),
+		"now":   strconv.FormatInt(now.UnixNano(), 10),
+	})
+	if err != nil {
+		return Lease{}, restoreLeaseErr(err)
+	}
+	return decodeLease(res)
+}
+
+// GetLease polls a lease; live reports whether it is unexpired at now.
+func (p *Proxy) GetLease(service string, now time.Time) (Lease, bool, error) {
+	res, err := p.client.Call("get_lease", soap.Params{
+		"service": service,
+		"now":     strconv.FormatInt(now.UnixNano(), 10),
+	})
+	if err != nil {
+		return Lease{}, false, err
+	}
+	if res["registered"] != "true" {
+		return Lease{}, false, nil
+	}
+	l, err := decodeLease(res)
+	if err != nil {
+		return Lease{}, false, err
+	}
+	return l, res["live"] == "true", nil
+}
+
+// ReleaseLease drops a held lease (clean primary shutdown).
+func (p *Proxy) ReleaseLease(service, holder string, epoch uint64) error {
+	_, err := p.client.Call("release_lease", soap.Params{
+		"service": service, "holder": holder,
+		"epoch": strconv.FormatUint(epoch, 10),
+	})
+	return restoreLeaseErr(err)
 }
 
 // DumpEntries fetches the registry tree for the browser GUI.
