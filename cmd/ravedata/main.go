@@ -54,6 +54,10 @@ func main() {
 	lease := flag.Bool("lease", false, "hold a UDDI lease for the session (requires -registry)")
 	leaseRenew := flag.Duration("lease-renew", 2*time.Second, "lease renewal heartbeat interval")
 	standby := flag.String("standby", "", "run as hot standby of the primary at this address (requires -registry)")
+	frameDeadline := flag.Duration("frame-deadline", 250*time.Millisecond,
+		"hard per-frame budget for hedged tile rendering: the frame force-assembles (stragglers degraded, never lost) at this deadline")
+	hedgeDelay := flag.Duration("hedge-delay", 0,
+		"soft per-tile deadline before a straggling tile is re-issued to the most-spare peer (0 = frame-deadline/4)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -61,7 +65,10 @@ func main() {
 		os.Exit(1)
 	}
 
-	svc := dataservice.New(dataservice.Config{Name: *name, Clock: clock})
+	svc := dataservice.New(dataservice.Config{
+		Name: *name, Clock: clock,
+		Hedge: dataservice.HedgeConfig{FrameDeadline: *frameDeadline, HedgeDelay: *hedgeDelay},
+	})
 	leaseName := "data:" + *session
 
 	ln, err := net.Listen("tcp", *addr)

@@ -57,6 +57,8 @@ func main() {
 	idle := flag.Duration("idle-timeout", 30*time.Second, "declare the data connection dead after this silence (0 disables)")
 	probe := flag.Duration("probe-interval", 5*time.Second, "version-probe cadence for dropped-update detection (0 disables)")
 	report := flag.Duration("report-interval", 2*time.Second, "load-report cadence (0 disables)")
+	queueDepth := flag.Int("queue-depth", renderservice.DefaultQueueDepth,
+		"admission-control render queue depth: at most this many frames/tiles in flight before excess work is declined (background tile/subset work is capped at half)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -69,7 +71,7 @@ func main() {
 		fail(err)
 	}
 	rs := renderservice.New(renderservice.Config{
-		Name: *name, Device: profile, Workers: *workers,
+		Name: *name, Device: profile, Workers: *workers, QueueDepth: *queueDepth,
 	})
 
 	// Locate the data service.

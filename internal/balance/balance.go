@@ -249,8 +249,13 @@ func DefaultThresholds() Thresholds {
 // ServiceLoad tracks one service's recent reports for the migration
 // engine.
 type ServiceLoad struct {
-	Capacity    ServiceCapacity
-	LastFPS     float64
+	Capacity ServiceCapacity
+	LastFPS  float64
+	// Unavailable marks a service whose per-peer circuit breaker is
+	// open: it is refusing or timing out on work right now. It cannot
+	// serve as a migration helper, and its existence is overload
+	// pressure — shedding to nowhere escalates into recruitment.
+	Unavailable bool
 	underStreak int
 }
 
@@ -277,6 +282,29 @@ func (m *MigrationEngine) UpdateCapacity(c ServiceCapacity) {
 
 // Remove forgets a service (it left the session).
 func (m *MigrationEngine) Remove(name string) { delete(m.services, name) }
+
+// SetAvailable records a circuit-breaker verdict for a service: false
+// when the peer's breaker opened (consecutive declines or timeouts),
+// true once a half-open probe succeeded. Unavailable services are
+// excluded from helper selection and count as overload pressure in
+// NeedRecruitment.
+func (m *MigrationEngine) SetAvailable(name string, available bool) {
+	sl, ok := m.services[name]
+	if !ok {
+		sl = &ServiceLoad{}
+		m.services[name] = sl
+	}
+	sl.Unavailable = !available
+}
+
+// Available reports whether a service is currently usable (unknown
+// services default to available).
+func (m *MigrationEngine) Available(name string) bool {
+	if sl, ok := m.services[name]; ok {
+		return !sl.Unavailable
+	}
+	return true
+}
 
 // ReportLoad records a load report and returns whether the service is
 // currently overloaded.
@@ -313,6 +341,12 @@ func (m *MigrationEngine) NeedRecruitment() bool {
 	over := false
 	helper := false
 	for _, sl := range m.services {
+		if sl.Unavailable {
+			// A breaker-open peer is overload pressure: its share of the
+			// work has nowhere to go but the survivors.
+			over = true
+			continue
+		}
 		if sl.LastFPS > 0 && sl.LastFPS < m.Thresholds.OverloadedFPS {
 			over = true
 		}
@@ -330,7 +364,10 @@ func (m *MigrationEngine) NeedRecruitment() bool {
 func (m *MigrationEngine) PlanMigration(assigned map[string][]NodeItem) []Move {
 	var over, under []string
 	for name, sl := range m.services {
-		if sl.LastFPS > 0 && sl.LastFPS < m.Thresholds.OverloadedFPS {
+		if sl.Unavailable {
+			// Drain a breaker-open peer; never migrate work onto it.
+			over = append(over, name)
+		} else if sl.LastFPS > 0 && sl.LastFPS < m.Thresholds.OverloadedFPS {
 			over = append(over, name)
 		} else if sl.underStreak >= m.Thresholds.UnderloadedFor && sl.Capacity.Spare() > 0 {
 			under = append(under, name)

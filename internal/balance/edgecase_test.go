@@ -1,0 +1,161 @@
+package balance
+
+import (
+	"errors"
+	"testing"
+)
+
+// Edge-case behaviour of PlanMigration and ReassignNodes that the main
+// tests leave implicit: what the planner does when every service is
+// drowning, when there are no services at all, and when a session runs
+// on a single service. These are the states the overload-protection
+// layer drives the system through, so the contracts are asserted here
+// rather than discovered in production.
+
+// TestPlanMigrationAllOverloaded: every service below the FPS floor
+// means there is no helper — the plan is empty (migration cannot help;
+// NeedRecruitment is the escalation path).
+func TestPlanMigrationAllOverloaded(t *testing.T) {
+	e := NewMigrationEngine(DefaultThresholds())
+	for _, n := range []string{"a", "b", "c"} {
+		e.UpdateCapacity(svc(n, 1000))
+		e.ReportLoad(n, 3) // all overloaded
+	}
+	assigned := map[string][]NodeItem{
+		"a": {item(2, 500)}, "b": {item(3, 500)}, "c": {item(4, 500)},
+	}
+	if moves := e.PlanMigration(assigned); len(moves) != 0 {
+		t.Fatalf("all-overloaded plan should be empty, got %v", moves)
+	}
+	if !e.NeedRecruitment() {
+		t.Fatal("all services overloaded must escalate to recruitment")
+	}
+}
+
+// TestPlanMigrationEmptyEngine: an engine that has never seen a service
+// plans nothing and needs no recruitment (nothing is overloaded).
+func TestPlanMigrationEmptyEngine(t *testing.T) {
+	e := NewMigrationEngine(DefaultThresholds())
+	if moves := e.PlanMigration(map[string][]NodeItem{}); len(moves) != 0 {
+		t.Fatalf("empty engine planned moves: %v", moves)
+	}
+	if e.NeedRecruitment() {
+		t.Fatal("empty engine should not recruit")
+	}
+}
+
+// TestPlanMigrationSingleService: a one-service session has nowhere to
+// migrate to — the plan is empty whether the service is healthy or
+// overloaded, and only the overloaded case recruits.
+func TestPlanMigrationSingleService(t *testing.T) {
+	e := NewMigrationEngine(DefaultThresholds())
+	e.UpdateCapacity(svc("solo", 1000))
+	assigned := map[string][]NodeItem{"solo": {item(2, 500), item(3, 300)}}
+
+	e.ReportLoad("solo", 60) // healthy
+	if moves := e.PlanMigration(assigned); len(moves) != 0 {
+		t.Fatalf("healthy solo service planned moves: %v", moves)
+	}
+	if e.NeedRecruitment() {
+		t.Fatal("healthy solo service should not recruit")
+	}
+
+	e.ReportLoad("solo", 3) // overloaded
+	if moves := e.PlanMigration(assigned); len(moves) != 0 {
+		t.Fatalf("solo service cannot migrate to itself, got %v", moves)
+	}
+	if !e.NeedRecruitment() {
+		t.Fatal("overloaded solo service must recruit")
+	}
+}
+
+// TestPlanMigrationUnavailablePeer: a breaker-open peer is drained
+// (moves away from it) and never receives work, even if its last load
+// report looked healthy and underloaded.
+func TestPlanMigrationUnavailablePeer(t *testing.T) {
+	th := DefaultThresholds()
+	th.UnderloadedFor = 1
+	e := NewMigrationEngine(th)
+
+	broken := svc("broken", 10_000)
+	e.UpdateCapacity(broken)
+	e.ReportLoad("broken", 60) // looked healthy and idle...
+	helper := svc("helper", 10_000)
+	helper.Assigned = 100
+	e.UpdateCapacity(helper)
+	e.ReportLoad("helper", 60)
+	e.SetAvailable("broken", false) // ...then its breaker opened
+
+	assigned := map[string][]NodeItem{"broken": {item(2, 500)}}
+	moves := e.PlanMigration(assigned)
+	if len(moves) != 1 || moves[0].From != "broken" || moves[0].To != "helper" {
+		t.Fatalf("want broken->helper drain, got %v", moves)
+	}
+
+	// With the only helper broken, recruitment becomes necessary.
+	e.SetAvailable("broken", true)
+	e.SetAvailable("helper", false)
+	e.ReportLoad("broken", 3)
+	if !e.NeedRecruitment() {
+		t.Fatal("breaker-open helper must not cancel recruitment")
+	}
+	if e.Available("helper") {
+		t.Fatal("helper still reported available")
+	}
+	if !e.Available("unknown") {
+		t.Fatal("unknown services default to available")
+	}
+}
+
+// TestReassignNodesEmptyServiceSet: no survivors means a typed
+// ErrInsufficient naming the full orphaned load, with or without
+// overcommit.
+func TestReassignNodesEmptyServiceSet(t *testing.T) {
+	orphans := []NodeItem{item(2, 500), item(3, 300)}
+	for _, overcommit := range []bool{false, true} {
+		_, err := ReassignNodes(orphans, nil, overcommit)
+		var ei *ErrInsufficient
+		if !errors.As(err, &ei) {
+			t.Fatalf("overcommit=%v: want ErrInsufficient, got %v", overcommit, err)
+		}
+		if ei.Available != 0 || ei.Needed <= 0 {
+			t.Fatalf("overcommit=%v: shortfall misreported: %+v", overcommit, ei)
+		}
+	}
+}
+
+// TestReassignNodesSingleServiceTakesAll: with one survivor and
+// overcommit, every orphan lands on it regardless of capacity — frames
+// degrade rather than stall.
+func TestReassignNodesSingleServiceTakesAll(t *testing.T) {
+	orphans := []NodeItem{item(2, 5000), item(3, 5000), item(4, 5000)}
+	sole := svc("sole", 1000) // far too small
+	asg, err := ReassignNodes(orphans, []ServiceCapacity{sole}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asg["sole"]) != 3 {
+		t.Fatalf("sole survivor should hold all orphans, got %v", asg)
+	}
+	// Without overcommit the same placement is refused instead.
+	if _, err := ReassignNodes(orphans, []ServiceCapacity{sole}, false); err == nil {
+		t.Fatal("undersized survivor accepted orphans without overcommit")
+	}
+}
+
+// TestReassignNodesAllOverloadedSurvivors: every survivor already past
+// capacity still absorbs orphans under overcommit, spread by lowest
+// utilization first.
+func TestReassignNodesAllOverloadedSurvivors(t *testing.T) {
+	a := svc("a", 1000)
+	a.Assigned = 2000 // 200% utilization
+	b := svc("b", 1000)
+	b.Assigned = 1500 // 150% utilization
+	asg, err := ReassignNodes([]NodeItem{item(2, 500)}, []ServiceCapacity{a, b}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asg["b"]) != 1 {
+		t.Fatalf("orphan should land on the least-loaded survivor, got %v", asg)
+	}
+}

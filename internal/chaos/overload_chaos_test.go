@@ -1,0 +1,199 @@
+package chaos
+
+import (
+	"context"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/balance"
+	rthin "repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/dataservice"
+	"repro/internal/device"
+	"repro/internal/netsim"
+	"repro/internal/renderservice"
+	"repro/internal/vclock"
+)
+
+// containsSeq reports whether states contains want as a (not
+// necessarily contiguous) subsequence.
+func containsSeq(states, want []rthin.BreakerState) bool {
+	i := 0
+	for _, s := range states {
+		if i < len(want) && s == want[i] {
+			i++
+		}
+	}
+	return i == len(want)
+}
+
+// percentile returns the p-th percentile (0..1) of the sorted copy of
+// durations.
+func percentile(ds []time.Duration, p float64) time.Duration {
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// TestOverloadStalledPeerDegradesNotFreezes is the overload chaos
+// scenario: three render services share a session's tiles; the fastest
+// one's socket is stalled by a netsim fault mid-run. Requirements:
+//
+//   - every frame assembles by its deadline — degraded tiles are
+//     allowed while the stall lasts, lost frames are not;
+//   - p99 frame latency stays within the deadline (plus the clock
+//     advancement quantum);
+//   - the stalled peer's circuit breaker opens during the stall
+//     (deadline-bounded calls fail while the socket is wedged), then
+//     half-opens and closes after recovery, returning the peer to the
+//     tile rotation.
+//
+// Everything runs on the virtual clock; assertions are aggregate, so
+// the test is deterministic under -race -count=2.
+func TestOverloadStalledPeerDegradesNotFreezes(t *testing.T) {
+	// Nonzero epoch: at time.Unix(0,0) a deadline's UnixNano() is 0,
+	// which the wire protocol reads as "no deadline".
+	clk := vclock.NewVirtual(time.Unix(1000, 0))
+	stop := advance(clk)
+	defer stop()
+
+	svc := dataservice.New(dataservice.Config{Name: "data", Clock: clk})
+	sess := distSession(t, svc, 12000, 6)
+	d := sess.NewDistributor(balance.DefaultThresholds())
+	snapshot := sess.Snapshot()
+	cam := renderservice.CameraFromState(sess.Camera())
+
+	brCfg := rthin.BreakerConfig{Threshold: 3, Cooldown: 200 * time.Millisecond}
+
+	// Two healthy in-process services.
+	var breakers []*core.BreakerHandle
+	for _, spec := range []struct {
+		name string
+		dev  device.Profile
+	}{{"athlon", device.AthlonDesktop}, {"xeon", device.XeonDesktop}} {
+		rs := renderservice.New(renderservice.Config{Name: spec.name, Device: spec.dev, Workers: 2, Clock: clk})
+		if _, err := rs.OpenSession("dist", snapshot, cam); err != nil {
+			t.Fatal(err)
+		}
+		bh := core.NewBreakerHandle(&core.LocalHandle{Svc: rs}, brCfg, clk)
+		breakers = append(breakers, bh)
+		if err := d.AddService(bh); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The victim: the fastest device, reached over a simulated socket so
+	// its replies can be stalled.
+	victim := renderservice.New(renderservice.Config{Name: "victim", Device: device.SGIOnyx, Workers: 2, Clock: clk})
+	if _, err := victim.OpenSession("dist", snapshot, cam); err != nil {
+		t.Fatal(err)
+	}
+	dataEnd, renderEnd := netsim.SimPipe(clk, instant(), instant())
+	go victim.ServeClient(renderEnd, 94e6)
+	vh, err := core.DialSocketHandle(dataEnd, "victim", "dist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vh.Close()
+	vb := core.NewBreakerHandle(vh, brCfg, clk)
+	if err := d.AddService(vb); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := dataservice.HedgeConfig{FrameDeadline: 100 * time.Millisecond, HedgeDelay: 30 * time.Millisecond}
+	var latencies []time.Duration
+	var stalledDegraded, stalledHedged int
+	var totalHedged, totalWins, totalDeclined int
+	render := func() *dataservice.HedgeReport {
+		t.Helper()
+		fb, rep, err := d.RenderTilesHedged(context.Background(), 96, 96, cfg)
+		if err != nil {
+			t.Fatalf("frame lost: %v (report %+v)", err, rep)
+		}
+		if fb == nil || fb.W != 96 || fb.H != 96 {
+			t.Fatalf("frame lost: bad framebuffer %+v", fb)
+		}
+		latencies = append(latencies, rep.Latency)
+		totalHedged += rep.Hedged
+		totalWins += rep.HedgeWins
+		totalDeclined += rep.Declined
+		return rep
+	}
+
+	// Two healthy frames: all three peers serve, nothing degrades, and
+	// the second becomes the last-good fallback for the stall window.
+	for i := 0; i < 2; i++ {
+		rep := render()
+		if rep.Tiles != 3 || len(rep.Degraded) != 0 {
+			t.Fatalf("healthy frame %d: %+v", i, rep)
+		}
+	}
+
+	// Stall the victim's replies for 500ms of virtual time: requests
+	// keep flowing to it, but nothing comes back until the stall lifts.
+	stallEnd := clk.Now().Add(500 * time.Millisecond)
+	renderEnd.InjectFaults(netsim.NewFaults(71).StallUntil(stallEnd))
+
+	// Render through the stall. Every frame must ship by deadline; the
+	// victim's tile is hedged to a healthy peer or degraded to the
+	// last-good frame, and its breaker accumulates deadline timeouts
+	// until it opens and planning routes around it.
+	for clk.Now().Before(stallEnd) {
+		rep := render()
+		stalledDegraded += len(rep.Degraded)
+		stalledHedged += rep.Hedged
+	}
+	if openedDuringStall := vb.Breaker().State(); openedDuringStall == rthin.BreakerClosed {
+		t.Fatalf("victim breaker still closed after stall window (transitions %v)", vb.Breaker().Transitions())
+	}
+	if stalledHedged == 0 && stalledDegraded == 0 {
+		t.Fatal("stall window engaged neither hedging nor degradation")
+	}
+
+	// Recovery: after the stall lifts and the cooldown elapses, the
+	// half-open probe must succeed, close the breaker, and return the
+	// victim to the rotation. Keep rendering until it does (bounded by a
+	// virtual-time budget, not an iteration guess).
+	budget := clk.Now().Add(3 * time.Second)
+	recovered := false
+	for clk.Now().Before(budget) {
+		rep := render()
+		if vb.Breaker().State() == rthin.BreakerClosed && rep.Tiles == 3 && len(rep.Degraded) == 0 {
+			recovered = true
+			break
+		}
+	}
+	if !recovered {
+		t.Fatalf("victim never recovered: breaker %v, transitions %v",
+			vb.Breaker().State(), vb.Breaker().Transitions())
+	}
+	if !containsSeq(vb.Breaker().Transitions(), []rthin.BreakerState{
+		rthin.BreakerOpen, rthin.BreakerHalfOpen, rthin.BreakerClosed,
+	}) {
+		t.Fatalf("breaker lifecycle open→half-open→closed missing: %v", vb.Breaker().Transitions())
+	}
+
+	// The healthy peers' breakers never opened.
+	for _, bh := range breakers {
+		if len(bh.Breaker().Transitions()) != 0 {
+			t.Fatalf("healthy peer breaker transitioned: %v", bh.Breaker().Transitions())
+		}
+	}
+
+	// Latency distribution: zero frames lost (render fails the test
+	// otherwise), and p99 within the deadline plus the background
+	// advancement quantum.
+	slop := 25 * time.Millisecond
+	if p99 := percentile(latencies, 0.99); p99 > cfg.FrameDeadline+slop {
+		t.Fatalf("p99 latency %v exceeds deadline %v (+%v slop); all: %v",
+			p99, cfg.FrameDeadline, slop, latencies)
+	}
+	if p50 := percentile(latencies, 0.5); p50 > cfg.FrameDeadline {
+		t.Fatalf("p50 latency %v exceeds the deadline itself", p50)
+	}
+	t.Logf("frames %d (lost 0), p50 %v, p99 %v, hedged %d (wins %d), declined %d, degraded tiles %d during stall, breaker %v",
+		len(latencies), percentile(latencies, 0.5), percentile(latencies, 0.99),
+		totalHedged, totalWins, totalDeclined, stalledDegraded, vb.Breaker().Transitions())
+}

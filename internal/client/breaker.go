@@ -1,0 +1,169 @@
+// Per-peer circuit breaker: the fast-failure half of the overload
+// protection layer. Admission control lets an overloaded render service
+// refuse work in microseconds; the breaker is the caller's mirror image
+// of that signal — after a streak of declines or timeouts it stops
+// sending the peer anything at all (open), so no frame waits on a peer
+// known to be drowning, then probes with a single request after a
+// cooldown (half-open) and only resumes normal traffic once the probe
+// succeeds (closed again). Callers feed breaker verdicts to
+// balance.MigrationEngine.SetAvailable so shedding escalates into the
+// paper's recruitment path.
+package client
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+// Breaker states.
+const (
+	// BreakerClosed: traffic flows normally; failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the peer is cut off until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: one probe request is in flight; its outcome
+	// decides between closed and another open period.
+	BreakerHalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes a Breaker.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that opens the
+	// breaker. Defaults to 3.
+	Threshold int
+	// Cooldown is how long the breaker stays open before allowing a
+	// half-open probe. Defaults to one second.
+	Cooldown time.Duration
+}
+
+// Breaker is a per-peer circuit breaker on a vclock (deterministic
+// under the virtual clock). Safe for concurrent use.
+type Breaker struct {
+	cfg   BreakerConfig
+	clock vclock.Clock
+
+	mu          sync.Mutex
+	state       BreakerState
+	failures    int
+	openedAt    time.Time
+	probing     bool
+	transitions []BreakerState
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig, clock vclock.Clock) *Breaker {
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 3
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = time.Second
+	}
+	if clock == nil {
+		clock = vclock.Real{}
+	}
+	return &Breaker{cfg: cfg, clock: clock}
+}
+
+// Allow reports whether a request may be sent to the peer right now.
+// While open it returns false until the cooldown elapses, then moves to
+// half-open and admits exactly one probe; further requests are refused
+// until the probe reports Success or Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.clock.Now().Sub(b.openedAt) < b.cfg.Cooldown {
+			return false
+		}
+		b.setStateLocked(BreakerHalfOpen)
+		b.probing = true
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// Success records a completed request: a half-open probe closes the
+// breaker; in closed state the failure streak resets.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.probing = false
+	if b.state != BreakerClosed {
+		b.setStateLocked(BreakerClosed)
+	}
+}
+
+// Failure records a decline or timeout: a failed half-open probe
+// re-opens immediately; in closed state the streak reaching Threshold
+// opens the breaker. Results that arrive after their deadline count as
+// failures too — callers must not report them as Success, or a slow
+// peer's stale replies would keep resetting the streak.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	switch b.state {
+	case BreakerHalfOpen:
+		b.openedAt = b.clock.Now()
+		b.setStateLocked(BreakerOpen)
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.cfg.Threshold {
+			b.openedAt = b.clock.Now()
+			b.setStateLocked(BreakerOpen)
+		}
+	}
+}
+
+// State returns the breaker's current position, applying the
+// open→half-open cooldown transition (so observers see half-open even
+// before the next Allow).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.clock.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
+		b.setStateLocked(BreakerHalfOpen)
+	}
+	return b.state
+}
+
+// Transitions returns every state change since creation, in order —
+// chaos tests assert the open → half-open → closed sequence from this.
+func (b *Breaker) Transitions() []BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]BreakerState(nil), b.transitions...)
+}
+
+func (b *Breaker) setStateLocked(s BreakerState) {
+	b.state = s
+	b.transitions = append(b.transitions, s)
+}

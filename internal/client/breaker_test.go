@@ -1,0 +1,96 @@
+package client
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// TestBreakerLifecycle walks the full state machine on the virtual
+// clock: closed → (threshold failures) → open → (cooldown) → half-open
+// single probe → closed on success.
+func TestBreakerLifecycle(t *testing.T) {
+	clk := vclock.NewVirtual(time.Unix(1000, 0))
+	b := NewBreaker(BreakerConfig{Threshold: 3, Cooldown: time.Second}, clk)
+
+	if b.State() != BreakerClosed {
+		t.Fatalf("initial state = %v", b.State())
+	}
+	// Failures below the threshold keep it closed; a success resets.
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after reset+2 failures = %v", b.State())
+	}
+	b.Failure() // third consecutive: opens
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after threshold = %v", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a request")
+	}
+
+	// Cooldown elapses: exactly one half-open probe is admitted.
+	clk.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state during probe = %v", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second request admitted while probe in flight")
+	}
+
+	// Probe succeeds: closed, traffic resumes.
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after probe success = %v", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused traffic")
+	}
+
+	want := []BreakerState{BreakerOpen, BreakerHalfOpen, BreakerClosed}
+	got := b.Transitions()
+	if len(got) != len(want) {
+		t.Fatalf("transitions = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestBreakerProbeFailureReopens proves a failed half-open probe
+// re-opens for a full cooldown instead of resuming traffic.
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	clk := vclock.NewVirtual(time.Unix(1000, 0))
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Second}, clk)
+
+	b.Failure()
+	clk.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	b.Failure() // probe failed
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("reopened breaker allowed traffic inside cooldown")
+	}
+	clk.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe refused after second cooldown")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after recovery = %v", b.State())
+	}
+}

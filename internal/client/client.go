@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"image/png"
 	"io"
+	"time"
 
 	"repro/internal/device"
 	"repro/internal/imgcodec"
@@ -62,7 +63,17 @@ func (c *Thin) SetCamera(cam raster.Camera) error {
 // RequestFrame asks for one rendered frame and decodes it. codec may be
 // "raw", "rle", "delta-rle", "adaptive" or empty (raw).
 func (c *Thin) RequestFrame(w, h int, codec string) (*raster.Framebuffer, error) {
-	err := c.conn.SendJSON(transport.MsgFrameRequest, transport.FrameRequest{W: w, H: h, Codec: codec})
+	return c.RequestFrameBy(w, h, codec, time.Time{})
+}
+
+// RequestFrameBy is RequestFrame with an absolute deadline propagated
+// to the render service (zero means none): a service that cannot meet
+// it answers with a typed *renderservice.ErrOverloaded instead of a
+// frame, and the caller can retry elsewhere or after the hint.
+func (c *Thin) RequestFrameBy(w, h int, codec string, deadline time.Time) (*raster.Framebuffer, error) {
+	err := c.conn.SendJSON(transport.MsgFrameRequest, transport.FrameRequest{
+		W: w, H: h, Codec: codec, DeadlineNanos: transport.DeadlineToNanos(deadline),
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -76,6 +87,16 @@ func (c *Thin) RequestFrame(w, h int, codec string) (*raster.Framebuffer, error)
 		// A refusal is an application answer on a healthy stream, typed
 		// so resilient wrappers know not to reconnect over it.
 		return nil, &RefusedError{Op: "frame", Message: ei.Message}
+	}
+	if t == transport.MsgDeclined {
+		var d transport.Declined
+		transport.DecodeJSON(payload, &d)
+		// The thin client does not know the service's name; the typed
+		// reason and hint are what resilient wrappers act on.
+		return nil, &renderservice.ErrOverloaded{
+			Reason:     d.Reason,
+			RetryAfter: time.Duration(d.RetryAfterMs) * time.Millisecond,
+		}
 	}
 	if t != transport.MsgFrame {
 		return nil, fmt.Errorf("client: expected frame, got %s", t)

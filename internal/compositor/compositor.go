@@ -73,6 +73,24 @@ func AssembleTiles(w, h int, tiles []Tile) (*raster.Framebuffer, error) {
 	return out, nil
 }
 
+// Crop extracts the given region of a framebuffer into a fresh one —
+// how a straggler's tile is synthesized from the last good frame when
+// the deadline forces assembly without it.
+func Crop(fb *raster.Framebuffer, rect image.Rectangle) (*raster.Framebuffer, error) {
+	if rect.Min.X < 0 || rect.Min.Y < 0 || rect.Max.X > fb.W || rect.Max.Y > fb.H ||
+		rect.Dx() <= 0 || rect.Dy() <= 0 {
+		return nil, fmt.Errorf("compositor: crop %v outside %dx%d frame", rect, fb.W, fb.H)
+	}
+	out := raster.NewFramebuffer(rect.Dx(), rect.Dy())
+	for y := 0; y < rect.Dy(); y++ {
+		srcRow := (rect.Min.Y+y)*fb.W + rect.Min.X
+		dstRow := y * out.W
+		copy(out.Color[dstRow*3:(dstRow+out.W)*3], fb.Color[srcRow*3:(srcRow+rect.Dx())*3])
+		copy(out.Depth[dstRow:dstRow+out.W], fb.Depth[srcRow:srcRow+rect.Dx()])
+	}
+	return out, nil
+}
+
 // SplitTiles divides a w x h image into a grid of cols x rows tile
 // rectangles covering it exactly.
 func SplitTiles(w, h, cols, rows int) []image.Rectangle {

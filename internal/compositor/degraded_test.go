@@ -1,0 +1,134 @@
+package compositor
+
+import (
+	"image"
+	"testing"
+
+	"repro/internal/raster"
+)
+
+// fill paints a framebuffer a solid color with a constant depth.
+func fill(w, h int, c uint8) *raster.Framebuffer {
+	fb := raster.NewFramebuffer(w, h)
+	for i := range fb.Color {
+		fb.Color[i] = c
+	}
+	for i := range fb.Depth {
+		fb.Depth[i] = 1
+	}
+	return fb
+}
+
+func TestCrop(t *testing.T) {
+	src := fill(8, 8, 0)
+	// Mark pixel (5, 6).
+	idx := (6*8 + 5)
+	src.Color[idx*3] = 200
+	src.Depth[idx] = 0.25
+
+	got, err := Crop(src, image.Rect(4, 4, 8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != 4 || got.H != 4 {
+		t.Fatalf("crop size %dx%d", got.W, got.H)
+	}
+	cidx := (2*4 + 1) // (5,6) maps to (1,2) in the crop
+	if got.Color[cidx*3] != 200 || got.Depth[cidx] != 0.25 {
+		t.Fatalf("crop lost the marked pixel: color=%d depth=%v", got.Color[cidx*3], got.Depth[cidx])
+	}
+
+	if _, err := Crop(src, image.Rect(4, 4, 9, 8)); err == nil {
+		t.Fatal("out-of-bounds crop accepted")
+	}
+}
+
+// TestAssembleDegradedUsesFallback proves a missing region is filled
+// from the fallback frame and reported, while present tiles blit as
+// usual.
+func TestAssembleDegradedUsesFallback(t *testing.T) {
+	rects := []image.Rectangle{image.Rect(0, 0, 4, 4), image.Rect(0, 4, 4, 8)}
+	s, err := NewSynchronizer(4, 8, rects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(Tile{Rect: rects[0], FB: fill(4, 4, 10), Version: 7}); err != nil {
+		t.Fatal(err)
+	}
+	// The bottom tile never arrives; the last good frame was all-42.
+	fallback := fill(4, 8, 42)
+
+	fb, rep, degraded, err := s.AssembleDegraded(fallback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(degraded) != 1 || degraded[0] != rects[1] {
+		t.Fatalf("degraded = %v, want [%v]", degraded, rects[1])
+	}
+	if rep.Torn() {
+		t.Fatalf("single fresh tile reported torn: %+v", rep)
+	}
+	if got := fb.Color[0]; got != 10 {
+		t.Fatalf("fresh tile pixel = %d, want 10", got)
+	}
+	bottom := (5*4 + 0) * 3
+	if got := fb.Color[bottom]; got != 42 {
+		t.Fatalf("degraded tile pixel = %d, want fallback 42", got)
+	}
+}
+
+// TestAssembleDegradedNoFallback: with no last-good frame the missing
+// region is blank, but the frame still assembles.
+func TestAssembleDegradedNoFallback(t *testing.T) {
+	rects := []image.Rectangle{image.Rect(0, 0, 4, 4), image.Rect(0, 4, 4, 8)}
+	s, err := NewSynchronizer(4, 8, rects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(Tile{Rect: rects[0], FB: fill(4, 4, 10), Version: 7}); err != nil {
+		t.Fatal(err)
+	}
+	fb, _, degraded, err := s.AssembleDegraded(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(degraded) != 1 {
+		t.Fatalf("degraded = %v", degraded)
+	}
+	bottom := (5*4 + 0) * 3
+	if got := fb.Color[bottom]; got != 0 {
+		t.Fatalf("blank fill pixel = %d, want 0", got)
+	}
+
+	// A wrong-size fallback is refused.
+	if _, _, _, err := s.AssembleDegraded(fill(3, 3, 1)); err == nil {
+		t.Fatal("wrong-size fallback accepted")
+	}
+}
+
+// TestAssembleDegradedComplete: with every tile present it behaves like
+// a normal assemble — nothing degraded, tearing computed across all
+// tiles.
+func TestAssembleDegradedComplete(t *testing.T) {
+	rects := []image.Rectangle{image.Rect(0, 0, 4, 4), image.Rect(0, 4, 4, 8)}
+	s, err := NewSynchronizer(4, 8, rects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(Tile{Rect: rects[0], FB: fill(4, 4, 10), Version: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(Tile{Rect: rects[1], FB: fill(4, 4, 20), Version: 8}); err != nil {
+		t.Fatal(err)
+	}
+	_, rep, degraded, err := s.AssembleDegraded(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded != nil {
+		t.Fatalf("complete frame reported degraded regions: %v", degraded)
+	}
+	if !rep.Torn() {
+		t.Fatal("version skew across adjacent tiles not reported")
+	}
+}

@@ -93,6 +93,45 @@ func (s *Synchronizer) Pending() int {
 	return n
 }
 
+// AssembleDegraded builds the frame even when regions are missing: a
+// straggling tile degrades to a crop of the fallback frame (typically
+// the last good frame) or, with no fallback, to a blank tile — the
+// frame ships on time with one stale region instead of freezing the
+// whole view behind the slowest renderer. The returned rectangles name
+// the degraded regions (nil when every tile arrived); version skew is
+// reported like a forced Assemble.
+func (s *Synchronizer) AssembleDegraded(fallback *raster.Framebuffer) (*raster.Framebuffer, TearReport, []image.Rectangle, error) {
+	if fallback != nil && (fallback.W != s.w || fallback.H != s.h) {
+		return nil, TearReport{}, nil, fmt.Errorf("compositor: fallback is %dx%d, frame is %dx%d",
+			fallback.W, fallback.H, s.w, s.h)
+	}
+	var degraded []image.Rectangle
+	tiles := make([]Tile, 0, len(s.rects))
+	fresh := make([]Tile, 0, len(s.latest)) // tearing among real tiles only
+	for i, r := range s.rects {
+		if t, ok := s.latest[i]; ok {
+			tiles = append(tiles, t)
+			fresh = append(fresh, t)
+			continue
+		}
+		degraded = append(degraded, r)
+		fill := raster.NewFramebuffer(r.Dx(), r.Dy())
+		if fallback != nil {
+			var err error
+			if fill, err = Crop(fallback, r); err != nil {
+				return nil, TearReport{}, nil, err
+			}
+		}
+		tiles = append(tiles, Tile{Rect: r, FB: fill})
+	}
+	rep := DetectTearing(fresh)
+	fb, err := AssembleTiles(s.w, s.h, tiles)
+	if err != nil {
+		return nil, rep, nil, err
+	}
+	return fb, rep, degraded, nil
+}
+
 // Assemble builds the frame from the stored tiles. When force is false
 // it refuses unless Synced; when force is true it assembles best-effort
 // (the paper's original behaviour) and the report carries the tearing.

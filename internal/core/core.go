@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"image"
 	"io"
 	"net"
 	"net/http"
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	rthin "repro/internal/client"
+	"repro/internal/compositor"
 	"repro/internal/dataservice"
 	"repro/internal/device"
 	"repro/internal/marshal"
@@ -36,6 +38,9 @@ const BusinessName = "RAVE"
 // RenderHandle, for single-process deployments and tests.
 type LocalHandle struct {
 	Svc *renderservice.Service
+	// Session names the render-service session replica used for tile
+	// rendering. Empty selects the sole live session.
+	Session string
 }
 
 // Name implements dataservice.RenderHandle.
@@ -52,7 +57,23 @@ func (h *LocalHandle) RenderSubset(subset *scene.Scene, cam transport.CameraStat
 	return fb, err
 }
 
+// RenderTile implements dataservice.TileRenderer against the local
+// session replica, honouring the service's admission control and the
+// propagated deadline.
+func (h *LocalHandle) RenderTile(rect image.Rectangle, fullW, fullH int, deadline time.Time) (compositor.Tile, error) {
+	sess, ok := h.Svc.SessionNamed(h.Session)
+	if !ok {
+		return compositor.Tile{}, fmt.Errorf("core: no session %q on %s", h.Session, h.Svc.Name())
+	}
+	frame, err := sess.RenderTileBy(rect, fullW, fullH, deadline)
+	if err != nil {
+		return compositor.Tile{}, err
+	}
+	return compositor.Tile{Rect: rect, FB: frame.FB, Version: frame.Version}, nil
+}
+
 var _ dataservice.RenderHandle = (*LocalHandle)(nil)
+var _ dataservice.TileRenderer = (*LocalHandle)(nil)
 
 // SocketHandle drives a remote render service over a direct socket using
 // the subset-assignment protocol. The remote service must already hold
@@ -68,15 +89,33 @@ type SocketHandle struct {
 	name    string
 	session string
 
-	sem  chan struct{} // capacity 1: owns the conn's request pipeline
-	conn *transport.Conn
+	sem      chan struct{} // capacity 1: owns the conn's request pipeline
+	done     chan struct{} // closed by Close: unblocks queued acquirers
+	stopOnce sync.Once
+	conn     *transport.Conn
 }
 
-// acquire takes ownership of the request pipeline.
-func (h *SocketHandle) acquire() { h.sem <- struct{}{} }
+// acquire takes ownership of the request pipeline, or fails when the
+// handle has been closed — a caller queued behind a stalled exchange is
+// released instead of blocking forever.
+func (h *SocketHandle) acquire() error {
+	select {
+	case h.sem <- struct{}{}:
+		return nil
+	case <-h.done:
+		return fmt.Errorf("core: handle %s closed", h.name)
+	}
+}
 
 // release returns ownership.
 func (h *SocketHandle) release() { <-h.sem }
+
+// Close releases every caller queued on the request pipeline. The
+// in-flight exchange (if any) still owns the conn; closing the
+// underlying stream is the dialer's job.
+func (h *SocketHandle) Close() {
+	h.stopOnce.Do(func() { close(h.done) })
+}
 
 // DialSocketHandle performs the thin-client style hello on rw and
 // returns a handle for subset rendering.
@@ -103,7 +142,10 @@ func DialSocketHandle(rw interface {
 	if t != transport.MsgOK {
 		return nil, fmt.Errorf("core: expected ok, got %s", t)
 	}
-	return &SocketHandle{name: name, session: session, conn: conn, sem: make(chan struct{}, 1)}, nil
+	return &SocketHandle{
+		name: name, session: session, conn: conn,
+		sem: make(chan struct{}, 1), done: make(chan struct{}),
+	}, nil
 }
 
 // Name implements dataservice.RenderHandle.
@@ -111,7 +153,9 @@ func (h *SocketHandle) Name() string { return h.name }
 
 // Capacity implements dataservice.RenderHandle.
 func (h *SocketHandle) Capacity() (transport.CapacityReport, error) {
-	h.acquire()
+	if err := h.acquire(); err != nil {
+		return transport.CapacityReport{}, err
+	}
 	defer h.release()
 	if err := h.conn.Send(transport.MsgCapacityQuery, nil); err != nil {
 		return transport.CapacityReport{}, err
@@ -130,9 +174,23 @@ func (h *SocketHandle) Capacity() (transport.CapacityReport, error) {
 	return rep, nil
 }
 
+// declined maps a MsgDeclined payload to the typed overload error the
+// resilient layers (hedging, breakers) dispatch on.
+func (h *SocketHandle) declined(payload []byte) error {
+	var d transport.Declined
+	transport.DecodeJSON(payload, &d)
+	return &renderservice.ErrOverloaded{
+		Service:    h.name,
+		Reason:     d.Reason,
+		RetryAfter: time.Duration(d.RetryAfterMs) * time.Millisecond,
+	}
+}
+
 // RenderSubset implements dataservice.RenderHandle.
 func (h *SocketHandle) RenderSubset(subset *scene.Scene, cam transport.CameraState, w, hgt int) (*raster.Framebuffer, error) {
-	h.acquire()
+	if err := h.acquire(); err != nil {
+		return nil, err
+	}
 	defer h.release()
 	err := h.conn.SendJSON(transport.MsgSubsetAssign, transport.SubsetAssign{
 		Session: h.session, W: w, H: hgt, Camera: cam,
@@ -151,6 +209,9 @@ func (h *SocketHandle) RenderSubset(subset *scene.Scene, cam transport.CameraSta
 	if err != nil {
 		return nil, err
 	}
+	if t == transport.MsgDeclined {
+		return nil, h.declined(payload)
+	}
 	if t == transport.MsgError {
 		var ei transport.ErrorInfo
 		transport.DecodeJSON(payload, &ei)
@@ -162,7 +223,57 @@ func (h *SocketHandle) RenderSubset(subset *scene.Scene, cam transport.CameraSta
 	return marshal.ReadFrame(bytes.NewReader(payload))
 }
 
+// RenderTile implements dataservice.TileRenderer over the tile
+// assignment protocol, propagating the frame deadline so the remote
+// service can decline infeasible work instead of rendering it late.
+func (h *SocketHandle) RenderTile(rect image.Rectangle, fullW, fullH int, deadline time.Time) (compositor.Tile, error) {
+	if err := h.acquire(); err != nil {
+		return compositor.Tile{}, err
+	}
+	defer h.release()
+	err := h.conn.SendJSON(transport.MsgTileAssign, transport.TileAssign{
+		X0: rect.Min.X, Y0: rect.Min.Y, X1: rect.Max.X, Y1: rect.Max.Y,
+		FullW: fullW, FullH: fullH, Session: h.session,
+		DeadlineNanos: transport.DeadlineToNanos(deadline),
+	})
+	if err != nil {
+		return compositor.Tile{}, err
+	}
+	t, payload, err := h.conn.Receive()
+	if err != nil {
+		return compositor.Tile{}, err
+	}
+	if t == transport.MsgDeclined {
+		return compositor.Tile{}, h.declined(payload)
+	}
+	if t == transport.MsgError {
+		var ei transport.ErrorInfo
+		transport.DecodeJSON(payload, &ei)
+		return compositor.Tile{}, fmt.Errorf("core: tile render refused: %s", ei.Message)
+	}
+	if t != transport.MsgTileFrame {
+		return compositor.Tile{}, fmt.Errorf("core: expected tile header, got %s", t)
+	}
+	var hdr transport.TileHeader
+	if err := transport.DecodeJSON(payload, &hdr); err != nil {
+		return compositor.Tile{}, err
+	}
+	t, payload, err = h.conn.Receive()
+	if err != nil {
+		return compositor.Tile{}, err
+	}
+	if t != transport.MsgFrameDepth {
+		return compositor.Tile{}, fmt.Errorf("core: expected tile frame+depth, got %s", t)
+	}
+	fb, err := marshal.ReadFrame(bytes.NewReader(payload))
+	if err != nil {
+		return compositor.Tile{}, err
+	}
+	return compositor.Tile{Rect: rect, FB: fb, Version: hdr.Version}, nil
+}
+
 var _ dataservice.RenderHandle = (*SocketHandle)(nil)
+var _ dataservice.TileRenderer = (*SocketHandle)(nil)
 
 // Deployment assembles a full RAVE installation: a UDDI registry served
 // over HTTP, one data service, any number of render services, and the

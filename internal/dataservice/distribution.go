@@ -46,6 +46,9 @@ type Distributor struct {
 	engine     *balance.MigrationEngine
 	lastSeen   map[string]time.Time
 	failures   map[string]int
+	// lastFrame is the most recent assembled frame — the degraded-tile
+	// fallback when a straggler misses the frame deadline.
+	lastFrame *raster.Framebuffer
 
 	recruitSrc     RecruitSource
 	recruitConnect Connector

@@ -1,0 +1,304 @@
+// Hedged tile rendering: the straggler-tolerant frame path for
+// framebuffer distribution. The paper's tile mode (§3.2.5) splits the
+// frame across render services proportional to speed, but one stalled
+// or saturated peer then freezes every composited frame. This file adds
+// the production fan-out countermeasures on top of the deadline and
+// admission machinery: tiles that miss a soft deadline are re-issued to
+// the spare-capacity peer (first result wins, the loser's reply is
+// discarded and its service-side work is cancelled by the propagated
+// deadline), and a hard frame deadline force-assembles the frame with a
+// straggler's region degraded to the last good frame — the frame ships
+// on time, degraded, never lost.
+package dataservice
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"image"
+	"sort"
+	"time"
+
+	"repro/internal/balance"
+	"repro/internal/compositor"
+	"repro/internal/raster"
+	"repro/internal/renderservice"
+)
+
+// TileRenderer is the optional RenderHandle extension for deadline-
+// aware framebuffer distribution: render one tile of the session's
+// replicated scene. Handles that implement it participate in
+// RenderTilesHedged.
+type TileRenderer interface {
+	RenderHandle
+	// RenderTile renders the given tile of a fullW x fullH frame. A
+	// non-zero deadline is propagated to the service, which declines
+	// (with a typed *renderservice.ErrOverloaded) work it cannot finish
+	// in time instead of rendering it late.
+	RenderTile(rect image.Rectangle, fullW, fullH int, deadline time.Time) (compositor.Tile, error)
+}
+
+// AvailabilityReporter is the optional RenderHandle extension a
+// circuit-breaker wrapper implements; the distributor folds the
+// verdicts into its migration engine so breaker-open peers are planned
+// around and NeedRecruitment fires when capacity is truly gone.
+type AvailabilityReporter interface {
+	// Available reports whether the peer should receive work right now
+	// (false while its breaker is open).
+	Available() bool
+}
+
+// HedgeConfig tunes the hedged tile path.
+type HedgeConfig struct {
+	// FrameDeadline is the hard per-frame budget: at this point the
+	// frame force-assembles with missing tiles degraded. Defaults to
+	// 250ms.
+	FrameDeadline time.Duration
+	// HedgeDelay is the soft per-tile deadline: a tile still missing
+	// after it is re-issued to the most-spare other peer. Defaults to
+	// FrameDeadline/4 (and is clamped below FrameDeadline).
+	HedgeDelay time.Duration
+}
+
+// HedgeReport summarizes one hedged frame.
+type HedgeReport struct {
+	// Tiles is the number of planned tile regions.
+	Tiles int
+	// Hedged counts backup requests issued (soft-deadline misses and
+	// immediate re-issues after a decline).
+	Hedged int
+	// HedgeWins counts regions whose first result came from a backup.
+	HedgeWins int
+	// Declined counts typed refusals (admission control or breakers).
+	Declined int
+	// Degraded lists regions force-assembled from the fallback frame.
+	Degraded []image.Rectangle
+	// Latency is the frame's wall time on the session clock.
+	Latency time.Duration
+}
+
+// tileResult is one render attempt's outcome.
+type tileResult struct {
+	region int
+	name   string
+	hedge  bool
+	tile   compositor.Tile
+	err    error
+}
+
+// isDecline reports whether an error is a typed overload refusal.
+func isDecline(err error) bool {
+	var ov *renderservice.ErrOverloaded
+	return errors.As(err, &ov)
+}
+
+// syncAvailability folds breaker verdicts from availability-reporting
+// handles into the migration engine.
+func (d *Distributor) syncAvailability() {
+	d.mu.Lock()
+	handles := make(map[string]RenderHandle, len(d.handles))
+	for k, v := range d.handles {
+		handles[k] = v
+	}
+	d.mu.Unlock()
+	verdicts := map[string]bool{}
+	for name, h := range handles {
+		if ar, ok := h.(AvailabilityReporter); ok {
+			verdicts[name] = ar.Available()
+		}
+	}
+	d.mu.Lock()
+	for n, v := range verdicts {
+		d.engine.SetAvailable(n, v)
+	}
+	d.mu.Unlock()
+}
+
+// lastGoodFrame returns the previous assembled frame when it matches
+// the requested size (the degraded-tile fallback), or nil.
+func (d *Distributor) lastGoodFrame(w, h int) *raster.Framebuffer {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.lastFrame != nil && d.lastFrame.W == w && d.lastFrame.H == h {
+		return d.lastFrame
+	}
+	return nil
+}
+
+func (d *Distributor) storeLastFrame(fb *raster.Framebuffer) {
+	d.mu.Lock()
+	d.lastFrame = fb
+	d.mu.Unlock()
+}
+
+// RenderTilesHedged renders one frame by framebuffer distribution with
+// overload protection end to end: tiles are planned from *cached*
+// capacities (interrogating a stalled peer would block planning),
+// breaker-open peers are planned around, every tile request carries the
+// frame's absolute deadline, tiles missing their soft deadline are
+// hedged to the most-spare other peer (first result wins), and the hard
+// deadline force-assembles with stragglers degraded to the last good
+// frame. The frame is therefore never lost and never later than the
+// deadline plus one scheduling quantum.
+func (d *Distributor) RenderTilesHedged(ctx context.Context, w, h int, cfg HedgeConfig) (*raster.Framebuffer, *HedgeReport, error) {
+	clock := d.clock()
+	if cfg.FrameDeadline <= 0 {
+		cfg.FrameDeadline = d.sess.svc.cfg.Hedge.FrameDeadline
+	}
+	if cfg.HedgeDelay <= 0 {
+		cfg.HedgeDelay = d.sess.svc.cfg.Hedge.HedgeDelay
+	}
+	if cfg.FrameDeadline <= 0 {
+		cfg.FrameDeadline = 250 * time.Millisecond
+	}
+	if cfg.HedgeDelay <= 0 || cfg.HedgeDelay >= cfg.FrameDeadline {
+		cfg.HedgeDelay = cfg.FrameDeadline / 4
+	}
+	start := clock.Now()
+	deadline := start.Add(cfg.FrameDeadline)
+
+	d.syncAvailability()
+	d.mu.Lock()
+	renderers := map[string]TileRenderer{}
+	for name, hd := range d.handles {
+		if tr, ok := hd.(TileRenderer); ok && d.engine.Available(name) {
+			renderers[name] = tr
+		}
+	}
+	loads := d.engine.Snapshot()
+	d.mu.Unlock()
+	if len(renderers) == 0 {
+		return nil, nil, fmt.Errorf("dataservice: no tile-capable render services available")
+	}
+
+	// Plan from cached capacities, fastest peers first for hedging.
+	var caps []balance.ServiceCapacity
+	for _, sl := range loads {
+		if _, ok := renderers[sl.Capacity.Name]; ok {
+			caps = append(caps, sl.Capacity)
+		}
+	}
+	plan := balance.DistributeTiles(w, h, caps)
+	if len(plan) == 0 {
+		return nil, nil, fmt.Errorf("dataservice: empty tile plan for %dx%d across %d services", w, h, len(caps))
+	}
+	bySpare := append([]balance.ServiceCapacity(nil), caps...)
+	sort.Slice(bySpare, func(i, j int) bool {
+		if bySpare[i].Spare() != bySpare[j].Spare() {
+			return bySpare[i].Spare() > bySpare[j].Spare()
+		}
+		return bySpare[i].Name < bySpare[j].Name
+	})
+
+	var primaries []string
+	for name := range plan {
+		primaries = append(primaries, name)
+	}
+	sort.Strings(primaries)
+	rects := make([]image.Rectangle, len(primaries))
+	for i, name := range primaries {
+		rects[i] = plan[name]
+	}
+	sync, err := compositor.NewSynchronizer(w, h, rects)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Result channel sized for every possible launch (each region tried
+	// on each renderer at most once), so result sends cannot block; the
+	// done guard additionally unblocks stragglers replying after the
+	// frame returned.
+	results := make(chan tileResult, len(rects)*len(renderers))
+	done := make(chan struct{})
+	defer close(done)
+	launch := func(region int, name string, hedge bool) {
+		tr := renderers[name]
+		rect := rects[region]
+		go func() {
+			tile, err := tr.RenderTile(rect, w, h, deadline)
+			select {
+			case results <- tileResult{region: region, name: name, hedge: hedge, tile: tile, err: err}:
+			case <-done:
+			}
+		}()
+	}
+
+	rep := &HedgeReport{Tiles: len(rects)}
+	filled := make(map[int]bool, len(rects))
+	tried := make(map[int]map[string]bool, len(rects))
+	outstanding := make(map[int]int, len(rects))
+	for i, name := range primaries {
+		tried[i] = map[string]bool{name: true}
+		outstanding[i] = 1
+		launch(i, name, false)
+	}
+
+	// hedgeRegion re-issues a region to the most-spare peer not yet
+	// tried on it. No-op when every peer has been tried.
+	hedgeRegion := func(region int) {
+		for _, c := range bySpare {
+			if tried[region][c.Name] {
+				continue
+			}
+			tried[region][c.Name] = true
+			outstanding[region]++
+			rep.Hedged++
+			launch(region, c.Name, true)
+			return
+		}
+	}
+
+	finish := func() (*raster.Framebuffer, *HedgeReport, error) {
+		fb, _, degraded, err := sync.AssembleDegraded(d.lastGoodFrame(w, h))
+		if err != nil {
+			return nil, rep, err
+		}
+		rep.Degraded = degraded
+		rep.Latency = clock.Now().Sub(start)
+		d.storeLastFrame(fb)
+		return fb, rep, nil
+	}
+
+	hedgeCh := clock.After(cfg.HedgeDelay)
+	deadlineCh := clock.After(cfg.FrameDeadline)
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, rep, ctx.Err()
+		case r := <-results:
+			outstanding[r.region]--
+			if r.err != nil {
+				if isDecline(r.err) {
+					rep.Declined++
+				}
+				// A fast refusal fails over immediately — no reason to
+				// wait for the hedge timer when the peer already said no.
+				if !filled[r.region] && outstanding[r.region] == 0 {
+					hedgeRegion(r.region)
+				}
+				continue
+			}
+			if filled[r.region] {
+				continue // the loser: a result already won this region
+			}
+			filled[r.region] = true
+			if r.hedge {
+				rep.HedgeWins++
+			}
+			if err := sync.Submit(r.tile); err != nil {
+				return nil, rep, err
+			}
+			if len(filled) == len(rects) {
+				return finish()
+			}
+		case <-hedgeCh:
+			for i := range rects {
+				if !filled[i] {
+					hedgeRegion(i)
+				}
+			}
+		case <-deadlineCh:
+			return finish()
+		}
+	}
+}

@@ -50,6 +50,10 @@ type VersionedSubscriber interface {
 type Config struct {
 	Name  string
 	Clock vclock.Clock
+	// Hedge sets the deployment-wide defaults for hedged tile
+	// rendering (frame deadline and hedge delay); zero fields fall
+	// back to the package defaults documented on HedgeConfig.
+	Hedge HedgeConfig
 }
 
 // Service hosts sessions. "Multiple sessions may be managed by the same

@@ -10,6 +10,7 @@ import (
 	"repro/internal/lint/leakedgoroutine"
 	"repro/internal/lint/lockedio"
 	"repro/internal/lint/nondeterminism"
+	"repro/internal/lint/unboundedsend"
 	"repro/internal/lint/wallclock"
 )
 
@@ -21,5 +22,6 @@ func Analyzers() []*analysis.Analyzer {
 		lockedio.Analyzer,
 		ctxloop.Analyzer,
 		leakedgoroutine.Analyzer,
+		unboundedsend.Analyzer,
 	}
 }

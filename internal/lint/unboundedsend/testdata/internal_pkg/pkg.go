@@ -1,0 +1,74 @@
+// Package example exercises the unboundedsend rule on the send shapes
+// the service fabric actually contains: result fan-in, semaphores,
+// error pipes, and timer delivery.
+package example
+
+type result struct{ n int }
+
+// bareSend is the defect: the goroutine parks forever once the reader
+// is gone.
+func bareSend(out chan result) {
+	out <- result{1} // want `channel send can block forever`
+}
+
+// selectNoEscape is the same defect dressed as a select: every case is
+// a send, so nothing can unblock it.
+func selectNoEscape(a, b chan result) {
+	select {
+	case a <- result{1}: // want `channel send can block forever`
+	case b <- result{2}: // want `channel send can block forever`
+	}
+}
+
+// stopGuarded races the send against a stop receive — the fabric's
+// canonical result-delivery shape.
+func stopGuarded(out chan result, stop chan struct{}) {
+	select {
+	case out <- result{1}:
+	case <-stop:
+	}
+}
+
+// bestEffort uses a default clause: the send never blocks.
+func bestEffort(out chan result) {
+	select {
+	case out <- result{1}:
+	default:
+	}
+}
+
+// bufferedLocal sends on a channel this function made with capacity:
+// one send per channel cannot block.
+func bufferedLocal() chan error {
+	errc := make(chan error, 1)
+	errc <- nil
+	return errc
+}
+
+// bufferedVar covers the var-spec form of the same pattern.
+func bufferedVar() {
+	var ch = make(chan int, 4)
+	ch <- 7
+	<-ch
+}
+
+// unbufferedLocal makes the channel here but with no capacity — still a
+// wedge.
+func unbufferedLocal() {
+	ch := make(chan int)
+	ch <- 1 // want `channel send can block forever`
+}
+
+// fieldChan carries the channel in a struct: its capacity is not
+// provable in this file, so the escape hatch documents the contract.
+type timerWaiter struct{ ch chan int }
+
+func fieldChan(w *timerWaiter) {
+	//lint:allow unboundedsend: w.ch is per-waiter, capacity 1, sent to exactly once
+	w.ch <- 1
+}
+
+// fieldChanBare is the same send without the annotation.
+func fieldChanBare(w *timerWaiter) {
+	w.ch <- 1 // want `channel send can block forever`
+}

@@ -1,0 +1,174 @@
+// Package unboundedsend enforces the overload-protection contract on
+// channel sends: under internal/, a bare `ch <- v` can park its
+// goroutine forever when the receiver has stalled or gone away — the
+// exact wedge the admission/hedging machinery exists to prevent. A send
+// must therefore be observable or bounded: either it races an escape in
+// a select (a receive case such as <-done / <-ctx.Done(), or a default
+// clause that turns the send best-effort), or the channel is provably a
+// locally-created buffered channel (`make(chan T, N)` with constant
+// N > 0 in the same file), where the send completes without a partner
+// as long as the protocol bounds outstanding sends by the capacity.
+//
+// Sends whose boundedness lives outside the file — a capacity-1 channel
+// carried in a struct field, for example — use the
+// `//lint:allow unboundedsend` escape hatch with a justification.
+package unboundedsend
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+// Analyzer is the unboundedsend rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "unboundedsend",
+	Doc: "a channel send must race an escape in a select, target a locally-made " +
+		"buffered channel, or carry //lint:allow — a bare send blocks forever when " +
+		"the receiver stalls",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !lintutil.HasSegment(pass.Pkg.Path(), "internal") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		buffered := bufferedChannels(pass.TypesInfo, file)
+		guarded := guardedSends(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			send, ok := n.(*ast.SendStmt)
+			if !ok {
+				return true
+			}
+			if guarded[send] {
+				return true
+			}
+			if isBufferedLocal(pass.TypesInfo, buffered, send.Chan) {
+				return true
+			}
+			if pass.Allowed(send.Pos()) {
+				return true
+			}
+			pass.Reportf(send.Pos(), "channel send can block forever when the receiver stalls: select against a stop/cancel receive, use a locally-made buffered channel, or annotate //lint:allow unboundedsend")
+			return true
+		})
+	}
+	return nil
+}
+
+// guardedSends collects sends that are the comm of a select clause with
+// an escape: the select also has a default clause (best-effort send) or
+// a receive case (the stop/cancel race). A select whose cases are all
+// sends has no escape and guards nothing.
+func guardedSends(file *ast.File) map[*ast.SendStmt]bool {
+	out := map[*ast.SendStmt]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		escape := false
+		var sends []*ast.SendStmt
+		for _, c := range sel.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			switch comm := cc.Comm.(type) {
+			case nil: // default clause
+				escape = true
+			case *ast.SendStmt:
+				sends = append(sends, comm)
+			default: // a receive case (expr or assignment)
+				escape = true
+			}
+		}
+		if escape {
+			for _, s := range sends {
+				out[s] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// bufferedChannels indexes variables initialized in this file as
+// make(chan T, N) with constant N > 0.
+func bufferedChannels(info *types.Info, file *ast.File) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj != nil && isBufferedMake(info, rhs) {
+			out[obj] = true
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) == len(st.Rhs) {
+				for i := range st.Lhs {
+					record(st.Lhs[i], st.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(st.Names) == len(st.Values) {
+				for i := range st.Names {
+					record(st.Names[i], st.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isBufferedMake reports whether e is make(chan T, N) with constant
+// N > 0.
+func isBufferedMake(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fn.Name != "make" {
+		return false
+	}
+	if _, ok := info.Uses[fn].(*types.Builtin); !ok {
+		return false
+	}
+	if _, ok := info.Types[call.Args[0]].Type.Underlying().(*types.Chan); !ok {
+		return false
+	}
+	tv, ok := info.Types[call.Args[1]]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	n, ok := constant.Int64Val(constant.ToInt(tv.Value))
+	return ok && n > 0
+}
+
+// isBufferedLocal reports whether the send's channel expression is a
+// plain identifier bound to a known buffered-make variable.
+func isBufferedLocal(info *types.Info, buffered map[types.Object]bool, ch ast.Expr) bool {
+	id, ok := ast.Unparen(ch).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	return obj != nil && buffered[obj]
+}

@@ -1,0 +1,18 @@
+package unboundedsend_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/unboundedsend"
+)
+
+// TestUnboundedSend proves the rule flags bare sends and escape-free
+// select sends, and accepts every sanctioned form: a select racing a
+// stop receive, a default-clause best-effort send, a locally-made
+// buffered channel (assignment and var-spec forms), and the
+// //lint:allow escape hatch for channels whose boundedness lives
+// outside the file.
+func TestUnboundedSend(t *testing.T) {
+	linttest.Run(t, unboundedsend.Analyzer, "testdata/internal_pkg", "repro/internal/example")
+}

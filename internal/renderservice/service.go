@@ -46,6 +46,12 @@ type Config struct {
 	// device model's frame time on the configured clock, so end-to-end
 	// simulations reproduce 2004 pacing.
 	SimulateDeviceTime bool
+	// QueueDepth bounds concurrently admitted render calls (admission
+	// control); work beyond it is shed with ErrOverloaded instead of
+	// queueing unboundedly. Defaults to DefaultQueueDepth. Background
+	// (tile/subset assist) work is capped at half this depth so peer
+	// assists cannot starve interactive viewers.
+	QueueDepth int
 }
 
 // Service is a render service hosting any number of render sessions.
@@ -53,6 +59,7 @@ type Config struct {
 // multiple users may share available rendering resources."
 type Service struct {
 	cfg Config
+	adm admission
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -69,7 +76,12 @@ func New(cfg Config) *Service {
 	if cfg.Workers < 1 {
 		cfg.Workers = 1
 	}
-	return &Service{cfg: cfg, sessions: map[string]*Session{}}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	s := &Service{cfg: cfg, sessions: map[string]*Session{}}
+	s.adm.depth = cfg.QueueDepth
+	return s
 }
 
 // Name returns the service name.
@@ -157,6 +169,25 @@ func (s *Service) sessionVersion(name string) (uint64, bool) {
 		return 0, false
 	}
 	return sess.Version(), true
+}
+
+// SessionNamed returns the live replica of the named session without
+// taking a new reference (the caller must not Close it). With an empty
+// name it returns the sole live session, if exactly one exists — the
+// common single-session deployment of a local render handle.
+func (s *Service) SessionNamed(name string) (*Session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if name == "" {
+		if len(s.sessions) != 1 {
+			return nil, false
+		}
+		for _, sess := range s.sessions {
+			return sess, true
+		}
+	}
+	sess, ok := s.sessions[name]
+	return sess, ok
 }
 
 // Sessions lists live session names.
@@ -273,8 +304,21 @@ type Frame struct {
 // RenderFrame renders a full frame at w x h for the given viewer (whose
 // own avatar is hidden).
 func (sess *Session) RenderFrame(w, h int, viewer string) (*Frame, error) {
+	return sess.RenderFrameBy(w, h, viewer, time.Time{})
+}
+
+// RenderFrameBy is RenderFrame under admission control with an optional
+// absolute deadline: work the service cannot start (queue full) or
+// cannot finish in time is refused with ErrOverloaded before touching
+// the session, so callers can immediately retry elsewhere. The zero
+// deadline means "no deadline" and only the queue bound applies.
+func (sess *Session) RenderFrameBy(w, h int, viewer string, deadline time.Time) (*Frame, error) {
 	if w <= 0 || h <= 0 || w > 1<<13 || h > 1<<13 {
 		return nil, fmt.Errorf("renderservice: bad frame size %dx%d", w, h)
+	}
+	release, err := sess.svc.admit(true, deadline)
+	if err != nil {
+		return nil, err
 	}
 	fb := raster.NewFramebuffer(w, h)
 	sess.mu.Lock()
@@ -289,6 +333,7 @@ func (sess *Session) RenderFrame(w, h int, viewer string) (*Frame, error) {
 	if sess.svc.cfg.SimulateDeviceTime {
 		sess.svc.cfg.Clock.Sleep(dt)
 	}
+	release(dt)
 	return &Frame{FB: fb, Version: version, DeviceTime: dt}, nil
 }
 
@@ -296,9 +341,21 @@ func (sess *Session) RenderFrame(w, h int, viewer string) (*Frame, error) {
 // distribution's assisting role ("renders to an off-screen buffer, which
 // it then forwards directly to the requesting render service").
 func (sess *Session) RenderTile(rect image.Rectangle, fullW, fullH int) (*Frame, error) {
+	return sess.RenderTileBy(rect, fullW, fullH, time.Time{})
+}
+
+// RenderTileBy is RenderTile under admission control with an optional
+// absolute deadline; tile assists count as background work (half the
+// queue depth) so they cannot starve interactive frames. See
+// RenderFrameBy.
+func (sess *Session) RenderTileBy(rect image.Rectangle, fullW, fullH int, deadline time.Time) (*Frame, error) {
 	if rect.Dx() <= 0 || rect.Dy() <= 0 || fullW <= 0 || fullH <= 0 ||
 		rect.Min.X < 0 || rect.Min.Y < 0 || rect.Max.X > fullW || rect.Max.Y > fullH {
 		return nil, fmt.Errorf("renderservice: bad tile %v of %dx%d", rect, fullW, fullH)
+	}
+	release, err := sess.svc.admit(false, deadline)
+	if err != nil {
+		return nil, err
 	}
 	fb := raster.NewFramebuffer(rect.Dx(), rect.Dy())
 	sess.mu.Lock()
@@ -313,6 +370,7 @@ func (sess *Session) RenderTile(rect image.Rectangle, fullW, fullH int) (*Frame,
 	if sess.svc.cfg.SimulateDeviceTime {
 		sess.svc.cfg.Clock.Sleep(dt)
 	}
+	release(dt)
 	return &Frame{FB: fb, Version: version, DeviceTime: dt}, nil
 }
 
@@ -348,8 +406,19 @@ func (sess *Session) EncodeFrame(f *Frame, codecName string, throughputBps float
 // returning the frame+depth buffer for compositing and the modeled
 // device time.
 func (s *Service) RenderSceneOnce(sc *scene.Scene, cam raster.Camera, w, h int) (*raster.Framebuffer, time.Duration, error) {
+	return s.RenderSceneOnceBy(sc, cam, w, h, time.Time{})
+}
+
+// RenderSceneOnceBy is RenderSceneOnce under admission control with an
+// optional absolute deadline; subset assists count as background work.
+// See RenderFrameBy.
+func (s *Service) RenderSceneOnceBy(sc *scene.Scene, cam raster.Camera, w, h int, deadline time.Time) (*raster.Framebuffer, time.Duration, error) {
 	if w <= 0 || h <= 0 || w > 1<<13 || h > 1<<13 {
 		return nil, 0, fmt.Errorf("renderservice: bad frame size %dx%d", w, h)
+	}
+	release, err := s.admit(false, deadline)
+	if err != nil {
+		return nil, 0, err
 	}
 	tmp := &Session{name: "once", svc: s, scene: sc, camera: cam}
 	fb := raster.NewFramebuffer(w, h)
@@ -358,6 +427,7 @@ func (s *Service) RenderSceneOnce(sc *scene.Scene, cam raster.Camera, w, h int) 
 	if s.cfg.SimulateDeviceTime {
 		s.cfg.Clock.Sleep(dt)
 	}
+	release(dt)
 	return fb, dt, nil
 }
 
@@ -479,9 +549,9 @@ func (s *Service) ServeClient(rw io.ReadWriter, linkBps float64) error {
 			if needSession() {
 				continue
 			}
-			frame, err := sess.RenderFrame(req.W, req.H, hello.Name)
+			frame, err := sess.RenderFrameBy(req.W, req.H, hello.Name, transport.DeadlineFromNanos(req.DeadlineNanos))
 			if err != nil {
-				if serr := conn.SendJSON(transport.MsgError, transport.ErrorInfo{Message: err.Error()}); serr != nil {
+				if serr := declineOrError(conn, err); serr != nil {
 					return serr
 				}
 				continue
@@ -517,9 +587,9 @@ func (s *Service) ServeClient(rw io.ReadWriter, linkBps float64) error {
 			if err != nil {
 				return err
 			}
-			fb, _, err := s.RenderSceneOnce(subset, CameraFromState(sa.Camera), sa.W, sa.H)
+			fb, _, err := s.RenderSceneOnceBy(subset, CameraFromState(sa.Camera), sa.W, sa.H, transport.DeadlineFromNanos(sa.DeadlineNanos))
 			if err != nil {
-				if serr := conn.SendJSON(transport.MsgError, transport.ErrorInfo{Message: err.Error()}); serr != nil {
+				if serr := declineOrError(conn, err); serr != nil {
 					return serr
 				}
 				continue
@@ -540,9 +610,9 @@ func (s *Service) ServeClient(rw io.ReadWriter, linkBps float64) error {
 				continue
 			}
 			rect := image.Rect(ta.X0, ta.Y0, ta.X1, ta.Y1)
-			frame, err := sess.RenderTile(rect, ta.FullW, ta.FullH)
+			frame, err := sess.RenderTileBy(rect, ta.FullW, ta.FullH, transport.DeadlineFromNanos(ta.DeadlineNanos))
 			if err != nil {
-				if serr := conn.SendJSON(transport.MsgError, transport.ErrorInfo{Message: err.Error()}); serr != nil {
+				if serr := declineOrError(conn, err); serr != nil {
 					return serr
 				}
 				continue
@@ -568,6 +638,19 @@ func (s *Service) ServeClient(rw io.ReadWriter, linkBps float64) error {
 			}
 		}
 	}
+}
+
+// declineOrError answers a failed render request: admission refusals
+// become a fast MsgDeclined (the socket session survives, the caller
+// retries elsewhere or later), anything else a MsgError.
+func declineOrError(conn *transport.Conn, err error) error {
+	var ov *ErrOverloaded
+	if errors.As(err, &ov) {
+		return conn.SendJSON(transport.MsgDeclined, transport.Declined{
+			Reason: ov.Reason, RetryAfterMs: ov.RetryAfter.Milliseconds(),
+		})
+	}
+	return conn.SendJSON(transport.MsgError, transport.ErrorInfo{Message: err.Error()})
 }
 
 // SubscribeOpts tunes the subscription loop's failure handling. The zero

@@ -86,6 +86,12 @@ const (
 	// (JSON) naming the current version, then replays only the missed
 	// ops as MsgSceneOpVer messages.
 	MsgResumeOK
+	// MsgDeclined is a render service's fast refusal of a frame, tile or
+	// subset request it cannot serve in time — its admission queue is
+	// full or the request's deadline is infeasible (JSON Declined). The
+	// caller should retry elsewhere or after the hinted backoff; unlike
+	// MsgError it does not terminate the socket session.
+	MsgDeclined
 )
 
 // String names the message type.
@@ -102,6 +108,7 @@ func (t MsgType) String() string {
 		MsgSceneOpVer: "scene-op-ver", MsgVersionQuery: "version-query",
 		MsgVersionReport: "version-report", MsgResyncRequest: "resync-request",
 		MsgStandbyAck: "standby-ack", MsgResumeOK: "resume-ok",
+		MsgDeclined: "declined",
 	}
 	if n, ok := names[t]; ok {
 		return n
@@ -297,6 +304,11 @@ type FrameRequest struct {
 	H int `json:"h"`
 	// Codec: "raw", "rle", "delta-rle", "adaptive".
 	Codec string `json:"codec,omitempty"`
+	// DeadlineNanos, when non-zero, is the absolute deadline for this
+	// frame in nanoseconds on the session clock (time.Time.UnixNano). A
+	// service that cannot meet it answers MsgDeclined instead of
+	// rendering a frame nobody will display.
+	DeadlineNanos int64 `json:"deadline_nanos,omitempty"`
 }
 
 // TileAssign assigns a tile of the full image to an assisting render
@@ -309,6 +321,10 @@ type TileAssign struct {
 	FullW   int    `json:"full_w"`
 	FullH   int    `json:"full_h"`
 	Session string `json:"session"`
+	// DeadlineNanos, when non-zero, is the absolute deadline for this
+	// tile on the session clock (time.Time.UnixNano); see
+	// FrameRequest.DeadlineNanos.
+	DeadlineNanos int64 `json:"deadline_nanos,omitempty"`
 }
 
 // TileHeader precedes a tile's pixels.
@@ -386,4 +402,36 @@ type SubsetAssign struct {
 	W       int         `json:"w"`
 	H       int         `json:"h"`
 	Camera  CameraState `json:"camera"`
+	// DeadlineNanos, when non-zero, is the absolute deadline for this
+	// subset render on the session clock (time.Time.UnixNano); see
+	// FrameRequest.DeadlineNanos.
+	DeadlineNanos int64 `json:"deadline_nanos,omitempty"`
+}
+
+// Declined is the payload of MsgDeclined: a fast, typed refusal from an
+// overloaded render service. Reason is one of "queue-full", "expired" or
+// "deadline"; RetryAfterMs hints how long the caller should wait before
+// retrying this service (zero when retrying here is pointless, e.g. the
+// request itself had already expired).
+type Declined struct {
+	Reason       string `json:"reason"`
+	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
+}
+
+// DeadlineToNanos converts an absolute deadline to its wire form; the
+// zero time (no deadline) maps to zero.
+func DeadlineToNanos(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixNano()
+}
+
+// DeadlineFromNanos converts a wire deadline back to a time.Time; zero
+// (no deadline) maps to the zero time.
+func DeadlineFromNanos(n int64) time.Time {
+	if n == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, n)
 }

@@ -106,6 +106,7 @@ func (v *Virtual) Advance(d time.Duration) {
 	for len(v.waiters) > 0 && !v.waiters[0].deadline.After(target) {
 		w := heap.Pop(&v.waiters).(*waiter)
 		v.now = w.deadline
+		//lint:allow unboundedsend: w.ch is per-waiter with capacity 1 (see After) and each waiter is popped, hence sent to, exactly once
 		w.ch <- v.now
 	}
 	v.now = target
