@@ -15,8 +15,9 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # lint runs the repo's own analyzer suite (wallclock, nondeterminism,
-# lockedio, ctxloop, leakedgoroutine — see DESIGN.md "Static analysis &
-# the determinism contract") followed by go vet.
+# lockedio, ctxloop, leakedgoroutine, unboundedsend, metriclabel — see
+# DESIGN.md "Static analysis & the determinism contract") followed by
+# go vet.
 lint:
 	$(GO) run ./cmd/ravelint ./...
 	$(GO) vet ./...
@@ -36,6 +37,9 @@ build:
 test:
 	$(GO) test ./...
 
+# race runs every package's tests under the race detector; this includes
+# the raster golden-image comparisons and the telemetry determinism and
+# snapshot-identity suites, so ci gates on both.
 race:
 	$(GO) test -race ./...
 

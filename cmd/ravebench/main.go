@@ -29,12 +29,13 @@ import (
 	"repro/internal/marshal"
 	"repro/internal/perfmodel"
 	"repro/internal/raster"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	table := flag.Int("table", 0, "regenerate one table (1-5); 0 = all")
 	figure := flag.Int("figure", 0, "regenerate one figure (2-5); 0 = all")
-	extra := flag.String("extra", "", "extension experiment: codec, migrate, marshal")
+	extra := flag.String("extra", "", "extension experiment: codec, migrate, marshal, volume, sync, telemetry")
 	scale := flag.Float64("scale", 0.1, "model scale for generated geometry (1 = paper size)")
 	out := flag.String("out", ".", "output directory for PNGs")
 	flag.Parse()
@@ -165,6 +166,28 @@ func main() {
 		}
 		fmt.Println("Extra: tile synchronization (§5.5)")
 		fmt.Println(perfmodel.FormatSyncDemo(rows))
+	}
+	if all || *extra == "telemetry" {
+		res, err := perfmodel.TelemetryDemo(8)
+		if err != nil {
+			fail(err)
+		}
+		path := filepath.Join(*out, "BENCH_telemetry.json")
+		f, err := os.Create(path)
+		if err != nil {
+			fail(err)
+		}
+		werr := telemetry.WriteJSON(f, res.Diff)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fail(werr)
+		}
+		fmt.Printf("Extra: session-clock telemetry — %d hedged frames across 2 render services\n", res.Frames)
+		fmt.Printf("wrote %s (%d metrics in snapshot diff)\n", path, len(res.Diff.Metrics))
+		fmt.Println("first frame's trace tree:")
+		fmt.Println(res.Trace)
 	}
 	if all || *extra == "marshal" {
 		fmt.Println("Extra: per-pixel vs direct frame marshalling (§5.1)")

@@ -31,6 +31,7 @@ import (
 	"repro/internal/dataservice/failover"
 	"repro/internal/dataservice/wal"
 	"repro/internal/geom/genmodel"
+	"repro/internal/telemetry"
 	"repro/internal/uddi"
 	"repro/internal/vclock"
 	"repro/internal/wsdl"
@@ -58,6 +59,8 @@ func main() {
 		"hard per-frame budget for hedged tile rendering: the frame force-assembles (stragglers degraded, never lost) at this deadline")
 	hedgeDelay := flag.Duration("hedge-delay", 0,
 		"soft per-tile deadline before a straggling tile is re-issued to the most-spare peer (0 = frame-deadline/4)")
+	telemetryEvery := flag.Duration("telemetry", 0,
+		"log a telemetry snapshot at this interval (0 = off); on-demand dumps are always served over the control socket")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -65,10 +68,15 @@ func main() {
 		os.Exit(1)
 	}
 
+	metrics := telemetry.NewRegistry(clock)
 	svc := dataservice.New(dataservice.Config{
-		Name: *name, Clock: clock,
-		Hedge: dataservice.HedgeConfig{FrameDeadline: *frameDeadline, HedgeDelay: *hedgeDelay},
+		Name: *name, Clock: clock, Metrics: metrics,
+		Tracer: telemetry.NewTracer(clock),
+		Hedge:  dataservice.HedgeConfig{FrameDeadline: *frameDeadline, HedgeDelay: *hedgeDelay},
 	})
+	if *telemetryEvery > 0 {
+		go logTelemetry(metrics, *telemetryEvery)
+	}
 	leaseName := "data:" + *session
 
 	ln, err := net.Listen("tcp", *addr)
@@ -153,6 +161,17 @@ func main() {
 				fmt.Fprintln(os.Stderr, "ravedata: connection:", err)
 			}
 		}(conn)
+	}
+}
+
+// logTelemetry periodically writes a metrics snapshot to stderr, the
+// operator's running view of queue depths, hedge activity and WAL cost.
+func logTelemetry(metrics *telemetry.Registry, every time.Duration) {
+	for {
+		clock.Sleep(every)
+		if err := telemetry.WriteText(os.Stderr, metrics.Snapshot()); err != nil {
+			return
+		}
 	}
 }
 

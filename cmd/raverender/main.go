@@ -20,7 +20,9 @@ import (
 	"repro/internal/device"
 	"repro/internal/renderservice"
 	"repro/internal/retry"
+	"repro/internal/telemetry"
 	"repro/internal/uddi"
+	"repro/internal/vclock"
 	"repro/internal/wsdl"
 )
 
@@ -59,6 +61,8 @@ func main() {
 	report := flag.Duration("report-interval", 2*time.Second, "load-report cadence (0 disables)")
 	queueDepth := flag.Int("queue-depth", renderservice.DefaultQueueDepth,
 		"admission-control render queue depth: at most this many frames/tiles in flight before excess work is declined (background tile/subset work is capped at half)")
+	telemetryEvery := flag.Duration("telemetry", 0,
+		"log a telemetry snapshot at this interval (0 = off); on-demand dumps are always served over the control socket")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -70,9 +74,24 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	// The binary's clock is real time, but routed through vclock so the
+	// code path matches what deterministic harnesses drive with a Virtual.
+	clock := vclock.Real{}
+	metrics := telemetry.NewRegistry(clock)
 	rs := renderservice.New(renderservice.Config{
 		Name: *name, Device: profile, Workers: *workers, QueueDepth: *queueDepth,
+		Clock: clock, Metrics: metrics, Tracer: telemetry.NewTracer(clock),
 	})
+	if *telemetryEvery > 0 {
+		go func() {
+			for {
+				clock.Sleep(*telemetryEvery)
+				if err := telemetry.WriteText(os.Stderr, metrics.Snapshot()); err != nil {
+					return
+				}
+			}
+		}()
+	}
 
 	// Locate the data service.
 	target := *dataAddr

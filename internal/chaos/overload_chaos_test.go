@@ -13,6 +13,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/netsim"
 	"repro/internal/renderservice"
+	"repro/internal/telemetry"
 	"repro/internal/vclock"
 )
 
@@ -59,7 +60,13 @@ func TestOverloadStalledPeerDegradesNotFreezes(t *testing.T) {
 	stop := advance(clk)
 	defer stop()
 
-	svc := dataservice.New(dataservice.Config{Name: "data", Clock: clk})
+	// One registry and tracer shared by the data service and all three
+	// render services: each client frame becomes a single trace tree
+	// spanning fan-out, hedging, per-peer renders and the composite.
+	reg := telemetry.NewRegistry(clk)
+	tracer := telemetry.NewTracer(clk)
+
+	svc := dataservice.New(dataservice.Config{Name: "data", Clock: clk, Metrics: reg, Tracer: tracer})
 	sess := distSession(t, svc, 12000, 6)
 	d := sess.NewDistributor(balance.DefaultThresholds())
 	snapshot := sess.Snapshot()
@@ -73,7 +80,7 @@ func TestOverloadStalledPeerDegradesNotFreezes(t *testing.T) {
 		name string
 		dev  device.Profile
 	}{{"athlon", device.AthlonDesktop}, {"xeon", device.XeonDesktop}} {
-		rs := renderservice.New(renderservice.Config{Name: spec.name, Device: spec.dev, Workers: 2, Clock: clk})
+		rs := renderservice.New(renderservice.Config{Name: spec.name, Device: spec.dev, Workers: 2, Clock: clk, Metrics: reg, Tracer: tracer})
 		if _, err := rs.OpenSession("dist", snapshot, cam); err != nil {
 			t.Fatal(err)
 		}
@@ -86,7 +93,7 @@ func TestOverloadStalledPeerDegradesNotFreezes(t *testing.T) {
 
 	// The victim: the fastest device, reached over a simulated socket so
 	// its replies can be stalled.
-	victim := renderservice.New(renderservice.Config{Name: "victim", Device: device.SGIOnyx, Workers: 2, Clock: clk})
+	victim := renderservice.New(renderservice.Config{Name: "victim", Device: device.SGIOnyx, Workers: 2, Clock: clk, Metrics: reg, Tracer: tracer})
 	if _, err := victim.OpenSession("dist", snapshot, cam); err != nil {
 		t.Fatal(err)
 	}
@@ -104,6 +111,7 @@ func TestOverloadStalledPeerDegradesNotFreezes(t *testing.T) {
 
 	cfg := dataservice.HedgeConfig{FrameDeadline: 100 * time.Millisecond, HedgeDelay: 30 * time.Millisecond}
 	var latencies []time.Duration
+	var reports []*dataservice.HedgeReport
 	var stalledDegraded, stalledHedged int
 	var totalHedged, totalWins, totalDeclined int
 	render := func() *dataservice.HedgeReport {
@@ -116,6 +124,7 @@ func TestOverloadStalledPeerDegradesNotFreezes(t *testing.T) {
 			t.Fatalf("frame lost: bad framebuffer %+v", fb)
 		}
 		latencies = append(latencies, rep.Latency)
+		reports = append(reports, rep)
 		totalHedged += rep.Hedged
 		totalWins += rep.HedgeWins
 		totalDeclined += rep.Declined
@@ -196,4 +205,90 @@ func TestOverloadStalledPeerDegradesNotFreezes(t *testing.T) {
 	t.Logf("frames %d (lost 0), p50 %v, p99 %v, hedged %d (wins %d), declined %d, degraded tiles %d during stall, breaker %v",
 		len(latencies), percentile(latencies, 0.5), percentile(latencies, 0.99),
 		totalHedged, totalWins, totalDeclined, stalledDegraded, vb.Breaker().Transitions())
+
+	// --- trace trees: one per frame, structure matching its report ----
+	// Root spans are created sequentially (render() is called serially),
+	// so frame trees sorted by span ID line up 1:1 with reports.
+	var frames []*telemetry.Tree
+	for _, tr := range telemetry.BuildTrees(tracer.Spans()) {
+		if tr.Span.Name == "frame" {
+			frames = append(frames, tr)
+		}
+	}
+	if len(frames) != len(reports) {
+		t.Fatalf("%d frame trace trees for %d frames", len(frames), len(reports))
+	}
+	hedgedTreeChecked := false
+	for i, tr := range frames {
+		rep := reports[i]
+		if got := tr.Count("render-tile"); got != rep.Tiles {
+			t.Fatalf("frame %d: %d primary launch spans for %d tiles\n%s",
+				i, got, rep.Tiles, telemetry.FormatTrees(frames[i:i+1]))
+		}
+		if got := tr.Count("render-tile-hedge"); got != rep.Hedged {
+			t.Fatalf("frame %d: %d hedge spans, report says %d\n%s",
+				i, got, rep.Hedged, telemetry.FormatTrees(frames[i:i+1]))
+		}
+		if tr.Count("plan") != 1 || tr.Count("composite") != 1 {
+			t.Fatalf("frame %d: root does not cover plan through composite\n%s",
+				i, telemetry.FormatTrees(frames[i:i+1]))
+		}
+		wantStatus := telemetry.StatusOK
+		if len(rep.Degraded) > 0 {
+			wantStatus = telemetry.StatusDegraded
+		}
+		if tr.Span.Status != wantStatus {
+			t.Fatalf("frame %d: root status %q, report degraded=%v", i, tr.Span.Status, rep.Degraded)
+		}
+		for _, child := range tr.Children {
+			s := child.Span
+			if (s.Name == "render-tile" || s.Name == "render-tile-hedge") && s.Peer == "" {
+				t.Fatalf("frame %d: launch span without peer label", i)
+			}
+		}
+		// The satellite contract on a hedged frame: exactly one re-issue
+		// span, and no tile lost (the frame assembled from live results).
+		if !hedgedTreeChecked && rep.Hedged == 1 && len(rep.Degraded) == 0 {
+			hedgedTreeChecked = true
+			if tr.Count("render-tile-hedge") != 1 {
+				t.Fatalf("hedged frame %d: want exactly one re-issue span\n%s",
+					i, telemetry.FormatTrees(frames[i:i+1]))
+			}
+		}
+	}
+	if totalHedged > 0 && !hedgedTreeChecked {
+		t.Log("no frame hedged exactly once with zero degradation; satellite checked by the deterministic trace test")
+	}
+
+	// --- metrics: aggregate counters agree with the reports -----------
+	snap := reg.Snapshot()
+	if got := snap.CounterValue("data", "hedge_frames_total", ""); got != int64(len(reports)) {
+		t.Fatalf("hedge_frames_total %d, want %d", got, len(reports))
+	}
+	if got := snap.CounterValue("data", "hedge_reissues_total", ""); got != int64(totalHedged) {
+		t.Fatalf("hedge_reissues_total %d, want %d", got, totalHedged)
+	}
+	if got := snap.CounterValue("data", "hedge_wins_total", ""); got != int64(totalWins) {
+		t.Fatalf("hedge_wins_total %d, want %d", got, totalWins)
+	}
+	var declines int64
+	for _, peer := range []string{"athlon", "xeon", "victim"} {
+		declines += snap.CounterValue("data", "hedge_declines_total", peer)
+	}
+	// Declined counts typed refusals; breaker refusals and timeouts land
+	// in the same report field, so the per-peer counters cannot exceed it.
+	if declines > int64(totalDeclined) {
+		t.Fatalf("per-peer decline counters sum to %d, reports say %d", declines, totalDeclined)
+	}
+	if m, ok := snap.Get("data", "frame_latency_ns", ""); !ok || m.Count != int64(len(reports)) {
+		t.Fatalf("frame_latency_ns count %d, want %d", m.Count, len(reports))
+	}
+
+	// Per-stage latency distributions (the EXPERIMENTS.md table).
+	for _, m := range snap.Metrics {
+		if m.Kind == telemetry.KindHistogram && m.Count > 0 {
+			t.Logf("stage %s/%s: n=%d p50=%v p99=%v max=%v",
+				m.Service, m.Name, m.Count, m.Quantile(0.50), m.Quantile(0.99), time.Duration(m.MaxNanos))
+		}
+	}
 }

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/vclock"
 )
 
@@ -52,6 +53,15 @@ type BreakerConfig struct {
 	// Cooldown is how long the breaker stays open before allowing a
 	// half-open probe. Defaults to one second.
 	Cooldown time.Duration
+	// Metrics, when set, counts state transitions per peer: the
+	// breaker_transitions_total counter under Service, labeled by the
+	// state entered plus Peer. Nil skips instrumentation.
+	Metrics *telemetry.Registry
+	// Service names the owning service in breaker metrics.
+	Service string
+	// Peer names the guarded peer in breaker metric labels. Peers are a
+	// bounded set of negotiated service names, never addresses.
+	Peer string
 }
 
 // Breaker is a per-peer circuit breaker on a vclock (deterministic
@@ -166,4 +176,14 @@ func (b *Breaker) Transitions() []BreakerState {
 func (b *Breaker) setStateLocked(s BreakerState) {
 	b.state = s
 	b.transitions = append(b.transitions, s)
+	// One counter per state keeps metric names constant; the label is the
+	// peer's negotiated service name (bounded, certified via PeerLabel).
+	switch s {
+	case BreakerOpen:
+		b.cfg.Metrics.Counter(b.cfg.Service, "breaker_open_total", telemetry.PeerLabel(b.cfg.Peer)).Inc()
+	case BreakerHalfOpen:
+		b.cfg.Metrics.Counter(b.cfg.Service, "breaker_half_open_total", telemetry.PeerLabel(b.cfg.Peer)).Inc()
+	case BreakerClosed:
+		b.cfg.Metrics.Counter(b.cfg.Service, "breaker_closed_total", telemetry.PeerLabel(b.cfg.Peer)).Inc()
+	}
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/raster"
 	"repro/internal/renderservice"
 	"repro/internal/scene"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/vclock"
 )
@@ -99,7 +100,7 @@ func (h *BreakerHandle) RenderSubset(subset *scene.Scene, cam transport.CameraSt
 // routing moves elsewhere. The abandoned exchange drains into a
 // buffered channel when the socket finally unblocks; its late result is
 // discarded (and was already counted as the failure it is).
-func (h *BreakerHandle) RenderTile(rect image.Rectangle, fullW, fullH int, deadline time.Time) (compositor.Tile, error) {
+func (h *BreakerHandle) RenderTile(rect image.Rectangle, fullW, fullH int, deadline time.Time, tc telemetry.SpanContext) (compositor.Tile, error) {
 	tr, ok := h.inner.(dataservice.TileRenderer)
 	if !ok {
 		return compositor.Tile{}, &renderservice.ErrOverloaded{
@@ -110,7 +111,7 @@ func (h *BreakerHandle) RenderTile(rect image.Rectangle, fullW, fullH int, deadl
 		return compositor.Tile{}, h.refused()
 	}
 	if deadline.IsZero() {
-		tile, err := tr.RenderTile(rect, fullW, fullH, deadline)
+		tile, err := tr.RenderTile(rect, fullW, fullH, deadline, tc)
 		h.observe(err, deadline)
 		return tile, err
 	}
@@ -120,7 +121,7 @@ func (h *BreakerHandle) RenderTile(rect image.Rectangle, fullW, fullH int, deadl
 	}
 	out := make(chan outcome, 1)
 	go func() {
-		tile, err := tr.RenderTile(rect, fullW, fullH, deadline)
+		tile, err := tr.RenderTile(rect, fullW, fullH, deadline, tc)
 		out <- outcome{tile, err}
 	}()
 	wait := deadline.Sub(h.clock.Now())

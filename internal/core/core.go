@@ -24,6 +24,7 @@ import (
 	"repro/internal/raster"
 	"repro/internal/renderservice"
 	"repro/internal/scene"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/uddi"
 	"repro/internal/vclock"
@@ -59,13 +60,14 @@ func (h *LocalHandle) RenderSubset(subset *scene.Scene, cam transport.CameraStat
 
 // RenderTile implements dataservice.TileRenderer against the local
 // session replica, honouring the service's admission control and the
-// propagated deadline.
-func (h *LocalHandle) RenderTile(rect image.Rectangle, fullW, fullH int, deadline time.Time) (compositor.Tile, error) {
+// propagated deadline. The caller's span context is handed to the
+// service so its render span joins the frame's trace tree.
+func (h *LocalHandle) RenderTile(rect image.Rectangle, fullW, fullH int, deadline time.Time, tc telemetry.SpanContext) (compositor.Tile, error) {
 	sess, ok := h.Svc.SessionNamed(h.Session)
 	if !ok {
 		return compositor.Tile{}, fmt.Errorf("core: no session %q on %s", h.Session, h.Svc.Name())
 	}
-	frame, err := sess.RenderTileBy(rect, fullW, fullH, deadline)
+	frame, err := sess.RenderTileTraced(rect, fullW, fullH, deadline, tc)
 	if err != nil {
 		return compositor.Tile{}, err
 	}
@@ -142,6 +144,9 @@ func DialSocketHandle(rw interface {
 	if t != transport.MsgOK {
 		return nil, fmt.Errorf("core: expected ok, got %s", t)
 	}
+	// Attribute subsequent transport failures to the remote service, so
+	// error telemetry can label by peer name.
+	conn.SetPeer(name)
 	return &SocketHandle{
 		name: name, session: session, conn: conn,
 		sem: make(chan struct{}, 1), done: make(chan struct{}),
@@ -225,8 +230,10 @@ func (h *SocketHandle) RenderSubset(subset *scene.Scene, cam transport.CameraSta
 
 // RenderTile implements dataservice.TileRenderer over the tile
 // assignment protocol, propagating the frame deadline so the remote
-// service can decline infeasible work instead of rendering it late.
-func (h *SocketHandle) RenderTile(rect image.Rectangle, fullW, fullH int, deadline time.Time) (compositor.Tile, error) {
+// service can decline infeasible work instead of rendering it late,
+// and the caller's span context so the remote render span joins the
+// frame's trace tree.
+func (h *SocketHandle) RenderTile(rect image.Rectangle, fullW, fullH int, deadline time.Time, tc telemetry.SpanContext) (compositor.Tile, error) {
 	if err := h.acquire(); err != nil {
 		return compositor.Tile{}, err
 	}
@@ -235,6 +242,7 @@ func (h *SocketHandle) RenderTile(rect image.Rectangle, fullW, fullH int, deadli
 		X0: rect.Min.X, Y0: rect.Min.Y, X1: rect.Max.X, Y1: rect.Max.Y,
 		FullW: fullW, FullH: fullH, Session: h.session,
 		DeadlineNanos: transport.DeadlineToNanos(deadline),
+		Trace:         uint64(tc.Trace), Parent: uint64(tc.Span),
 	})
 	if err != nil {
 		return compositor.Tile{}, err

@@ -23,6 +23,7 @@ import (
 	"repro/internal/compositor"
 	"repro/internal/raster"
 	"repro/internal/renderservice"
+	"repro/internal/telemetry"
 )
 
 // TileRenderer is the optional RenderHandle extension for deadline-
@@ -34,8 +35,11 @@ type TileRenderer interface {
 	// RenderTile renders the given tile of a fullW x fullH frame. A
 	// non-zero deadline is propagated to the service, which declines
 	// (with a typed *renderservice.ErrOverloaded) work it cannot finish
-	// in time instead of rendering it late.
-	RenderTile(rect image.Rectangle, fullW, fullH int, deadline time.Time) (compositor.Tile, error)
+	// in time instead of rendering it late. tc is the caller's
+	// telemetry span context, carried to the service (over the wire for
+	// socket handles) so its render span joins the frame's trace tree;
+	// the zero SpanContext means untraced.
+	RenderTile(rect image.Rectangle, fullW, fullH int, deadline time.Time, tc telemetry.SpanContext) (compositor.Tile, error)
 }
 
 // AvailabilityReporter is the optional RenderHandle extension a
@@ -157,6 +161,16 @@ func (d *Distributor) RenderTilesHedged(ctx context.Context, w, h int, cfg Hedge
 	start := clock.Now()
 	deadline := start.Add(cfg.FrameDeadline)
 
+	svcCfg := d.sess.svc.cfg
+	metrics, service := svcCfg.Metrics, svcCfg.Name
+	// Root span: one per client frame, covering planning, fan-out,
+	// hedging and compositing. The deferred error end is a backstop —
+	// EndStatus is first-wins, so the success paths override it.
+	root := svcCfg.Tracer.Root(service, "frame")
+	root.SetAttr(fmt.Sprintf("%dx%d", w, h))
+	defer root.EndStatus(telemetry.StatusError)
+
+	planSpan := svcCfg.Tracer.Child(root.Context(), service, "plan")
 	d.syncAvailability()
 	d.mu.Lock()
 	renderers := map[string]TileRenderer{}
@@ -167,7 +181,9 @@ func (d *Distributor) RenderTilesHedged(ctx context.Context, w, h int, cfg Hedge
 	}
 	loads := d.engine.Snapshot()
 	d.mu.Unlock()
+	metrics.Gauge(service, "hedge_available_peers", "").Set(int64(len(renderers)))
 	if len(renderers) == 0 {
+		planSpan.EndStatus(telemetry.StatusError)
 		return nil, nil, fmt.Errorf("dataservice: no tile-capable render services available")
 	}
 
@@ -180,6 +196,7 @@ func (d *Distributor) RenderTilesHedged(ctx context.Context, w, h int, cfg Hedge
 	}
 	plan := balance.DistributeTiles(w, h, caps)
 	if len(plan) == 0 {
+		planSpan.EndStatus(telemetry.StatusError)
 		return nil, nil, fmt.Errorf("dataservice: empty tile plan for %dx%d across %d services", w, h, len(caps))
 	}
 	bySpare := append([]balance.ServiceCapacity(nil), caps...)
@@ -201,8 +218,10 @@ func (d *Distributor) RenderTilesHedged(ctx context.Context, w, h int, cfg Hedge
 	}
 	sync, err := compositor.NewSynchronizer(w, h, rects)
 	if err != nil {
+		planSpan.EndStatus(telemetry.StatusError)
 		return nil, nil, err
 	}
+	planSpan.End()
 
 	// Result channel sized for every possible launch (each region tried
 	// on each renderer at most once), so result sends cannot block; the
@@ -214,8 +233,26 @@ func (d *Distributor) RenderTilesHedged(ctx context.Context, w, h int, cfg Hedge
 	launch := func(region int, name string, hedge bool) {
 		tr := renderers[name]
 		rect := rects[region]
+		// The span is created here, not in the goroutine: launches are
+		// decided sequentially in the select loop, so span IDs allocate
+		// in a deterministic order even though renders run in parallel.
+		spanName := "render-tile"
+		if hedge {
+			spanName = "render-tile-hedge"
+		}
+		span := svcCfg.Tracer.Child(root.Context(), service, spanName)
+		span.SetPeer(name)
+		span.SetAttr(rect.String())
 		go func() {
-			tile, err := tr.RenderTile(rect, w, h, deadline)
+			tile, err := tr.RenderTile(rect, w, h, deadline, span.Context())
+			switch {
+			case err == nil:
+				span.End()
+			case isDecline(err):
+				span.EndStatus(telemetry.StatusDeclined)
+			default:
+				span.EndStatus(telemetry.StatusError)
+			}
 			select {
 			case results <- tileResult{region: region, name: name, hedge: hedge, tile: tile, err: err}:
 			case <-done:
@@ -243,19 +280,33 @@ func (d *Distributor) RenderTilesHedged(ctx context.Context, w, h int, cfg Hedge
 			tried[region][c.Name] = true
 			outstanding[region]++
 			rep.Hedged++
+			metrics.Counter(service, "hedge_reissues_total", "").Inc()
 			launch(region, c.Name, true)
 			return
 		}
 	}
 
 	finish := func() (*raster.Framebuffer, *HedgeReport, error) {
+		compSpan := svcCfg.Tracer.Child(root.Context(), service, "composite")
 		fb, _, degraded, err := sync.AssembleDegraded(d.lastGoodFrame(w, h))
 		if err != nil {
+			compSpan.EndStatus(telemetry.StatusError)
 			return nil, rep, err
 		}
 		rep.Degraded = degraded
 		rep.Latency = clock.Now().Sub(start)
 		d.storeLastFrame(fb)
+		metrics.Counter(service, "hedge_frames_total", "").Inc()
+		metrics.Counter(service, "hedge_degraded_tiles_total", "").Add(int64(len(degraded)))
+		metrics.Histogram(service, "frame_latency_ns", "").Observe(rep.Latency)
+		if len(degraded) > 0 {
+			metrics.Counter(service, "hedge_degraded_frames_total", "").Inc()
+			compSpan.EndStatus(telemetry.StatusDegraded)
+			root.EndStatus(telemetry.StatusDegraded)
+		} else {
+			compSpan.End()
+			root.End()
+		}
 		return fb, rep, nil
 	}
 
@@ -270,6 +321,9 @@ func (d *Distributor) RenderTilesHedged(ctx context.Context, w, h int, cfg Hedge
 			if r.err != nil {
 				if isDecline(r.err) {
 					rep.Declined++
+					metrics.Counter(service, "hedge_declines_total", telemetry.PeerLabel(r.name)).Inc()
+				} else {
+					metrics.Counter(service, "tile_errors_total", telemetry.PeerLabel(r.name)).Inc()
 				}
 				// A fast refusal fails over immediately — no reason to
 				// wait for the hedge timer when the peer already said no.
@@ -284,6 +338,7 @@ func (d *Distributor) RenderTilesHedged(ctx context.Context, w, h int, cfg Hedge
 			filled[r.region] = true
 			if r.hedge {
 				rep.HedgeWins++
+				metrics.Counter(service, "hedge_wins_total", "").Inc()
 			}
 			if err := sync.Submit(r.tile); err != nil {
 				return nil, rep, err

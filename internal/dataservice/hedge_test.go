@@ -13,6 +13,7 @@ import (
 	"repro/internal/raster"
 	"repro/internal/renderservice"
 	"repro/internal/scene"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/vclock"
 )
@@ -41,7 +42,7 @@ func (h *fakeTile) RenderSubset(*scene.Scene, transport.CameraState, int, int) (
 	return nil, fmt.Errorf("not used")
 }
 
-func (h *fakeTile) RenderTile(rect image.Rectangle, fullW, fullH int, deadline time.Time) (compositor.Tile, error) {
+func (h *fakeTile) RenderTile(rect image.Rectangle, fullW, fullH int, deadline time.Time, tc telemetry.SpanContext) (compositor.Tile, error) {
 	h.mu.Lock()
 	h.calls++
 	h.mu.Unlock()

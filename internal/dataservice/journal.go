@@ -24,11 +24,20 @@ type journalSink struct {
 }
 
 // append journals one just-applied op. Caller holds sess.mu; the scene
-// version has already been bumped by ApplyOp.
+// version has already been bumped by ApplyOp. The append — including
+// the fsync inside wal.Log.Append — is timed on the session clock so
+// the wal_append_ns histogram exposes commit-path stalls.
 func (j *journalSink) append(sess *Session, op scene.Op) error {
-	return j.log.Append(op, sess.scene.Version, sess.svc.cfg.Clock.Now(), func() *scene.Scene {
+	cfg := sess.svc.cfg
+	start := cfg.Clock.Now()
+	err := j.log.Append(op, sess.scene.Version, start, func() *scene.Scene {
 		return sess.scene.Clone()
 	})
+	cfg.Metrics.Histogram(cfg.Name, "wal_append_ns", "").Observe(cfg.Clock.Now().Sub(start))
+	if err == nil {
+		cfg.Metrics.Counter(cfg.Name, "wal_records_total", "").Inc()
+	}
+	return err
 }
 
 // StartJournal attaches a durable write-ahead journal to the session,

@@ -22,6 +22,7 @@ import (
 	"repro/internal/mathx"
 	"repro/internal/raster"
 	"repro/internal/scene"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/vclock"
 )
@@ -54,6 +55,14 @@ type Config struct {
 	// rendering (frame deadline and hedge delay); zero fields fall
 	// back to the package defaults documented on HedgeConfig.
 	Hedge HedgeConfig
+	// Metrics receives the service's telemetry series (hedge outcomes,
+	// WAL latencies, fan-out errors). Defaults to a private registry on
+	// the service clock; simulated deployments pass one shared registry
+	// so a single snapshot covers the whole fleet.
+	Metrics *telemetry.Registry
+	// Tracer records frame/op spans; nil disables tracing (tracer
+	// methods are nil-safe).
+	Tracer *telemetry.Tracer
 }
 
 // Service hosts sessions. "Multiple sessions may be managed by the same
@@ -70,8 +79,14 @@ func New(cfg Config) *Service {
 	if cfg.Clock == nil {
 		cfg.Clock = vclock.Real{}
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = telemetry.NewRegistry(cfg.Clock)
+	}
 	return &Service{cfg: cfg, sessions: map[string]*Session{}}
 }
+
+// Telemetry returns the service's metrics registry (never nil).
+func (s *Service) Telemetry() *telemetry.Registry { return s.cfg.Metrics }
 
 // Name returns the service name.
 func (s *Service) Name() string { return s.cfg.Name }
@@ -569,6 +584,7 @@ func (s *Service) ServeConn(rw io.ReadWriter) error {
 	if err := transport.DecodeJSON(payload, &hello); err != nil {
 		return err
 	}
+	conn.SetPeer(hello.Name)
 	sess, ok := s.Session(hello.Session)
 	if !ok {
 		conn.SendJSON(transport.MsgError, transport.ErrorInfo{
@@ -678,6 +694,10 @@ func (s *Service) ServeConn(rw io.ReadWriter) error {
 				return err
 			}
 			sess.RecordStandbyAck(hello.Name, vr.Version)
+		case transport.MsgTelemetryQuery:
+			if err := conn.SendJSON(transport.MsgTelemetryReport, s.cfg.Metrics.Snapshot()); err != nil {
+				return err
+			}
 		default:
 			// Ignore messages this role does not handle.
 		}

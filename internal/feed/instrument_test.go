@@ -1,0 +1,80 @@
+package feed
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/scene"
+	"repro/internal/telemetry"
+	"repro/internal/vclock"
+)
+
+// brokenSource fails Step after a configurable number of successes.
+type brokenSource struct {
+	mol   *Molecule
+	okFor int
+	calls int
+}
+
+func (b *brokenSource) Attach(alloc func() scene.NodeID) ([]scene.Op, error) {
+	return b.mol.Attach(alloc)
+}
+
+func (b *brokenSource) Step(dt time.Duration) ([]scene.Op, error) {
+	b.calls++
+	if b.calls > b.okFor {
+		return nil, fmt.Errorf("simulator crashed")
+	}
+	return b.mol.Step(dt)
+}
+
+// TestInstrumentedBridgeCountsStepsAndErrors pins the feed telemetry
+// contract: step counts and errors land in labeled counters, and step
+// cost is timed on the session clock so a virtual-clock run records
+// deterministic durations (zero here — the source consumes no session
+// time).
+func TestInstrumentedBridgeCountsStepsAndErrors(t *testing.T) {
+	sess := newSession(t)
+	src := &brokenSource{mol: NewWaterlikeMolecule(), okFor: 3}
+	bridge, err := NewBridge(sess, src, "simulator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := vclock.NewVirtual(time.Unix(1000, 0))
+	reg := telemetry.NewRegistry(clk)
+	bridge.Instrument(reg, "feed-data", clk)
+
+	for i := 0; i < 3; i++ {
+		if err := bridge.Step(10 * time.Millisecond); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if err := bridge.Step(10 * time.Millisecond); err == nil {
+		t.Fatal("broken source stepped cleanly")
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.CounterValue("feed-data", "feed_steps_total", ""); got != 3 {
+		t.Errorf("feed_steps_total = %d, want 3", got)
+	}
+	if got := snap.CounterValue("feed-data", "feed_errors_total", ""); got != 1 {
+		t.Errorf("feed_errors_total = %d, want 1", got)
+	}
+	m, ok := snap.Get("feed-data", "feed_step_ns", "")
+	if !ok || m.Count != 4 {
+		t.Fatalf("feed_step_ns observations = %+v, want 4 (errors timed too)", m)
+	}
+	if m.SumNanos != 0 {
+		t.Errorf("virtual-clock step cost = %dns, want 0 (no one advanced the clock)", m.SumNanos)
+	}
+
+	// An uninstrumented bridge keeps working: nil registry absorbs writes.
+	plain, err := NewBridge(newSession(t), NewWaterlikeMolecule(), "plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Step(10 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,49 @@
+package imgcodec
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+)
+
+// PNG helpers for golden-image tests and debugging dumps: a rendered
+// RGB frame (3 bytes per pixel, the raster.Framebuffer color layout)
+// round-trips through the stdlib PNG encoder losslessly, so checked-in
+// goldens diff cleanly in review tools.
+
+// WritePNG encodes an RGB frame as a PNG image.
+func WritePNG(w io.Writer, width, height int, frame []byte) error {
+	if len(frame) != width*height*3 {
+		return fmt.Errorf("imgcodec: frame is %d bytes, want %d for %dx%d", len(frame), width*height*3, width, height)
+	}
+	img := image.NewNRGBA(image.Rect(0, 0, width, height))
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			i := (y*width + x) * 3
+			img.SetNRGBA(x, y, color.NRGBA{R: frame[i], G: frame[i+1], B: frame[i+2], A: 255})
+		}
+	}
+	return png.Encode(w, img)
+}
+
+// ReadPNG decodes a PNG image back into an RGB frame. Alpha is
+// discarded; goldens written by WritePNG are fully opaque.
+func ReadPNG(r io.Reader) (width, height int, frame []byte, err error) {
+	img, err := png.Decode(r)
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("imgcodec: decode png: %w", err)
+	}
+	b := img.Bounds()
+	width, height = b.Dx(), b.Dy()
+	frame = make([]byte, width*height*3)
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			r16, g16, b16, _ := img.At(b.Min.X+x, b.Min.Y+y).RGBA()
+			i := (y*width + x) * 3
+			frame[i], frame[i+1], frame[i+2] = byte(r16>>8), byte(g16>>8), byte(b16>>8)
+		}
+	}
+	return width, height, frame, nil
+}

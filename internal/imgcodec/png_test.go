@@ -1,0 +1,41 @@
+package imgcodec
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPNGRoundTrip(t *testing.T) {
+	const w, h = 7, 5
+	frame := make([]byte, w*h*3)
+	for i := range frame {
+		frame[i] = byte(i * 11)
+	}
+	var buf bytes.Buffer
+	if err := WritePNG(&buf, w, h, frame); err != nil {
+		t.Fatal(err)
+	}
+	gw, gh, got, err := ReadPNG(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gw != w || gh != h {
+		t.Fatalf("round-trip dims %dx%d, want %dx%d", gw, gh, w, h)
+	}
+	if !bytes.Equal(got, frame) {
+		t.Fatal("round-trip altered pixel data")
+	}
+}
+
+func TestWritePNGRejectsBadLength(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePNG(&buf, 4, 4, make([]byte, 7)); err == nil {
+		t.Fatal("want error for mismatched frame length")
+	}
+}
+
+func TestReadPNGRejectsGarbage(t *testing.T) {
+	if _, _, _, err := ReadPNG(bytes.NewReader([]byte("not a png"))); err == nil {
+		t.Fatal("want error for non-PNG input")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/lint/ctxloop"
 	"repro/internal/lint/leakedgoroutine"
 	"repro/internal/lint/lockedio"
+	"repro/internal/lint/metriclabel"
 	"repro/internal/lint/nondeterminism"
 	"repro/internal/lint/unboundedsend"
 	"repro/internal/lint/wallclock"
@@ -23,5 +24,6 @@ func Analyzers() []*analysis.Analyzer {
 		ctxloop.Analyzer,
 		leakedgoroutine.Analyzer,
 		unboundedsend.Analyzer,
+		metriclabel.Analyzer,
 	}
 }

@@ -1,0 +1,100 @@
+// Package metriclabel enforces the telemetry registry's cardinality
+// contract: a metric's name and label pick a time series, and a series
+// lives for the process lifetime, so both must come from bounded sets.
+// Under internal/, every Counter/Gauge/Histogram call on a
+// telemetry.Registry must pass a compile-time-constant metric name, and
+// a label that is either constant or certified bounded by wrapping it in
+// telemetry.PeerLabel (peer names negotiate from deployment config — a
+// bounded set — where formatted strings like frame numbers or socket
+// addresses are not). Building a metric name or label with fmt.Sprintf
+// per frame or per connection leaks series without bound; that is
+// exactly the call shape this rule rejects.
+//
+// A label whose boundedness the analyzer cannot see uses the
+// `//lint:allow metriclabel` escape hatch with a justification.
+package metriclabel
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+const telemetryPath = "repro/internal/telemetry"
+
+// Analyzer is the metriclabel rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "metriclabel",
+	Doc: "telemetry metric names must be constant and labels constant or " +
+		"telemetry.PeerLabel-certified — dynamic names or labels create " +
+		"unbounded time series",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !lintutil.HasSegment(pass.Pkg.Path(), "internal") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isRegistrySeries(pass, call) || len(call.Args) != 3 {
+				return true
+			}
+			if pass.Allowed(call.Pos()) {
+				return true
+			}
+			if !isConstant(pass, call.Args[1]) {
+				pass.Reportf(call.Args[1].Pos(), "metric name must be a compile-time constant: a dynamic name creates unbounded time series")
+			}
+			if !isConstant(pass, call.Args[2]) && !isPeerLabel(pass, call.Args[2]) {
+				pass.Reportf(call.Args[2].Pos(), "metric label must be constant or wrapped in telemetry.PeerLabel: a dynamic label creates unbounded time series")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isRegistrySeries reports whether call invokes Counter, Gauge, or
+// Histogram on a telemetry.Registry.
+func isRegistrySeries(pass *analysis.Pass, call *ast.CallExpr) bool {
+	f := lintutil.Callee(pass.TypesInfo, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != telemetryPath {
+		return false
+	}
+	switch f.Name() {
+	case "Counter", "Gauge", "Histogram":
+	default:
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	named := lintutil.NamedOf(sig.Recv().Type())
+	return named != nil && named.Obj().Name() == "Registry"
+}
+
+// isConstant reports whether the type checker evaluated e to a constant
+// value (literals, named consts, and concatenations thereof).
+func isConstant(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(e)]
+	return ok && tv.Value != nil
+}
+
+// isPeerLabel reports whether e is a direct telemetry.PeerLabel(...)
+// call — the marker certifying a bounded peer-name label.
+func isPeerLabel(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	f := lintutil.Callee(pass.TypesInfo, call)
+	return f != nil && f.Name() == "PeerLabel" && lintutil.IsPkgLevel(f, telemetryPath)
+}

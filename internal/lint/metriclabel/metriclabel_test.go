@@ -1,0 +1,17 @@
+package metriclabel_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/metriclabel"
+)
+
+// TestMetricLabel proves the rule flags dynamic metric names and labels
+// on all three series kinds, and accepts every sanctioned form:
+// literal and named-const names, constant concatenations, empty and
+// constant labels, PeerLabel-certified peer names, and the
+// //lint:allow escape hatch.
+func TestMetricLabel(t *testing.T) {
+	linttest.Run(t, metriclabel.Analyzer, "testdata/internal_pkg", "repro/internal/example")
+}

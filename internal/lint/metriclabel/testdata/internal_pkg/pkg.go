@@ -1,0 +1,57 @@
+// Package example exercises the metriclabel rule on the call shapes
+// telemetry instrumentation actually contains: constant names and
+// labels, peer-certified labels, and the per-frame formatted strings
+// that leak series without bound.
+package example
+
+import (
+	"fmt"
+
+	"repro/internal/telemetry"
+)
+
+const frameMetric = "frames_total"
+
+// constantSeries are the sanctioned shapes: literal and named-const
+// metric names, empty or constant labels, and consts concatenated at
+// compile time.
+func constantSeries(reg *telemetry.Registry) {
+	reg.Counter("render", "tiles_total", "").Inc()
+	reg.Counter("render", frameMetric, "interactive").Inc()
+	reg.Gauge("data", "queue_depth", "bg"+"round").Set(3)
+	reg.Histogram("render", frameMetric+"_ns", "").Observe(0)
+}
+
+// peerCertified labels by a negotiated peer name through the
+// PeerLabel marker — bounded by deployment config, so sanctioned.
+func peerCertified(reg *telemetry.Registry, peer string) {
+	reg.Counter("data", "hedge_declines_total", telemetry.PeerLabel(peer)).Inc()
+}
+
+// dynamicName builds the metric name per call — every frame number
+// becomes its own immortal series.
+func dynamicName(reg *telemetry.Registry, frame int) {
+	reg.Counter("render", fmt.Sprintf("frame_%d", frame), "").Inc() // want `metric name must be a compile-time constant`
+}
+
+// dynamicLabel smuggles the unbounded value into the label instead.
+func dynamicLabel(reg *telemetry.Registry, addr string) {
+	reg.Counter("data", "peer_errors_total", addr).Inc() // want `metric label must be constant or wrapped in telemetry\.PeerLabel`
+}
+
+// dynamicHistogramLabel proves the rule covers all three series kinds.
+func dynamicHistogramLabel(reg *telemetry.Registry, addr string) {
+	reg.Histogram("data", "rtt_ns", "peer-"+addr).Observe(0) // want `metric label must be constant`
+}
+
+// dynamicGaugeName covers the gauge kind.
+func dynamicGaugeName(reg *telemetry.Registry, n int) {
+	reg.Gauge("data", fmt.Sprint("slots_", n), "").Set(1) // want `metric name must be a compile-time constant`
+}
+
+// allowed uses the escape hatch for a label whose boundedness the
+// analyzer cannot see (a value checked against a fixed set upstream).
+func allowed(reg *telemetry.Registry, class string) {
+	//lint:allow metriclabel: class is validated against a fixed enum upstream
+	reg.Counter("render", "admitted_total", class).Inc()
+}

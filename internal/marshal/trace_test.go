@@ -1,0 +1,193 @@
+package marshal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"repro/internal/scene"
+)
+
+func TestTraceHeaderRoundTrip(t *testing.T) {
+	body := []byte{1, 2, 3, 4, 5}
+	wrapped := AppendTraceHeader(0xDEADBEEF, 42, body)
+	if bytes.Equal(wrapped, body) {
+		t.Fatal("header not prepended")
+	}
+	trace, span, got := SplitTraceHeader(wrapped)
+	if trace != 0xDEADBEEF || span != 42 {
+		t.Fatalf("context = (%#x, %d), want (0xDEADBEEF, 42)", trace, span)
+	}
+	if !bytes.Equal(got, body) {
+		t.Fatalf("body = %v, want %v", got, body)
+	}
+}
+
+func TestTraceHeaderZeroTraceIsIdentity(t *testing.T) {
+	body := []byte("op bytes")
+	if got := AppendTraceHeader(0, 7, body); !bytes.Equal(got, body) {
+		t.Fatal("zero trace must leave the body untouched")
+	}
+}
+
+// TestTraceHeaderAbsentPassthrough is the back-compat contract: a
+// marshalled op from a pre-telemetry peer carries no header and must
+// decode exactly as before, with a zero (untraced) context.
+func TestTraceHeaderAbsentPassthrough(t *testing.T) {
+	var buf bytes.Buffer
+	op := &scene.SetNameOp{ID: 3, Name: "legacy"}
+	if err := WriteOp(&buf, op); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	trace, span, body := SplitTraceHeader(raw)
+	if trace != 0 || span != 0 {
+		t.Fatalf("untraced op produced context (%d, %d)", trace, span)
+	}
+	if &body[0] != &raw[0] || len(body) != len(raw) {
+		t.Fatal("untraced payload must pass through unchanged")
+	}
+	back, err := ReadOp(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Kind() != op.Kind() {
+		t.Fatal("op kind changed through passthrough")
+	}
+}
+
+// TestTraceHeaderWrappedOpDecodes is the full wire path: header +
+// marshalled op, split, then decoded.
+func TestTraceHeaderWrappedOpDecodes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteOp(&buf, &scene.RemoveNodeOp{ID: 9}); err != nil {
+		t.Fatal(err)
+	}
+	wrapped := AppendTraceHeader(11, 22, buf.Bytes())
+	trace, span, body := SplitTraceHeader(wrapped)
+	if trace != 11 || span != 22 {
+		t.Fatalf("context = (%d, %d)", trace, span)
+	}
+	op, err := ReadOp(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Kind() != scene.OpRemoveNode {
+		t.Fatalf("decoded kind %v", op.Kind())
+	}
+}
+
+// TestTraceHeaderUnknownVersionSkipped: a header from a future peer
+// (higher version, possibly larger size) must be skipped via its size
+// byte — the op still decodes, only trace linkage is lost.
+func TestTraceHeaderUnknownVersionSkipped(t *testing.T) {
+	body := []byte{5, 6, 7}
+	for _, extra := range []int{16, 24, 255} {
+		hdr := make([]byte, tracePrologue+extra)
+		binary.BigEndian.PutUint16(hdr, traceMagic)
+		hdr[2] = traceVer + 1
+		hdr[3] = byte(extra)
+		payload := append(hdr, body...)
+
+		trace, span, got := SplitTraceHeader(payload)
+		if trace != 0 || span != 0 {
+			t.Fatalf("v%d header produced context (%d, %d)", traceVer+1, trace, span)
+		}
+		if !bytes.Equal(got, body) {
+			t.Fatalf("v%d size=%d: body = %v, want %v", traceVer+1, extra, got, body)
+		}
+	}
+}
+
+func TestTraceHeaderMalformedTreatedAsAbsent(t *testing.T) {
+	// Magic present but the declared size overruns the payload: not a
+	// well-formed header; must pass through (and never panic).
+	payload := []byte{0x52, 0x54, 1, 200, 1, 2, 3}
+	trace, span, body := SplitTraceHeader(payload)
+	if trace != 0 || span != 0 || !bytes.Equal(body, payload) {
+		t.Fatalf("malformed header: (%d, %d, %v)", trace, span, body)
+	}
+	// Short prologues.
+	for _, p := range [][]byte{nil, {0x52}, {0x52, 0x54}, {0x52, 0x54, 1}} {
+		if _, _, got := SplitTraceHeader(p); len(got) != len(p) {
+			t.Fatalf("short payload %v mangled to %v", p, got)
+		}
+	}
+}
+
+// TestTraceHeaderNeverCollidesWithOps pins the detection invariant:
+// every marshalled op body starts with a u8 op kind, which can never
+// equal the header magic's first byte.
+func TestTraceHeaderNeverCollidesWithOps(t *testing.T) {
+	ops := []scene.Op{
+		&scene.AddNodeOp{Parent: 1, ID: 2, Name: "n"},
+		&scene.RemoveNodeOp{ID: 2},
+		&scene.SetNameOp{ID: 2, Name: "x"},
+	}
+	for _, op := range ops {
+		var buf bytes.Buffer
+		if err := WriteOp(&buf, op); err != nil {
+			t.Fatal(err)
+		}
+		if buf.Bytes()[0] == 0x52 {
+			t.Fatalf("op kind byte %#x collides with trace magic", buf.Bytes()[0])
+		}
+		_, _, body := SplitTraceHeader(buf.Bytes())
+		if len(body) != buf.Len() {
+			t.Fatal("headerless op mangled by SplitTraceHeader")
+		}
+	}
+}
+
+// TestTraceHeaderProperty is the property test: random contexts and
+// random bodies round-trip exactly; random non-header bytes pass
+// through untouched.
+func TestTraceHeaderProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5)) //lint:allow nondeterminism: fixed seed
+	for i := 0; i < 500; i++ {
+		trace, span := rng.Uint64(), rng.Uint64()
+		body := make([]byte, rng.Intn(64))
+		rng.Read(body)
+
+		gotTrace, gotSpan, gotBody := SplitTraceHeader(AppendTraceHeader(trace, span, body))
+		if trace == 0 {
+			if gotTrace != 0 || !bytes.Equal(gotBody, body) {
+				t.Fatalf("zero-trace identity violated: (%d, %v)", gotTrace, gotBody)
+			}
+			continue
+		}
+		if gotTrace != trace || gotSpan != span || !bytes.Equal(gotBody, body) {
+			t.Fatalf("round trip (%d,%d,%v) -> (%d,%d,%v)", trace, span, body, gotTrace, gotSpan, gotBody)
+		}
+
+		// Arbitrary payloads not starting with the magic pass through.
+		junk := make([]byte, rng.Intn(64)+1)
+		rng.Read(junk)
+		if junk[0] == 0x52 {
+			junk[0] = 0x01
+		}
+		if _, _, got := SplitTraceHeader(junk); !bytes.Equal(got, junk) {
+			t.Fatalf("non-header payload mangled: %v -> %v", junk, got)
+		}
+	}
+}
+
+// FuzzSplitTraceHeader: SplitTraceHeader must never panic and never
+// return a body that is not a suffix of (or identical to) the input.
+func FuzzSplitTraceHeader(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x52, 0x54, 1, 16})
+	f.Add(AppendTraceHeader(1, 2, []byte{3, 4, 5}))
+	f.Add([]byte{0x52, 0x54, 2, 200, 0})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		_, _, body := SplitTraceHeader(payload)
+		if len(body) > len(payload) {
+			t.Fatalf("body longer than payload: %d > %d", len(body), len(payload))
+		}
+		if !bytes.HasSuffix(payload, body) {
+			t.Fatalf("body %v is not a suffix of payload %v", body, payload)
+		}
+	})
+}

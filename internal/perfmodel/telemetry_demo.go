@@ -1,0 +1,74 @@
+package perfmodel
+
+import (
+	"context"
+
+	"repro/internal/balance"
+	"repro/internal/core"
+	"repro/internal/dataservice"
+	"repro/internal/device"
+	"repro/internal/geom/genmodel"
+	"repro/internal/renderservice"
+	"repro/internal/telemetry"
+)
+
+// TelemetryDemoResult is the telemetry extension experiment's output.
+type TelemetryDemoResult struct {
+	// Frames is how many hedged tile frames were rendered.
+	Frames int
+	// Diff is the metrics snapshot diff covering exactly the rendered
+	// frames (registry state before is subtracted out).
+	Diff telemetry.Snapshot
+	// Trace is the first frame's trace tree, formatted.
+	Trace string
+}
+
+// TelemetryDemo runs a short framebuffer-distribution workload — two
+// render services splitting each frame's tiles — with the session-clock
+// telemetry pipeline attached, and returns the metric snapshot diff for
+// the workload plus the first frame's trace tree. ravebench writes the
+// diff as BENCH_telemetry.json.
+func TelemetryDemo(frames int) (*TelemetryDemoResult, error) {
+	reg := telemetry.NewRegistry(nil)
+	tracer := telemetry.NewTracer(nil)
+	svc := dataservice.New(dataservice.Config{Name: "bench-data", Metrics: reg, Tracer: tracer})
+	sess, err := svc.CreateSessionFromMesh("bench", "galleon", genmodel.Galleon(4000))
+	if err != nil {
+		return nil, err
+	}
+	d := sess.NewDistributor(balance.DefaultThresholds())
+	snapshot := sess.Snapshot()
+	cam := renderservice.CameraFromState(sess.Camera())
+	for _, spec := range []struct {
+		name string
+		dev  device.Profile
+	}{{"athlon", device.AthlonDesktop}, {"xeon", device.XeonDesktop}} {
+		rs := renderservice.New(renderservice.Config{
+			Name: spec.name, Device: spec.dev, Workers: 2,
+			Metrics: reg, Tracer: tracer,
+		})
+		if _, err := rs.OpenSession("bench", snapshot, cam); err != nil {
+			return nil, err
+		}
+		if err := d.AddService(&core.LocalHandle{Svc: rs}); err != nil {
+			return nil, err
+		}
+	}
+
+	before := reg.Snapshot()
+	for i := 0; i < frames; i++ {
+		if _, _, err := d.RenderTilesHedged(context.Background(), 128, 96, dataservice.HedgeConfig{}); err != nil {
+			return nil, err
+		}
+	}
+	trees := telemetry.BuildTrees(tracer.Spans())
+	trace := ""
+	if len(trees) > 0 {
+		trace = telemetry.FormatTrees(trees[:1])
+	}
+	return &TelemetryDemoResult{
+		Frames: frames,
+		Diff:   telemetry.Diff(before, reg.Snapshot()),
+		Trace:  trace,
+	}, nil
+}

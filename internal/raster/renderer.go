@@ -7,6 +7,8 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/mathx"
+	"repro/internal/telemetry"
+	"repro/internal/vclock"
 )
 
 // Options controls a render pass.
@@ -27,6 +29,14 @@ type Options struct {
 	FullW, FullH int
 	// DefaultColor is used for meshes without vertex colors.
 	DefaultColor mathx.Vec3
+	// Metrics, when set, receives rasterizer work counters and
+	// scanline-band timings attributed to Service. Clock is the time
+	// source for band timings (the session clock — never the wall
+	// clock); when nil, band timing is skipped and only work counters
+	// are recorded.
+	Metrics *telemetry.Registry
+	Service string
+	Clock   vclock.Clock
 }
 
 // DefaultOptions returns a headlight-style setup.
@@ -131,6 +141,7 @@ func (r *Renderer) RenderMesh(m *geom.Mesh, model mathx.Mat4, cam Camera) {
 		}
 	}
 	r.TrianglesDrawn = len(tris)
+	r.Opts.Metrics.Counter(r.Opts.Service, "raster_triangles_total", "").Add(int64(len(tris)))
 	r.rasterize(tris)
 }
 
@@ -286,7 +297,7 @@ func toScreen(tri [3]shadedVert, fullW, fullH, ox, oy int) ([3]screenVert, bool)
 func (r *Renderer) rasterize(tris [][3]screenVert) {
 	workers := r.Opts.Workers
 	if workers < 2 {
-		r.rasterizeBand(tris, 0, r.FB.H)
+		r.timedBand(tris, 0, r.FB.H)
 		return
 	}
 	if workers > r.FB.H {
@@ -306,10 +317,22 @@ func (r *Renderer) rasterize(tris [][3]screenVert) {
 		wg.Add(1)
 		go func(y0, y1 int) {
 			defer wg.Done()
-			r.rasterizeBand(tris, y0, y1)
+			r.timedBand(tris, y0, y1)
 		}(y0, y1)
 	}
 	wg.Wait()
+}
+
+// timedBand rasterizes one band, recording its duration on the session
+// clock when telemetry is wired up.
+func (r *Renderer) timedBand(tris [][3]screenVert, y0, y1 int) {
+	if r.Opts.Metrics == nil || r.Opts.Clock == nil {
+		r.rasterizeBand(tris, y0, y1)
+		return
+	}
+	start := r.Opts.Clock.Now()
+	r.rasterizeBand(tris, y0, y1)
+	r.Opts.Metrics.Histogram(r.Opts.Service, "raster_band_ns", "").Observe(r.Opts.Clock.Now().Sub(start))
 }
 
 // rasterizeBand fills triangles, restricted to rows [y0, y1).

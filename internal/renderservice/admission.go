@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // DefaultQueueDepth bounds concurrently admitted render calls when
@@ -66,6 +68,18 @@ type admission struct {
 	est      time.Duration
 	admitted int
 	shed     int
+
+	// metrics/service mirror the gate's state into the telemetry
+	// registry (set by New; nil-safe like all series handles).
+	metrics *telemetry.Registry
+	service string
+}
+
+// observeLocked mirrors the gate's state into telemetry. Callers hold
+// a.mu.
+func (a *admission) observeLocked() {
+	a.metrics.Gauge(a.service, "admission_queue_depth", "").Set(int64(a.inflight))
+	a.metrics.Gauge(a.service, "admission_ewma_ns", "").Set(int64(a.est))
 }
 
 // AdmissionStats reports how many render calls the gate admitted and
@@ -91,10 +105,12 @@ func (s *Service) admit(interactive bool, deadline time.Time) (release func(time
 		now := s.cfg.Clock.Now()
 		if !now.Before(deadline) {
 			a.shed++
+			a.metrics.Counter(a.service, "admission_declined_total", ReasonExpired).Inc()
 			return nil, &ErrOverloaded{Service: s.cfg.Name, Reason: ReasonExpired}
 		}
 		if a.est > 0 && now.Add(a.est*time.Duration(a.inflight+1)).After(deadline) {
 			a.shed++
+			a.metrics.Counter(a.service, "admission_declined_total", ReasonDeadline).Inc()
 			return nil, &ErrOverloaded{Service: s.cfg.Name, Reason: ReasonDeadline}
 		}
 	}
@@ -107,6 +123,7 @@ func (s *Service) admit(interactive bool, deadline time.Time) (release func(time
 	}
 	if a.inflight >= limit {
 		a.shed++
+		a.metrics.Counter(a.service, "admission_declined_total", ReasonQueueFull).Inc()
 		return nil, &ErrOverloaded{
 			Service:    s.cfg.Name,
 			Reason:     ReasonQueueFull,
@@ -115,6 +132,8 @@ func (s *Service) admit(interactive bool, deadline time.Time) (release func(time
 	}
 	a.inflight++
 	a.admitted++
+	a.metrics.Counter(a.service, "admission_admitted_total", "").Inc()
+	a.observeLocked()
 	return s.releaseOne, nil
 }
 
@@ -145,4 +164,5 @@ func (s *Service) releaseOne(dt time.Duration) {
 			a.est = (3*a.est + dt) / 4
 		}
 	}
+	a.observeLocked()
 }

@@ -24,6 +24,7 @@ import (
 	"repro/internal/raster"
 	"repro/internal/retry"
 	"repro/internal/scene"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/vclock"
 )
@@ -52,6 +53,14 @@ type Config struct {
 	// (tile/subset assist) work is capped at half this depth so peer
 	// assists cannot starve interactive viewers.
 	QueueDepth int
+	// Metrics receives the service's telemetry series (admission,
+	// render timings, raster work). Defaults to a private registry on
+	// the service clock; simulated deployments pass one shared registry
+	// so a single snapshot covers the whole fleet.
+	Metrics *telemetry.Registry
+	// Tracer records render spans; nil disables tracing (every tracer
+	// method is nil-safe, so instrumented paths never branch on it).
+	Tracer *telemetry.Tracer
 }
 
 // Service is a render service hosting any number of render sessions.
@@ -79,13 +88,21 @@ func New(cfg Config) *Service {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = DefaultQueueDepth
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = telemetry.NewRegistry(cfg.Clock)
+	}
 	s := &Service{cfg: cfg, sessions: map[string]*Session{}}
 	s.adm.depth = cfg.QueueDepth
+	s.adm.metrics = cfg.Metrics
+	s.adm.service = cfg.Name
 	return s
 }
 
 // Name returns the service name.
 func (s *Service) Name() string { return s.cfg.Name }
+
+// Telemetry returns the service's metrics registry (never nil).
+func (s *Service) Telemetry() *telemetry.Registry { return s.cfg.Metrics }
 
 // Session is one render session: a scene replica plus camera. If several
 // users view the same data-service session, they share one Session ("a
@@ -261,6 +278,9 @@ func (sess *Session) renderLocked(fb *raster.Framebuffer, tile image.Rectangle, 
 	r.Opts.Workers = sess.svc.cfg.Workers
 	r.Opts.Tile = tile
 	r.Opts.FullW, r.Opts.FullH = fullW, fullH
+	r.Opts.Metrics = sess.svc.cfg.Metrics
+	r.Opts.Service = sess.svc.cfg.Name
+	r.Opts.Clock = sess.svc.cfg.Clock
 	cam := sess.camera
 	aspect := float64(fullW) / float64(fullH)
 	frustum := mathx.FrustumFromMatrix(cam.ViewProjection(aspect))
@@ -334,6 +354,8 @@ func (sess *Session) RenderFrameBy(w, h int, viewer string, deadline time.Time) 
 		sess.svc.cfg.Clock.Sleep(dt)
 	}
 	release(dt)
+	sess.svc.cfg.Metrics.Counter(sess.svc.cfg.Name, "frames_total", "").Inc()
+	sess.svc.cfg.Metrics.Histogram(sess.svc.cfg.Name, "render_frame_ns", "").Observe(dt)
 	return &Frame{FB: fb, Version: version, DeviceTime: dt}, nil
 }
 
@@ -371,7 +393,41 @@ func (sess *Session) RenderTileBy(rect image.Rectangle, fullW, fullH int, deadli
 		sess.svc.cfg.Clock.Sleep(dt)
 	}
 	release(dt)
+	sess.svc.cfg.Metrics.Counter(sess.svc.cfg.Name, "tiles_total", "").Inc()
+	sess.svc.cfg.Metrics.Histogram(sess.svc.cfg.Name, "render_tile_ns", "").Observe(dt)
 	return &Frame{FB: fb, Version: version, DeviceTime: dt}, nil
+}
+
+// RenderTileTraced is RenderTileBy carrying the caller's span context:
+// the service records a child "render" span covering admission and
+// rasterization, so a distributed frame's trace tree extends into each
+// assisting service. The zero SpanContext renders untraced.
+func (sess *Session) RenderTileTraced(rect image.Rectangle, fullW, fullH int, deadline time.Time, tc telemetry.SpanContext) (*Frame, error) {
+	span := sess.svc.cfg.Tracer.Child(tc, sess.svc.cfg.Name, "render")
+	frame, err := sess.RenderTileBy(rect, fullW, fullH, deadline)
+	endRenderSpan(span, err)
+	return frame, err
+}
+
+// endRenderSpan completes a service-side render span with a status
+// matching the render outcome.
+func endRenderSpan(span *telemetry.ActiveSpan, err error) {
+	var ov *ErrOverloaded
+	switch {
+	case err == nil:
+		span.End()
+	case errors.As(err, &ov):
+		span.EndStatus(telemetry.StatusDeclined)
+	default:
+		span.EndStatus(telemetry.StatusError)
+	}
+}
+
+// wireSpan reconstructs a caller's span context from the trace fields
+// carried on a wire message. Zero fields yield an invalid context, so
+// untraced requests produce no spans.
+func wireSpan(trace, parent uint64) telemetry.SpanContext {
+	return telemetry.SpanContext{Trace: telemetry.TraceID(trace), Span: telemetry.SpanID(parent)}
 }
 
 // EncodeFrame encodes a rendered frame with the requested codec ("raw",
@@ -428,6 +484,8 @@ func (s *Service) RenderSceneOnceBy(sc *scene.Scene, cam raster.Camera, w, h int
 		s.cfg.Clock.Sleep(dt)
 	}
 	release(dt)
+	s.cfg.Metrics.Counter(s.cfg.Name, "subsets_total", "").Inc()
+	s.cfg.Metrics.Histogram(s.cfg.Name, "render_subset_ns", "").Observe(dt)
 	return fb, dt, nil
 }
 
@@ -500,6 +558,7 @@ func (s *Service) ServeClient(rw io.ReadWriter, linkBps float64) error {
 	if err := transport.DecodeJSON(payload, &hello); err != nil {
 		return err
 	}
+	conn.SetPeer(hello.Name)
 	s.mu.Lock()
 	sess, ok := s.sessions[hello.Session]
 	s.mu.Unlock()
@@ -549,7 +608,9 @@ func (s *Service) ServeClient(rw io.ReadWriter, linkBps float64) error {
 			if needSession() {
 				continue
 			}
+			span := s.cfg.Tracer.Child(wireSpan(req.Trace, req.Parent), s.cfg.Name, "render")
 			frame, err := sess.RenderFrameBy(req.W, req.H, hello.Name, transport.DeadlineFromNanos(req.DeadlineNanos))
+			endRenderSpan(span, err)
 			if err != nil {
 				if serr := declineOrError(conn, err); serr != nil {
 					return serr
@@ -570,6 +631,10 @@ func (s *Service) ServeClient(rw io.ReadWriter, linkBps float64) error {
 			if err := conn.SendJSON(transport.MsgCapacityReport, s.Capacity()); err != nil {
 				return err
 			}
+		case transport.MsgTelemetryQuery:
+			if err := conn.SendJSON(transport.MsgTelemetryReport, s.cfg.Metrics.Snapshot()); err != nil {
+				return err
+			}
 		case transport.MsgSubsetAssign:
 			var sa transport.SubsetAssign
 			if err := transport.DecodeJSON(payload, &sa); err != nil {
@@ -587,7 +652,9 @@ func (s *Service) ServeClient(rw io.ReadWriter, linkBps float64) error {
 			if err != nil {
 				return err
 			}
+			span := s.cfg.Tracer.Child(wireSpan(sa.Trace, sa.Parent), s.cfg.Name, "render")
 			fb, _, err := s.RenderSceneOnceBy(subset, CameraFromState(sa.Camera), sa.W, sa.H, transport.DeadlineFromNanos(sa.DeadlineNanos))
+			endRenderSpan(span, err)
 			if err != nil {
 				if serr := declineOrError(conn, err); serr != nil {
 					return serr
@@ -610,7 +677,8 @@ func (s *Service) ServeClient(rw io.ReadWriter, linkBps float64) error {
 				continue
 			}
 			rect := image.Rect(ta.X0, ta.Y0, ta.X1, ta.Y1)
-			frame, err := sess.RenderTileBy(rect, ta.FullW, ta.FullH, transport.DeadlineFromNanos(ta.DeadlineNanos))
+			frame, err := sess.RenderTileTraced(rect, ta.FullW, ta.FullH,
+				transport.DeadlineFromNanos(ta.DeadlineNanos), wireSpan(ta.Trace, ta.Parent))
 			if err != nil {
 				if serr := declineOrError(conn, err); serr != nil {
 					return serr
@@ -870,6 +938,10 @@ func (s *Service) subscribe(ctx context.Context, conn *transport.Conn, sessionNa
 			sess.SetCamera(CameraFromState(cs))
 		case transport.MsgCapacityQuery:
 			if err := conn.SendJSON(transport.MsgCapacityReport, s.Capacity()); err != nil {
+				return true, err
+			}
+		case transport.MsgTelemetryQuery:
+			if err := conn.SendJSON(transport.MsgTelemetryReport, s.cfg.Metrics.Snapshot()); err != nil {
 				return true, err
 			}
 		default:

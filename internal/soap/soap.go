@@ -13,6 +13,7 @@ package soap
 import (
 	"bytes"
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -246,8 +247,30 @@ type Client struct {
 	HTTPClient *http.Client
 }
 
+// CallError is a failed exchange with a SOAP endpoint, carrying the
+// endpoint and action so telemetry error counters can label failures by
+// peer (endpoints come from deployment config — a bounded set) instead
+// of collapsing every remote fault into one anonymous series.
+type CallError struct {
+	// Endpoint is the service URL the call targeted.
+	Endpoint string
+	// Action is the SOAP action that failed.
+	Action string
+	// Err is the underlying failure.
+	Err error
+}
+
+// Error implements error.
+func (e *CallError) Error() string {
+	return fmt.Sprintf("soap: call %s on %s: %v", e.Action, e.Endpoint, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *CallError) Unwrap() error { return e.Err }
+
 // Call performs one action and returns the response parameters. Peer
-// faults come back as *Fault errors.
+// faults come back as *Fault errors; transport and protocol failures as
+// *CallError labeled with the endpoint.
 func (c *Client) Call(action string, params Params) (Params, error) {
 	body, err := Marshal(action, params)
 	if err != nil {
@@ -257,21 +280,30 @@ func (c *Client) Call(action string, params Params) (Params, error) {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
+	callErr := func(err error) error {
+		return &CallError{Endpoint: c.Endpoint, Action: action, Err: err}
+	}
 	resp, err := hc.Post(c.Endpoint, "application/soap+xml; charset=utf-8", bytes.NewReader(body))
 	if err != nil {
-		return nil, fmt.Errorf("soap: call %s: %w", action, err)
+		return nil, callErr(err)
 	}
 	defer resp.Body.Close()
 	reply, err := io.ReadAll(io.LimitReader(resp.Body, 1<<22))
 	if err != nil {
-		return nil, fmt.Errorf("soap: read reply: %w", err)
+		return nil, callErr(fmt.Errorf("read reply: %w", err))
 	}
 	replyAction, result, err := Unmarshal(reply)
 	if err != nil {
-		return nil, err
+		// A fault envelope is the peer speaking, not the transport
+		// failing: surface it unwrapped as before.
+		var f *Fault
+		if errors.As(err, &f) {
+			return nil, err
+		}
+		return nil, callErr(err)
 	}
 	if replyAction != action+"Response" {
-		return nil, fmt.Errorf("soap: reply action %q for call %q", replyAction, action)
+		return nil, callErr(fmt.Errorf("reply action %q for call %q", replyAction, action))
 	}
 	return result, nil
 }

@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+func TestSpanTreeAssembly(t *testing.T) {
+	clk := vclock.NewVirtual(time.Unix(1000, 0))
+	tr := NewTracer(clk)
+
+	root := tr.Root("data", "frame")
+	plan := tr.Child(root.Context(), "data", "plan")
+	plan.End()
+	tile := tr.Child(root.Context(), "data", "render-tile")
+	tile.SetPeer("athlon")
+	tile.SetAttr("[0,0,96,32]")
+	clk.Advance(5 * time.Millisecond)
+	render := tr.Child(tile.Context(), "render", "render")
+	clk.Advance(2 * time.Millisecond)
+	render.End()
+	tile.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	trees := BuildTrees(spans)
+	if len(trees) != 1 {
+		t.Fatalf("got %d trees, want 1", len(trees))
+	}
+	top := trees[0]
+	if top.Span.Name != "frame" || top.Span.Parent != 0 {
+		t.Fatalf("root span %+v", top.Span)
+	}
+	ts, ok := top.Find("render-tile")
+	if !ok || ts.Peer != "athlon" || ts.Attr != "[0,0,96,32]" {
+		t.Fatalf("render-tile span %+v ok=%v", ts, ok)
+	}
+	rs, ok := top.Find("render")
+	if !ok || rs.Parent != ts.ID {
+		t.Fatalf("render span should parent under render-tile: %+v", rs)
+	}
+	if d := rs.EndNanos - rs.StartNanos; d != int64(2*time.Millisecond) {
+		t.Fatalf("render span duration %dns, want 2ms", d)
+	}
+	// Root covers the whole frame.
+	if top.Span.EndNanos-top.Span.StartNanos != int64(7*time.Millisecond) {
+		t.Fatalf("root duration %dns, want 7ms", top.Span.EndNanos-top.Span.StartNanos)
+	}
+
+	text := FormatTrees(trees)
+	for _, want := range []string{"frame service=data", "  plan", "  render-tile service=data peer=athlon", "    render service=render"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("formatted tree missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	s := tr.Root("svc", "op")
+	if s != nil {
+		t.Fatal("nil tracer returned non-nil span")
+	}
+	// All nil-span methods must be safe.
+	s.SetPeer("p")
+	s.SetAttr("a")
+	s.End()
+	s.EndStatus(StatusError)
+	if s.Context().Valid() {
+		t.Fatal("nil span context should be invalid")
+	}
+	c := tr.Child(SpanContext{}, "svc", "op")
+	if c != nil {
+		t.Fatal("child of invalid context should be nil")
+	}
+	if spans := tr.Spans(); spans != nil {
+		t.Fatalf("nil tracer spans %+v", spans)
+	}
+}
+
+func TestInvalidParentYieldsNoSpan(t *testing.T) {
+	tr := NewTracer(vclock.NewVirtual(time.Unix(1000, 0)))
+	// A zero context is what an untraced wire message decodes to:
+	// downstream work proceeds untraced, no orphan spans.
+	if s := tr.Child(SpanContext{}, "render", "render"); s != nil {
+		t.Fatalf("child of zero context = %+v, want nil", s)
+	}
+	if got := len(tr.Spans()); got != 0 {
+		t.Fatalf("tracer recorded %d spans, want 0", got)
+	}
+}
+
+func TestEndTwiceFirstStatusWins(t *testing.T) {
+	tr := NewTracer(vclock.NewVirtual(time.Unix(1000, 0)))
+	s := tr.Root("svc", "op")
+	s.EndStatus(StatusDeclined)
+	s.End() // deferred End after explicit EndStatus
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	if spans[0].Status != StatusDeclined {
+		t.Fatalf("status = %q, want declined", spans[0].Status)
+	}
+}
+
+func TestBuildTreesOrderIndependent(t *testing.T) {
+	tr := NewTracer(vclock.NewVirtual(time.Unix(1000, 0)))
+	root := tr.Root("d", "frame")
+	a := tr.Child(root.Context(), "d", "a")
+	b := tr.Child(root.Context(), "d", "b")
+	// Commit out of order: b, root, a.
+	b.End()
+	root.End()
+	a.End()
+
+	spans := tr.Spans()
+	// Reverse the slice; trees must come out identical.
+	rev := make([]Span, len(spans))
+	for i, s := range spans {
+		rev[len(spans)-1-i] = s
+	}
+	if FormatTrees(BuildTrees(spans)) != FormatTrees(BuildTrees(rev)) {
+		t.Fatal("tree assembly depends on input order")
+	}
+	trees := BuildTrees(spans)
+	if len(trees) != 1 || len(trees[0].Children) != 2 {
+		t.Fatalf("tree shape wrong: %+v", trees)
+	}
+	if trees[0].Children[0].Span.Name != "a" || trees[0].Children[1].Span.Name != "b" {
+		t.Fatal("children not ordered by span ID")
+	}
+}
+
+func TestOrphanSpansBecomeRoots(t *testing.T) {
+	tr := NewTracer(vclock.NewVirtual(time.Unix(1000, 0)))
+	root := tr.Root("d", "frame")
+	child := tr.Child(root.Context(), "d", "work")
+	child.End()
+	// root never ends — only the child is committed. It must still
+	// surface as a root rather than vanish.
+	trees := BuildTrees(tr.Spans())
+	if len(trees) != 1 || trees[0].Span.Name != "work" {
+		t.Fatalf("orphan handling wrong: %+v", trees)
+	}
+}

@@ -1,0 +1,97 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// failingStream fails writes and yields a truncated read.
+type failingStream struct {
+	r io.Reader
+}
+
+var errSink = errors.New("link reset")
+
+func (s *failingStream) Read(p []byte) (int, error)  { return s.r.Read(p) }
+func (s *failingStream) Write(p []byte) (int, error) { return 0, errSink }
+
+func TestPeerErrorLabelsByPeer(t *testing.T) {
+	// A frame whose header announces more payload than the stream holds:
+	// Receive must fail with ErrTruncated wrapped in a PeerError naming
+	// the peer.
+	var raw bytes.Buffer
+	good := NewConn(&raw)
+	if err := good.Send(MsgOK, []byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	truncated := raw.Bytes()[:raw.Len()-3]
+
+	conn := NewConn(&failingStream{r: bytes.NewReader(truncated)})
+	conn.SetPeer("victim")
+	if got := conn.Peer(); got != "victim" {
+		t.Fatalf("Peer() = %q", got)
+	}
+
+	_, _, err := conn.Receive()
+	if err == nil {
+		t.Fatal("Receive on truncated stream succeeded")
+	}
+	var pe *PeerError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v (%T) is not a PeerError", err, err)
+	}
+	if pe.Peer != "victim" || pe.Op != "receive" {
+		t.Fatalf("PeerError = %+v, want peer victim op receive", pe)
+	}
+	// The typed framing error stays visible through the wrapper.
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("PeerError hides ErrTruncated: %v", err)
+	}
+	if !strings.Contains(err.Error(), "victim") {
+		t.Fatalf("error text does not name the peer: %v", err)
+	}
+
+	// This is the label telemetry error counters use: the peer's
+	// negotiated service name, certified bounded via PeerLabel.
+	reg := telemetry.NewRegistry(nil)
+	reg.Counter("data", "transport_errors_total", telemetry.PeerLabel(pe.Peer)).Inc()
+	if got := reg.Snapshot().CounterValue("data", "transport_errors_total", "victim"); got != 1 {
+		t.Fatalf("transport_errors_total{victim} = %d, want 1", got)
+	}
+
+	// Send failures are attributed too.
+	err = conn.Send(MsgOK, nil)
+	if !errors.As(err, &pe) || pe.Op != "send" || pe.Peer != "victim" {
+		t.Fatalf("send error not peer-attributed: %v", err)
+	}
+	if !errors.Is(err, errSink) {
+		t.Fatalf("send PeerError hides the cause: %v", err)
+	}
+}
+
+func TestPeerErrorNeverWrapsEOF(t *testing.T) {
+	conn := NewConn(&failingStream{r: bytes.NewReader(nil)})
+	conn.SetPeer("victim")
+	// Recovery code all over the repo distinguishes clean shutdown with
+	// err == io.EOF; wrapping would silently break it.
+	if _, _, err := conn.Receive(); err != io.EOF {
+		t.Fatalf("clean end-of-stream = %v, want bare io.EOF", err)
+	}
+}
+
+func TestNoPeerNoWrap(t *testing.T) {
+	conn := NewConn(&failingStream{r: bytes.NewReader([]byte{1, 2, 3})})
+	_, _, err := conn.Receive()
+	if err == nil {
+		t.Fatal("want error")
+	}
+	var pe *PeerError
+	if errors.As(err, &pe) {
+		t.Fatalf("error wrapped in PeerError before SetPeer: %v", err)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"hash/crc32"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -92,6 +93,12 @@ const (
 	// caller should retry elsewhere or after the hinted backoff; unlike
 	// MsgError it does not terminate the socket session.
 	MsgDeclined
+	// MsgTelemetryQuery asks a service for a telemetry snapshot over its
+	// existing control socket; payload empty. Pre-telemetry peers ignore
+	// it (service loops skip unknown message types).
+	MsgTelemetryQuery
+	// MsgTelemetryReport answers with a telemetry.Snapshot (JSON).
+	MsgTelemetryReport
 )
 
 // String names the message type.
@@ -108,7 +115,9 @@ func (t MsgType) String() string {
 		MsgSceneOpVer: "scene-op-ver", MsgVersionQuery: "version-query",
 		MsgVersionReport: "version-report", MsgResyncRequest: "resync-request",
 		MsgStandbyAck: "standby-ack", MsgResumeOK: "resume-ok",
-		MsgDeclined: "declined",
+		MsgDeclined:        "declined",
+		MsgTelemetryQuery:  "telemetry-query",
+		MsgTelemetryReport: "telemetry-report",
 	}
 	if n, ok := names[t]; ok {
 		return n
@@ -139,16 +148,69 @@ var (
 	ErrTruncated = errors.New("transport: truncated frame")
 )
 
+// PeerError attributes a transport failure to the remote peer the
+// connection was speaking to, so telemetry error counters can label by
+// peer name instead of reporting an anonymous stream failure. It wraps
+// the underlying error: errors.Is/As still see ErrTruncated,
+// ErrChecksum and friends through it. A clean io.EOF is never wrapped
+// — callers distinguish clean shutdown by comparing against io.EOF
+// directly.
+type PeerError struct {
+	// Peer is the remote's negotiated service name (from the hello
+	// exchange), not its network address: service names form a bounded
+	// set, addresses do not.
+	Peer string
+	// Op is "send" or "receive".
+	Op  string
+	Err error
+}
+
+func (e *PeerError) Error() string {
+	return fmt.Sprintf("transport: %s (peer %s): %v", e.Op, e.Peer, e.Err)
+}
+
+func (e *PeerError) Unwrap() error { return e.Err }
+
 // Conn frames messages over any reliable byte stream (net.Conn, net.Pipe,
 // or a simulated link). Sends are serialized by an internal mutex;
 // receives must be driven by a single reader goroutine.
 type Conn struct {
 	rw  io.ReadWriter
 	wmu sync.Mutex
+
+	// peer is the remote's service name, learned from the hello
+	// exchange; once set, transport failures are wrapped in PeerError.
+	peer atomic.Value // string
 }
 
 // NewConn wraps a byte stream.
 func NewConn(rw io.ReadWriter) *Conn { return &Conn{rw: rw} }
+
+// SetPeer records the remote's service name (from the hello exchange).
+// Subsequent Send/Receive failures are wrapped in a PeerError naming
+// it. Safe for concurrent use with Send/Receive.
+func (c *Conn) SetPeer(name string) { c.peer.Store(name) }
+
+// Peer returns the recorded remote service name, or "" before SetPeer.
+func (c *Conn) Peer() string {
+	if p, ok := c.peer.Load().(string); ok {
+		return p
+	}
+	return ""
+}
+
+// wrapPeer attributes err to the connection's peer when one is known.
+// io.EOF passes through bare: recovery code distinguishes a clean
+// shutdown by comparing err == io.EOF.
+func (c *Conn) wrapPeer(op string, err error) error {
+	if err == nil || err == io.EOF {
+		return err
+	}
+	if p := c.Peer(); p != "" {
+		return &PeerError{Peer: p, Op: op, Err: err}
+	}
+	return err
+}
 
 // readDeadliner is implemented by net.Conn and netsim.SimConn.
 type readDeadliner interface {
@@ -190,7 +252,7 @@ func (c *Conn) Send(t MsgType, payload []byte) error {
 	// mutex-across-I/O in the codebase; callers must never hold their
 	// own locks across Send (the lockedio analyzer enforces that).
 	if _, err := c.rw.Write(msg); err != nil { //lint:allow lockedio: wmu only serializes this stream's writes
-		return fmt.Errorf("transport: send %s: %w", t, err)
+		return c.wrapPeer("send", fmt.Errorf("transport: send %s: %w", t, err))
 	}
 	return nil
 }
@@ -215,28 +277,28 @@ func (c *Conn) Receive() (MsgType, []byte, error) {
 			return 0, nil, io.EOF
 		}
 		if err == io.ErrUnexpectedEOF {
-			return 0, nil, fmt.Errorf("%w: stream ended inside header", ErrTruncated)
+			return 0, nil, c.wrapPeer("receive", fmt.Errorf("%w: stream ended inside header", ErrTruncated))
 		}
-		return 0, nil, err
+		return 0, nil, c.wrapPeer("receive", err)
 	}
 	if binary.BigEndian.Uint16(hdr[0:]) != frameMagic {
-		return 0, nil, fmt.Errorf("%w: %#x", ErrBadMagic, binary.BigEndian.Uint16(hdr[0:]))
+		return 0, nil, c.wrapPeer("receive", fmt.Errorf("%w: %#x", ErrBadMagic, binary.BigEndian.Uint16(hdr[0:])))
 	}
 	t := MsgType(binary.BigEndian.Uint16(hdr[2:]))
 	n := binary.BigEndian.Uint32(hdr[4:])
 	if n > MaxPayload {
-		return 0, nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, n)
+		return 0, nil, c.wrapPeer("receive", fmt.Errorf("%w: %d bytes", ErrTooLarge, n))
 	}
 	sum := binary.BigEndian.Uint32(hdr[8:])
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(c.rw, payload); err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			return 0, nil, fmt.Errorf("%w: stream ended inside %s payload", ErrTruncated, t)
+			return 0, nil, c.wrapPeer("receive", fmt.Errorf("%w: stream ended inside %s payload", ErrTruncated, t))
 		}
-		return 0, nil, fmt.Errorf("transport: read payload: %w", err)
+		return 0, nil, c.wrapPeer("receive", fmt.Errorf("transport: read payload: %w", err))
 	}
 	if crc32.ChecksumIEEE(payload) != sum {
-		return 0, nil, fmt.Errorf("%w: %s payload", ErrChecksum, t)
+		return 0, nil, c.wrapPeer("receive", fmt.Errorf("%w: %s payload", ErrChecksum, t))
 	}
 	return t, payload, nil
 }
@@ -279,6 +341,12 @@ type Hello struct {
 	// MsgResumeOK + the op tail when its history covers the gap, or
 	// falls back to a full MsgSceneSnapshot bootstrap when it does not.
 	SinceVersion uint64 `json:"since_version,omitempty"`
+	// Trace, when true, announces that the subscriber understands the
+	// optional binary trace header on marshalled op messages (see
+	// marshal.AppendTraceHeader). Services only prepend the header for
+	// subscribers that negotiated it; JSON control messages need no
+	// negotiation because unknown fields are skipped on decode.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // ErrorInfo carries a failure back to the peer — e.g. the paper's
@@ -309,6 +377,12 @@ type FrameRequest struct {
 	// service that cannot meet it answers MsgDeclined instead of
 	// rendering a frame nobody will display.
 	DeadlineNanos int64 `json:"deadline_nanos,omitempty"`
+	// Trace/Parent carry the caller's telemetry span context so the
+	// service's render span joins the caller's trace tree. Zero means
+	// untraced; pre-telemetry decoders skip the fields (unknown JSON
+	// fields are ignored).
+	Trace  uint64 `json:"trace,omitempty"`
+	Parent uint64 `json:"parent,omitempty"`
 }
 
 // TileAssign assigns a tile of the full image to an assisting render
@@ -325,6 +399,9 @@ type TileAssign struct {
 	// tile on the session clock (time.Time.UnixNano); see
 	// FrameRequest.DeadlineNanos.
 	DeadlineNanos int64 `json:"deadline_nanos,omitempty"`
+	// Trace/Parent: caller's span context; see FrameRequest.
+	Trace  uint64 `json:"trace,omitempty"`
+	Parent uint64 `json:"parent,omitempty"`
 }
 
 // TileHeader precedes a tile's pixels.
@@ -406,6 +483,9 @@ type SubsetAssign struct {
 	// subset render on the session clock (time.Time.UnixNano); see
 	// FrameRequest.DeadlineNanos.
 	DeadlineNanos int64 `json:"deadline_nanos,omitempty"`
+	// Trace/Parent: caller's span context; see FrameRequest.
+	Trace  uint64 `json:"trace,omitempty"`
+	Parent uint64 `json:"parent,omitempty"`
 }
 
 // Declined is the payload of MsgDeclined: a fast, typed refusal from an
