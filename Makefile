@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet fmt-check lint vulncheck build test race chaos ci
+.PHONY: all vet fmt-check lint vulncheck build test race chaos scale ci
 
 all: ci
 
@@ -49,9 +49,17 @@ race:
 chaos:
 	$(GO) test ./internal/chaos/ -race -count=2
 
+# scale runs the reduced deterministic raveload scenario — 100 sessions
+# on 4 nodes with a mid-run node kill — and fails on any acceptance
+# violation (request conservation, client-visible errors, lost
+# sessions). The checked-in BENCH_scale.json comes from the full-size
+# run of the same harness (see EXPERIMENTS.md).
+scale:
+	$(GO) run ./cmd/raveload -sessions 100 -nodes 4 -duration 5s -kill-at 2s -check
+
 # ci is the full gate: formatting, static checks (ravelint + vet +
 # govulncheck when present), a clean build, the test suite under the
-# race detector, and a doubled chaos pass (the chaos suite exercises
+# race detector, a doubled chaos pass (the chaos suite exercises
 # concurrent failure recovery, so -race is part of the bar, not an
-# extra).
-ci: fmt-check lint vulncheck build race chaos
+# extra), and the reduced fleet-scale load scenario.
+ci: fmt-check lint vulncheck build race chaos scale

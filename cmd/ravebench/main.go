@@ -177,7 +177,11 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		werr := telemetry.WriteJSON(f, res.Diff)
+		// The versioned envelope (telemetry.BenchVersion) keeps every
+		// BENCH_*.json artifact decodable by one reader as the schema
+		// evolves; ReadBenchArtifact still accepts the pre-envelope
+		// bare-snapshot files this command used to write.
+		werr := telemetry.WriteBenchArtifact(f, telemetry.BenchKindTelemetry, res.Diff)
 		if cerr := f.Close(); werr == nil {
 			werr = cerr
 		}
@@ -185,7 +189,7 @@ func main() {
 			fail(werr)
 		}
 		fmt.Printf("Extra: session-clock telemetry — %d hedged frames across 2 render services\n", res.Frames)
-		fmt.Printf("wrote %s (%d metrics in snapshot diff)\n", path, len(res.Diff.Metrics))
+		fmt.Printf("wrote %s (v%d, %d metrics in snapshot diff)\n", path, telemetry.BenchVersion, len(res.Diff.Metrics))
 		fmt.Println("first frame's trace tree:")
 		fmt.Println(res.Trace)
 	}

@@ -1,0 +1,121 @@
+// Command raveload is the fleet-scale load harness: it stands up a
+// gateway-fronted data-service fleet on the virtual clock, drives an
+// open-loop population of concurrent sessions through it (optionally
+// killing a node mid-run), and writes the versioned BENCH_scale.json
+// throughput/latency artifact.
+//
+// Usage:
+//
+//	raveload                                # default 100-session scenario
+//	raveload -sessions 1200 -nodes 8 \
+//	         -kill-at 4s -out BENCH_scale.json
+//	raveload -check                         # fail on any acceptance violation
+//
+// Everything runs in virtual time: a ten-fleet-second run with a
+// thousand sessions completes in wall-seconds, deterministically
+// enough that its invariants (conservation, zero client-visible
+// errors, zero lost sessions) hold on every run.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+func main() {
+	nodes := flag.Int("nodes", loadgen.DefaultNodes, "data-service fleet size")
+	sessions := flag.Int("sessions", loadgen.DefaultSessions, "concurrent session population")
+	tenants := flag.Int("tenants", loadgen.DefaultTenants, "fair-share tenants the sessions are spread over")
+	interval := flag.Duration("interval", loadgen.DefaultInterval, "per-session request period (virtual time)")
+	duration := flag.Duration("duration", loadgen.DefaultDuration, "run length (virtual time)")
+	frameEvery := flag.Int("frame-every", loadgen.DefaultFrameEvery, "every k-th request is an interactive frame")
+	seed := flag.Int64("seed", 42, "start-phase jitter seed")
+	depth := flag.Int("depth", loadgen.DefaultQueueDepth, "gateway admission queue depth")
+	slots := flag.Int("slots", loadgen.DefaultRenderSlots, "render slots per node")
+	killAt := flag.Duration("kill-at", 0, "kill the most-loaded node at this virtual offset (0 = no fault)")
+	out := flag.String("out", "", "write the versioned BENCH_scale.json artifact here")
+	check := flag.Bool("check", false, "exit non-zero if acceptance invariants fail")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "raveload:", err)
+		os.Exit(1)
+	}
+
+	sc := loadgen.Scenario{
+		Nodes:       *nodes,
+		Sessions:    *sessions,
+		Tenants:     *tenants,
+		Interval:    *interval,
+		Duration:    *duration,
+		FrameEvery:  *frameEvery,
+		Seed:        *seed,
+		QueueDepth:  *depth,
+		RenderSlots: *slots,
+		KillNodeAt:  *killAt,
+	}
+	fleet, err := loadgen.BuildFleet(sc)
+	if err != nil {
+		fail(err)
+	}
+	rep := loadgen.NewReporter()
+	fleet.Run(context.Background(), rep)
+	art := fleet.Artifact(rep)
+	res := art.Results
+
+	fmt.Printf("raveload: %d sessions / %d tenants on %d nodes, %v @ %v interval (virtual)\n",
+		sc.Sessions, sc.Tenants, sc.Nodes, *duration, *interval)
+	if art.Kill != nil {
+		fmt.Printf("fault: killed %s at +%v; %d sessions promoted to standbys, %d rebalanced, %d lost\n",
+			art.Kill.Node, time.Duration(art.Kill.AtNs), res.Promotions, res.SessionsRebalanced, res.SessionsLost)
+	}
+	fmt.Printf("issued %d: ok %d, declined %d, errors %d (%.0f ok req/s virtual)\n",
+		res.Issued, res.OK, res.Issued-res.OK-res.Errors, res.Errors, res.ThroughputRPS)
+	if len(res.Declined) > 0 {
+		reasons := make([]string, 0, len(res.Declined))
+		for r := range res.Declined {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		for _, r := range reasons {
+			fmt.Printf("  declined %-12s %d\n", r, res.Declined[r])
+		}
+	}
+	printClass := func(name string, s loadgen.LatencySummary) {
+		if s.Count == 0 {
+			return
+		}
+		fmt.Printf("%-7s n=%-6d p50 %-8v p99 %-8v max %v\n", name, s.Count,
+			time.Duration(s.P50ns), time.Duration(s.P99ns), time.Duration(s.Maxns))
+	}
+	printClass("mutate", res.Mutate)
+	printClass("frame", res.Frame)
+	fmt.Printf("dispatch retries %d\n", res.DispatchRetries)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		werr := loadgen.WriteArtifact(f, art)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fail(werr)
+		}
+		fmt.Printf("wrote %s (v%d, kind %s)\n", *out, art.V, art.Kind)
+	}
+	if *check {
+		if err := res.Check(); err != nil {
+			fail(err)
+		}
+		fmt.Println("check: all acceptance invariants hold")
+	}
+}

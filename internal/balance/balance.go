@@ -10,6 +10,7 @@ package balance
 import (
 	"fmt"
 	"image"
+	"math"
 	"sort"
 
 	"repro/internal/scene"
@@ -39,6 +40,34 @@ func (s ServiceCapacity) Utilization() float64 {
 		return 0
 	}
 	return s.Assigned / s.WorkPerFrame
+}
+
+// Imbalance measures how unevenly a set of per-service counts is
+// spread: the maximum absolute deviation from the mean, as a fraction
+// of the mean (0 = perfectly even, 0.2 = some service is 20% off its
+// fair share). The gateway tier uses it to judge consistent-hash
+// session placement, and the load harness reports it per run; it is the
+// scalar the "balanced within 20%" placement contract is asserted on.
+// Zero or one service, or an all-zero spread, is perfectly balanced.
+func Imbalance(counts map[string]int) float64 {
+	if len(counts) < 2 {
+		return 0
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(counts))
+	worst := 0.0
+	for _, c := range counts {
+		if dev := math.Abs(float64(c) - mean); dev > worst {
+			worst = dev
+		}
+	}
+	return worst / mean
 }
 
 // NodeItem is one distributable scene node with its cost.

@@ -159,3 +159,26 @@ func TestReassignNodesAllOverloadedSurvivors(t *testing.T) {
 		t.Fatalf("orphan should land on the least-loaded survivor, got %v", asg)
 	}
 }
+
+func TestImbalance(t *testing.T) {
+	cases := []struct {
+		name   string
+		counts map[string]int
+		want   float64
+	}{
+		{"empty", map[string]int{}, 0},
+		{"single", map[string]int{"a": 7}, 0},
+		{"all-zero", map[string]int{"a": 0, "b": 0}, 0},
+		{"even", map[string]int{"a": 10, "b": 10, "c": 10}, 0},
+		{"one-heavy", map[string]int{"a": 12, "b": 9, "c": 9}, 0.2},
+		{"one-empty", map[string]int{"a": 10, "b": 10, "c": 0}, 1.0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Imbalance(tc.counts)
+			if diff := got - tc.want; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("Imbalance(%v) = %v, want %v", tc.counts, got, tc.want)
+			}
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"image"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -237,5 +238,135 @@ func TestTelemetryDeterministicTraceAndSnapshot(t *testing.T) {
 	if telemetry.FormatTrees(first.trees) != telemetry.FormatTrees(second.trees) {
 		t.Fatalf("trace trees differ across identical runs:\n--- run 1 ---\n%s--- run 2 ---\n%s",
 			telemetry.FormatTrees(first.trees), telemetry.FormatTrees(second.trees))
+	}
+}
+
+// TestTelemetryRegistryConcurrentSnapshotDiff hammers one Registry from
+// many writer goroutines — counters, gauges and histograms on distinct
+// per-writer series — while a reader concurrently takes Snapshot after
+// Snapshot and Diffs each against the last. Run under -race (the chaos
+// suite always is), this is the data-race probe for the registry; the
+// semantic assertions pin what a torn read would corrupt:
+//
+//   - counters are monotone across successive snapshots and every Diff
+//     delta is non-negative;
+//   - each histogram snapshot is internally consistent (bucket sum ==
+//     count), since Snapshot copies a series under its lock;
+//   - the Diff deltas telescope: summed over all rounds they equal the
+//     final settled value, nothing double-counted or dropped;
+//   - the final snapshot carries exactly writers × perWriter counts.
+func TestTelemetryRegistryConcurrentSnapshotDiff(t *testing.T) {
+	const writers = 8
+	const perWriter = 2000
+
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	reg := telemetry.NewRegistry(clk)
+	labels := [writers]string{"w0", "w1", "w2", "w3", "w4", "w5", "w6", "w7"}
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(label string) {
+			defer wg.Done()
+			c := reg.Counter("race", "writes_total", telemetry.PeerLabel(label))
+			g := reg.Gauge("race", "inflight", telemetry.PeerLabel(label))
+			h := reg.Histogram("race", "write_latency_ns", telemetry.PeerLabel(label))
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Set(int64(i))
+				h.Observe(time.Duration(i%7) * time.Millisecond)
+			}
+		}(labels[w])
+	}
+	writersDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(writersDone)
+	}()
+
+	sumBuckets := func(bs []int64) int64 {
+		var n int64
+		for _, b := range bs {
+			n += b
+		}
+		return n
+	}
+	checkSnap := func(prev, cur telemetry.Snapshot) telemetry.Snapshot {
+		t.Helper()
+		d := telemetry.Diff(prev, cur)
+		for _, m := range d.Metrics {
+			switch m.Kind {
+			case telemetry.KindCounter:
+				if m.Value < 0 {
+					t.Fatalf("counter %s{%s} went backwards: diff %d", m.Name, m.Label, m.Value)
+				}
+			case telemetry.KindHistogram:
+				if m.Count < 0 || m.SumNanos < 0 {
+					t.Fatalf("histogram %s{%s} went backwards: count %d sum %d", m.Name, m.Label, m.Count, m.SumNanos)
+				}
+			}
+		}
+		for _, m := range cur.Metrics {
+			if m.Kind == telemetry.KindHistogram && sumBuckets(m.Buckets) != m.Count {
+				t.Fatalf("torn histogram read: %s{%s} buckets sum %d != count %d", m.Name, m.Label, sumBuckets(m.Buckets), m.Count)
+			}
+		}
+		return d
+	}
+
+	deltas := make(map[string]int64, writers)
+	prev := reg.Snapshot()
+	for _, m := range prev.Metrics {
+		if m.Kind == telemetry.KindCounter && m.Name == "writes_total" {
+			deltas[m.Label] += m.Value
+		}
+	}
+	rounds := 0
+	for {
+		select {
+		case <-writersDone:
+			// One closing round so the deltas cover every write.
+			cur := reg.Snapshot()
+			d := checkSnap(prev, cur)
+			for _, m := range d.Metrics {
+				if m.Kind == telemetry.KindCounter && m.Name == "writes_total" {
+					deltas[m.Label] += m.Value
+				}
+			}
+			var total int64
+			for _, label := range labels {
+				if got := deltas[label]; got != perWriter {
+					t.Errorf("telescoped diffs for %s = %d, want %d", label, got, perWriter)
+				}
+				total += deltas[label]
+				m, ok := cur.Get("race", "writes_total", label)
+				if !ok || m.Value != perWriter {
+					t.Errorf("final snapshot writes_total{%s} = %d (ok=%v), want %d", label, m.Value, ok, perWriter)
+				}
+				hm, ok := cur.Get("race", "write_latency_ns", label)
+				if !ok || hm.Count != perWriter {
+					t.Errorf("final snapshot write_latency_ns{%s} count = %d (ok=%v), want %d", label, hm.Count, ok, perWriter)
+				}
+			}
+			if total != writers*perWriter {
+				t.Errorf("telescoped total %d, want %d", total, writers*perWriter)
+			}
+			if rounds == 0 {
+				t.Error("reader never completed a mid-flight snapshot round")
+			}
+			t.Logf("%d concurrent snapshot/diff rounds over %d writers × %d writes, all consistent", rounds, writers, perWriter)
+			return
+		default:
+			cur := reg.Snapshot()
+			d := checkSnap(prev, cur)
+			for _, m := range d.Metrics {
+				if m.Kind == telemetry.KindCounter && m.Name == "writes_total" {
+					deltas[m.Label] += m.Value
+				}
+			}
+			prev = cur
+			rounds++
+			runtime.Gosched()
+		}
 	}
 }

@@ -236,6 +236,18 @@ func (s *Service) CreateSessionFromMesh(name, nodeName string, mesh *geom.Mesh) 
 	return sess, nil
 }
 
+// RemoveSession drops a hosted session — the gateway tier calls this
+// after a session migrates to another node so a stale copy can never be
+// served (its update stream, subscribers and history go with it). The
+// removed session object stays usable by anyone still holding it, but
+// the service will no longer resolve its name. Removing an unknown
+// session is a no-op: rebalance passes are idempotent.
+func (s *Service) RemoveSession(name string) {
+	s.mu.Lock()
+	delete(s.sessions, name)
+	s.mu.Unlock()
+}
+
 // Session returns a hosted session by name.
 func (s *Service) Session(name string) (*Session, bool) {
 	s.mu.Lock()

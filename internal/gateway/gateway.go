@@ -1,0 +1,563 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/dataservice"
+	"repro/internal/telemetry"
+	"repro/internal/uddi"
+	"repro/internal/vclock"
+)
+
+// LeaseServicePrefix namespaces per-session ownership leases in the
+// UDDI registry: session "s" is governed by lease "gwsess:s".
+const LeaseServicePrefix = "gwsess:"
+
+// DefaultLeaseTTL is the ownership lease TTL when Config.LeaseTTL is
+// zero. Ownership changes are pushed through TransferLease (which
+// works on live leases), so the TTL only matters for crash recovery of
+// the gateway itself; a few seconds keeps the registry rows fresh.
+const DefaultLeaseTTL = 3 * time.Second
+
+// maxDispatchAttempts bounds the internal re-route loop. Two attempts
+// handle the common case (owner died, retry on the promoted standby);
+// the margin covers a second membership change racing the retry.
+const maxDispatchAttempts = 4
+
+// LeaseAPI is the slice of the UDDI lease surface the gateway needs:
+// control-plane ownership moves. Satisfied by *uddi.Registry
+// (in-process) and *uddi.Proxy (SOAP).
+type LeaseAPI interface {
+	TransferLease(service, holder string, ttl time.Duration, now time.Time) (uddi.Lease, error)
+}
+
+// Kind classifies a dispatched request.
+type Kind string
+
+// Request kinds.
+const (
+	// KindMutate applies a scene mutation to the session.
+	KindMutate Kind = "mutate"
+	// KindFrame renders one frame, reserving node render capacity
+	// before dispatch.
+	KindFrame Kind = "frame"
+)
+
+// Config configures a Gateway.
+type Config struct {
+	// Name labels the gateway's telemetry service (default "gw").
+	Name string
+	// Clock drives lease timestamps and latency measurement; required
+	// for deterministic runs (defaults to the real clock).
+	Clock vclock.Clock
+	// Leases is the UDDI lease surface; required. Every ownership
+	// change is stamped here before any node serves the new epoch.
+	Leases LeaseAPI
+	// Metrics receives gateway telemetry; share one registry with the
+	// nodes so a single snapshot covers the fleet.
+	Metrics *telemetry.Registry
+	// Replicas is the ring's virtual-node count per member
+	// (0 = DefaultRingReplicas).
+	Replicas int
+	// QueueDepth bounds concurrently admitted dispatches
+	// (0 = DefaultQueueDepth).
+	QueueDepth int
+	// LeaseTTL is the per-session ownership lease TTL
+	// (0 = DefaultLeaseTTL).
+	LeaseTTL time.Duration
+}
+
+// Request is one thin-client call routed through the gateway.
+type Request struct {
+	// Tenant is the fair-share accounting unit (a user or
+	// organization); required.
+	Tenant string
+	// Session names the target session; required.
+	Session string
+	// Kind selects mutate or frame (default KindMutate).
+	Kind Kind
+	// Interactive requests may fill the whole admission queue;
+	// background ones only half (PR 4 two-class semantics).
+	Interactive bool
+	// Deadline, when non-zero, declines already-expired work at the
+	// door.
+	Deadline time.Time
+}
+
+// Result reports a successful dispatch.
+type Result struct {
+	// Node is the data service that served the request.
+	Node string
+	// Version is the session's scene version after (mutate) or at
+	// (frame) the request.
+	Version uint64
+}
+
+// placement is one session's routing entry: the owning node, the lease
+// epoch that ownership is stamped with, and the standby mirror at the
+// session's ring successor.
+type placement struct {
+	session string
+	tenant  string
+	owner   string
+	epoch   uint64
+	standby string
+	mirror  *dataservice.Mirror
+}
+
+// Gateway is the session-sharded front door: thin clients address
+// sessions, the gateway addresses nodes. Placement is consistent
+// hashing over the fleet; every ownership change round-trips through a
+// UDDI lease transfer (epoch bump) before the new owner serves, so a
+// deposed node can never split a session; every session keeps a live
+// mirror at its ring successor — exactly the node consistent hashing
+// will fail it over to — so a node kill promotes locally with the
+// op-history ring intact and subscribers resume gap-only.
+type Gateway struct {
+	cfg Config
+	adm *admission
+
+	mu         sync.Mutex
+	ring       *Ring
+	nodes      map[string]*Node
+	placements map[string]*placement
+}
+
+// New creates a gateway with no nodes.
+func New(cfg Config) (*Gateway, error) {
+	if cfg.Leases == nil {
+		return nil, fmt.Errorf("gateway: Config.Leases required")
+	}
+	if cfg.Name == "" {
+		cfg.Name = "gw"
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.Real{}
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = telemetry.NewRegistry(cfg.Clock)
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	return &Gateway{
+		cfg:        cfg,
+		adm:        newAdmission(cfg.Name, cfg.QueueDepth, cfg.Clock, cfg.Metrics),
+		ring:       NewRing(cfg.Replicas),
+		nodes:      map[string]*Node{},
+		placements: map[string]*placement{},
+	}, nil
+}
+
+// Telemetry returns the gateway's metrics registry.
+func (g *Gateway) Telemetry() *telemetry.Registry { return g.cfg.Metrics }
+
+// leaseService maps a session name to its UDDI lease row.
+func leaseService(session string) string { return LeaseServicePrefix + session }
+
+// AddNode joins a node to the fleet and rebalances: consistent hashing
+// moves ~1/N of the sessions onto it, each move lease-stamped.
+func (g *Gateway) AddNode(n *Node) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.nodes[n.Name()]; ok {
+		return fmt.Errorf("gateway: node %q already joined", n.Name())
+	}
+	g.nodes[n.Name()] = n
+	g.ring.Add(n.Name())
+	g.rebalanceLocked()
+	return nil
+}
+
+// NodeDown removes a node from the placement ring and rebalances its
+// sessions away (promoting their standby mirrors when the node is
+// dead). Dispatch also self-heals — a failed call to a killed node
+// triggers the same path — so calling NodeDown is an optimization, not
+// a correctness requirement.
+func (g *Gateway) NodeDown(name string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.ring.Has(name) {
+		return
+	}
+	g.ring.Remove(name)
+	g.rebalanceLocked()
+}
+
+// Node returns a joined node by name.
+func (g *Gateway) Node(name string) (*Node, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n, ok := g.nodes[name]
+	return n, ok
+}
+
+// Nodes lists joined node names (sorted; includes dead nodes until the
+// fleet forgets them).
+func (g *Gateway) Nodes() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]string, 0, len(g.nodes))
+	for name := range g.nodes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OpenSession places a new session for a tenant: ownership goes to the
+// ring owner (lease-stamped), and a standby mirror is seeded at the
+// ring successor.
+func (g *Gateway) OpenSession(tenant, session string) error {
+	if tenant == "" || session == "" {
+		return fmt.Errorf("gateway: tenant and session required")
+	}
+	g.adm.register(tenant)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.placements[session]; ok {
+		return fmt.Errorf("gateway: session %q already open", session)
+	}
+	owner, ok := g.ring.Owner(session)
+	if !ok {
+		return fmt.Errorf("gateway: no nodes joined")
+	}
+	node := g.nodes[owner]
+	if node == nil || !node.Alive() {
+		return fmt.Errorf("gateway: ring owner %q not serving", owner)
+	}
+	lease, err := g.cfg.Leases.TransferLease(leaseService(session), owner, g.cfg.LeaseTTL, g.cfg.Clock.Now())
+	if err != nil {
+		return fmt.Errorf("gateway: lease session %q: %w", session, err)
+	}
+	if _, err := node.svc.CreateSession(session); err != nil {
+		return err
+	}
+	node.StampEpoch(session, lease.Epoch)
+	p := &placement{session: session, tenant: tenant, owner: owner, epoch: lease.Epoch}
+	g.placements[session] = p
+	g.ensureStandbyLocked(p)
+	g.cfg.Metrics.Gauge(g.cfg.Name, "sessions_open", "").Set(int64(len(g.placements)))
+	return nil
+}
+
+// Placement reports a session's current routing entry (for tests and
+// the route-query protocol).
+func (g *Gateway) Placement(session string) (owner, standby string, epoch uint64, ok bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	p, ok := g.placements[session]
+	if !ok {
+		return "", "", 0, false
+	}
+	return p.owner, p.standby, p.epoch, true
+}
+
+// Placements returns the owner of every open session (for balance
+// accounting and the fleet dashboard).
+func (g *Gateway) Placements() map[string]string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string]string, len(g.placements))
+	for s, p := range g.placements {
+		out[s] = p.owner
+	}
+	return out
+}
+
+// Route resolves a session to its live owning node and lease epoch,
+// self-healing placement if the recorded owner has died. Socket-serving
+// front ends use this to pick the data service a thin client should
+// stream from.
+func (g *Gateway) Route(session string) (*Node, uint64, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.routeHealthyLocked(session)
+}
+
+// routeHealthyLocked returns the session's owner if alive; if the
+// owner has died it removes it from the ring, rebalances (promoting
+// mirrors), and returns the new owner. Callers hold g.mu.
+func (g *Gateway) routeHealthyLocked(session string) (*Node, uint64, error) {
+	p, ok := g.placements[session]
+	if !ok {
+		return nil, 0, fmt.Errorf("gateway: unknown session %q", session)
+	}
+	node := g.nodes[p.owner]
+	if node != nil && node.Alive() {
+		return node, p.epoch, nil
+	}
+	// The recorded owner is gone: heal the ring and re-place. This is
+	// the detection path when nobody called NodeDown — the first
+	// failed dispatch lands here.
+	if g.ring.Has(p.owner) {
+		g.ring.Remove(p.owner)
+		g.rebalanceLocked()
+	}
+	node = g.nodes[p.owner]
+	if node == nil || !node.Alive() {
+		return nil, 0, fmt.Errorf("gateway: no live node for session %q", session)
+	}
+	return node, p.epoch, nil
+}
+
+// Dispatch routes one request to the session's owning node, reserving
+// render capacity first for frames. Node deaths and ownership moves
+// mid-flight are absorbed by an internal re-route loop — the client
+// sees a result or a typed decline, never a node failure.
+func (g *Gateway) Dispatch(ctx context.Context, req Request) (Result, error) {
+	if req.Session == "" || req.Tenant == "" {
+		return Result{}, fmt.Errorf("gateway: request needs tenant and session")
+	}
+	if req.Kind == "" {
+		req.Kind = KindMutate
+	}
+	release, err := g.adm.admit(req.Tenant, req.Interactive, req.Deadline)
+	if err != nil {
+		return Result{}, err
+	}
+	start := g.cfg.Clock.Now()
+	defer func() { release(g.cfg.Clock.Now().Sub(start)) }()
+
+	for attempt := 0; attempt < maxDispatchAttempts; attempt++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
+		node, epoch, rerr := g.Route(req.Session)
+		if rerr != nil {
+			return Result{}, rerr
+		}
+		var version uint64
+		var derr error
+		switch req.Kind {
+		case KindFrame:
+			rel, resErr := node.reserve()
+			if errors.Is(resErr, errNoCapacity) {
+				g.cfg.Metrics.Counter(g.cfg.Name, "declined_total", ReasonCapacity).Inc()
+				return Result{}, &ErrDeclined{Tenant: req.Tenant, Reason: ReasonCapacity, RetryAfter: g.adm.retryAfter()}
+			}
+			if resErr != nil {
+				derr = resErr // node died between route and reserve
+				break
+			}
+			version, derr = node.RenderFrame(req.Session, epoch)
+			rel()
+		case KindMutate:
+			version, derr = node.ApplyLoadOp(req.Session, epoch)
+		default:
+			return Result{}, fmt.Errorf("gateway: unknown request kind %q", req.Kind)
+		}
+		if derr == nil {
+			if req.Kind == KindFrame {
+				g.cfg.Metrics.Counter(g.cfg.Name, "requests_total", "frame").Inc()
+				g.cfg.Metrics.Histogram(g.cfg.Name, "dispatch_latency_ns", "frame").Observe(g.cfg.Clock.Now().Sub(start))
+			} else {
+				g.cfg.Metrics.Counter(g.cfg.Name, "requests_total", "mutate").Inc()
+				g.cfg.Metrics.Histogram(g.cfg.Name, "dispatch_latency_ns", "mutate").Observe(g.cfg.Clock.Now().Sub(start))
+			}
+			return Result{Node: node.Name(), Version: version}, nil
+		}
+		if errors.Is(derr, ErrNodeDown) || errors.Is(derr, ErrStaleEpoch) {
+			// Routing fault: the placement healed (or is about to) —
+			// retry against the current owner.
+			g.cfg.Metrics.Counter(g.cfg.Name, "dispatch_retries_total", "").Inc()
+			continue
+		}
+		return Result{}, derr
+	}
+	return Result{}, fmt.Errorf("gateway: dispatch for session %q exhausted %d attempts", req.Session, maxDispatchAttempts)
+}
+
+// retryAfter exposes the admission EWMA drain estimate for capacity
+// declines.
+func (a *admission) retryAfter() time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.retryAfterLocked()
+}
+
+// rebalanceLocked re-derives every session's desired owner from the
+// ring and moves the strays: lease transfer first (epoch bump), then
+// state handoff — mirror promotion when the new owner is the standby
+// (the common case, by ring-successor construction), snapshot install
+// otherwise — then standby re-seeding at the new ring successor.
+// Callers hold g.mu.
+func (g *Gateway) rebalanceLocked() {
+	sessions := make([]string, 0, len(g.placements))
+	for s := range g.placements {
+		sessions = append(sessions, s)
+	}
+	sort.Strings(sessions)
+	moved := 0
+	for _, s := range sessions {
+		p := g.placements[s]
+		owner, ok := g.ring.Owner(s)
+		if !ok {
+			continue // no members: placements freeze until a node joins
+		}
+		if owner != p.owner {
+			if err := g.movePlacementLocked(p, owner); err != nil {
+				g.cfg.Metrics.Counter(g.cfg.Name, "rebalance_errors_total", "").Inc()
+				continue
+			}
+			moved++
+		}
+		g.ensureStandbyLocked(p)
+	}
+	if moved > 0 {
+		g.cfg.Metrics.Counter(g.cfg.Name, "sessions_rebalanced_total", "").Add(int64(moved))
+	}
+	g.observeOwnershipLocked()
+}
+
+// observeOwnershipLocked mirrors per-node session counts into
+// telemetry. Callers hold g.mu.
+func (g *Gateway) observeOwnershipLocked() {
+	counts := map[string]int{}
+	for _, p := range g.placements {
+		counts[p.owner]++
+	}
+	for name := range g.nodes {
+		g.cfg.Metrics.Gauge(g.cfg.Name, "sessions_owned", telemetry.PeerLabel(name)).Set(int64(counts[name]))
+	}
+}
+
+// movePlacementLocked transfers one session to a new owner. Order
+// matters: the lease transfer commits the move (epoch bump) before any
+// state lands on the target, so even a crash mid-move cannot leave two
+// nodes both believing they own the epoch. Callers hold g.mu.
+func (g *Gateway) movePlacementLocked(p *placement, to string) error {
+	newNode := g.nodes[to]
+	if newNode == nil || !newNode.Alive() {
+		return fmt.Errorf("gateway: move target %q not serving", to)
+	}
+	lease, err := g.cfg.Leases.TransferLease(leaseService(p.session), to, g.cfg.LeaseTTL, g.cfg.Clock.Now())
+	if err != nil {
+		return fmt.Errorf("gateway: lease transfer %q -> %q: %w", p.session, to, err)
+	}
+	oldNode := g.nodes[p.owner]
+	switch {
+	case p.mirror != nil && p.standby == to:
+		// The target already follows the session as its standby
+		// mirror: promote. The backup session keeps the op-history
+		// ring it accumulated while mirroring, so reconnecting
+		// subscribers resume gap-only instead of re-snapshotting.
+		if _, perr := p.mirror.Promote(); perr != nil {
+			return perr
+		}
+		g.cfg.Metrics.Counter(g.cfg.Name, "promotions_total", "").Inc()
+	case oldNode != nil && oldNode.Alive():
+		// Planned move to a non-standby node: snapshot handoff.
+		oldSess, ok := oldNode.svc.Session(p.session)
+		if !ok {
+			return fmt.Errorf("gateway: session %q missing on owner %q", p.session, p.owner)
+		}
+		newNode.svc.RemoveSession(p.session)
+		ns, cerr := newNode.svc.CreateSession(p.session)
+		if cerr != nil {
+			return cerr
+		}
+		ns.InstallScene(oldSess.Snapshot())
+		if cerr := ns.SetCamera(oldSess.Camera(), ""); cerr != nil {
+			return cerr
+		}
+	case p.mirror != nil:
+		// Owner dead and the target is not the standby (several
+		// membership changes landed at once): promote on the standby,
+		// then hand a snapshot to the real target.
+		promoted, perr := p.mirror.Promote()
+		if perr != nil {
+			return perr
+		}
+		newNode.svc.RemoveSession(p.session)
+		ns, cerr := newNode.svc.CreateSession(p.session)
+		if cerr != nil {
+			return cerr
+		}
+		ns.InstallScene(promoted.Snapshot())
+		if cerr := ns.SetCamera(promoted.Camera(), ""); cerr != nil {
+			return cerr
+		}
+		if sn := g.nodes[p.standby]; sn != nil {
+			sn.DropSession(p.session)
+		}
+	default:
+		// Owner dead with no standby (the fleet had a single node):
+		// the scene state is gone. Re-open empty rather than wedge the
+		// session forever, and account for the loss.
+		newNode.svc.RemoveSession(p.session)
+		if _, cerr := newNode.svc.CreateSession(p.session); cerr != nil {
+			return cerr
+		}
+		g.cfg.Metrics.Counter(g.cfg.Name, "sessions_lost_total", "").Inc()
+	}
+	if oldNode != nil && oldNode.Alive() && p.owner != to {
+		oldNode.DropSession(p.session)
+	}
+	newNode.StampEpoch(p.session, lease.Epoch)
+	p.owner = to
+	p.epoch = lease.Epoch
+	p.mirror = nil
+	p.standby = ""
+	return nil
+}
+
+// ensureStandbyLocked keeps the session's mirror at its current ring
+// successor — the node a failure would move it to — tearing down a
+// mirror that points anywhere else. Callers hold g.mu.
+func (g *Gateway) ensureStandbyLocked(p *placement) {
+	_, standby, ok := g.ring.OwnerAndStandby(p.session)
+	if !ok {
+		return
+	}
+	if standby == p.owner {
+		standby = ""
+	}
+	if standby != "" && standby == p.standby && p.mirror != nil && p.mirror.Err() == nil {
+		if sn := g.nodes[standby]; sn != nil && sn.Alive() {
+			return // mirror already where it belongs
+		}
+	}
+	if p.mirror != nil {
+		// Detach the stale mirror (Promote just unsubscribes; we
+		// discard the returned session) and drop the orphan copy.
+		if _, err := p.mirror.Promote(); err == nil {
+			if sn := g.nodes[p.standby]; sn != nil {
+				sn.svc.RemoveSession(p.session)
+			}
+		}
+		p.mirror = nil
+		p.standby = ""
+	}
+	if standby == "" {
+		return
+	}
+	sNode := g.nodes[standby]
+	if sNode == nil || !sNode.Alive() {
+		return
+	}
+	ownerNode := g.nodes[p.owner]
+	if ownerNode == nil || !ownerNode.Alive() {
+		return
+	}
+	primary, ok := ownerNode.svc.Session(p.session)
+	if !ok {
+		return
+	}
+	sNode.svc.RemoveSession(p.session)
+	m, err := dataservice.MirrorSession(primary, sNode.svc)
+	if err != nil {
+		g.cfg.Metrics.Counter(g.cfg.Name, "mirror_errors_total", "").Inc()
+		return
+	}
+	p.mirror = m
+	p.standby = standby
+	g.cfg.Metrics.Counter(g.cfg.Name, "mirror_seeds_total", "").Inc()
+}

@@ -1,0 +1,257 @@
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/dataservice"
+	"repro/internal/mathx"
+	"repro/internal/scene"
+	"repro/internal/telemetry"
+	"repro/internal/vclock"
+)
+
+// Default node capacity/cost model. The render cost is the calibrated
+// SGI-class off-screen figure the perf model uses for small tiles; the
+// op cost is middleware fan-out latency. Both are modeled on the
+// virtual clock, so a fleet-scale run is deterministic and takes
+// milliseconds of wall time.
+const (
+	DefaultRenderSlots = 4
+	DefaultRenderCost  = 25 * time.Millisecond
+	DefaultOpCost      = 2 * time.Millisecond
+)
+
+// ErrNodeDown is returned by node operations after Kill: the gateway
+// treats it as a routing fault (retry after rebalance), never surfacing
+// it to the client.
+var ErrNodeDown = errors.New("gateway: node down")
+
+// ErrStaleEpoch is returned when a request carries a lease epoch the
+// node does not hold for that session — the session moved (or never
+// lived here). Like ErrNodeDown it is gateway-internal: the dispatcher
+// re-routes with the current placement and retries.
+var ErrStaleEpoch = errors.New("gateway: stale session epoch")
+
+// errNoCapacity is returned by reserve when all render slots are taken;
+// the gateway converts it into a typed capacity decline.
+var errNoCapacity = errors.New("gateway: no render capacity")
+
+// NodeConfig configures a fleet node.
+type NodeConfig struct {
+	// Name identifies the node on the ring and in lease holder fields.
+	Name string
+	// Clock drives modeled costs; required for deterministic runs.
+	Clock vclock.Clock
+	// Metrics receives node telemetry; a fleet shares one registry.
+	Metrics *telemetry.Registry
+	// RenderSlots is the render capacity reserved before dispatch
+	// (0 = DefaultRenderSlots).
+	RenderSlots int
+	// RenderCost is the modeled per-frame device time
+	// (0 = DefaultRenderCost).
+	RenderCost time.Duration
+	// OpCost is the modeled per-mutation middleware time
+	// (0 = DefaultOpCost).
+	OpCost time.Duration
+}
+
+// Node is one data service in the sharded fleet: the real
+// dataservice.Service (sessions, mirrors, resume protocol) wrapped with
+// the pieces the gateway shards over — liveness, render-capacity slots,
+// and the lease epoch it holds for each session. Render and mutate
+// calls charge modeled device time on the virtual clock, so capacity
+// contention and tail latency emerge from the same calibrated costs the
+// perf model uses rather than from wall-clock noise.
+type Node struct {
+	name       string
+	svc        *dataservice.Service
+	clock      vclock.Clock
+	metrics    *telemetry.Registry
+	renderCost time.Duration
+	opCost     time.Duration
+	slots      int
+
+	mu       sync.Mutex
+	alive    bool
+	reserved int
+	epochs   map[string]uint64
+}
+
+// NewNode creates a live node with a fresh data service on the shared
+// clock and registry.
+func NewNode(cfg NodeConfig) *Node {
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.Real{}
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = telemetry.NewRegistry(cfg.Clock)
+	}
+	if cfg.RenderSlots <= 0 {
+		cfg.RenderSlots = DefaultRenderSlots
+	}
+	if cfg.RenderCost <= 0 {
+		cfg.RenderCost = DefaultRenderCost
+	}
+	if cfg.OpCost <= 0 {
+		cfg.OpCost = DefaultOpCost
+	}
+	return &Node{
+		name: cfg.Name,
+		svc: dataservice.New(dataservice.Config{
+			Name:    cfg.Name,
+			Clock:   cfg.Clock,
+			Metrics: cfg.Metrics,
+		}),
+		clock:      cfg.Clock,
+		metrics:    cfg.Metrics,
+		renderCost: cfg.RenderCost,
+		opCost:     cfg.OpCost,
+		slots:      cfg.RenderSlots,
+		alive:      true,
+		epochs:     map[string]uint64{},
+	}
+}
+
+// Name returns the node's fleet name.
+func (n *Node) Name() string { return n.name }
+
+// Service exposes the underlying data service (socket serving, mirror
+// attachment).
+func (n *Node) Service() *dataservice.Service { return n.svc }
+
+// Alive reports liveness.
+func (n *Node) Alive() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.alive
+}
+
+// Kill fails the node: every in-flight and future call returns
+// ErrNodeDown. The service's in-memory state is deliberately left
+// intact — like a network-partitioned host, the process may still hold
+// its data, but the epoch fence guarantees it can never again serve an
+// owned session.
+func (n *Node) Kill() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.alive = false
+}
+
+// Epoch returns the lease epoch the node holds for a session (0 if it
+// holds none).
+func (n *Node) Epoch(session string) uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.epochs[session]
+}
+
+// StampEpoch records the lease epoch under which this node owns a
+// session. Requests carrying any other epoch are fenced off with
+// ErrStaleEpoch.
+func (n *Node) StampEpoch(session string, epoch uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.epochs[session] = epoch
+}
+
+// DropSession releases ownership: the session and its epoch stamp are
+// removed (idempotent).
+func (n *Node) DropSession(session string) {
+	n.mu.Lock()
+	delete(n.epochs, session)
+	n.mu.Unlock()
+	n.svc.RemoveSession(session)
+}
+
+// check fences a request: the node must be alive and hold exactly the
+// caller's epoch for the session.
+func (n *Node) check(session string, epoch uint64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.alive {
+		return fmt.Errorf("%w (%s)", ErrNodeDown, n.name)
+	}
+	if have := n.epochs[session]; have != epoch {
+		return fmt.Errorf("%w (%s: session %q have %d, request %d)", ErrStaleEpoch, n.name, session, have, epoch)
+	}
+	return nil
+}
+
+// reserve takes one render slot, returning a release func. The gateway
+// calls this *before* dispatching a frame — the EdgeComet-style
+// reservation that keeps the render path queue-free: a frame either
+// holds device capacity when it starts or is declined up front.
+func (n *Node) reserve() (release func(), err error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.alive {
+		return nil, fmt.Errorf("%w (%s)", ErrNodeDown, n.name)
+	}
+	if n.reserved >= n.slots {
+		return nil, errNoCapacity
+	}
+	n.reserved++
+	n.metrics.Gauge("gw", "render_reserved", telemetry.PeerLabel(n.name)).Set(int64(n.reserved))
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			n.mu.Lock()
+			n.reserved--
+			n.metrics.Gauge("gw", "render_reserved", telemetry.PeerLabel(n.name)).Set(int64(n.reserved))
+			n.mu.Unlock()
+		})
+	}, nil
+}
+
+// Reserved returns the render slots currently held (for tests).
+func (n *Node) Reserved() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.reserved
+}
+
+// ApplyLoadOp applies one synthetic scene mutation (an empty-transform
+// node under the root — the same minimal op the chaos tests use) to the
+// session, charging the modeled middleware cost. The kill fence is
+// checked on both sides of the sleep so an op in flight when the node
+// dies errors out *without* applying — it applies exactly once, on the
+// promoted successor, when the gateway retries.
+func (n *Node) ApplyLoadOp(session string, epoch uint64) (version uint64, err error) {
+	if err := n.check(session, epoch); err != nil {
+		return 0, err
+	}
+	sess, ok := n.svc.Session(session)
+	if !ok {
+		return 0, fmt.Errorf("%w (%s: session %q gone)", ErrStaleEpoch, n.name, session)
+	}
+	n.clock.Sleep(n.opCost)
+	if err := n.check(session, epoch); err != nil {
+		return 0, err
+	}
+	op := &scene.AddNodeOp{Parent: scene.RootID, ID: sess.AllocID(), Name: "load", Transform: mathx.Identity()}
+	if err := sess.ApplyUpdate(op, ""); err != nil {
+		return 0, err
+	}
+	return sess.Version(), nil
+}
+
+// RenderFrame serves one frame for the session, charging the modeled
+// device render cost. The caller must already hold a render slot from
+// reserve. Returns the scene version the frame observed.
+func (n *Node) RenderFrame(session string, epoch uint64) (version uint64, err error) {
+	if err := n.check(session, epoch); err != nil {
+		return 0, err
+	}
+	sess, ok := n.svc.Session(session)
+	if !ok {
+		return 0, fmt.Errorf("%w (%s: session %q gone)", ErrStaleEpoch, n.name, session)
+	}
+	n.clock.Sleep(n.renderCost)
+	if err := n.check(session, epoch); err != nil {
+		return 0, err
+	}
+	return sess.Version(), nil
+}

@@ -1,0 +1,159 @@
+package loadgen
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/gateway"
+	"repro/internal/telemetry"
+	"repro/internal/uddi"
+	"repro/internal/vclock"
+)
+
+// Scenario defaults (the reduced CI scenario overrides most of them;
+// the checked-in BENCH_scale.json run overrides Sessions and Nodes up).
+const (
+	DefaultNodes       = 4
+	DefaultSessions    = 100
+	DefaultTenants     = 4
+	DefaultInterval    = 250 * time.Millisecond
+	DefaultDuration    = 10 * time.Second
+	DefaultFrameEvery  = 4
+	DefaultQueueDepth  = 256
+	DefaultRenderSlots = gateway.DefaultRenderSlots
+)
+
+// Scenario is one raveload run, fully specified: the same scenario on
+// the same seed issues the same request schedule.
+type Scenario struct {
+	// Nodes is the data-service fleet size.
+	Nodes int `json:"nodes"`
+	// Sessions is the concurrent session population.
+	Sessions int `json:"sessions"`
+	// Tenants is how many fair-share tenants the sessions are spread
+	// over (round-robin).
+	Tenants int `json:"tenants"`
+	// Interval is each session's request period (open-loop: ticks are
+	// scheduled on the absolute virtual timeline, not after the
+	// previous response).
+	Interval time.Duration `json:"interval_ns"`
+	// Duration is the run length in virtual time.
+	Duration time.Duration `json:"duration_ns"`
+	// FrameEvery makes every k-th request a frame (the rest are scene
+	// mutations); 4 means a 25% render mix.
+	FrameEvery int `json:"frame_every"`
+	// Seed drives start-phase jitter (and nothing else — the schedule
+	// is otherwise deterministic).
+	Seed int64 `json:"seed"`
+	// QueueDepth is the gateway admission depth.
+	QueueDepth int `json:"queue_depth"`
+	// RenderSlots is per-node render capacity.
+	RenderSlots int `json:"render_slots"`
+	// KillNodeAt, when positive, kills one data-service node at that
+	// virtual offset into the run — without telling the gateway, which
+	// must discover the death from failed dispatches.
+	KillNodeAt time.Duration `json:"kill_node_at_ns,omitempty"`
+}
+
+// withDefaults fills zero fields.
+func (sc Scenario) withDefaults() Scenario {
+	if sc.Nodes <= 0 {
+		sc.Nodes = DefaultNodes
+	}
+	if sc.Sessions <= 0 {
+		sc.Sessions = DefaultSessions
+	}
+	if sc.Tenants <= 0 {
+		sc.Tenants = DefaultTenants
+	}
+	if sc.Interval <= 0 {
+		sc.Interval = DefaultInterval
+	}
+	if sc.Duration <= 0 {
+		sc.Duration = DefaultDuration
+	}
+	if sc.FrameEvery <= 0 {
+		sc.FrameEvery = DefaultFrameEvery
+	}
+	if sc.QueueDepth <= 0 {
+		sc.QueueDepth = DefaultQueueDepth
+	}
+	if sc.RenderSlots <= 0 {
+		sc.RenderSlots = DefaultRenderSlots
+	}
+	return sc
+}
+
+// Fleet is a built scenario: the gateway tier fronting its nodes, plus
+// the shared clock and telemetry the run observes.
+type Fleet struct {
+	Scenario Scenario
+	Clock    *vclock.Virtual
+	Gateway  *gateway.Gateway
+	Nodes    []*gateway.Node
+	Registry *uddi.Registry
+	Metrics  *telemetry.Registry
+}
+
+// nodeName and sessionName/tenantOf fix the naming scheme the whole
+// harness (and its tests) share.
+func nodeName(i int) string    { return fmt.Sprintf("ds-%02d", i) }
+func sessionName(i int) string { return fmt.Sprintf("load-%05d", i) }
+func (sc Scenario) tenant(session int) string {
+	return fmt.Sprintf("tenant-%02d", session%sc.Tenants)
+}
+
+// BuildFleet stands up the scenario's fleet on a fresh virtual clock:
+// nodes joined to the gateway, every session opened (placed, leased,
+// mirrored) and warmed with one mutation so failover has state to
+// carry.
+func BuildFleet(sc Scenario) (*Fleet, error) {
+	sc = sc.withDefaults()
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	reg := uddi.NewRegistry()
+	met := telemetry.NewRegistry(clk)
+	gw, err := gateway.New(gateway.Config{
+		Clock:      clk,
+		Leases:     reg,
+		Metrics:    met,
+		QueueDepth: sc.QueueDepth,
+	})
+	if err != nil {
+		return nil, err
+	}
+	f := &Fleet{Scenario: sc, Clock: clk, Gateway: gw, Registry: reg, Metrics: met}
+	for i := 0; i < sc.Nodes; i++ {
+		n := gateway.NewNode(gateway.NodeConfig{
+			Name:        nodeName(i),
+			Clock:       clk,
+			Metrics:     met,
+			RenderSlots: sc.RenderSlots,
+		})
+		if err := gw.AddNode(n); err != nil {
+			return nil, err
+		}
+		f.Nodes = append(f.Nodes, n)
+	}
+	for i := 0; i < sc.Sessions; i++ {
+		if err := gw.OpenSession(sc.tenant(i), sessionName(i)); err != nil {
+			return nil, fmt.Errorf("open session %d: %w", i, err)
+		}
+	}
+	return f, nil
+}
+
+// PickVictim chooses the kill target: the node owning the most
+// sessions, so the kill exercises the largest possible failover wave.
+func (f *Fleet) PickVictim() *gateway.Node {
+	counts := map[string]int{}
+	for _, owner := range f.Gateway.Placements() {
+		counts[owner]++
+	}
+	best := f.Nodes[0]
+	for _, n := range f.Nodes {
+		if counts[n.Name()] > counts[best.Name()] {
+			best = n
+		}
+	}
+	return best
+}

@@ -1,0 +1,115 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// TestRunSurvivesNodeKill: the reduced CI scenario — a fleet under
+// open-loop load loses its most-loaded node mid-run. The acceptance
+// invariants: every request accounted for, zero client-visible errors,
+// zero sessions lost, failovers actually happened (promotions > 0).
+func TestRunSurvivesNodeKill(t *testing.T) {
+	sc := Scenario{
+		Nodes:      4,
+		Sessions:   60,
+		Tenants:    4,
+		Interval:   250 * time.Millisecond,
+		Duration:   3 * time.Second,
+		FrameEvery: 4,
+		Seed:       7,
+		KillNodeAt: 1500 * time.Millisecond,
+	}
+	fleet, err := BuildFleet(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewReporter()
+	fleet.Run(context.Background(), rep)
+	res := rep.Summarize(fleet.Metrics.Snapshot())
+	if err := res.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Promotions == 0 {
+		t.Error("node kill caused no promotions; failover path untested")
+	}
+	if res.Mutate.Count == 0 || res.Frame.Count == 0 {
+		t.Errorf("class coverage: mutate %d frame %d", res.Mutate.Count, res.Frame.Count)
+	}
+	if res.Mutate.P50ns <= 0 || res.Frame.P99ns < res.Frame.P50ns {
+		t.Errorf("latency summary malformed: %+v %+v", res.Mutate, res.Frame)
+	}
+
+	art := fleet.Artifact(rep)
+	if art.Kill == nil || art.Kill.Node == "" {
+		t.Fatalf("artifact missing kill event: %+v", art.Kill)
+	}
+	var buf bytes.Buffer
+	if err := WriteArtifact(&buf, art); err != nil {
+		t.Fatal(err)
+	}
+	// Round-trips through the scale reader...
+	got, err := ReadArtifact(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Results.Issued != res.Issued || got.Scenario.Sessions != sc.Sessions {
+		t.Errorf("artifact round trip: %+v", got.Results)
+	}
+	// ...and through the shared versioned bench envelope, which sees
+	// the same v/kind/snapshot and ignores the scale-specific fields.
+	env, err := telemetry.ReadBenchArtifact(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.V != telemetry.BenchVersion || env.Kind != telemetry.BenchKindScale {
+		t.Errorf("bench envelope: v%d kind %q", env.V, env.Kind)
+	}
+	if env.Snapshot.CounterValue("gw", "promotions_total", "") != res.Promotions {
+		t.Error("snapshot in envelope does not match results")
+	}
+}
+
+// TestRunWithoutFault: a healthy run has zero failovers and clean
+// conservation.
+func TestRunWithoutFault(t *testing.T) {
+	sc := Scenario{
+		Nodes:    3,
+		Sessions: 30,
+		Tenants:  3,
+		Interval: 200 * time.Millisecond,
+		Duration: 2 * time.Second,
+		Seed:     11,
+	}
+	fleet, err := BuildFleet(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewReporter()
+	fleet.Run(context.Background(), rep)
+	res := rep.Summarize(fleet.Metrics.Snapshot())
+	if err := res.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Promotions != 0 || res.SessionsRebalanced != 0 {
+		t.Errorf("healthy run rebalanced: promotions %d moved %d", res.Promotions, res.SessionsRebalanced)
+	}
+	if res.ThroughputRPS <= 0 {
+		t.Errorf("throughput %f", res.ThroughputRPS)
+	}
+}
+
+// TestReadArtifactRejectsWrongKind: a telemetry-kind bench file is not
+// a scale artifact.
+func TestReadArtifactRejectsWrongKind(t *testing.T) {
+	if _, err := ReadArtifact(bytes.NewReader([]byte(`{"v":1,"kind":"telemetry","snapshot":{"taken_nanos":1}}`))); err == nil {
+		t.Error("telemetry artifact accepted as scale artifact")
+	}
+	if _, err := ReadArtifact(bytes.NewReader([]byte(`{"taken_nanos":1}`))); err == nil {
+		t.Error("legacy bare snapshot accepted as scale artifact")
+	}
+}

@@ -1,0 +1,175 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/gateway"
+	"repro/internal/telemetry"
+)
+
+// maxErrorSamples bounds how many error strings the artifact keeps.
+const maxErrorSamples = 5
+
+// Reporter aggregates request outcomes. Requesters call record
+// concurrently; aggregation is a mutex over plain counters and sample
+// pools — no channels, no goroutines, nothing to leak or overflow.
+type Reporter struct {
+	mu         sync.Mutex
+	issued     int64
+	ok         int64
+	errs       int64
+	declined   map[string]int64
+	errSamples []string
+
+	killNode  string
+	killAtNs  int64
+	virtualNs int64
+
+	mutate statPool
+	frame  statPool
+}
+
+// NewReporter creates an empty reporter.
+func NewReporter() *Reporter {
+	return &Reporter{declined: map[string]int64{}}
+}
+
+// record files one request outcome under its class.
+func (r *Reporter) record(kind gateway.Kind, d time.Duration, err error) {
+	r.mu.Lock()
+	r.issued++
+	switch {
+	case err == nil:
+		r.ok++
+	default:
+		var dec *gateway.ErrDeclined
+		if errors.As(err, &dec) {
+			r.declined[dec.Reason]++
+		} else {
+			r.errs++
+			if len(r.errSamples) < maxErrorSamples {
+				r.errSamples = append(r.errSamples, err.Error())
+			}
+		}
+	}
+	r.mu.Unlock()
+	if err == nil {
+		if kind == gateway.KindFrame {
+			r.frame.add(d)
+		} else {
+			r.mutate.add(d)
+		}
+	}
+}
+
+// noteKill records the injected fault.
+func (r *Reporter) noteKill(node string, at time.Duration) {
+	r.mu.Lock()
+	r.killNode = node
+	r.killAtNs = int64(at)
+	r.mu.Unlock()
+}
+
+// setVirtualDuration records the run's virtual length.
+func (r *Reporter) setVirtualDuration(d time.Duration) {
+	r.mu.Lock()
+	r.virtualNs = int64(d)
+	r.mu.Unlock()
+}
+
+// Summarize folds the reporter's counters and the fleet's telemetry
+// snapshot into the artifact's results block.
+func (r *Reporter) Summarize(snap telemetry.Snapshot) Results {
+	r.mu.Lock()
+	declined := make(map[string]int64, len(r.declined))
+	for k, v := range r.declined {
+		declined[k] = v
+	}
+	res := Results{
+		Issued:            r.issued,
+		OK:                r.ok,
+		Declined:          declined,
+		Errors:            r.errs,
+		ErrorSamples:      append([]string(nil), r.errSamples...),
+		VirtualDurationNs: r.virtualNs,
+	}
+	r.mu.Unlock()
+	if res.VirtualDurationNs > 0 {
+		res.ThroughputRPS = float64(res.OK) / (float64(res.VirtualDurationNs) / float64(time.Second))
+	}
+	res.Mutate = r.mutate.summarize()
+	res.Frame = r.frame.summarize()
+	res.SessionsRebalanced = snap.CounterValue("gw", "sessions_rebalanced_total", "")
+	res.Promotions = snap.CounterValue("gw", "promotions_total", "")
+	res.DispatchRetries = snap.CounterValue("gw", "dispatch_retries_total", "")
+	res.SessionsLost = snap.CounterValue("gw", "sessions_lost_total", "")
+	return res
+}
+
+// KillEvent records the mid-run fault injection.
+type KillEvent struct {
+	// Node is the killed data service.
+	Node string `json:"node"`
+	// AtNs is the kill's virtual offset into the run.
+	AtNs int64 `json:"at_ns"`
+}
+
+// Artifact is BENCH_scale.json: the shared versioned bench envelope
+// (v, kind, snapshot — readable by telemetry.ReadBenchArtifact, which
+// ignores the scale-specific siblings) plus the scenario that produced
+// the run, the fault injected, and the summary results.
+type Artifact struct {
+	V    int    `json:"v"`
+	Kind string `json:"kind"`
+
+	Scenario Scenario   `json:"scenario"`
+	Kill     *KillEvent `json:"kill,omitempty"`
+	Results  Results    `json:"results"`
+
+	Snapshot telemetry.Snapshot `json:"snapshot"`
+}
+
+// Artifact assembles the versioned artifact for a completed run.
+func (f *Fleet) Artifact(rep *Reporter) Artifact {
+	art := Artifact{
+		V:        telemetry.BenchVersion,
+		Kind:     telemetry.BenchKindScale,
+		Scenario: f.Scenario,
+		Results:  rep.Summarize(f.Metrics.Snapshot()),
+		Snapshot: f.Metrics.Snapshot(),
+	}
+	rep.mu.Lock()
+	if rep.killNode != "" {
+		art.Kill = &KillEvent{Node: rep.killNode, AtNs: rep.killAtNs}
+	}
+	rep.mu.Unlock()
+	return art
+}
+
+// WriteArtifact writes the artifact as indented JSON (snapshot metrics
+// are sorted, so output is stable for a given run).
+func WriteArtifact(w io.Writer, art Artifact) error {
+	if art.V != telemetry.BenchVersion || art.Kind != telemetry.BenchKindScale {
+		return fmt.Errorf("loadgen: artifact must be v%d kind %q", telemetry.BenchVersion, telemetry.BenchKindScale)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(art)
+}
+
+// ReadArtifact decodes a BENCH_scale.json file, rejecting other kinds.
+func ReadArtifact(r io.Reader) (Artifact, error) {
+	var art Artifact
+	if err := json.NewDecoder(r).Decode(&art); err != nil {
+		return Artifact{}, fmt.Errorf("loadgen: decode scale artifact: %w", err)
+	}
+	if art.V < 1 || art.Kind != telemetry.BenchKindScale {
+		return Artifact{}, fmt.Errorf("loadgen: not a scale artifact (v%d kind %q)", art.V, art.Kind)
+	}
+	return art, nil
+}

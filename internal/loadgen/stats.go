@@ -1,0 +1,133 @@
+// Package loadgen is the raveload fleet-scale load harness: an
+// open-loop generator driving a thousand-plus concurrent sessions
+// through the gateway tier on the virtual clock, with node kills
+// injected mid-run. All pacing and every latency sample is virtual
+// time, so a fleet-seconds-long run finishes in wall-milliseconds and
+// replays the same request schedule every time; the output is a
+// versioned BENCH_scale.json throughput/latency artifact.
+//
+// The harness splits four ways: the loader builds the fleet and opens
+// the session population, requesters drive the per-session open-loop
+// schedules, the reporter aggregates outcomes and writes the artifact,
+// and stats (this file) turns raw samples into the summary
+// distributions.
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LatencySummary describes one request class's latency distribution,
+// in virtual nanoseconds (the artifact is JSON; everything is explicit
+// int64 so the file diffs cleanly).
+type LatencySummary struct {
+	Count int64 `json:"count"`
+	P50ns int64 `json:"p50_ns"`
+	P99ns int64 `json:"p99_ns"`
+	Maxns int64 `json:"max_ns"`
+}
+
+// statPool accumulates latency samples for one request class. Samples
+// are virtual durations, bounded by requests-per-run (a few 100k at
+// most), so keeping them all and sorting once at summary time buys
+// exact quantiles for free.
+type statPool struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+func (p *statPool) add(d time.Duration) {
+	p.mu.Lock()
+	p.samples = append(p.samples, d)
+	p.mu.Unlock()
+}
+
+// summarize sorts and reads exact quantiles.
+func (p *statPool) summarize() LatencySummary {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := len(p.samples)
+	if n == 0 {
+		return LatencySummary{}
+	}
+	sort.Slice(p.samples, func(i, j int) bool { return p.samples[i] < p.samples[j] })
+	at := func(q float64) int64 {
+		i := int(q * float64(n-1))
+		return int64(p.samples[i])
+	}
+	return LatencySummary{
+		Count: int64(n),
+		P50ns: at(0.50),
+		P99ns: at(0.99),
+		Maxns: int64(p.samples[n-1]),
+	}
+}
+
+// Results is the artifact's summary block: what the run offered, what
+// came back, and how fast.
+type Results struct {
+	// Issued counts every request the generators offered.
+	Issued int64 `json:"issued"`
+	// OK counts successful dispatches.
+	OK int64 `json:"ok"`
+	// Declined counts typed gateway declines by reason. Declines are
+	// backpressure, not failures.
+	Declined map[string]int64 `json:"declined,omitempty"`
+	// Errors counts hard failures — client-visible errors. A healthy
+	// run, including one with a mid-run node kill, has zero.
+	Errors int64 `json:"errors"`
+	// ErrorSamples holds the first few error strings for diagnosis.
+	ErrorSamples []string `json:"error_samples,omitempty"`
+
+	// VirtualDurationNs is the run length in virtual time.
+	VirtualDurationNs int64 `json:"virtual_duration_ns"`
+	// ThroughputRPS is OK requests per virtual second.
+	ThroughputRPS float64 `json:"throughput_rps"`
+
+	// Mutate and Frame are per-class latency distributions (virtual
+	// time, gateway admission to completion, retries included).
+	Mutate LatencySummary `json:"mutate"`
+	Frame  LatencySummary `json:"frame"`
+
+	// Fleet-health counters lifted from the telemetry snapshot.
+	SessionsRebalanced int64 `json:"sessions_rebalanced"`
+	Promotions         int64 `json:"promotions"`
+	DispatchRetries    int64 `json:"dispatch_retries"`
+	SessionsLost       int64 `json:"sessions_lost"`
+}
+
+// declinedTotal sums declines across reasons.
+func (r Results) declinedTotal() int64 {
+	var n int64
+	for _, c := range r.Declined {
+		n += c
+	}
+	return n
+}
+
+// Check verifies the run's acceptance invariants: every issued request
+// is accounted for exactly once (conservation), no client-visible
+// errors leaked through the gateway's retry loop, no session state was
+// lost, and the run actually exercised the fleet.
+func (r Results) Check() error {
+	if r.Issued == 0 {
+		return fmt.Errorf("loadgen: run issued no requests")
+	}
+	if got := r.OK + r.declinedTotal() + r.Errors; got != r.Issued {
+		return fmt.Errorf("loadgen: conservation violated: ok %d + declined %d + errors %d != issued %d",
+			r.OK, r.declinedTotal(), r.Errors, r.Issued)
+	}
+	if r.Errors != 0 {
+		return fmt.Errorf("loadgen: %d client-visible errors (first: %v)", r.Errors, r.ErrorSamples)
+	}
+	if r.SessionsLost != 0 {
+		return fmt.Errorf("loadgen: %d sessions lost state in failover", r.SessionsLost)
+	}
+	if r.OK == 0 {
+		return fmt.Errorf("loadgen: no request succeeded")
+	}
+	return nil
+}

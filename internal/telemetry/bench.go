@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Versioned BENCH_*.json artifacts. Every benchmark harness that checks
+// a machine-readable result into the repo (ravebench -extra telemetry →
+// BENCH_telemetry.json, raveload → BENCH_scale.json) writes this
+// envelope, so a reader can dispatch on one "v"/"kind" pair instead of
+// sniffing shapes. The schema version is shared across kinds: bump it
+// when any envelope field changes meaning, and keep ReadBenchArtifact
+// decoding every older version forever — checked-in artifacts from old
+// PRs are the perf trajectory, and a trajectory you can no longer parse
+// is lost.
+
+// BenchVersion is the current BENCH_*.json envelope schema version.
+// Version history:
+//
+//	0 — (implicit) a bare telemetry.Snapshot, as BENCH_telemetry.json
+//	    was first written; no "v" or "kind" fields.
+//	1 — the BenchArtifact envelope: {"v", "kind", "snapshot", ...}.
+//	    Kind-specific harnesses may add sibling fields (e.g. raveload's
+//	    scenario/results); the envelope ignores fields it does not know.
+const BenchVersion = 1
+
+// Bench artifact kinds.
+const (
+	// BenchKindTelemetry is a snapshot diff from ravebench -extra
+	// telemetry (BENCH_telemetry.json).
+	BenchKindTelemetry = "telemetry"
+	// BenchKindScale is a raveload fleet-scale run (BENCH_scale.json).
+	BenchKindScale = "scale"
+)
+
+// BenchArtifact is the common envelope of a BENCH_*.json file: the
+// schema version, the artifact kind, and the run's telemetry snapshot
+// (for counter/histogram detail beyond the kind-specific summary
+// fields, which live alongside the envelope in kind-owning packages).
+type BenchArtifact struct {
+	V    int    `json:"v"`
+	Kind string `json:"kind"`
+
+	Snapshot Snapshot `json:"snapshot"`
+}
+
+// WriteBenchArtifact writes a current-version envelope around snap as
+// indented JSON (deterministic: snapshot metrics are sorted).
+func WriteBenchArtifact(w io.Writer, kind string, snap Snapshot) error {
+	if kind == "" {
+		return fmt.Errorf("telemetry: bench artifact kind required")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(BenchArtifact{V: BenchVersion, Kind: kind, Snapshot: snap})
+}
+
+// ReadBenchArtifact decodes a BENCH_*.json envelope of any schema
+// version. Version-0 files — a bare telemetry.Snapshot with no "v" or
+// "kind" field, the format BENCH_telemetry.json used before the
+// envelope existed — are recognized and returned as
+// {V: 0, Kind: BenchKindTelemetry} with the snapshot intact.
+func ReadBenchArtifact(r io.Reader) (BenchArtifact, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return BenchArtifact{}, err
+	}
+	var art BenchArtifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		return BenchArtifact{}, fmt.Errorf("telemetry: decode bench artifact: %w", err)
+	}
+	if art.V > 0 {
+		if art.Kind == "" {
+			return BenchArtifact{}, fmt.Errorf("telemetry: bench artifact v%d missing kind", art.V)
+		}
+		return art, nil
+	}
+	// Legacy (v0): the whole document is the snapshot itself.
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return BenchArtifact{}, fmt.Errorf("telemetry: decode legacy bench snapshot: %w", err)
+	}
+	if snap.TakenNanos == 0 && snap.Metrics == nil {
+		return BenchArtifact{}, fmt.Errorf("telemetry: not a bench artifact (no envelope, no snapshot)")
+	}
+	return BenchArtifact{V: 0, Kind: BenchKindTelemetry, Snapshot: snap}, nil
+}

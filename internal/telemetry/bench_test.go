@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// TestBenchArtifactRoundTrip: the current envelope round-trips with
+// version and kind intact.
+func TestBenchArtifactRoundTrip(t *testing.T) {
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	clk.Advance(3 * time.Second)
+	reg := NewRegistry(clk)
+	reg.Counter("gw", "requests_total", "").Add(42)
+	reg.Histogram("gw", "request_latency_ns", "").Observe(4 * time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := WriteBenchArtifact(&buf, BenchKindScale, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"v": 1`) {
+		t.Fatalf("artifact missing schema version field:\n%s", buf.String())
+	}
+	art, err := ReadBenchArtifact(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.V != BenchVersion || art.Kind != BenchKindScale {
+		t.Fatalf("round trip envelope: %+v", art)
+	}
+	if got := art.Snapshot.CounterValue("gw", "requests_total", ""); got != 42 {
+		t.Errorf("round trip counter = %d, want 42", got)
+	}
+	if art.Snapshot.TakenNanos != int64(3*time.Second) {
+		t.Errorf("round trip timestamp = %d", art.Snapshot.TakenNanos)
+	}
+}
+
+// TestBenchArtifactDecodesLegacyFormat: a pre-envelope
+// BENCH_telemetry.json — a bare snapshot with no "v" field, exactly as
+// ravebench wrote it before the schema was versioned — still decodes,
+// reported as version 0 with the telemetry kind.
+func TestBenchArtifactDecodesLegacyFormat(t *testing.T) {
+	legacy := `{
+  "taken_nanos": 1500000000,
+  "metrics": [
+    {
+      "service": "data",
+      "name": "hedge_wins_total",
+      "label": "fast",
+      "kind": "counter",
+      "value": 7
+    },
+    {
+      "service": "rs",
+      "name": "render_frame_ns",
+      "kind": "histogram",
+      "count": 2,
+      "sum_nanos": 6000000,
+      "max_nanos": 4000000,
+      "buckets": [0, 0, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]
+    }
+  ]
+}`
+	art, err := ReadBenchArtifact(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.V != 0 || art.Kind != BenchKindTelemetry {
+		t.Fatalf("legacy envelope: v=%d kind=%q, want v0 telemetry", art.V, art.Kind)
+	}
+	if got := art.Snapshot.CounterValue("data", "hedge_wins_total", "fast"); got != 7 {
+		t.Errorf("legacy counter = %d, want 7", got)
+	}
+	m, ok := art.Snapshot.Get("rs", "render_frame_ns", "")
+	if !ok || m.Kind != KindHistogram || m.Count != 2 {
+		t.Errorf("legacy histogram: %+v ok=%v", m, ok)
+	}
+}
+
+// TestBenchArtifactRejectsGarbage: junk that is neither an envelope nor
+// a legacy snapshot is an error, not a silently empty artifact.
+func TestBenchArtifactRejectsGarbage(t *testing.T) {
+	if _, err := ReadBenchArtifact(strings.NewReader(`{"unrelated": true}`)); err == nil {
+		t.Error("garbage document decoded as a bench artifact")
+	}
+	if _, err := ReadBenchArtifact(strings.NewReader(`{"v": 3}`)); err == nil {
+		t.Error("versioned artifact without kind accepted")
+	}
+	if _, err := ReadBenchArtifact(strings.NewReader(`not json`)); err == nil {
+		t.Error("non-JSON accepted")
+	}
+}

@@ -99,6 +99,14 @@ const (
 	MsgTelemetryQuery
 	// MsgTelemetryReport answers with a telemetry.Snapshot (JSON).
 	MsgTelemetryReport
+	// MsgRouteQuery asks the gateway tier which data service owns a
+	// session (RouteQuery payload): thin clients route once, then talk
+	// to the owner directly.
+	MsgRouteQuery
+	// MsgRouteReport answers with the owning node, its access point
+	// and the ownership lease epoch (RouteInfo payload). An unknown
+	// session answers MsgError instead.
+	MsgRouteReport
 )
 
 // String names the message type.
@@ -118,6 +126,8 @@ func (t MsgType) String() string {
 		MsgDeclined:        "declined",
 		MsgTelemetryQuery:  "telemetry-query",
 		MsgTelemetryReport: "telemetry-report",
+		MsgRouteQuery:      "route-query",
+		MsgRouteReport:     "route-report",
 	}
 	if n, ok := names[t]; ok {
 		return n
@@ -496,6 +506,30 @@ type SubsetAssign struct {
 type Declined struct {
 	Reason       string `json:"reason"`
 	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
+}
+
+// RouteQuery is the payload of MsgRouteQuery: which data service owns
+// this session?
+type RouteQuery struct {
+	Session string `json:"session"`
+}
+
+// RouteInfo is the payload of MsgRouteReport: the session's owning
+// data service, where to reach it, and the UDDI ownership lease epoch
+// backing the answer. A client that reconnects after a failover
+// compares epochs — a higher epoch supersedes any cached route.
+type RouteInfo struct {
+	Session string `json:"session"`
+	// Node is the owning data service's fleet name.
+	Node string `json:"node"`
+	// AccessPoint is the owner's registered endpoint ("" when the
+	// registry holds none).
+	AccessPoint string `json:"access_point,omitempty"`
+	// Epoch is the ownership lease epoch.
+	Epoch uint64 `json:"epoch"`
+	// Standby names the node mirroring the session ("" when the fleet
+	// is too small for standbys).
+	Standby string `json:"standby,omitempty"`
 }
 
 // DeadlineToNanos converts an absolute deadline to its wire form; the

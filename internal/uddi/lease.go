@@ -90,6 +90,42 @@ func (r *Registry) RenewLease(service, holder string, epoch uint64, ttl time.Dur
 	return cur, nil
 }
 
+// TransferLease reassigns the named lease to a new holder at the next
+// epoch — the control-plane counterpart of a standby's AcquireLease
+// takeover. Where AcquireLease lets a successor claim only a *lapsed*
+// lease (data-plane failover: nobody is in charge, first claimant
+// wins), TransferLease is invoked by an authority that already decided
+// ownership — the gateway tier rebalancing sessions on membership
+// change — so it moves even a live lease. Every change of holder bumps
+// the epoch, so the deposed holder's renewals and epoch-stamped
+// dispatches turn stale the instant the transfer commits; a transfer to
+// the current holder is just a renewal and keeps its epoch. Epochs are
+// therefore monotonic across any interleaving of transfers, takeovers
+// and renewals.
+func (r *Registry) TransferLease(service, holder string, ttl time.Duration, now time.Time) (Lease, error) {
+	if service == "" || holder == "" {
+		return Lease{}, fmt.Errorf("uddi: lease service and holder required")
+	}
+	if ttl <= 0 {
+		return Lease{}, fmt.Errorf("uddi: lease ttl must be positive")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur, ok := r.leases[service]
+	switch {
+	case !ok:
+		cur = Lease{Service: service, Holder: holder, Epoch: 1}
+	case cur.Holder == holder:
+		// Transfer to the incumbent: renewal, same epoch.
+	default:
+		cur.Holder = holder
+		cur.Epoch++
+	}
+	cur.Expires = now.Add(ttl)
+	r.leases[service] = cur
+	return cur, nil
+}
+
 // GetLease returns the named lease and whether it is currently live
 // (registered and unexpired at now). An expired lease is still
 // returned — standbys need its epoch to claim the succession.

@@ -154,4 +154,82 @@ func TestLeaseSOAPRoundTrip(t *testing.T) {
 	if got, _, _ := p.GetLease("data:skull", t0); got.Service != "" {
 		t.Error("released lease still registered over SOAP")
 	}
+	tl, err := p.TransferLease("gwsess:s9", "node-a", ttl, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Epoch != 1 || tl.Holder != "node-a" {
+		t.Fatalf("TransferLease over SOAP: %+v", tl)
+	}
+	if tl2, err := p.TransferLease("gwsess:s9", "node-b", ttl, t0.Add(time.Second)); err != nil || tl2.Epoch != 2 {
+		t.Fatalf("live TransferLease over SOAP: %+v err=%v", tl2, err)
+	}
+}
+
+func TestTransferLease(t *testing.T) {
+	r := NewRegistry()
+	t0 := time.Unix(1000, 0)
+	ttl := 6 * time.Second
+
+	// Transfer of an unregistered lease creates it at epoch 1.
+	l, err := r.TransferLease("gwsess:s1", "node-a", ttl, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Epoch != 1 || l.Holder != "node-a" {
+		t.Fatalf("initial transfer: %+v", l)
+	}
+
+	// Unlike AcquireLease, a transfer moves even a *live* lease — the
+	// control plane has already decided ownership — and bumps the epoch.
+	l2, err := r.TransferLease("gwsess:s1", "node-b", ttl, t0.Add(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Epoch != 2 || l2.Holder != "node-b" {
+		t.Fatalf("live transfer: %+v", l2)
+	}
+
+	// The deposed holder's epoch is dead immediately.
+	if _, err := r.RenewLease("gwsess:s1", "node-a", 1, ttl, t0.Add(2*time.Second)); !errors.Is(err, ErrLeaseStale) {
+		t.Fatalf("deposed renewal = %v, want ErrLeaseStale", err)
+	}
+
+	// Transfer to the incumbent renews without bumping (idempotent
+	// reconcile passes must not inflate epochs).
+	l3, err := r.TransferLease("gwsess:s1", "node-b", ttl, t0.Add(3*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l3.Epoch != 2 {
+		t.Errorf("incumbent transfer bumped epoch to %d", l3.Epoch)
+	}
+	if !l3.Expires.Equal(t0.Add(3*time.Second + ttl)) {
+		t.Errorf("incumbent transfer expiry %v", l3.Expires)
+	}
+
+	// Epochs stay monotonic across a mixed history: transfer, lapse,
+	// AcquireLease takeover, transfer back.
+	lapsed := l3.Expires.Add(time.Second)
+	l4, err := r.AcquireLease("gwsess:s1", "node-c", ttl, lapsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l4.Epoch != 3 {
+		t.Fatalf("takeover after transfer history: epoch %d, want 3", l4.Epoch)
+	}
+	l5, err := r.TransferLease("gwsess:s1", "node-a", ttl, lapsed.Add(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l5.Epoch != 4 {
+		t.Fatalf("transfer after takeover: epoch %d, want 4", l5.Epoch)
+	}
+
+	if _, err := r.TransferLease("", "x", ttl, t0); err == nil {
+		t.Error("transfer with empty service accepted")
+	}
+	if _, err := r.TransferLease("gwsess:s1", "node-a", 0, t0); err == nil {
+		t.Error("transfer with zero ttl accepted")
+	}
 }

@@ -165,6 +165,18 @@ func NewServer(r *Registry) *soap.Server {
 		return leaseParams(l), nil
 	})
 
+	s.Register("transfer_lease", func(p soap.Params) (soap.Params, error) {
+		ttl, now, err := leaseTimes(p)
+		if err != nil {
+			return nil, err
+		}
+		l, err := r.TransferLease(p["service"], p["holder"], ttl, now)
+		if err != nil {
+			return nil, err
+		}
+		return leaseParams(l), nil
+	})
+
 	s.Register("get_lease", func(p soap.Params) (soap.Params, error) {
 		nanos, err := strconv.ParseInt(p["now"], 10, 64)
 		if err != nil {
@@ -424,6 +436,20 @@ func (p *Proxy) RenewLease(service, holder string, epoch uint64, ttl time.Durati
 		"epoch": strconv.FormatUint(epoch, 10),
 		"ttl":   strconv.FormatInt(int64(ttl), 10),
 		"now":   strconv.FormatInt(now.UnixNano(), 10),
+	})
+	if err != nil {
+		return Lease{}, restoreLeaseErr(err)
+	}
+	return decodeLease(res)
+}
+
+// TransferLease reassigns a lease to a new holder at the next epoch
+// (see Registry.TransferLease for the control-plane semantics).
+func (p *Proxy) TransferLease(service, holder string, ttl time.Duration, now time.Time) (Lease, error) {
+	res, err := p.client.Call("transfer_lease", soap.Params{
+		"service": service, "holder": holder,
+		"ttl": strconv.FormatInt(int64(ttl), 10),
+		"now": strconv.FormatInt(now.UnixNano(), 10),
 	})
 	if err != nil {
 		return Lease{}, restoreLeaseErr(err)
