@@ -1,21 +1,41 @@
-// Command ravelint runs the repo's custom analyzer suite — wallclock,
-// nondeterminism, lockedio and ctxloop — over module packages. It is the
-// enforcement point for the determinism and resilience contracts: make
-// ci fails if any analyzer reports a finding.
+// Command ravelint runs the repo's custom analyzer suite over module
+// packages. The suite itself is registered once, in internal/lint
+// (lint.Analyzers); run `ravelint -h` for the current roster, and see
+// each analyzer package's doc comment for the contract it enforces.
+// ravelint is the enforcement point for the determinism and resilience
+// contracts: make ci fails if any analyzer reports a finding.
 //
-//	ravelint ./...              # whole module
-//	ravelint ./internal/...     # one subtree
-//	ravelint ./internal/retry   # one package
+//	ravelint ./...               # whole module
+//	ravelint ./internal/...      # one subtree
+//	ravelint ./internal/retry    # one package
+//	ravelint -json ./...         # machine-readable findings for CI
+//	ravelint -allow-audit ./...  # report stale //lint:allow annotations
+//	ravelint -timings ./...      # per-analyzer wall time on stderr
 //
-// Findings print as file:line:col: message [analyzer]. The exit status
-// is 1 when anything is reported, 2 on usage or load errors.
+// Packages load sequentially (type-checking shares a cache), then
+// analyzers fan out over a worker pool — one (package, analyzer) job
+// per worker — so the suite's cost stays near the slowest package
+// rather than the sum.
+//
+// Findings print as file:line:col: message [analyzer], sorted by
+// file, line, column and analyzer; -json emits the same order as a
+// JSON array, so output is deterministic across runs and worker
+// schedules. The exit status is 1 when anything is reported (findings,
+// or stale annotations under -allow-audit), 2 on usage or load errors.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/lint"
 	"repro/internal/lint/analysis"
@@ -23,25 +43,72 @@ import (
 )
 
 func main() {
-	patterns := os.Args[1:]
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// finding is one diagnostic, in the shape both output formats share.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func sortFindings(fs []finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// run is the driver: testable, with the process exit code as its
+// result (0 clean, 1 findings or stale annotations, 2 usage or load
+// errors).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ravelint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	audit := fs.Bool("allow-audit", false,
+		"report //lint:allow annotations that no longer suppress any diagnostic")
+	timings := fs.Bool("timings", false, "report per-analyzer wall time on stderr")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: ravelint [flags] [patterns]\n\nanalyzers: %s\n\nflags:\n",
+			strings.Join(lint.Names(), " "))
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+
 	cwd, err := os.Getwd()
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 	root, err := loader.FindRoot(cwd)
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 	prog, err := loader.NewProgram(root)
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 	all, err := prog.PackageDirs()
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 	var targets []string
 	for _, path := range all {
@@ -53,64 +120,146 @@ func main() {
 		}
 	}
 	if len(targets) == 0 {
-		fatal(fmt.Errorf("no packages match %v", patterns))
+		return fatal(stderr, fmt.Errorf("no packages match %v", patterns))
 	}
 
-	type finding struct {
-		file      string
-		line, col int
-		msg       string
-		analyzer  string
-	}
-	var findings []finding
+	// Loading is sequential — the program's type-check cache is shared
+	// state — and the analyzer fan-out below is where the parallelism
+	// pays.
+	pkgs := make([]*loader.Package, 0, len(targets))
 	for _, path := range targets {
 		pkg, err := prog.Load(path)
 		if err != nil {
-			fatal(err)
+			return fatal(stderr, err)
 		}
-		for _, a := range lint.Analyzers() {
-			pass := &analysis.Pass{
-				Analyzer:  a,
-				Fset:      prog.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.Info,
-			}
-			name := a.Name
-			pass.Report = func(d analysis.Diagnostic) {
-				pos := prog.Fset.Position(d.Pos)
-				file := pos.Filename
-				if rel, err := filepath.Rel(cwd, file); err == nil {
-					file = rel
+		pkgs = append(pkgs, pkg)
+	}
+
+	type job struct {
+		pkg *loader.Package
+		a   *analysis.Analyzer
+	}
+	jobs := make(chan job)
+	var (
+		mu       sync.Mutex
+		findings []finding
+		hits     = map[string]map[int]bool{}
+		elapsed  = map[string]time.Duration{}
+		runErr   error
+	)
+	relName := func(file string) string {
+		if rel, err := filepath.Rel(cwd, file); err == nil {
+			return rel
+		}
+		return file
+	}
+	var wg sync.WaitGroup
+	workers := runtime.NumCPU()
+	if workers > len(targets)*len(lint.Analyzers()) {
+		workers = len(targets) * len(lint.Analyzers())
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				pass := &analysis.Pass{
+					Analyzer:  j.a,
+					Fset:      prog.Fset,
+					Files:     j.pkg.Files,
+					Pkg:       j.pkg.Types,
+					TypesInfo: j.pkg.Info,
 				}
-				findings = append(findings, finding{file, pos.Line, pos.Column, d.Message, name})
+				name := j.a.Name
+				pass.Report = func(d analysis.Diagnostic) {
+					pos := prog.Fset.Position(d.Pos)
+					mu.Lock()
+					findings = append(findings, finding{relName(pos.Filename), pos.Line, pos.Column, name, d.Message})
+					mu.Unlock()
+				}
+				pass.AllowHit = func(file string, line int) {
+					mu.Lock()
+					if hits[file] == nil {
+						hits[file] = map[int]bool{}
+					}
+					hits[file][line] = true
+					mu.Unlock()
+				}
+				//lint:allow wallclock: measuring real analyzer wall time for -timings
+				start := time.Now()
+				err := j.a.Run(pass)
+				//lint:allow wallclock: measuring real analyzer wall time for -timings
+				d := time.Since(start)
+				mu.Lock()
+				elapsed[name] += d
+				if err != nil && runErr == nil {
+					runErr = fmt.Errorf("%s: %s: %w", j.pkg.Path, name, err)
+				}
+				mu.Unlock()
 			}
-			if err := a.Run(pass); err != nil {
-				fatal(fmt.Errorf("%s: %s: %w", path, a.Name, err))
-			}
+		}()
+	}
+	for _, pkg := range pkgs {
+		for _, a := range lint.Analyzers() {
+			jobs <- job{pkg, a}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if runErr != nil {
+		return fatal(stderr, runErr)
+	}
+
+	if *timings {
+		for _, name := range lint.Names() {
+			fmt.Fprintf(stderr, "ravelint: %-16s %7.1fms over %d package(s)\n",
+				name, float64(elapsed[name])/float64(time.Millisecond), len(pkgs))
 		}
 	}
 
-	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i], findings[j]
-		if a.file != b.file {
-			return a.file < b.file
+	report := findings
+	if *audit {
+		// An annotation is stale when no analyzer run just now needed it
+		// to suppress a diagnostic: the code it excused has moved on.
+		report = nil
+		for _, pkg := range pkgs {
+			for _, al := range analysis.CollectAllows(prog.Fset, pkg.Files) {
+				if hits[al.File][al.Line] {
+					continue
+				}
+				report = append(report, finding{relName(al.File), al.Line, 1, al.Analyzer,
+					fmt.Sprintf("stale annotation: no %s diagnostic suppressed here — delete the //lint:allow", al.Analyzer)})
+			}
 		}
-		if a.line != b.line {
-			return a.line < b.line
+	}
+	sortFindings(report)
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if report == nil {
+			report = []finding{}
 		}
-		return a.col < b.col
-	})
-	for _, f := range findings {
-		fmt.Printf("%s:%d:%d: %s [%s]\n", f.file, f.line, f.col, f.msg, f.analyzer)
+		if err := enc.Encode(report); err != nil {
+			return fatal(stderr, err)
+		}
+	} else {
+		for _, f := range report {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s [%s]\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+		}
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "ravelint: %d finding(s)\n", len(findings))
-		os.Exit(1)
+	if len(report) > 0 {
+		what := "finding(s)"
+		if *audit {
+			what = "stale //lint:allow annotation(s)"
+		}
+		fmt.Fprintf(stderr, "ravelint: %d %s\n", len(report), what)
+		return 1
 	}
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ravelint:", err)
-	os.Exit(2)
+func fatal(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "ravelint:", err)
+	return 2
 }

@@ -1,0 +1,222 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a scratch Go module for the driver to lint.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// runIn invokes the driver in dir and returns its exit code and output
+// streams.
+func runIn(t *testing.T, dir string, args ...string) (int, string, string) {
+	t.Helper()
+	prev, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(prev); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+const goMod = "module scratch\n\ngo 1.22\n"
+
+// sleepy is a package with two wallclock findings on distinct lines.
+const sleepy = `package bad
+
+import "time"
+
+func Nap() { time.Sleep(time.Millisecond) }
+
+func When() time.Time { return time.Now() }
+`
+
+// TestExitCodeClean pins exit 0 with empty output on a module with no
+// findings.
+func TestExitCodeClean(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":             goMod,
+		"internal/ok/ok.go":  "package ok\n\nfunc Two() int { return 2 }\n",
+		"internal/ok2/ok.go": "package ok2\n\nconst Name = \"ok\"\n",
+	})
+	code, stdout, stderr := runIn(t, dir, "./...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (stdout %q, stderr %q)", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Fatalf("clean run wrote findings: %q", stdout)
+	}
+}
+
+// TestExitCodeFindings pins exit 1 when any analyzer reports.
+func TestExitCodeFindings(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":              goMod,
+		"internal/bad/bad.go": sleepy,
+	})
+	code, stdout, stderr := runIn(t, dir, "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stdout %q, stderr %q)", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "[wallclock]") {
+		t.Fatalf("findings output missing analyzer tag: %q", stdout)
+	}
+	if !strings.Contains(stderr, "finding(s)") {
+		t.Fatalf("stderr missing findings summary: %q", stderr)
+	}
+}
+
+// TestExitCodeLoadError pins exit 2 on usage and load failures: a
+// pattern matching nothing, and a package that does not type-check.
+func TestExitCodeLoadError(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":            goMod,
+		"internal/ok/ok.go": "package ok\n\nfunc Two() int { return 2 }\n",
+	})
+	code, _, stderr := runIn(t, dir, "./nope/...")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 for unmatched pattern (stderr %q)", code, stderr)
+	}
+
+	broken := writeModule(t, map[string]string{
+		"go.mod":                    goMod,
+		"internal/broken/broken.go": "package broken\n\nfunc Oops() Undefined { return nil }\n",
+	})
+	code, _, stderr = runIn(t, broken, "./...")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 for type error (stderr %q)", code, stderr)
+	}
+}
+
+// TestJSONDeterministic runs -json twice over a module with findings in
+// several files and packages, and requires byte-identical output sorted
+// by file, line, column and analyzer — the contract CI diffs against.
+func TestJSONDeterministic(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":                goMod,
+		"internal/bad/bad.go":   sleepy,
+		"internal/bad2/bad2.go": strings.Replace(sleepy, "package bad", "package bad2", 1),
+	})
+	code, first, _ := runIn(t, dir, "-json", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	for i := 0; i < 3; i++ {
+		code, again, _ := runIn(t, dir, "-json", "./...")
+		if code != 1 {
+			t.Fatalf("exit = %d, want 1", code)
+		}
+		if again != first {
+			t.Fatalf("-json output changed between runs:\n%s\nvs\n%s", first, again)
+		}
+	}
+
+	var findings []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(first), &findings); err != nil {
+		t.Fatalf("-json output is not JSON: %v\n%s", err, first)
+	}
+	if len(findings) < 4 {
+		t.Fatalf("want at least 4 findings (2 files x 2 sleeps), got %d", len(findings))
+	}
+	for i := 1; i < len(findings); i++ {
+		a, b := findings[i-1], findings[i]
+		before := a.File < b.File ||
+			(a.File == b.File && (a.Line < b.Line ||
+				(a.Line == b.Line && (a.Col < b.Col ||
+					(a.Col == b.Col && a.Analyzer <= b.Analyzer)))))
+		if !before {
+			t.Fatalf("findings out of order at %d: %+v then %+v", i, a, b)
+		}
+	}
+}
+
+// TestJSONCleanIsEmptyArray pins the clean-module -json shape: an empty
+// JSON array, not null, so CI consumers can always range over it.
+func TestJSONCleanIsEmptyArray(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":            goMod,
+		"internal/ok/ok.go": "package ok\n\nfunc Two() int { return 2 }\n",
+	})
+	code, stdout, _ := runIn(t, dir, "-json", "./...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if strings.TrimSpace(stdout) != "[]" {
+		t.Fatalf("clean -json output = %q, want []", stdout)
+	}
+}
+
+// TestAllowAudit pins the -allow-audit mode: an annotation that
+// suppresses a diagnostic is live (exit 0); one whose analyzer no
+// longer fires on that line is stale (exit 1).
+func TestAllowAudit(t *testing.T) {
+	live := writeModule(t, map[string]string{
+		"go.mod": goMod,
+		// wallclock honours the escape hatch under cmd/, so the
+		// annotation suppresses a real diagnostic and stays live.
+		"cmd/tool/main.go": `package main
+
+import "time"
+
+func main() {
+	_ = time.Now() //lint:allow wallclock: benchmark needs real time
+}
+`,
+	})
+	code, stdout, stderr := runIn(t, live, "-allow-audit", "./...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 for live annotation (stdout %q, stderr %q)", code, stdout, stderr)
+	}
+
+	stale := writeModule(t, map[string]string{
+		"go.mod": goMod,
+		"internal/quiet/quiet.go": `package quiet
+
+//lint:allow ctxloop: nothing here ever slept
+func Two() int { return 2 }
+`,
+	})
+	code, stdout, stderr = runIn(t, stale, "-allow-audit", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 for stale annotation (stdout %q, stderr %q)", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "stale annotation") || !strings.Contains(stdout, "ctxloop") {
+		t.Fatalf("stale audit output missing detail: %q", stdout)
+	}
+	if !strings.Contains(stderr, "stale //lint:allow") {
+		t.Fatalf("stderr missing stale summary: %q", stderr)
+	}
+}

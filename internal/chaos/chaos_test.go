@@ -214,11 +214,11 @@ func (h *unstableHandle) Capacity() (transport.CapacityReport, error) {
 	return h.inner.Capacity()
 }
 
-func (h *unstableHandle) RenderSubset(subset *scene.Scene, cam transport.CameraState, w, hh int) (*raster.Framebuffer, error) {
+func (h *unstableHandle) RenderSubset(subset *scene.Scene, cam transport.CameraState, w, hh int, deadline time.Time) (*raster.Framebuffer, error) {
 	if h.dead.Load() {
 		return nil, errCrashed
 	}
-	return h.inner.RenderSubset(subset, cam, w, hh)
+	return h.inner.RenderSubset(subset, cam, w, hh, deadline)
 }
 
 // flakyTransport fails the first `outage` HTTP requests, modeling a UDDI

@@ -40,7 +40,7 @@ func (s *stubTile) Capacity() (transport.CapacityReport, error) {
 	return transport.CapacityReport{Name: s.name, PolysPerSecond: 1e6, TargetFPS: 10}, nil
 }
 
-func (s *stubTile) RenderSubset(*scene.Scene, transport.CameraState, int, int) (*raster.Framebuffer, error) {
+func (s *stubTile) RenderSubset(*scene.Scene, transport.CameraState, int, int, time.Time) (*raster.Framebuffer, error) {
 	return nil, fmt.Errorf("not used")
 }
 

@@ -79,12 +79,13 @@ func (h *BreakerHandle) Capacity() (transport.CapacityReport, error) {
 	return rep, err
 }
 
-// RenderSubset implements dataservice.RenderHandle.
-func (h *BreakerHandle) RenderSubset(subset *scene.Scene, cam transport.CameraState, w, hgt int) (*raster.Framebuffer, error) {
+// RenderSubset implements dataservice.RenderHandle, forwarding the
+// frame deadline to the wrapped handle.
+func (h *BreakerHandle) RenderSubset(subset *scene.Scene, cam transport.CameraState, w, hgt int, deadline time.Time) (*raster.Framebuffer, error) {
 	if !h.br.Allow() {
 		return nil, h.refused()
 	}
-	fb, err := h.inner.RenderSubset(subset, cam, w, hgt)
+	fb, err := h.inner.RenderSubset(subset, cam, w, hgt, deadline)
 	h.observe(err, time.Time{})
 	return fb, err
 }

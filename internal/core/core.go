@@ -52,9 +52,10 @@ func (h *LocalHandle) Capacity() (transport.CapacityReport, error) {
 	return h.Svc.Capacity(), nil
 }
 
-// RenderSubset implements dataservice.RenderHandle.
-func (h *LocalHandle) RenderSubset(subset *scene.Scene, cam transport.CameraState, w, hgt int) (*raster.Framebuffer, error) {
-	fb, _, err := h.Svc.RenderSceneOnce(subset, renderservice.CameraFromState(cam), w, hgt)
+// RenderSubset implements dataservice.RenderHandle, honouring the
+// propagated frame deadline through the service's admission control.
+func (h *LocalHandle) RenderSubset(subset *scene.Scene, cam transport.CameraState, w, hgt int, deadline time.Time) (*raster.Framebuffer, error) {
+	fb, _, err := h.Svc.RenderSceneOnceBy(subset, renderservice.CameraFromState(cam), w, hgt, deadline)
 	return fb, err
 }
 
@@ -191,14 +192,17 @@ func (h *SocketHandle) declined(payload []byte) error {
 	}
 }
 
-// RenderSubset implements dataservice.RenderHandle.
-func (h *SocketHandle) RenderSubset(subset *scene.Scene, cam transport.CameraState, w, hgt int) (*raster.Framebuffer, error) {
+// RenderSubset implements dataservice.RenderHandle. The frame deadline
+// rides the assignment as absolute nanoseconds, so the remote service's
+// admission control sees the same budget the data service planned with.
+func (h *SocketHandle) RenderSubset(subset *scene.Scene, cam transport.CameraState, w, hgt int, deadline time.Time) (*raster.Framebuffer, error) {
 	if err := h.acquire(); err != nil {
 		return nil, err
 	}
 	defer h.release()
 	err := h.conn.SendJSON(transport.MsgSubsetAssign, transport.SubsetAssign{
 		Session: h.session, W: w, H: hgt, Camera: cam,
+		DeadlineNanos: transport.DeadlineToNanos(deadline),
 	})
 	if err != nil {
 		return nil, err

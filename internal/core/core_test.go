@@ -272,7 +272,7 @@ func TestLocalHandle(t *testing.T) {
 	}
 	cam := renderservice.StateFromCamera(
 		rasterFit(sc))
-	fb, err := h.RenderSubset(sc, cam, 48, 48)
+	fb, err := h.RenderSubset(sc, cam, 48, 48, time.Time{})
 	if err != nil || fb.CoveredPixels() == 0 {
 		t.Fatalf("local subset render: %v", err)
 	}

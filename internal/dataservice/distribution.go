@@ -28,8 +28,10 @@ type RenderHandle interface {
 	// Capacity interrogates the service (§3.2.5).
 	Capacity() (transport.CapacityReport, error)
 	// RenderSubset renders the given scene subset with the shared camera
-	// and returns the frame+depth buffer for compositing.
-	RenderSubset(subset *scene.Scene, cam transport.CameraState, w, h int) (*raster.Framebuffer, error)
+	// and returns the frame+depth buffer for compositing. The deadline is
+	// the frame's absolute budget, propagated so the service's admission
+	// control can decline infeasible work; the zero time means unbounded.
+	RenderSubset(subset *scene.Scene, cam transport.CameraState, w, h int, deadline time.Time) (*raster.Framebuffer, error)
 }
 
 // Distributor manages a session's dataset distribution across render
@@ -175,6 +177,18 @@ func (d *Distributor) Distribute() (balance.Assignment, error) {
 	return asg, nil
 }
 
+// frameDeadline computes the absolute deadline for a distributed frame
+// starting now, from the service's configured per-frame budget. A zero
+// budget yields the zero time — unbounded, for deployments that never
+// configured a frame deadline.
+func (d *Distributor) frameDeadline() time.Time {
+	budget := d.sess.svc.cfg.Hedge.FrameDeadline
+	if budget <= 0 {
+		return time.Time{}
+	}
+	return d.clock().Now().Add(budget)
+}
+
 // Assignment returns the current assignment (service -> node IDs).
 func (d *Distributor) Assignment() balance.Assignment {
 	d.mu.Lock()
@@ -203,6 +217,7 @@ func (d *Distributor) RenderDistributed(w, h int) (*raster.Framebuffer, error) {
 		return nil, fmt.Errorf("dataservice: no distribution planned")
 	}
 	cam := d.sess.Camera()
+	deadline := d.frameDeadline()
 
 	type result struct {
 		fb  *raster.Framebuffer
@@ -232,7 +247,7 @@ func (d *Distributor) RenderDistributed(w, h int) (*raster.Framebuffer, error) {
 		wg.Add(1)
 		go func(i int, handle RenderHandle, subset *scene.Scene) {
 			defer wg.Done()
-			fb, err := handle.RenderSubset(subset, cam, w, h)
+			fb, err := handle.RenderSubset(subset, cam, w, h, deadline)
 			results[i] = result{fb, err}
 		}(i, handle, subset)
 	}
@@ -588,6 +603,7 @@ func (d *Distributor) renderOnce(w, h int) (*raster.Framebuffer, map[string]erro
 		return nil, nil, fmt.Errorf("dataservice: no distribution planned")
 	}
 	cam := d.sess.Camera()
+	deadline := d.frameDeadline()
 
 	names := make([]string, 0, len(asg))
 	for name := range asg {
@@ -616,7 +632,7 @@ func (d *Distributor) renderOnce(w, h int) (*raster.Framebuffer, map[string]erro
 		wg.Add(1)
 		go func(i int, handle RenderHandle, subset *scene.Scene) {
 			defer wg.Done()
-			frames[i], errs[i] = handle.RenderSubset(subset, cam, w, h)
+			frames[i], errs[i] = handle.RenderSubset(subset, cam, w, h, deadline)
 		}(i, handle, subset)
 	}
 	wg.Wait()

@@ -38,7 +38,7 @@ func (h *fakeTile) Capacity() (transport.CapacityReport, error) {
 	return transport.CapacityReport{Name: h.name, PolysPerSecond: 1e6, TargetFPS: 10}, nil
 }
 
-func (h *fakeTile) RenderSubset(*scene.Scene, transport.CameraState, int, int) (*raster.Framebuffer, error) {
+func (h *fakeTile) RenderSubset(*scene.Scene, transport.CameraState, int, int, time.Time) (*raster.Framebuffer, error) {
 	return nil, fmt.Errorf("not used")
 }
 

@@ -85,11 +85,11 @@ func (h *crashyHandle) Capacity() (transport.CapacityReport, error) {
 	return h.inner.Capacity()
 }
 
-func (h *crashyHandle) RenderSubset(subset *scene.Scene, cam transport.CameraState, w, hh int) (*raster.Framebuffer, error) {
+func (h *crashyHandle) RenderSubset(subset *scene.Scene, cam transport.CameraState, w, hh int, deadline time.Time) (*raster.Framebuffer, error) {
 	if h.dead.Load() {
 		return nil, errCrashedSvc
 	}
-	return h.inner.RenderSubset(subset, cam, w, hh)
+	return h.inner.RenderSubset(subset, cam, w, hh, deadline)
 }
 
 // TestFailureDuringInFlightMigration: load reports trigger a migration

@@ -292,8 +292,8 @@ func (h *localHandle) Name() string { return h.svc.Name() }
 func (h *localHandle) Capacity() (transport.CapacityReport, error) {
 	return h.svc.Capacity(), nil
 }
-func (h *localHandle) RenderSubset(subset *scene.Scene, cam transport.CameraState, w, hh int) (*raster.Framebuffer, error) {
-	fb, _, err := h.svc.RenderSceneOnce(subset, renderservice.CameraFromState(cam), w, hh)
+func (h *localHandle) RenderSubset(subset *scene.Scene, cam transport.CameraState, w, hh int, deadline time.Time) (*raster.Framebuffer, error) {
+	fb, _, err := h.svc.RenderSceneOnceBy(subset, renderservice.CameraFromState(cam), w, hh, deadline)
 	return fb, err
 }
 

@@ -94,6 +94,7 @@ func (d *Distributor) RenderVolumeDistributed(w, h int, opacity float64) (*raste
 		return nil, fmt.Errorf("dataservice: no distribution planned")
 	}
 	cam := d.sess.Camera()
+	deadline := d.frameDeadline()
 	eye := mathx.V3(cam.Eye[0], cam.Eye[1], cam.Eye[2])
 
 	type job struct {
@@ -138,7 +139,7 @@ func (d *Distributor) RenderVolumeDistributed(w, h int, opacity float64) (*raste
 		if err != nil {
 			return nil, err
 		}
-		fb, err := handle.RenderSubset(subset, cam, w, h)
+		fb, err := handle.RenderSubset(subset, cam, w, h, deadline)
 		if err != nil {
 			return nil, fmt.Errorf("dataservice: slab render on %s: %w", jb.service, err)
 		}

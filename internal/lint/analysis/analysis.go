@@ -44,9 +44,15 @@ type Pass struct {
 	// Report receives each diagnostic. Drivers install it.
 	Report func(Diagnostic)
 
-	// allowLines maps filename -> set of lines carrying a
-	// //lint:allow <name> annotation for this analyzer.
-	allowLines map[string]map[int]bool
+	// AllowHit, when non-nil, receives the position of each
+	// //lint:allow annotation the moment it suppresses a diagnostic.
+	// The -allow-audit driver mode installs it to find annotations that
+	// no longer suppress anything (stale escape hatches).
+	AllowHit func(file string, line int)
+
+	// allowLines maps filename -> covered line -> the line of the
+	// //lint:allow <name> annotation covering it for this analyzer.
+	allowLines map[string]map[int]int
 }
 
 // Reportf reports a formatted diagnostic at pos.
@@ -68,8 +74,52 @@ const AllowDirective = "//lint:allow"
 //	//lint:allow wallclock: benchmark measures real elapsed time
 //	start := time.Now()
 func (p *Pass) buildAllowIndex() {
-	p.allowLines = map[string]map[int]bool{}
-	for _, f := range p.Files {
+	p.allowLines = map[string]map[int]int{}
+	for _, a := range CollectAllows(p.Fset, p.Files) {
+		if a.Analyzer != p.Analyzer.Name {
+			continue
+		}
+		lines := p.allowLines[a.File]
+		if lines == nil {
+			lines = map[int]int{}
+			p.allowLines[a.File] = lines
+		}
+		lines[a.Line] = a.Line
+		lines[a.Line+1] = a.Line
+	}
+}
+
+// Allowed reports whether pos is covered by a //lint:allow annotation
+// for this analyzer. Each analyzer decides where the escape hatch is
+// honored (wallclock, for example, ignores it under internal/). When the
+// annotation suppresses, the AllowHit hook (if installed) is told which
+// annotation earned its keep.
+func (p *Pass) Allowed(pos token.Pos) bool {
+	if p.allowLines == nil {
+		p.buildAllowIndex()
+	}
+	where := p.Fset.Position(pos)
+	annLine, ok := p.allowLines[where.Filename][where.Line]
+	if ok && p.AllowHit != nil {
+		p.AllowHit(where.Filename, annLine)
+	}
+	return ok
+}
+
+// Allow is one //lint:allow annotation found in source.
+type Allow struct {
+	// File and Line position the annotation comment itself.
+	File string
+	Line int
+	// Analyzer is the analyzer name the annotation suppresses.
+	Analyzer string
+}
+
+// CollectAllows scans files for //lint:allow annotations, for the
+// driver's -allow-audit mode and the per-pass allow index.
+func CollectAllows(fset *token.FileSet, files []*ast.File) []Allow {
+	var out []Allow
+	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				rest, ok := strings.CutPrefix(c.Text, AllowDirective)
@@ -81,29 +131,10 @@ func (p *Pass) buildAllowIndex() {
 				if i := strings.IndexAny(rest, " \t:"); i >= 0 {
 					name = rest[:i]
 				}
-				if name != p.Analyzer.Name {
-					continue
-				}
-				pos := p.Fset.Position(c.Pos())
-				lines := p.allowLines[pos.Filename]
-				if lines == nil {
-					lines = map[int]bool{}
-					p.allowLines[pos.Filename] = lines
-				}
-				lines[pos.Line] = true
-				lines[pos.Line+1] = true
+				pos := fset.Position(c.Pos())
+				out = append(out, Allow{File: pos.Filename, Line: pos.Line, Analyzer: name})
 			}
 		}
 	}
-}
-
-// Allowed reports whether pos is covered by a //lint:allow annotation
-// for this analyzer. Each analyzer decides where the escape hatch is
-// honored (wallclock, for example, ignores it under internal/).
-func (p *Pass) Allowed(pos token.Pos) bool {
-	if p.allowLines == nil {
-		p.buildAllowIndex()
-	}
-	where := p.Fset.Position(pos)
-	return p.allowLines[where.Filename][where.Line]
+	return out
 }

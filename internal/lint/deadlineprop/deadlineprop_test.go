@@ -1,0 +1,17 @@
+package deadlineprop_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/deadlineprop"
+	"repro/internal/lint/linttest"
+)
+
+// TestDeadlineProp proves the rule flags requests constructed without
+// the handler's deadline (absent and literal-zero DeadlineNanos), and
+// accepts the sanctioned shapes: forwarding the deadline, relaying a
+// decoded request's deadline, checking expiry at this hop, deadline-free
+// constructors, and the allow escape hatch.
+func TestDeadlineProp(t *testing.T) {
+	linttest.Run(t, deadlineprop.Analyzer, "testdata/internal_pkg", "repro/internal/example")
+}

@@ -1,0 +1,160 @@
+// Package epochfence enforces the gateway tier's lease-fencing rule: a
+// code path that crosses a modeled sleep or compute step while holding
+// session state under a lease epoch must re-check the stamped epoch
+// before mutating or sending. The kill/migration semantics of PR 6
+// depend on it — a node that slept through its own deposal must error
+// out *without* applying, so the op applies exactly once, on the
+// promoted successor, when the gateway retries. A sleep→mutate path
+// with no intervening fence is exactly the split-brain window the
+// epoch-stamped leases exist to close.
+//
+// The rule applies in the gateway and dataservice trees, to any
+// function holding a lease epoch (a uint64 parameter or local whose
+// name contains "epoch"). After a call to a sleep-like step (a callee
+// named Sleep — vclock.Clock, time, or retry.Policy pacing), the next
+// state mutation or send (ApplyUpdate, SendJSON, Promote, StampEpoch
+// and friends) must be preceded by a fence: a call to a function whose
+// call-graph summary says it (transitively) compares a lease epoch —
+// Node.check is the canonical fence. Statements are judged in source
+// order within each function; nested function literals are judged on
+// their own. `//lint:allow epochfence` is the escape hatch for paths
+// whose fencing the analyzer cannot see.
+package epochfence
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+// mutateNames are callee names that mutate session state or send state
+// derived from it — the operations a deposed node must never perform.
+var mutateNames = map[string]bool{
+	"ApplyUpdate":   true,
+	"ApplyOp":       true,
+	"Send":          true,
+	"SendJSON":      true,
+	"Broadcast":     true,
+	"InstallScene":  true,
+	"SetCamera":     true,
+	"CreateSession": true,
+	"RemoveSession": true,
+	"Promote":       true,
+	"StampEpoch":    true,
+}
+
+// Analyzer is the epochfence rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "epochfence",
+	Doc: "a path holding a lease epoch that crosses a modeled sleep must re-check " +
+		"the epoch before mutating or sending — the unfenced window is where a " +
+		"deposed node splits the session",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if !lintutil.HasSegment(path, "gateway") && !lintutil.HasSegment(path, "dataservice") {
+		return nil
+	}
+	graph := analysis.NewCallGraph(pass)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var ftyp *ast.FuncType
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ftyp, body = fn.Type, fn.Body
+			case *ast.FuncLit:
+				ftyp, body = fn.Type, fn.Body
+			default:
+				return true
+			}
+			if body == nil || !holdsEpoch(pass, ftyp, body) {
+				return true
+			}
+			checkBody(pass, graph, body)
+			return true
+		})
+	}
+	return nil
+}
+
+// holdsEpoch reports whether the function holds a lease epoch: a uint64
+// parameter or local whose name contains "epoch". Nested function
+// literals are excluded — they are judged as their own scope.
+func holdsEpoch(pass *analysis.Pass, ftyp *ast.FuncType, body *ast.BlockStmt) bool {
+	if ftyp.Params != nil {
+		for _, field := range ftyp.Params.List {
+			for _, name := range field.Names {
+				if isEpochVar(pass.TypesInfo.Defs[name]) {
+					return true
+				}
+			}
+		}
+	}
+	found := false
+	shallow(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && isEpochVar(pass.TypesInfo.Defs[id]) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isEpochVar reports whether obj is a uint64 variable named for a lease
+// epoch.
+func isEpochVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || !strings.Contains(strings.ToLower(v.Name()), "epoch") {
+		return false
+	}
+	b, ok := v.Type().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint64
+}
+
+// shallow walks body but stays out of nested function literals.
+func shallow(body ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == body {
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// checkBody walks the function's calls in source order tracking whether
+// a modeled sleep has been crossed since the last epoch fence, and
+// flags mutations in that window.
+func checkBody(pass *analysis.Pass, graph *analysis.CallGraph, body *ast.BlockStmt) {
+	sleptUnfenced := false
+	shallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := lintutil.Callee(pass.TypesInfo, call)
+		if f == nil {
+			return true
+		}
+		switch {
+		case f.Name() == "Sleep":
+			sleptUnfenced = true
+		case graph.FencesEpoch(f):
+			sleptUnfenced = false
+		case sleptUnfenced && mutateNames[f.Name()]:
+			if !pass.Allowed(call.Pos()) {
+				pass.Reportf(call.Pos(),
+					"%s after a modeled sleep without re-checking the lease epoch: a deposed node could apply this — fence with an epoch check between the sleep and the mutation", f.Name())
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,22 @@
+package epochfence_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/epochfence"
+	"repro/internal/lint/linttest"
+)
+
+// TestEpochFence proves the rule flags sleep→mutate paths holding a
+// lease epoch with no intervening fence, and accepts the fenced shapes
+// the node model uses: a direct re-check, a transitive one through a
+// helper, mutation before the sleep, and the allow escape hatch.
+func TestEpochFence(t *testing.T) {
+	linttest.Run(t, epochfence.Analyzer, "testdata/gateway_pkg", "repro/internal/gateway/example")
+}
+
+// TestEpochFenceScope proves the rule stays out of packages outside the
+// gateway and dataservice trees.
+func TestEpochFenceScope(t *testing.T) {
+	linttest.Run(t, epochfence.Analyzer, "testdata/outside_pkg", "repro/internal/example")
+}

@@ -1,0 +1,127 @@
+// Package example exercises the epochfence rule on the sleep→mutate
+// shapes the gateway's node model actually has: modeled compute steps
+// (vclock sleeps) crossed while holding a lease epoch, with session
+// mutations on the far side.
+package example
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+var errStale = errors.New("stale epoch")
+
+// session is a stand-in for the gateway's session state.
+type session struct {
+	epoch uint64
+	ops   []string
+}
+
+// ApplyUpdate mutates session state — the operation a deposed node must
+// never perform.
+func (s *session) ApplyUpdate(op string) error {
+	s.ops = append(s.ops, op)
+	return nil
+}
+
+// conn is a stand-in for a transport connection.
+type conn struct{}
+
+func (c *conn) SendJSON(msgType string, v interface{}) error { return nil }
+
+// check is the canonical direct fence: it compares the stamped epoch.
+func (s *session) check(epoch uint64) error {
+	if s.epoch != epoch {
+		return errStale
+	}
+	return nil
+}
+
+// validate fences transitively, by calling check.
+func (s *session) validate(epoch uint64) error {
+	return s.check(epoch)
+}
+
+// unfenced crosses the modeled compute step and applies without
+// re-checking: the split-brain window.
+func unfenced(clock vclock.Clock, s *session, epoch uint64, op string) error {
+	if err := s.check(epoch); err != nil {
+		return err
+	}
+	clock.Sleep(time.Millisecond)
+	return s.ApplyUpdate(op) // want `after a modeled sleep without re-checking the lease epoch`
+}
+
+// unfencedSend is the same defect on the send side.
+func unfencedSend(clock vclock.Clock, s *session, c *conn, epoch uint64) error {
+	if err := s.check(epoch); err != nil {
+		return err
+	}
+	clock.Sleep(time.Millisecond)
+	return c.SendJSON("scene", s.ops) // want `after a modeled sleep without re-checking the lease epoch`
+}
+
+// fenced re-checks on the far side of the sleep before applying: the
+// node model's ApplyLoadOp shape.
+func fenced(clock vclock.Clock, s *session, epoch uint64, op string) error {
+	if err := s.check(epoch); err != nil {
+		return err
+	}
+	clock.Sleep(time.Millisecond)
+	if err := s.check(epoch); err != nil {
+		return err
+	}
+	return s.ApplyUpdate(op)
+}
+
+// fencedTransitively re-checks through a helper whose summary says it
+// compares the epoch.
+func fencedTransitively(clock vclock.Clock, s *session, epoch uint64, op string) error {
+	clock.Sleep(time.Millisecond)
+	if err := s.validate(epoch); err != nil {
+		return err
+	}
+	return s.ApplyUpdate(op)
+}
+
+// mutateBeforeSleep applies before the compute step: the epoch checked
+// at entry still covers the mutation.
+func mutateBeforeSleep(clock vclock.Clock, s *session, epoch uint64, op string) error {
+	if err := s.check(epoch); err != nil {
+		return err
+	}
+	if err := s.ApplyUpdate(op); err != nil {
+		return err
+	}
+	clock.Sleep(time.Millisecond)
+	return nil
+}
+
+// noEpoch holds no lease epoch: the rule does not apply — epoch-less
+// paths are covered by other contracts.
+func noEpoch(clock vclock.Clock, s *session, op string) error {
+	clock.Sleep(time.Millisecond)
+	return s.ApplyUpdate(op)
+}
+
+// literalScope judges function literals on their own: the literal holds
+// the epoch and has the defect.
+func literalScope(clock vclock.Clock, s *session) func(uint64, string) error {
+	return func(epoch uint64, op string) error {
+		if err := s.check(epoch); err != nil {
+			return err
+		}
+		clock.Sleep(time.Millisecond)
+		return s.ApplyUpdate(op) // want `after a modeled sleep without re-checking the lease epoch`
+	}
+}
+
+// annotated is the escape hatch for a path whose fencing the analyzer
+// cannot see.
+func annotated(clock vclock.Clock, s *session, epoch uint64, op string) error {
+	clock.Sleep(time.Millisecond)
+	//lint:allow epochfence: epoch re-checked by the caller holding the lease lock
+	return s.ApplyUpdate(op)
+}

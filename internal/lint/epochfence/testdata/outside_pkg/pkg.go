@@ -1,0 +1,24 @@
+// Package example has the sleep→mutate shape but lives outside the
+// gateway and dataservice trees, where the lease-epoch contract does
+// not apply.
+package example
+
+import (
+	"time"
+
+	"repro/internal/vclock"
+)
+
+type session struct{ ops []string }
+
+func (s *session) ApplyUpdate(op string) error {
+	s.ops = append(s.ops, op)
+	return nil
+}
+
+// outsideScope would be a violation under internal/gateway; here it is
+// not the epochfence rule's business.
+func outsideScope(clock vclock.Clock, s *session, epoch uint64, op string) error {
+	clock.Sleep(time.Millisecond)
+	return s.ApplyUpdate(op)
+}

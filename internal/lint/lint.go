@@ -2,15 +2,22 @@
 // form of the determinism and resilience contracts the fabric's
 // correctness rests on (see DESIGN.md, "Static analysis & the
 // determinism contract").
+//
+// The suite is the single source of truth for what ravelint runs — the
+// driver doc, the Makefile and DESIGN.md all defer to Analyzers() /
+// Names() rather than repeating the list.
 package lint
 
 import (
 	"repro/internal/lint/analysis"
 	"repro/internal/lint/ctxloop"
+	"repro/internal/lint/deadlineprop"
+	"repro/internal/lint/epochfence"
 	"repro/internal/lint/leakedgoroutine"
 	"repro/internal/lint/lockedio"
 	"repro/internal/lint/metriclabel"
 	"repro/internal/lint/nondeterminism"
+	"repro/internal/lint/spanend"
 	"repro/internal/lint/unboundedsend"
 	"repro/internal/lint/wallclock"
 )
@@ -25,5 +32,19 @@ func Analyzers() []*analysis.Analyzer {
 		leakedgoroutine.Analyzer,
 		unboundedsend.Analyzer,
 		metriclabel.Analyzer,
+		epochfence.Analyzer,
+		deadlineprop.Analyzer,
+		spanend.Analyzer,
 	}
+}
+
+// Names returns the suite's analyzer names in registration order, for
+// drivers and docs that list the suite without restating it.
+func Names() []string {
+	as := Analyzers()
+	names := make([]string, len(as))
+	for i, a := range as {
+		names[i] = a.Name
+	}
+	return names
 }

@@ -1,0 +1,386 @@
+// Package spanend enforces the telemetry span lifecycle, lostcancel-
+// style: a *telemetry.ActiveSpan started in a function must be ended on
+// every path out of the scope that started it. EndStatus is first-wins,
+// so the cheap insurance is always available — `defer
+// span.EndStatus(telemetry.StatusError)` right after the start, with
+// success paths overriding — and a span that is never ended never
+// reaches the trace sink, which silently truncates exactly the frame
+// traces the scheduling analysis depends on.
+//
+// The analyzer tracks spans bound by `span := tracer.Root(...)` /
+// `Child(...)` definitions and walks the enclosing statement list in
+// source order. A span is ended by a direct End/EndStatus call, a
+// deferred one, or by passing it to a same-package helper whose
+// call-graph summary says it ends its span parameter (see
+// analysis.CallGraph.EndsSpanParam — endRenderSpan is the canonical
+// ender). Responsibility can also be handed off: returning the span,
+// storing it, passing it to a function the analyzer cannot see, or
+// capturing it in a function literal that ends it (the hedge launch
+// pattern: the goroutine closure owns the end) all stop the analysis
+// for that span. What gets flagged is a definite drop: a started span
+// used by nothing (bare call statement), a return crossed before any
+// end or hand-off, or a scope exit with the span still open.
+// `//lint:allow spanend` is the escape hatch.
+package spanend
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+// Analyzer is the spanend rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanend",
+	Doc: "a telemetry span started in a function must be ended on every return " +
+		"path — an unended span silently truncates the frame trace",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if !lintutil.HasSegment(path, "internal") && !lintutil.HasSegment(path, "cmd") {
+		return nil
+	}
+	graph := analysis.NewCallGraph(pass)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkLists(pass, graph, body.List)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkLists finds span definitions in list and every nested statement
+// list of the same function (function literals are their own scope,
+// visited by run separately), and analyzes each span from its
+// definition to the end of its enclosing list — which is exactly the
+// span variable's scope.
+func checkLists(pass *analysis.Pass, graph *analysis.CallGraph, list []ast.Stmt) {
+	for i, stmt := range list {
+		if call, v := spanDef(pass, stmt); v != nil {
+			tk := &tracker{pass: pass, graph: graph, v: v}
+			r := tk.list(list[i+1:], false)
+			if !tk.handoff && !r.ended && !r.terminates && !pass.Allowed(call.Pos()) {
+				pass.Reportf(call.Pos(),
+					"span %s is not ended when its scope exits: end it on every path or defer an EndStatus backstop", v.Name())
+			}
+			continue
+		}
+		if es, ok := stmt.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if tv, ok := pass.TypesInfo.Types[call]; ok && analysis.IsActiveSpan(tv.Type) &&
+					!pass.Allowed(call.Pos()) {
+					pass.Reportf(call.Pos(),
+						"started span is dropped on the floor: bind it and end it on every path")
+				}
+			}
+		}
+		for _, nested := range nestedLists(stmt) {
+			checkLists(pass, graph, nested)
+		}
+	}
+}
+
+// spanDef recognizes `span := tracer.Root(...)`-shaped definitions: a
+// single-variable short declaration from a call yielding *ActiveSpan.
+func spanDef(pass *analysis.Pass, stmt ast.Stmt) (*ast.CallExpr, *types.Var) {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok || as.Tok != token.DEFINE || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil, nil
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil, nil
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil, nil
+	}
+	v, ok := pass.TypesInfo.Defs[id].(*types.Var)
+	if !ok || !analysis.IsActiveSpan(v.Type()) {
+		return nil, nil
+	}
+	return call, v
+}
+
+// nestedLists returns the statement lists nested directly inside stmt
+// (same function — function literals excluded).
+func nestedLists(stmt ast.Stmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		out = append(out, s.List)
+	case *ast.IfStmt:
+		out = append(out, s.Body.List)
+		if s.Else != nil {
+			out = append(out, nestedLists(s.Else)...)
+		}
+	case *ast.ForStmt:
+		out = append(out, s.Body.List)
+	case *ast.RangeStmt:
+		out = append(out, s.Body.List)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			out = append(out, c.(*ast.CaseClause).Body)
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			out = append(out, c.(*ast.CaseClause).Body)
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			out = append(out, c.(*ast.CommClause).Body)
+		}
+	case *ast.LabeledStmt:
+		out = append(out, nestedLists(s.Stmt)...)
+	}
+	return out
+}
+
+// tracker follows one span variable through its scope.
+type tracker struct {
+	pass  *analysis.Pass
+	graph *analysis.CallGraph
+	v     *types.Var
+
+	// ends is set by scan when the current statement ends the span;
+	// handoff is set when responsibility leaves the analyzer's sight
+	// (span returned, stored, passed to unknown code) — analysis stops
+	// without further diagnostics.
+	ends    bool
+	handoff bool
+}
+
+// result summarizes one statement list: whether every continuing path
+// has ended the span, and whether the list terminates (all paths
+// return).
+type result struct {
+	ended      bool
+	terminates bool
+}
+
+// list analyzes a statement list in source order given the entry ended
+// state, reporting returns crossed with the span still open.
+func (tk *tracker) list(stmts []ast.Stmt, ended bool) result {
+	for _, stmt := range stmts {
+		if tk.handoff {
+			return result{ended: true}
+		}
+		switch s := stmt.(type) {
+		case *ast.ReturnStmt:
+			ended = tk.scanEnds(s, ended)
+			if !ended && !tk.handoff && !tk.pass.Allowed(s.Pos()) {
+				tk.pass.Reportf(s.Pos(),
+					"return with span %s still open: end it before returning (EndStatus for failure paths) or defer a backstop", tk.v.Name())
+			}
+			return result{ended: ended, terminates: true}
+		case *ast.BranchStmt:
+			// break/continue/goto leave the list; the span's fate is
+			// decided where control lands. Treat as termination of this
+			// list without judgment.
+			return result{ended: ended, terminates: true}
+		case *ast.BlockStmt:
+			r := tk.list(s.List, ended)
+			ended = r.ended
+			if r.terminates {
+				return result{ended: ended, terminates: true}
+			}
+		case *ast.IfStmt:
+			ended = tk.scanEnds(s.Init, ended)
+			ended = tk.scanEnds(s.Cond, ended)
+			r1 := tk.list(s.Body.List, ended)
+			r2 := result{ended: ended}
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				r2 = tk.list(e.List, ended)
+			case *ast.IfStmt:
+				r2 = tk.list([]ast.Stmt{e}, ended)
+			}
+			if r1.terminates && r2.terminates {
+				return result{ended: true, terminates: true}
+			}
+			ended = (r1.ended || r1.terminates) && (r2.ended || r2.terminates)
+		case *ast.ForStmt:
+			ended = tk.scanEnds(s.Init, ended)
+			ended = tk.scanEnds(s.Cond, ended)
+			tk.list(s.Body.List, ended)
+			// The body may run zero times: its ends don't count forward.
+		case *ast.RangeStmt:
+			ended = tk.scanEnds(s.X, ended)
+			tk.list(s.Body.List, ended)
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			r := tk.branches(s, ended)
+			if r.terminates {
+				return result{ended: true, terminates: true}
+			}
+			ended = r.ended
+		case *ast.LabeledStmt:
+			r := tk.list([]ast.Stmt{s.Stmt}, ended)
+			ended = r.ended
+			if r.terminates {
+				return result{ended: ended, terminates: true}
+			}
+		default:
+			ended = tk.scanEnds(stmt, ended)
+		}
+	}
+	return result{ended: ended}
+}
+
+// branches joins the clause bodies of a switch or select. A switch only
+// guarantees a path ran when it has a default clause; a select (no
+// default) blocks until some clause runs.
+func (tk *tracker) branches(stmt ast.Stmt, ended bool) result {
+	var clauses [][]ast.Stmt
+	exhaustive := false
+	switch s := stmt.(type) {
+	case *ast.SwitchStmt:
+		ended = tk.scanEnds(s.Init, ended)
+		ended = tk.scanEnds(s.Tag, ended)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			clauses = append(clauses, cc.Body)
+			exhaustive = exhaustive || cc.List == nil
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			clauses = append(clauses, cc.Body)
+			exhaustive = exhaustive || cc.List == nil
+		}
+	case *ast.SelectStmt:
+		exhaustive = true
+		for _, c := range s.Body.List {
+			clauses = append(clauses, c.(*ast.CommClause).Body)
+		}
+	}
+	allDone, allTerm := true, len(clauses) > 0
+	for _, body := range clauses {
+		r := tk.list(body, ended)
+		allDone = allDone && (r.ended || r.terminates)
+		allTerm = allTerm && r.terminates
+	}
+	if exhaustive && allDone {
+		return result{ended: true, terminates: allTerm}
+	}
+	return result{ended: ended}
+}
+
+// scanEnds scans one statement or expression (not recursing into the
+// control-flow bodies list handles) for uses of the span, returning the
+// updated ended state. Direct End/EndStatus calls, deferred ones,
+// ender-helper calls and end-capturing closures end the span; storing,
+// returning, or passing it to unseen code sets handoff.
+func (tk *tracker) scanEnds(n ast.Node, ended bool) bool {
+	if n == nil {
+		return ended
+	}
+	tk.ends = false
+	tk.scan(n)
+	return ended || tk.ends
+}
+
+// scan classifies every use of the span variable inside n.
+func (tk *tracker) scan(n ast.Node) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		if tk.handoff {
+			return false
+		}
+		switch node := node.(type) {
+		case *ast.CallExpr:
+			tk.scanCall(node)
+			return false
+		case *ast.FuncLit:
+			tk.scanFuncLit(node)
+			return false
+		case *ast.Ident:
+			if tk.isSpan(node) {
+				// A bare use outside the shapes scanCall handles:
+				// returned, stored, sent — responsibility leaves.
+				tk.handoff = true
+			}
+		}
+		return true
+	})
+}
+
+// scanCall classifies a call's use of the span: receiver of an
+// End/EndStatus (ends), receiver of other span methods (read),
+// argument to a known ender (ends), argument to other same-package
+// code (read — the summary says it does not end), argument to unseen
+// code (handoff).
+func (tk *tracker) scanCall(call *ast.CallExpr) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && tk.isSpan(id) {
+			if sel.Sel.Name == "End" || sel.Sel.Name == "EndStatus" {
+				tk.ends = true
+			}
+			for _, arg := range call.Args {
+				tk.scan(arg)
+			}
+			return
+		}
+	}
+	f := lintutil.Callee(tk.pass.TypesInfo, call)
+	tk.scan(call.Fun)
+	for i, arg := range call.Args {
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok && tk.isSpan(id) {
+			switch {
+			case f != nil && tk.graph.EndsSpanParam(f, i):
+				tk.ends = true
+			case f != nil && tk.graph.Decl(f) != nil:
+				// Same-package non-ender: a read per its summary.
+			default:
+				tk.handoff = true
+			}
+			continue
+		}
+		tk.scan(arg)
+	}
+}
+
+// scanFuncLit classifies a closure capturing the span: one that ends it
+// somewhere inside owns the span from here on (the hedge goroutine
+// pattern); one that only reads it is a plain use.
+func (tk *tracker) scanFuncLit(lit *ast.FuncLit) {
+	captures, endsInside := false, false
+	ast.Inspect(lit.Body, func(node ast.Node) bool {
+		if sel, ok := node.(*ast.SelectorExpr); ok {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && tk.isSpan(id) {
+				captures = true
+				if sel.Sel.Name == "End" || sel.Sel.Name == "EndStatus" {
+					endsInside = true
+				}
+				return false
+			}
+		}
+		if id, ok := node.(*ast.Ident); ok && tk.isSpan(id) {
+			captures = true
+		}
+		return true
+	})
+	if captures && endsInside {
+		tk.ends = true
+	}
+}
+
+// isSpan reports whether id resolves to the tracked span variable.
+func (tk *tracker) isSpan(id *ast.Ident) bool {
+	return tk.pass.TypesInfo.Uses[id] == tk.v
+}

@@ -1,0 +1,17 @@
+package spanend_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/spanend"
+)
+
+// TestSpanEnd proves the rule flags spans leaked by early returns,
+// scope exits and dropped starts, and accepts every lifecycle shape the
+// services use: sequential ends on all paths, the deferred first-wins
+// backstop, the ender helper, hedge-style closure ownership, hand-off
+// by return, and the allow escape hatch.
+func TestSpanEnd(t *testing.T) {
+	linttest.Run(t, spanend.Analyzer, "testdata/internal_pkg", "repro/internal/example")
+}

@@ -1,0 +1,133 @@
+// Package example exercises the spanend rule on the span lifecycle
+// shapes the services use: sequential ends on every path, deferred
+// backstops, ender helpers, hedge-style closure hand-off — and the
+// leaks: early returns, scope exits and dropped starts.
+package example
+
+import (
+	"errors"
+
+	"repro/internal/telemetry"
+)
+
+var errBoom = errors.New("boom")
+
+// work is a stand-in for the expensive step between start and end.
+func work() error { return nil }
+
+// endSpan is a same-package ender helper in the endRenderSpan mold: the
+// call-graph summary says passing a span to it ends the span.
+func endSpan(span *telemetry.ActiveSpan, err error) {
+	if err != nil {
+		span.EndStatus(telemetry.StatusError)
+		return
+	}
+	span.End()
+}
+
+// earlyReturn leaks the span on the error path.
+func earlyReturn(tr *telemetry.Tracer) error {
+	span := tr.Root("svc", "op")
+	if err := work(); err != nil {
+		return err // want `return with span span still open`
+	}
+	span.End()
+	return nil
+}
+
+// scopeExit starts a span and falls off the end without ending it; the
+// diagnostic anchors on the start.
+func scopeExit(tr *telemetry.Tracer) {
+	span := tr.Root("svc", "op") // want `span span is not ended when its scope exits`
+	span.SetAttr("leaked")
+}
+
+// droppedStart starts a span nothing can ever end.
+func droppedStart(tr *telemetry.Tracer) {
+	tr.Root("svc", "op") // want `started span is dropped on the floor`
+}
+
+// endedOnAllPaths is the sequential compliant shape: every branch ends
+// the span before leaving.
+func endedOnAllPaths(tr *telemetry.Tracer) error {
+	span := tr.Root("svc", "op")
+	if err := work(); err != nil {
+		span.EndStatus(telemetry.StatusError)
+		return err
+	}
+	span.End()
+	return nil
+}
+
+// deferredBackstop is the hedge root shape: a deferred first-wins
+// error end covers every path, success paths override it.
+func deferredBackstop(tr *telemetry.Tracer) error {
+	span := tr.Root("svc", "frame")
+	defer span.EndStatus(telemetry.StatusError)
+	if err := work(); err != nil {
+		return err
+	}
+	span.End()
+	return nil
+}
+
+// viaEnder hands the span to the ender helper on both paths.
+func viaEnder(tr *telemetry.Tracer) error {
+	span := tr.Root("svc", "op")
+	err := work()
+	endSpan(span, err)
+	return err
+}
+
+// closureOwned is the hedge launch shape: the goroutine closure that
+// captures the span ends it, so the launcher is done with it.
+func closureOwned(tr *telemetry.Tracer, results chan<- error) {
+	span := tr.Root("svc", "render-tile")
+	span.SetPeer("peer")
+	go func() {
+		err := work()
+		if err != nil {
+			span.EndStatus(telemetry.StatusError)
+		} else {
+			span.End()
+		}
+		results <- err
+	}()
+}
+
+// handedOff returns the span: the caller owns the lifecycle now.
+func handedOff(tr *telemetry.Tracer) *telemetry.ActiveSpan {
+	span := tr.Root("svc", "op")
+	span.SetAttr("caller-owned")
+	return span
+}
+
+// branchJoin ends the span in both arms of the status branch before the
+// shared return — the composite-span shape.
+func branchJoin(tr *telemetry.Tracer, degraded bool) error {
+	span := tr.Root("svc", "composite")
+	if degraded {
+		span.EndStatus(telemetry.StatusDegraded)
+	} else {
+		span.End()
+	}
+	return work()
+}
+
+// innerScope starts a span inside a block: it must be resolved before
+// that block exits.
+func innerScope(tr *telemetry.Tracer, traced bool) error {
+	if traced {
+		span := tr.Root("svc", "op") // want `span span is not ended when its scope exits`
+		span.SetAttr("leaked in block")
+	}
+	return work()
+}
+
+// annotated is the escape hatch for a lifecycle the analyzer cannot
+// see.
+func annotated(tr *telemetry.Tracer, spans chan<- *telemetry.ActiveSpan) {
+	//lint:allow spanend: ended by the sink draining the channel
+	span := tr.Root("svc", "op")
+	span.SetAttr("sink-owned")
+}

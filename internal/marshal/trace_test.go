@@ -145,7 +145,7 @@ func TestTraceHeaderNeverCollidesWithOps(t *testing.T) {
 // random bodies round-trip exactly; random non-header bytes pass
 // through untouched.
 func TestTraceHeaderProperty(t *testing.T) {
-	rng := rand.New(rand.NewSource(5)) //lint:allow nondeterminism: fixed seed
+	rng := rand.New(rand.NewSource(5)) // fixed seed: deterministic property test
 	for i := 0; i < 500; i++ {
 		trace, span := rng.Uint64(), rng.Uint64()
 		body := make([]byte, rng.Intn(64))

@@ -3,6 +3,7 @@ package perfmodel
 import (
 	"fmt"
 	"image"
+	"time"
 
 	"repro/internal/balance"
 	"repro/internal/compositor"
@@ -23,8 +24,8 @@ func (h *localVolumeHandle) Name() string { return h.svc.Name() }
 func (h *localVolumeHandle) Capacity() (transport.CapacityReport, error) {
 	return h.svc.Capacity(), nil
 }
-func (h *localVolumeHandle) RenderSubset(subset *scene.Scene, cam transport.CameraState, w, hh int) (*raster.Framebuffer, error) {
-	fb, _, err := h.svc.RenderSceneOnce(subset, renderservice.CameraFromState(cam), w, hh)
+func (h *localVolumeHandle) RenderSubset(subset *scene.Scene, cam transport.CameraState, w, hh int, deadline time.Time) (*raster.Framebuffer, error) {
+	fb, _, err := h.svc.RenderSceneOnceBy(subset, renderservice.CameraFromState(cam), w, hh, deadline)
 	return fb, err
 }
 
