@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet fmt-check lint lint-report allow-audit vulncheck build test race chaos scale ci
+.PHONY: all vet fmt-check lint lint-report allow-audit vulncheck build test race chaos scale partition ci
 
 all: ci
 
@@ -73,10 +73,21 @@ chaos:
 scale:
 	$(GO) run ./cmd/raveload -sessions 100 -nodes 4 -duration 5s -kill-at 2s -check
 
+# partition runs the reduced region-partition scenario — a two-region
+# fleet with factor-2 replication loses its second region mid-run and
+# heals before the end — and fails on any acceptance violation,
+# including the locality invariants (zero bootstrap bytes crossing the
+# partition while it is up). The checked-in BENCH_partition.json comes
+# from the full-size run of the same harness (see EXPERIMENTS.md).
+partition:
+	$(GO) run ./cmd/raveload -sessions 100 -nodes 4 -duration 10s \
+		-regions eu,us -replicas 2 -partition-at 3s -heal-at 6s -check
+
 # ci is the full gate: formatting, static checks (ravelint with the
 # LINT.json artifact and per-analyzer timings, the allow-annotation
 # audit, vet, govulncheck when present), a clean build, the test suite
 # under the race detector, a doubled chaos pass (the chaos suite
 # exercises concurrent failure recovery, so -race is part of the bar,
-# not an extra), and the reduced fleet-scale load scenario.
-ci: fmt-check lint-report allow-audit lint vulncheck build race chaos scale
+# not an extra), and the reduced fleet-scale load and region-partition
+# scenarios.
+ci: fmt-check lint-report allow-audit lint vulncheck build race chaos scale partition

@@ -7,15 +7,21 @@
 // High availability: with -journal the session survives a crash —
 // restarting with the same -journal replays the log to the exact op
 // version that was committed before the crash. With -lease the service
-// holds a UDDI lease it renews on a heartbeat; with -standby it instead
-// follows the named primary's op stream as a hot standby, promoting
-// itself (claiming the lease at the next epoch and re-registering in
-// UDDI) when the primary's lease lapses.
+// holds a UDDI lease it renews on a heartbeat; -replicas N additionally
+// publishes the primary in the registry's replica-location index and
+// warns whenever fewer than N followers are reporting. With -standby
+// the service instead runs as a replica: it discovers the session's
+// current primary through the replica index (nearest-first from its
+// -region), follows the op stream, registers its own region-tagged
+// index row, and races succession with a catch-up handicap — the
+// most-caught-up replica claims the lease first when the primary's
+// lease lapses.
 //
 //	ravedata -session skull -model skeletal-hand -addr :9000 \
-//	         -registry http://host:8090 -record skull.rava -journal skull.wal
+//	         -registry http://host:8090 -lease -replicas 2 -region eu \
+//	         -record skull.rava -journal skull.wal
 //	ravedata -session skull -addr :9001 -registry http://host:8090 \
-//	         -standby tcp://host:9000 -journal standby.wal
+//	         -standby -region us -journal standby.wal
 package main
 
 import (
@@ -41,6 +47,54 @@ import (
 // polling run on vclock.Real per the wallclock contract.
 var clock vclock.Clock = vclock.Real{}
 
+// replicationFlags is the validated replication configuration. The
+// zero value (no registry, no factor, not a standby) is a plain
+// standalone service.
+type replicationFlags struct {
+	registry string
+	region   string
+	replicas int
+	standby  bool
+	lease    bool
+	renew    time.Duration
+}
+
+// validate rejects contradictory or underspecified replication flags
+// up front, with errors instead of silent defaults: a factor without a
+// registry cannot be enforced, a standby without a registry cannot
+// discover its primary, and locality-aware replication with no -region
+// would silently account every bootstrap byte as local.
+func (rf replicationFlags) validate() error {
+	if rf.replicas < 0 {
+		return fmt.Errorf("-replicas %d: replication factor cannot be negative", rf.replicas)
+	}
+	if rf.renew <= 0 {
+		return fmt.Errorf("-lease-renew %v: heartbeat interval must be positive", rf.renew)
+	}
+	if rf.standby && rf.replicas > 0 {
+		return fmt.Errorf("-standby and -replicas are mutually exclusive: the factor is enforced by the lease-holding primary")
+	}
+	if rf.replicas > 0 && rf.registry == "" {
+		return fmt.Errorf("-replicas %d requires -registry: the factor is tracked through the replica-location index", rf.replicas)
+	}
+	if rf.replicas > 0 && !rf.lease {
+		return fmt.Errorf("-replicas %d requires -lease: only the lease-holding primary may publish the factor", rf.replicas)
+	}
+	if rf.standby && rf.registry == "" {
+		return fmt.Errorf("-standby requires -registry: the primary is discovered through the replica index, not a hardwired address")
+	}
+	if (rf.standby || rf.replicas > 0) && rf.region == "" {
+		return fmt.Errorf("replication is locality-aware: -region is required with -standby or -replicas (no silent local default)")
+	}
+	if rf.lease && rf.registry == "" {
+		return fmt.Errorf("-lease requires -registry")
+	}
+	if strings.ContainsAny(rf.region, " ,") {
+		return fmt.Errorf("-region %q: locality must be a single region or region/zone token", rf.region)
+	}
+	return nil
+}
+
 func main() {
 	name := flag.String("name", "rave-data", "service name")
 	addr := flag.String("addr", "127.0.0.1:9000", "listen address for direct sockets")
@@ -49,12 +103,14 @@ func main() {
 		"model to import: galleon, elle, skeletal-hand, skeleton, or a .obj path")
 	triangles := flag.Int("triangles", 0, "triangle budget for generated models (0 = paper size)")
 	registry := flag.String("registry", "", "UDDI registry URL to register with (optional)")
+	region := flag.String("region", "", `locality of this service ("region" or "region/zone"); required for -standby and -replicas`)
 	record := flag.String("record", "", "record the session audit trail to this file")
 	journal := flag.String("journal", "", "durable session journal (WAL) path; recovers the session if the file exists")
 	compactEvery := flag.Int("compact-every", 256, "journal checkpoint compaction threshold in ops")
 	lease := flag.Bool("lease", false, "hold a UDDI lease for the session (requires -registry)")
 	leaseRenew := flag.Duration("lease-renew", 2*time.Second, "lease renewal heartbeat interval")
-	standby := flag.String("standby", "", "run as hot standby of the primary at this address (requires -registry)")
+	replicas := flag.Int("replicas", 0, "replication factor: warn while fewer than N followers report in the replica index (requires -lease)")
+	standby := flag.Bool("standby", false, "run as a replica: discover the primary via the replica index, follow its op stream, race succession most-caught-up-first (requires -registry and -region)")
 	frameDeadline := flag.Duration("frame-deadline", 250*time.Millisecond,
 		"hard per-frame budget for hedged tile rendering: the frame force-assembles (stragglers degraded, never lost) at this deadline")
 	hedgeDelay := flag.Duration("hedge-delay", 0,
@@ -68,9 +124,21 @@ func main() {
 		os.Exit(1)
 	}
 
+	rf := replicationFlags{
+		registry: *registry, region: *region, replicas: *replicas,
+		standby: *standby, lease: *lease, renew: *leaseRenew,
+	}
+	if err := rf.validate(); err != nil {
+		flag.Usage()
+		fail(err)
+	}
+	if *compactEvery < 1 {
+		fail(fmt.Errorf("-compact-every %d: compaction threshold must be at least 1", *compactEvery))
+	}
+
 	metrics := telemetry.NewRegistry(clock)
 	svc := dataservice.New(dataservice.Config{
-		Name: *name, Clock: clock, Metrics: metrics,
+		Name: *name, Clock: clock, Region: *region, Metrics: metrics,
 		Tracer: telemetry.NewTracer(clock),
 		Hedge:  dataservice.HedgeConfig{FrameDeadline: *frameDeadline, HedgeDelay: *hedgeDelay},
 	})
@@ -102,13 +170,10 @@ func main() {
 
 	ctx := context.Background()
 
-	if *standby != "" {
-		// Hot-standby mode: follow the primary's op stream; promote when
-		// its lease lapses.
-		if proxy == nil {
-			fail(fmt.Errorf("-standby requires -registry for lease monitoring"))
-		}
-		runStandby(ctx, svc, proxy, *standby, *session, *name, leaseName, accessPoint, *journal, *compactEvery, *leaseRenew, register, fail)
+	if *standby {
+		// Replica mode: discover the primary through the replica index,
+		// follow its op stream, and stand by for succession.
+		runStandby(ctx, svc, proxy, rf, *session, *name, leaseName, accessPoint, *journal, *compactEvery, register, fail)
 	} else {
 		sess := openSession(svc, *session, *model, *triangles, *journal, *compactEvery, fail)
 
@@ -127,9 +192,6 @@ func main() {
 			fail(err)
 		}
 		if *lease {
-			if proxy == nil {
-				fail(fmt.Errorf("-lease requires -registry"))
-			}
 			keeper := &failover.Keeper{
 				Leases: proxy, Clock: clock,
 				Service: leaseName, Holder: *name, Renew: *leaseRenew,
@@ -146,6 +208,9 @@ func main() {
 					sess.SetReadOnly(true)
 				}
 			}()
+			if *replicas > 0 {
+				go publishPrimary(ctx, proxy, rf, sess, *session, *name, accessPoint)
+			}
 		}
 	}
 
@@ -171,6 +236,64 @@ func logTelemetry(metrics *telemetry.Registry, every time.Duration) {
 		clock.Sleep(every)
 		if err := telemetry.WriteText(os.Stderr, metrics.Snapshot()); err != nil {
 			return
+		}
+	}
+}
+
+// replicaTTL is how long an index row outlives its last heartbeat —
+// the same missed-renewal budget the lease itself gets.
+func replicaTTL(renew time.Duration) time.Duration {
+	return time.Duration(failover.DefaultMissedRenewals) * renew
+}
+
+// publishPrimary keeps the primary's row in the replica-location index
+// fresh and watches the live follower count against the configured
+// factor, logging each transition into and out of under-replication.
+// The index, not this process, is the source of truth: followers
+// recruit themselves, so all the primary can do about a deficit is say
+// so loudly.
+func publishPrimary(ctx context.Context, proxy *uddi.Proxy, rf replicationFlags, sess *dataservice.Session, session, name, accessPoint string) {
+	row := uddi.Replica{
+		Session: session, Name: name, Region: rf.region,
+		AccessPoint: accessPoint, Role: uddi.RolePrimary,
+	}
+	// Upsert first: ReportReplica only refreshes an existing row, and a
+	// stale replica-role row from a pre-promotion life must be replaced
+	// by the primary registration (which demotes any rival primary row).
+	row.Version = sess.Version()
+	if _, err := proxy.RegisterReplica(row, replicaTTL(rf.renew), clock.Now()); err != nil {
+		fmt.Fprintln(os.Stderr, "ravedata: replica index registration:", err)
+	}
+	under := false
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-clock.After(rf.renew):
+		}
+		row.Version = sess.Version()
+		if _, err := proxy.ReportReplica(session, name, row.Version, replicaTTL(rf.renew), clock.Now()); err != nil {
+			if _, err := proxy.RegisterReplica(row, replicaTTL(rf.renew), clock.Now()); err != nil {
+				fmt.Fprintln(os.Stderr, "ravedata: replica index registration:", err)
+			}
+		}
+		rows, err := proxy.QueryReplicas(session, rf.region, clock.Now())
+		if err == nil {
+			followers := 0
+			for _, rep := range rows {
+				if rep.Role == uddi.RoleReplica {
+					followers++
+				}
+			}
+			if followers < rf.replicas && !under {
+				under = true
+				fmt.Fprintf(os.Stderr, "ravedata: session %q under-replicated: %d/%d followers reporting\n",
+					session, followers, rf.replicas)
+			} else if followers >= rf.replicas && under {
+				under = false
+				fmt.Printf("ravedata: session %q replication factor restored (%d/%d followers)\n",
+					session, followers, rf.replicas)
+			}
 		}
 	}
 }
@@ -222,19 +345,94 @@ func openSession(svc *dataservice.Service, session, model string, triangles int,
 	return sess
 }
 
-// runStandby follows the primary and blocks until promotion, after
-// which the (now authoritative) service keeps serving connections.
-func runStandby(ctx context.Context, svc *dataservice.Service, proxy *uddi.Proxy, primaryAddr, session, name, leaseName, accessPoint, journal string, compactEvery int, leaseRenew time.Duration, register func() error, fail func(error)) {
+// discoverPrimary resolves the session's current primary access point
+// through the replica-location index, skipping our own row.
+func discoverPrimary(proxy *uddi.Proxy, session, fromRegion, self string) (string, error) {
+	rows, err := proxy.QueryReplicas(session, fromRegion, clock.Now())
+	if err != nil {
+		return "", err
+	}
+	for _, rep := range rows {
+		if rep.Role == uddi.RolePrimary && rep.Name != self {
+			return rep.AccessPoint, nil
+		}
+	}
+	return "", fmt.Errorf("no live primary row for session %q in the replica index", session)
+}
+
+// reportReplica keeps this replica's region-tagged index row fresh so
+// peers (and the primary's factor watch) can see it, re-registering the
+// full row whenever the heartbeat finds it lapsed.
+func reportReplica(ctx context.Context, proxy *uddi.Proxy, st *failover.Standby, rf replicationFlags, session, name, accessPoint string) {
+	row := uddi.Replica{
+		Session: session, Name: name, Region: rf.region,
+		AccessPoint: accessPoint, Role: uddi.RoleReplica,
+	}
+	for !st.Promoted() {
+		row.Version = st.Applied()
+		if _, err := proxy.ReportReplica(session, name, row.Version, replicaTTL(rf.renew), clock.Now()); err != nil {
+			if _, err := proxy.RegisterReplica(row, replicaTTL(rf.renew), clock.Now()); err != nil {
+				fmt.Fprintln(os.Stderr, "ravedata: replica index registration:", err)
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-clock.After(rf.renew):
+		}
+	}
+}
+
+// catchUpHandicap defers this replica's succession claim in proportion
+// to how far it lags the most-caught-up row in the index, so with N
+// replicas racing the same lapsed lease the freshest copy claims first.
+// The wait is bounded: a deep deficit delays takeover, it does not
+// prevent it.
+func catchUpHandicap(proxy *uddi.Proxy, st *failover.Standby, rf replicationFlags, session string) time.Duration {
+	rows, err := proxy.QueryReplicas(session, rf.region, clock.Now())
+	if err != nil {
+		return 0
+	}
+	var best uint64
+	for _, rep := range rows {
+		if rep.Role == uddi.RoleReplica && rep.Version > best {
+			best = rep.Version
+		}
+	}
+	applied := st.Applied()
+	if best <= applied {
+		return 0
+	}
+	d := time.Duration(best-applied) * (rf.renew / 4)
+	if max := 2 * rf.renew; d > max {
+		d = max
+	}
+	return d
+}
+
+// runStandby follows the session's primary — rediscovering it through
+// the replica index on every reconnect — and blocks until promotion,
+// after which the (now authoritative) service keeps serving
+// connections.
+func runStandby(ctx context.Context, svc *dataservice.Service, proxy *uddi.Proxy, rf replicationFlags, session, name, leaseName, accessPoint, journal string, compactEvery int, register func() error, fail func(error)) {
 	st := &failover.Standby{
 		Service: svc, SessionName: session, Name: "standby:" + name,
-		IdleTimeout: failover.DefaultMissedRenewals * leaseRenew, Clock: clock,
+		Region:      rf.region,
+		IdleTimeout: failover.DefaultMissedRenewals * rf.renew, Clock: clock,
 	}
-	// Replication loop: redial the primary until promoted.
+	// Replication loop: rediscover and redial the primary until promoted.
+	// Discovery through the index (rather than a hardwired address) is
+	// what lets the follower chase the primary across failovers.
 	go func() {
 		for ctx.Err() == nil && !st.Promoted() {
+			primaryAddr, err := discoverPrimary(proxy, session, rf.region, name)
+			if err != nil {
+				clock.Sleep(rf.renew)
+				continue
+			}
 			conn, err := net.Dial("tcp", strings.TrimPrefix(primaryAddr, "tcp://"))
 			if err != nil {
-				clock.Sleep(leaseRenew)
+				clock.Sleep(rf.renew)
 				continue
 			}
 			err = st.Run(ctx, conn)
@@ -245,16 +443,19 @@ func runStandby(ctx context.Context, svc *dataservice.Service, proxy *uddi.Proxy
 			select {
 			case <-ctx.Done():
 				return
-			case <-clock.After(leaseRenew):
+			case <-clock.After(rf.renew):
 			}
 		}
 	}()
+	go reportReplica(ctx, proxy, st, rf, session, name, accessPoint)
 	mon := &failover.Monitor{
 		Leases: proxy, Clock: clock,
-		Service: leaseName, Holder: name, Poll: leaseRenew,
-		Standby: st, Reregister: register,
+		Service: leaseName, Holder: name, Poll: rf.renew,
+		Standby:    st,
+		Handicap:   func() time.Duration { return catchUpHandicap(proxy, st, rf, session) },
+		Reregister: register,
 	}
-	fmt.Printf("ravedata: standing by for %q behind %s (lease %q)\n", session, primaryAddr, leaseName)
+	fmt.Printf("ravedata: standing by for %q in %s (lease %q, primary via replica index)\n", session, rf.region, leaseName)
 	promo, err := mon.Run(ctx)
 	if err != nil {
 		fail(fmt.Errorf("failover monitor: %w", err))
@@ -266,10 +467,17 @@ func runStandby(ctx context.Context, svc *dataservice.Service, proxy *uddi.Proxy
 		}
 		fmt.Printf("ravedata: journaling promoted session %q to %s\n", session, journal)
 	}
+	// The promoted primary takes over the index row and the factor watch:
+	// its old replica row is dropped so the primary registration (which
+	// demotes any other primary row) is the only authoritative entry.
+	if err := proxy.DropReplica(session, name); err != nil {
+		fmt.Fprintln(os.Stderr, "ravedata: replica index cleanup:", err)
+	}
+	go publishPrimary(ctx, proxy, rf, promo.Session, session, name, accessPoint)
 	// Keep the claimed lease alive as the new primary.
 	keeper := &failover.Keeper{
 		Leases: proxy, Clock: clock,
-		Service: leaseName, Holder: name, Renew: leaseRenew,
+		Service: leaseName, Holder: name, Renew: rf.renew,
 	}
 	if _, err := keeper.Acquire(); err != nil {
 		fail(fmt.Errorf("lease after promotion: %w", err))

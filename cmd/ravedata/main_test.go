@@ -1,0 +1,76 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestReplicationFlagValidation: contradictory or underspecified
+// replication flags are rejected with an explanatory error instead of
+// being papered over with silent defaults.
+func TestReplicationFlagValidation(t *testing.T) {
+	valid := replicationFlags{
+		registry: "http://host:8090", region: "eu",
+		replicas: 2, lease: true, renew: 2 * time.Second,
+	}
+	cases := []struct {
+		name string
+		mut  func(*replicationFlags)
+		want string // substring of the error; empty means accepted
+	}{
+		{"primary with factor", func(rf *replicationFlags) {}, ""},
+		{"standby", func(rf *replicationFlags) {
+			rf.replicas, rf.lease, rf.standby = 0, false, true
+		}, ""},
+		{"standalone", func(rf *replicationFlags) {
+			*rf = replicationFlags{renew: time.Second}
+		}, ""},
+		{"negative factor", func(rf *replicationFlags) {
+			rf.replicas = -1
+		}, "cannot be negative"},
+		{"zero heartbeat", func(rf *replicationFlags) {
+			rf.renew = 0
+		}, "must be positive"},
+		{"standby with factor", func(rf *replicationFlags) {
+			rf.standby = true
+		}, "mutually exclusive"},
+		{"factor without registry", func(rf *replicationFlags) {
+			rf.registry = ""
+		}, "requires -registry"},
+		{"factor without lease", func(rf *replicationFlags) {
+			rf.lease = false
+		}, "requires -lease"},
+		{"standby without registry", func(rf *replicationFlags) {
+			*rf = replicationFlags{standby: true, region: "us", renew: time.Second}
+		}, "requires -registry"},
+		{"factor without region", func(rf *replicationFlags) {
+			rf.region = ""
+		}, "-region is required"},
+		{"standby without region", func(rf *replicationFlags) {
+			rf.replicas, rf.lease, rf.standby, rf.region = 0, false, true, ""
+		}, "-region is required"},
+		{"lease without registry", func(rf *replicationFlags) {
+			rf.replicas, rf.registry = 0, ""
+		}, "-lease requires -registry"},
+		{"malformed region", func(rf *replicationFlags) {
+			rf.region = "eu, us"
+		}, "single region"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rf := valid
+			tc.mut(&rf)
+			err := rf.validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("validate(%+v) = %v, want accepted", rf, err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("validate(%+v) = %v, want error containing %q", rf, err, tc.want)
+			}
+		})
+	}
+}

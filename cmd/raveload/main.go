@@ -1,14 +1,18 @@
 // Command raveload is the fleet-scale load harness: it stands up a
 // gateway-fronted data-service fleet on the virtual clock, drives an
 // open-loop population of concurrent sessions through it (optionally
-// killing a node mid-run), and writes the versioned BENCH_scale.json
-// throughput/latency artifact.
+// killing a node or cutting a whole region mid-run), and writes the
+// versioned BENCH_scale.json / BENCH_partition.json throughput,
+// latency, and locality artifact.
 //
 // Usage:
 //
 //	raveload                                # default 100-session scenario
 //	raveload -sessions 1200 -nodes 8 \
 //	         -kill-at 4s -out BENCH_scale.json
+//	raveload -regions eu,us -replicas 2 \
+//	         -partition-at 3s -heal-at 6s \
+//	         -out BENCH_partition.json      # region-partition scenario
 //	raveload -check                         # fail on any acceptance violation
 //
 // Everything runs in virtual time: a ten-fleet-second run with a
@@ -23,10 +27,23 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/loadgen"
 )
+
+// splitRegions parses the -regions list, dropping empty segments so
+// "eu,us," does not smuggle in a nameless region.
+func splitRegions(s string) []string {
+	var out []string
+	for _, r := range strings.Split(s, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			out = append(out, r)
+		}
+	}
+	return out
+}
 
 func main() {
 	nodes := flag.Int("nodes", loadgen.DefaultNodes, "data-service fleet size")
@@ -39,7 +56,11 @@ func main() {
 	depth := flag.Int("depth", loadgen.DefaultQueueDepth, "gateway admission queue depth")
 	slots := flag.Int("slots", loadgen.DefaultRenderSlots, "render slots per node")
 	killAt := flag.Duration("kill-at", 0, "kill the most-loaded node at this virtual offset (0 = no fault)")
-	out := flag.String("out", "", "write the versioned BENCH_scale.json artifact here")
+	regions := flag.String("regions", "", "comma-separated region list; nodes spread round-robin, gateway sits in the first")
+	replicas := flag.Int("replicas", 0, "per-session replication factor (0 = single standby)")
+	partitionAt := flag.Duration("partition-at", 0, "cut the last region off at this virtual offset (0 = no partition)")
+	healAt := flag.Duration("heal-at", 0, "heal the partition at this virtual offset (0 = stay cut to the end)")
+	out := flag.String("out", "", "write the versioned BENCH_scale.json / BENCH_partition.json artifact here")
 	check := flag.Bool("check", false, "exit non-zero if acceptance invariants fail")
 	flag.Parse()
 
@@ -59,6 +80,14 @@ func main() {
 		QueueDepth:  *depth,
 		RenderSlots: *slots,
 		KillNodeAt:  *killAt,
+		Regions:     splitRegions(*regions),
+		Replicas:    *replicas,
+		PartitionAt: *partitionAt,
+		HealAt:      *healAt,
+	}
+	if err := sc.Validate(); err != nil {
+		flag.Usage()
+		fail(err)
 	}
 	fleet, err := loadgen.BuildFleet(sc)
 	if err != nil {
@@ -71,9 +100,20 @@ func main() {
 
 	fmt.Printf("raveload: %d sessions / %d tenants on %d nodes, %v @ %v interval (virtual)\n",
 		sc.Sessions, sc.Tenants, sc.Nodes, *duration, *interval)
+	if len(sc.Regions) > 0 {
+		fmt.Printf("regions: %v, replication factor %d\n", sc.Regions, sc.Replicas)
+	}
 	if art.Kill != nil {
 		fmt.Printf("fault: killed %s at +%v; %d sessions promoted to standbys, %d rebalanced, %d lost\n",
 			art.Kill.Node, time.Duration(art.Kill.AtNs), res.Promotions, res.SessionsRebalanced, res.SessionsLost)
+	}
+	if p := art.Partition; p != nil {
+		healed := "never healed"
+		if p.HealedAtNs > 0 {
+			healed = fmt.Sprintf("healed at +%v", time.Duration(p.HealedAtNs))
+		}
+		fmt.Printf("fault: partitioned region %s at +%v (%s); %d promotions, %d cross / %d victim bootstrap bytes during the cut\n",
+			p.Region, time.Duration(p.AtNs), healed, res.Promotions, p.CrossBootstrapBytes, p.VictimBootstrapBytes)
 	}
 	fmt.Printf("issued %d: ok %d, declined %d, errors %d (%.0f ok req/s virtual)\n",
 		res.Issued, res.OK, res.Issued-res.OK-res.Errors, res.Errors, res.ThroughputRPS)

@@ -12,6 +12,7 @@ import (
 	"image"
 	"math"
 	"sort"
+	"strings"
 
 	"repro/internal/scene"
 )
@@ -20,6 +21,11 @@ import (
 // service.
 type ServiceCapacity struct {
 	Name string
+	// Region is the service's locality ("region" or "region/zone");
+	// empty means the flat single-site deployment. The migration engine
+	// prefers same-region helpers so shed work does not cross the WAN
+	// when a neighbour has capacity.
+	Region string
 	// WorkPerFrame is how much weighted work (scene.Cost.Work units) the
 	// service can render per frame at its target rate.
 	WorkPerFrame float64
@@ -197,6 +203,15 @@ func ReassignNodes(orphans []NodeItem, services []ServiceCapacity, allowOvercomm
 		out[caps[best].Name] = append(out[caps[best].Name], n.ID)
 	}
 	return out, nil
+}
+
+// sameRegion reports whether two "region" / "region/zone" localities
+// share a region. Empty localities count as local everywhere: a flat
+// deployment that never configures regions has no WAN by definition.
+func sameRegion(a, b string) bool {
+	ra, _, _ := strings.Cut(a, "/")
+	rb, _, _ := strings.Cut(b, "/")
+	return ra == rb || ra == "" || rb == ""
 }
 
 func totalWork(nodes []NodeItem) float64 {
@@ -426,12 +441,26 @@ func (m *MigrationEngine) PlanMigration(assigned map[string][]NodeItem) []Move {
 		// Shed up to half of the overloaded service's work.
 		target := totalWork(nodes) / 2
 		shed := 0.0
+		// Same-region helpers first: shedding across the WAN is a last
+		// resort, taken only when no neighbour has room.
+		fromRegion := m.services[o].Capacity.Region
+		ranked := make([]string, 0, len(under))
+		for _, u := range under {
+			if sameRegion(fromRegion, m.services[u].Capacity.Region) {
+				ranked = append(ranked, u)
+			}
+		}
+		for _, u := range under {
+			if !sameRegion(fromRegion, m.services[u].Capacity.Region) {
+				ranked = append(ranked, u)
+			}
+		}
 		for _, n := range nodes {
 			if shed >= target {
 				break
 			}
 			placed := false
-			for _, u := range under {
+			for _, u := range ranked {
 				if spare[u] >= n.Cost.Work() {
 					moves = append(moves, Move{NodeID: n.ID, From: o, To: u})
 					spare[u] -= n.Cost.Work()

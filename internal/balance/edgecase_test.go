@@ -182,3 +182,55 @@ func TestImbalance(t *testing.T) {
 		})
 	}
 }
+
+// TestPlanMigrationPrefersSameRegionHelper: with helpers in two
+// regions, shed work lands on the in-region one even when the
+// cross-region helper sorts first alphabetically; the WAN helper is
+// used only once the neighbour is full.
+func TestPlanMigrationPrefersSameRegionHelper(t *testing.T) {
+	th := DefaultThresholds()
+	th.UnderloadedFor = 1
+	e := NewMigrationEngine(th)
+
+	over := svc("over", 1000)
+	over.Region = "eu/a"
+	e.UpdateCapacity(over)
+	e.ReportLoad("over", 3) // below the FPS floor
+
+	far := svc("a-far", 10_000)
+	far.Region = "us/a"
+	e.UpdateCapacity(far)
+	e.ReportLoad("a-far", 60)
+
+	near := svc("b-near", 10_000)
+	near.Region = "eu/b"
+	e.UpdateCapacity(near)
+	e.ReportLoad("b-near", 60)
+
+	assigned := map[string][]NodeItem{"over": {item(2, 200), item(3, 300)}}
+	moves := e.PlanMigration(assigned)
+	if len(moves) == 0 {
+		t.Fatal("overload with idle helpers produced no moves")
+	}
+	for _, mv := range moves {
+		if mv.To != "b-near" {
+			t.Errorf("move %v crossed the WAN; in-region helper had capacity", mv)
+		}
+	}
+
+	// Shrink the neighbour so it cannot take anything: the WAN helper
+	// is better than stalling.
+	tiny := near
+	tiny.Assigned = tiny.WorkPerFrame - 1
+	e.UpdateCapacity(tiny)
+	e.ReportLoad("b-near", 60)
+	moves = e.PlanMigration(assigned)
+	if len(moves) == 0 {
+		t.Fatal("full neighbour must fall back to the cross-region helper")
+	}
+	for _, mv := range moves {
+		if mv.To != "a-far" {
+			t.Errorf("move %v ignored the only helper with room", mv)
+		}
+	}
+}

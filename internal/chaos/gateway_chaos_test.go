@@ -73,9 +73,14 @@ func TestGatewayKillUnderLoadGapOnlyResume(t *testing.T) {
 	if onVictim == "" || bystander == "" {
 		t.Fatalf("placement never spread across nodes: %v", placements)
 	}
-	_, preStandby, _, _ := g.Placement(onVictim)
-	if preStandby == "" || preStandby == victim.Name() {
-		t.Fatalf("session %s has standby %q, want a live non-victim standby", onVictim, preStandby)
+	_, preReplicas, _, _ := g.Placement(onVictim)
+	if len(preReplicas) == 0 {
+		t.Fatalf("session %s has no replicas; the kill would lose it", onVictim)
+	}
+	for _, r := range preReplicas {
+		if r == victim.Name() {
+			t.Fatalf("session %s lists its own owner %s as a replica", onVictim, r)
+		}
 	}
 	preEpoch := make(map[string]uint64, len(sessions))
 	for _, s := range sessions {
@@ -188,9 +193,15 @@ func TestGatewayKillUnderLoadGapOnlyResume(t *testing.T) {
 	defer stopSettle()
 
 	newOwner, _, _, ok := g.Placement(onVictim)
-	if !ok || newOwner != preStandby {
-		t.Fatalf("session %s landed on %q (ok=%v), want its standby %q — failover must promote the mirror, not re-place arbitrarily",
-			onVictim, newOwner, ok, preStandby)
+	wasReplica := false
+	for _, r := range preReplicas {
+		if r == newOwner {
+			wasReplica = true
+		}
+	}
+	if !ok || !wasReplica {
+		t.Fatalf("session %s landed on %q (ok=%v), want one of its pre-kill replicas %v — failover must promote a mirror, not re-place arbitrarily",
+			onVictim, newOwner, ok, preReplicas)
 	}
 	ownerNode, ok := g.Node(newOwner)
 	if !ok {
@@ -199,6 +210,17 @@ func TestGatewayKillUnderLoadGapOnlyResume(t *testing.T) {
 	promoted, ok := ownerNode.Service().Session(onVictim)
 	if !ok {
 		t.Fatalf("promoted node %s does not hold session %s", newOwner, onVictim)
+	}
+	// Most-caught-up-wins: no surviving replica may hold a version the
+	// promoted primary lacks. (The gap-only resume below enforces the
+	// same rule from the subscriber's side — a lagging promotion could
+	// not cover the reconnect's SinceVersion and would be forced into a
+	// snapshot.)
+	for name, acked := range g.ReplicaAcks(onVictim) {
+		if acked > promoted.Version() {
+			t.Errorf("replica %s acked %d but the promoted primary is at %d — promotion picked a lagging copy",
+				name, acked, promoted.Version())
+		}
 	}
 	waitFor(t, "rerouted subscriber resume", func() bool {
 		_, resumes := promoted.BootstrapStats()

@@ -1,0 +1,66 @@
+package client
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"time"
+
+	"repro/internal/uddi"
+	"repro/internal/vclock"
+)
+
+// ReplicaScanner is the slice of the UDDI replica index that
+// nearest-replica dialing needs: one query returning a session's live
+// copies, pre-sorted by topology distance from the caller's region and
+// then by caught-up-ness (*uddi.Proxy satisfies it).
+type ReplicaScanner interface {
+	QueryReplicas(session, fromRegion string, now time.Time) ([]uddi.Replica, error)
+}
+
+// NearestDialer returns a Dialer that re-queries the replica index on
+// every dial and connects to the topologically nearest live copy of
+// the session — the thin-client counterpart of the render service's
+// nearest-replica discovery. A PDA in region B bootstraps from the
+// replica next door instead of streaming the scene across the WAN, and
+// when a partition cuts off the primary, the next redial lands on a
+// surviving copy. Rows without an access point are skipped; fallback
+// (may be nil) is tried when the index has no usable rows or every
+// access point fails. connect maps an access point to a stream; nil
+// means a plain TCP dial. clock supplies the liveness timestamp for
+// TTL'd rows (nil means the real clock).
+func NearestDialer(scanner ReplicaScanner, clock vclock.Clock, session, fromRegion string, fallback Dialer, connect func(accessPoint string) (io.ReadWriteCloser, error)) Dialer {
+	if clock == nil {
+		clock = vclock.Real{}
+	}
+	if connect == nil {
+		connect = func(ap string) (io.ReadWriteCloser, error) {
+			return net.Dial("tcp", strings.TrimPrefix(ap, "tcp://"))
+		}
+	}
+	return func() (io.ReadWriteCloser, error) {
+		rows, err := scanner.QueryReplicas(session, fromRegion, clock.Now())
+		if err != nil && fallback == nil {
+			return nil, fmt.Errorf("client: replica query: %w", err)
+		}
+		var lastErr error
+		for _, rep := range rows {
+			if rep.AccessPoint == "" {
+				continue
+			}
+			rw, cerr := connect(rep.AccessPoint)
+			if cerr == nil {
+				return rw, nil
+			}
+			lastErr = cerr
+		}
+		if fallback != nil {
+			return fallback()
+		}
+		if lastErr != nil {
+			return nil, fmt.Errorf("client: every replica of %q failed: %w", session, lastErr)
+		}
+		return nil, fmt.Errorf("client: no live replicas of %q registered", session)
+	}
+}

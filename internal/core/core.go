@@ -471,6 +471,60 @@ func DataDialer(proxy *uddi.Proxy) renderservice.Dialer {
 	return DiscoverDialer(proxy, wsdl.DataServicePortType, nil)
 }
 
+// ReplicaScanner is the slice of the UDDI replica index that
+// nearest-replica discovery needs: one query returning the session's
+// live copies, pre-sorted by topology distance from the caller's
+// region and then by caught-up-ness (*uddi.Proxy satisfies it).
+type ReplicaScanner interface {
+	QueryReplicas(session, fromRegion string, now time.Time) ([]uddi.Replica, error)
+}
+
+// NearestReplicaDialer returns a dialer that re-queries the replica
+// index on every dial and connects to the topologically nearest live
+// copy of the session: in-region rows first, the most caught-up copy
+// within each distance band. This is how a read-mostly subscriber in
+// region B avoids streaming its bootstrap across the WAN when a replica
+// lives next door — and how it finds a *surviving* copy when its own
+// region's primary is cut off by a partition. Rows without an access
+// point are skipped; fallback (may be nil) is tried when the index has
+// no usable rows or every access point fails. connect maps an access
+// point to a stream; nil means a plain TCP dial. clock supplies the
+// liveness timestamp for TTL'd rows (nil means the real clock).
+func NearestReplicaDialer(scanner ReplicaScanner, clock vclock.Clock, session, fromRegion string, fallback renderservice.Dialer, connect func(accessPoint string) (io.ReadWriteCloser, error)) renderservice.Dialer {
+	if clock == nil {
+		clock = vclock.Real{}
+	}
+	if connect == nil {
+		connect = func(ap string) (io.ReadWriteCloser, error) {
+			return net.Dial("tcp", stripScheme(ap))
+		}
+	}
+	return func() (io.ReadWriteCloser, error) {
+		rows, err := scanner.QueryReplicas(session, fromRegion, clock.Now())
+		if err != nil && fallback == nil {
+			return nil, fmt.Errorf("core: replica query: %w", err)
+		}
+		var lastErr error
+		for _, rep := range rows {
+			if rep.AccessPoint == "" {
+				continue
+			}
+			rw, cerr := connect(rep.AccessPoint)
+			if cerr == nil {
+				return rw, nil
+			}
+			lastErr = cerr
+		}
+		if fallback != nil {
+			return fallback()
+		}
+		if lastErr != nil {
+			return nil, fmt.Errorf("core: every replica of %q failed: %w", session, lastErr)
+		}
+		return nil, fmt.Errorf("core: no live replicas of %q registered", session)
+	}
+}
+
 // DialThin connects a thin client to a render service address.
 func (d *Deployment) DialThin(renderAddr, user, session string) (*rthin.Thin, error) {
 	conn, err := net.Dial("tcp", stripScheme(renderAddr))

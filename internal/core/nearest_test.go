@@ -1,0 +1,98 @@
+package core
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/uddi"
+	"repro/internal/vclock"
+)
+
+// scanFunc adapts a function to ReplicaScanner.
+type scanFunc func(session, fromRegion string, now time.Time) ([]uddi.Replica, error)
+
+func (f scanFunc) QueryReplicas(session, fromRegion string, now time.Time) ([]uddi.Replica, error) {
+	return f(session, fromRegion, now)
+}
+
+// TestNearestReplicaDialerPicksFirstLiveRow: the dialer walks the
+// index's distance-sorted rows in order, skipping rows without access
+// points and dead endpoints, and re-queries on every dial.
+func TestNearestReplicaDialerPicksFirstLiveRow(t *testing.T) {
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	queries := 0
+	scanner := scanFunc(func(session, fromRegion string, now time.Time) ([]uddi.Replica, error) {
+		queries++
+		if session != "skull" || fromRegion != "eu/a" {
+			t.Errorf("query for %q from %q", session, fromRegion)
+		}
+		return []uddi.Replica{
+			{Session: "skull", Name: "no-endpoint", Region: "eu"},
+			{Session: "skull", Name: "near-dead", Region: "eu", AccessPoint: "tcp://near-dead"},
+			{Session: "skull", Name: "near-live", Region: "eu", AccessPoint: "tcp://near-live"},
+			{Session: "skull", Name: "far-live", Region: "us", AccessPoint: "tcp://far-live"},
+		}, nil
+	})
+	var tried []string
+	connect := func(ap string) (io.ReadWriteCloser, error) {
+		tried = append(tried, ap)
+		if ap == "tcp://near-dead" {
+			return nil, errors.New("connection refused")
+		}
+		c, s := net.Pipe()
+		s.Close()
+		return c, nil
+	}
+	dial := NearestReplicaDialer(scanner, clk, "skull", "eu/a", nil, connect)
+	rw, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw.Close()
+	if len(tried) != 2 || tried[0] != "tcp://near-dead" || tried[1] != "tcp://near-live" {
+		t.Fatalf("dial order %v, want near-dead then near-live (never the WAN row)", tried)
+	}
+	if _, err := dial(); err != nil {
+		t.Fatal(err)
+	}
+	if queries != 2 {
+		t.Fatalf("scanner queried %d times for 2 dials; must re-query every dial", queries)
+	}
+}
+
+// TestNearestReplicaDialerFallback: with no usable rows the fallback
+// dialer is used; without one the dial fails with a typed message.
+func TestNearestReplicaDialerFallback(t *testing.T) {
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	empty := scanFunc(func(string, string, time.Time) ([]uddi.Replica, error) { return nil, nil })
+	fallbacks := 0
+	fallback := func() (io.ReadWriteCloser, error) {
+		fallbacks++
+		c, s := net.Pipe()
+		s.Close()
+		return c, nil
+	}
+	dial := NearestReplicaDialer(empty, clk, "skull", "eu", fallback, func(string) (io.ReadWriteCloser, error) {
+		t.Fatal("connect called with no rows")
+		return nil, nil
+	})
+	if _, err := dial(); err != nil || fallbacks != 1 {
+		t.Fatalf("fallback not used: err=%v calls=%d", err, fallbacks)
+	}
+
+	bare := NearestReplicaDialer(empty, clk, "skull", "eu", nil, nil)
+	if _, err := bare(); err == nil {
+		t.Fatal("no rows and no fallback must fail the dial")
+	}
+
+	broken := scanFunc(func(string, string, time.Time) ([]uddi.Replica, error) {
+		return nil, errors.New("registry unreachable")
+	})
+	withFallback := NearestReplicaDialer(broken, clk, "skull", "eu", fallback, nil)
+	if _, err := withFallback(); err != nil || fallbacks != 2 {
+		t.Fatalf("scanner error must fall back: err=%v calls=%d", err, fallbacks)
+	}
+}

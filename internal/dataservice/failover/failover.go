@@ -56,6 +56,11 @@ type Standby struct {
 	SessionName string
 	// Name identifies this standby instance (subscriber + ack name).
 	Name string
+	// Region is the standby's locality ("region" or "region/zone"),
+	// advertised in the replication hello so the primary classifies the
+	// bootstrap snapshot as local or cross-region traffic. Empty means
+	// local.
+	Region string
 	// IdleTimeout, when non-zero and the stream supports read
 	// deadlines, bounds how long Run blocks without traffic before
 	// failing with ErrReplicationLost.
@@ -123,7 +128,8 @@ func (st *Standby) Run(ctx context.Context, rw io.ReadWriter) error {
 	}
 	st.mu.Unlock()
 	err := conn.SendJSON(transport.MsgHello, transport.Hello{
-		Role: "standby", Name: st.Name, Session: st.SessionName, SinceVersion: since,
+		Role: "standby", Name: st.Name, Session: st.SessionName,
+		SinceVersion: since, Region: st.Region,
 	})
 	if err != nil {
 		return err

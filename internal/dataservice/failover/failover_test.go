@@ -6,6 +6,7 @@ import (
 	"errors"
 	"net"
 	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -364,5 +365,113 @@ func TestMonitorIgnoresUnregisteredLease(t *testing.T) {
 	clk.Advance(time.Second)
 	if err := <-done; !errors.Is(err, context.Canceled) {
 		t.Fatalf("monitor returned %v on an unregistered lease", err)
+	}
+}
+
+// TestMonitorHandicapYieldsToFasterClaimant: a lagging standby's
+// handicap makes it wait out its version deficit before claiming, and
+// the post-wait re-check makes it stand down when a more-caught-up
+// rival claimed the succession during the wait — the mechanism that
+// turns N racing monitors into "most-caught-up replica wins".
+func TestMonitorHandicapYieldsToFasterClaimant(t *testing.T) {
+	reg := uddi.NewRegistry()
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	primary, sess, _ := primaryWithSession(t, "primary")
+
+	keeper := &Keeper{Leases: reg, Clock: clk, Service: "data:ha", Holder: "primary", Renew: time.Second}
+	if _, err := keeper.Acquire(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := &Standby{Service: dataservice.New(dataservice.Config{Name: "laggard-svc"}), SessionName: "ha", Name: "laggard"}
+	kill, _ := connectStandby(context.Background(), primary, st)
+	waitFor(t, "replication", func() bool { return st.Applied() == sess.Version() })
+	kill()
+
+	var handicaps atomic.Int32
+	mon := &Monitor{
+		Leases: reg, Clock: clk,
+		Service: "data:ha", Holder: "laggard", Poll: time.Second,
+		Standby: st,
+		Handicap: func() time.Duration {
+			handicaps.Add(1)
+			// The caught-up rival claims while we wait out the deficit.
+			// Claiming from inside the callback pins the interleaving:
+			// the rival always wins the race this test is about.
+			if _, err := reg.AcquireLease("data:ha", "rival", time.Hour, clk.Now()); err != nil {
+				t.Errorf("rival claim: %v", err)
+			}
+			return 5 * time.Second
+		},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { _, err := mon.Run(ctx); done <- err }()
+	stop := advance(clk)
+	waitFor(t, "handicap consulted", func() bool { return handicaps.Load() >= 1 })
+	// Give the monitor time to finish its wait and re-check; the rival's
+	// hour-long lease stays live, so it must keep watching, not promote.
+	waitFor(t, "lease settled on rival", func() bool {
+		l, live, err := reg.GetLease("data:ha", clk.Now())
+		return err == nil && live && l.Holder == "rival"
+	})
+	stop()
+	cancel()
+	clk.Advance(10 * time.Second)
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("handicapped monitor returned %v; must stand down to the rival", err)
+	}
+	if st.Promoted() {
+		t.Error("laggard promoted despite losing the claim race")
+	}
+	l, live, err := reg.GetLease("data:ha", clk.Now())
+	if err != nil || !live || l.Holder != "rival" {
+		t.Errorf("lease %+v live=%v err=%v, want the rival holding it", l, live, err)
+	}
+}
+
+// TestMonitorHandicapStillPromotesUnopposed: a handicap delays the
+// claim but never blocks it — with no rival, the lagging standby still
+// succeeds the dead primary after waiting out its deficit.
+func TestMonitorHandicapStillPromotesUnopposed(t *testing.T) {
+	reg := uddi.NewRegistry()
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	primary, sess, _ := primaryWithSession(t, "primary")
+
+	keeper := &Keeper{Leases: reg, Clock: clk, Service: "data:ha", Holder: "primary", Renew: time.Second}
+	if _, err := keeper.Acquire(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := &Standby{Service: dataservice.New(dataservice.Config{Name: "slow-svc"}), SessionName: "ha", Name: "slow"}
+	kill, _ := connectStandby(context.Background(), primary, st)
+	waitFor(t, "replication", func() bool { return st.Applied() == sess.Version() })
+	kill()
+
+	mon := &Monitor{
+		Leases: reg, Clock: clk,
+		Service: "data:ha", Holder: "slow", Poll: time.Second,
+		Standby:  st,
+		Handicap: func() time.Duration { return 3 * time.Second },
+	}
+	done := make(chan struct{})
+	var promo *Promotion
+	var monErr error
+	go func() { defer close(done); promo, monErr = mon.Run(context.Background()) }()
+	stop := advance(clk)
+	defer stop()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("unopposed handicapped monitor never promoted")
+	}
+	if monErr != nil {
+		t.Fatal(monErr)
+	}
+	if promo.Lease.Holder != "slow" || promo.Lease.Epoch != 2 {
+		t.Fatalf("claimed lease %+v, want slow at epoch 2", promo.Lease)
+	}
+	if !st.Promoted() {
+		t.Error("standby not promoted")
 	}
 }

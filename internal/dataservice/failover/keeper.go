@@ -123,6 +123,15 @@ type Monitor struct {
 	TTL  time.Duration
 
 	Standby *Standby
+	// Handicap, when non-nil, returns how long this monitor must wait
+	// after seeing the lease lapse before claiming it. With N standbys
+	// racing for succession, a handicap proportional to each replica's
+	// version deficit makes the most-caught-up copy claim first —
+	// locality-blind lease racing decided by data, not luck. The lease
+	// is re-checked after the wait; if a faster standby (or a recovered
+	// primary) claimed meanwhile, this monitor stands down and keeps
+	// watching.
+	Handicap func() time.Duration
 	// Reregister, when non-nil, republishes this instance's access
 	// point in UDDI after promotion so re-discovering subscribers find
 	// the new primary.
@@ -172,6 +181,22 @@ func (m *Monitor) Run(ctx context.Context) (*Promotion, error) {
 		if lease.Holder == m.Holder {
 			// Our own stale registration (e.g. restarted standby).
 			continue
+		}
+		if m.Handicap != nil {
+			if d := m.Handicap(); d > 0 {
+				select {
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				case <-m.Clock.After(d):
+				}
+				// Re-check after the wait: a less-handicapped standby
+				// (or the primary itself) may have claimed meanwhile.
+				now = m.Clock.Now()
+				lease, live, err = m.Leases.GetLease(m.Service, now)
+				if err != nil || live || lease.Service == "" || lease.Holder == m.Holder {
+					continue
+				}
+			}
 		}
 		claimed, err := m.Leases.AcquireLease(m.Service, m.Holder, ttl, now)
 		if err != nil {

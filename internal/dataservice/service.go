@@ -51,6 +51,11 @@ type VersionedSubscriber interface {
 type Config struct {
 	Name  string
 	Clock vclock.Clock
+	// Region is the service's locality ("region" or "region/zone").
+	// Bootstrap transfers to a subscriber in another region are counted
+	// on the cross-region bootstrap-bytes series; empty means the
+	// single-site deployment the paper ran, where everything is local.
+	Region string
 	// Hedge sets the deployment-wide defaults for hedged tile
 	// rendering (frame deadline and hedge delay); zero fields fall
 	// back to the package defaults documented on HedgeConfig.
@@ -90,6 +95,9 @@ func (s *Service) Telemetry() *telemetry.Registry { return s.cfg.Metrics }
 
 // Name returns the service name.
 func (s *Service) Name() string { return s.cfg.Name }
+
+// Region returns the service's configured locality (possibly empty).
+func (s *Service) Region() string { return s.cfg.Region }
 
 // Session is one hosted collaborative session: the authoritative scene,
 // the shared camera, the subscriber set and the audit recorder.
@@ -453,6 +461,14 @@ type ReplayOp struct {
 // The returned version is the authoritative version the subscriber will
 // be at after applying what it was given.
 func (sess *Session) SubscribeSince(name string, sub Subscriber, since uint64) (ops []ReplayOp, snapshot *scene.Scene, version uint64, err error) {
+	return sess.subscribeSince(name, sub, since, true)
+}
+
+// subscribeSince implements SubscribeSince; count selects whether the
+// bootstrap lands in BootstrapStats. Client-facing paths count;
+// replica seeding (the Mirror) does not, so the stats stay a pure
+// client-visible observable the chaos tests can assert exactly.
+func (sess *Session) subscribeSince(name string, sub Subscriber, since uint64, count bool) (ops []ReplayOp, snapshot *scene.Scene, version uint64, err error) {
 	if name == "" {
 		return nil, nil, 0, fmt.Errorf("dataservice: subscriber name required")
 	}
@@ -466,14 +482,18 @@ func (sess *Session) SubscribeSince(name string, sub Subscriber, since uint64) (
 	// since == 0 means "no replica": always a full bootstrap.
 	if since > 0 && since <= version {
 		if tail, ok := sess.history.since(since, version); ok {
-			sess.resumesServed++
+			if count {
+				sess.resumesServed++
+			}
 			for _, h := range tail {
 				ops = append(ops, ReplayOp{Version: h.version, Op: h.op})
 			}
 			return ops, nil, version, nil
 		}
 	}
-	sess.snapshotsServed++
+	if count {
+		sess.snapshotsServed++
+	}
 	return nil, sess.scene.Clone(), version, nil
 }
 
@@ -618,6 +638,7 @@ func (s *Service) ServeConn(rw io.ReadWriter) error {
 		if err := marshal.WriteScene(&buf, snapshot); err != nil {
 			return err
 		}
+		sess.noteBootstrapBytes(int64(buf.Len()), hello.Region)
 		if err := conn.Send(transport.MsgSceneSnapshot, buf.Bytes()); err != nil {
 			return err
 		}
@@ -697,6 +718,7 @@ func (s *Service) ServeConn(rw io.ReadWriter) error {
 			if err := marshal.WriteScene(&buf, sess.Snapshot()); err != nil {
 				return err
 			}
+			sess.noteBootstrapBytes(int64(buf.Len()), hello.Region)
 			if err := conn.Send(transport.MsgSceneSnapshot, buf.Bytes()); err != nil {
 				return err
 			}

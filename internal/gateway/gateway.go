@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/dataservice"
+	"repro/internal/netsim"
 	"repro/internal/telemetry"
 	"repro/internal/uddi"
 	"repro/internal/vclock"
@@ -64,6 +65,15 @@ type Config struct {
 	// Replicas is the ring's virtual-node count per member
 	// (0 = DefaultRingReplicas).
 	Replicas int
+	// ReplicationFactor is how many replica copies each session keeps
+	// beside its primary (0 = 1, PR 6's single ring-successor standby).
+	ReplicationFactor int
+	// Region is the gateway's own locality, the reference point for
+	// reachability checks against Topology.
+	Region string
+	// Topology is the fleet's shared region map; nil means the flat
+	// single-site fleet where every node is always reachable.
+	Topology *netsim.Topology
 	// QueueDepth bounds concurrently admitted dispatches
 	// (0 = DefaultQueueDepth).
 	QueueDepth int
@@ -99,25 +109,30 @@ type Result struct {
 }
 
 // placement is one session's routing entry: the owning node, the lease
-// epoch that ownership is stamped with, and the standby mirror at the
-// session's ring successor.
+// epoch that ownership is stamped with, and the session's replica set —
+// N mirrors at region-spread ring successors.
 type placement struct {
-	session string
-	tenant  string
-	owner   string
-	epoch   uint64
-	standby string
-	mirror  *dataservice.Mirror
+	session  string
+	tenant   string
+	owner    string
+	epoch    uint64
+	replicas *dataservice.ReplicaSet
+	// seeded flips once the replica set first reaches the target
+	// factor; attaches after that are re-replication (replacing a lost
+	// copy) and counted as such.
+	seeded bool
 }
 
 // Gateway is the session-sharded front door: thin clients address
 // sessions, the gateway addresses nodes. Placement is consistent
 // hashing over the fleet; every ownership change round-trips through a
 // UDDI lease transfer (epoch bump) before the new owner serves, so a
-// deposed node can never split a session; every session keeps a live
-// mirror at its ring successor — exactly the node consistent hashing
-// will fail it over to — so a node kill promotes locally with the
-// op-history ring intact and subscribers resume gap-only.
+// deposed node can never split a session. Each session keeps a replica
+// set of live mirrors at its ring successors, spread across regions
+// when the fleet has them, so a node kill — or a whole region dropping
+// off the map — promotes the most-caught-up reachable copy (in-region
+// preferred) with the op-history ring intact, and subscribers resume
+// gap-only.
 type Gateway struct {
 	cfg Config
 	adm *admission
@@ -145,6 +160,9 @@ func New(cfg Config) (*Gateway, error) {
 	if cfg.LeaseTTL <= 0 {
 		cfg.LeaseTTL = DefaultLeaseTTL
 	}
+	if cfg.ReplicationFactor <= 0 {
+		cfg.ReplicationFactor = 1
+	}
 	return &Gateway{
 		cfg:        cfg,
 		adm:        newAdmission(cfg.Name, cfg.QueueDepth, cfg.Clock, cfg.Metrics),
@@ -159,6 +177,35 @@ func (g *Gateway) Telemetry() *telemetry.Registry { return g.cfg.Metrics }
 
 // leaseService maps a session name to its UDDI lease row.
 func leaseService(session string) string { return LeaseServicePrefix + session }
+
+// crossRegion reports whether two localities sit in different regions.
+// Empty localities are local — a flat fleet has no cross traffic.
+func crossRegion(a, b string) bool {
+	if a == "" || b == "" {
+		return false
+	}
+	return netsim.Class(netsim.ParseLocality(a), netsim.ParseLocality(b)) == netsim.LinkWAN
+}
+
+// reachableLocked reports whether the gateway can currently reach the
+// node across the topology (always true on a flat fleet). Callers hold
+// g.mu.
+func (g *Gateway) reachableLocked(n *Node) bool {
+	if g.cfg.Topology == nil {
+		return true
+	}
+	return g.cfg.Topology.Reachable(netsim.ParseLocality(g.cfg.Region), netsim.ParseLocality(n.Region()))
+}
+
+// servableLocked reports whether the named node can serve requests
+// routed by this gateway: joined, alive, and on this side of any
+// partition. An unreachable node is handled exactly like a dead one —
+// the difference only matters at heal time, when its state is still
+// there to resume from. Callers hold g.mu.
+func (g *Gateway) servableLocked(name string) bool {
+	n := g.nodes[name]
+	return n != nil && n.Alive() && g.reachableLocked(n)
+}
 
 // AddNode joins a node to the fleet and rebalances: consistent hashing
 // moves ~1/N of the sessions onto it, each move lease-stamped.
@@ -175,10 +222,10 @@ func (g *Gateway) AddNode(n *Node) error {
 }
 
 // NodeDown removes a node from the placement ring and rebalances its
-// sessions away (promoting their standby mirrors when the node is
-// dead). Dispatch also self-heals — a failed call to a killed node
-// triggers the same path — so calling NodeDown is an optimization, not
-// a correctness requirement.
+// sessions away (promoting their replicas when the node is dead).
+// Dispatch also self-heals — a failed call to a killed node triggers
+// the same path — so calling NodeDown is an optimization, not a
+// correctness requirement.
 func (g *Gateway) NodeDown(name string) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -186,6 +233,38 @@ func (g *Gateway) NodeDown(name string) {
 		return
 	}
 	g.ring.Remove(name)
+	g.rebalanceLocked()
+}
+
+// NodeUp re-admits a previously removed node — a healed partition or a
+// restarted host rejoining the ring. Sessions whose ring placement
+// points at it migrate back via planned moves, which adopt any copy the
+// node still holds gap-only. Unknown or dead nodes are ignored.
+func (g *Gateway) NodeUp(name string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.servableLocked(name) || g.ring.Has(name) {
+		return
+	}
+	g.ring.Add(name)
+	g.rebalanceLocked()
+}
+
+// TopologyChanged re-derives ring membership from current liveness and
+// reachability — the hook a partition or heal event drives. Nodes that
+// became unreachable leave the ring (their sessions promote onto
+// surviving replicas); nodes that became reachable again rejoin and
+// catch up gap-only through the rebalance.
+func (g *Gateway) TopologyChanged() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for name := range g.nodes {
+		if g.servableLocked(name) {
+			g.ring.Add(name)
+		} else {
+			g.ring.Remove(name)
+		}
+	}
 	g.rebalanceLocked()
 }
 
@@ -211,8 +290,8 @@ func (g *Gateway) Nodes() []string {
 }
 
 // OpenSession places a new session for a tenant: ownership goes to the
-// ring owner (lease-stamped), and a standby mirror is seeded at the
-// ring successor.
+// ring owner (lease-stamped), and the replica set is seeded at the
+// region-spread ring successors.
 func (g *Gateway) OpenSession(tenant, session string) error {
 	if tenant == "" || session == "" {
 		return fmt.Errorf("gateway: tenant and session required")
@@ -227,10 +306,10 @@ func (g *Gateway) OpenSession(tenant, session string) error {
 	if !ok {
 		return fmt.Errorf("gateway: no nodes joined")
 	}
-	node := g.nodes[owner]
-	if node == nil || !node.Alive() {
+	if !g.servableLocked(owner) {
 		return fmt.Errorf("gateway: ring owner %q not serving", owner)
 	}
+	node := g.nodes[owner]
 	lease, err := g.cfg.Leases.TransferLease(leaseService(session), owner, g.cfg.LeaseTTL, g.cfg.Clock.Now())
 	if err != nil {
 		return fmt.Errorf("gateway: lease session %q: %w", session, err)
@@ -241,21 +320,40 @@ func (g *Gateway) OpenSession(tenant, session string) error {
 	node.StampEpoch(session, lease.Epoch)
 	p := &placement{session: session, tenant: tenant, owner: owner, epoch: lease.Epoch}
 	g.placements[session] = p
-	g.ensureStandbyLocked(p)
+	g.ensureReplicasLocked(p)
 	g.cfg.Metrics.Gauge(g.cfg.Name, "sessions_open", "").Set(int64(len(g.placements)))
 	return nil
 }
 
-// Placement reports a session's current routing entry (for tests and
-// the route-query protocol).
-func (g *Gateway) Placement(session string) (owner, standby string, epoch uint64, ok bool) {
+// Placement reports a session's current routing entry: the owner, the
+// attached replica holders in attach order, and the ownership epoch.
+func (g *Gateway) Placement(session string) (owner string, replicas []string, epoch uint64, ok bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	p, ok := g.placements[session]
 	if !ok {
-		return "", "", 0, false
+		return "", nil, 0, false
 	}
-	return p.owner, p.standby, p.epoch, true
+	if p.replicas != nil {
+		replicas = p.replicas.Names()
+	}
+	return p.owner, replicas, p.epoch, true
+}
+
+// ReplicaAcks reports each attached replica's applied-through version
+// for a session (the replication-lag observable).
+func (g *Gateway) ReplicaAcks(session string) map[string]uint64 {
+	g.mu.Lock()
+	p, ok := g.placements[session]
+	var rs *dataservice.ReplicaSet
+	if ok {
+		rs = p.replicas
+	}
+	g.mu.Unlock()
+	if rs == nil {
+		return nil
+	}
+	return rs.Acked()
 }
 
 // Placements returns the owner of every open session (for balance
@@ -271,26 +369,26 @@ func (g *Gateway) Placements() map[string]string {
 }
 
 // Route resolves a session to its live owning node and lease epoch,
-// self-healing placement if the recorded owner has died. Socket-serving
-// front ends use this to pick the data service a thin client should
-// stream from.
+// self-healing placement if the recorded owner has died or dropped off
+// the reachable side of a partition. Socket-serving front ends use this
+// to pick the data service a thin client should stream from.
 func (g *Gateway) Route(session string) (*Node, uint64, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.routeHealthyLocked(session)
 }
 
-// routeHealthyLocked returns the session's owner if alive; if the
-// owner has died it removes it from the ring, rebalances (promoting
-// mirrors), and returns the new owner. Callers hold g.mu.
+// routeHealthyLocked returns the session's owner if servable; if the
+// owner has died (or a partition cut it off) it removes it from the
+// ring, rebalances (promoting replicas), and returns the new owner.
+// Callers hold g.mu.
 func (g *Gateway) routeHealthyLocked(session string) (*Node, uint64, error) {
 	p, ok := g.placements[session]
 	if !ok {
 		return nil, 0, fmt.Errorf("gateway: unknown session %q", session)
 	}
-	node := g.nodes[p.owner]
-	if node != nil && node.Alive() {
-		return node, p.epoch, nil
+	if g.servableLocked(p.owner) {
+		return g.nodes[p.owner], p.epoch, nil
 	}
 	// The recorded owner is gone: heal the ring and re-place. This is
 	// the detection path when nobody called NodeDown — the first
@@ -299,11 +397,10 @@ func (g *Gateway) routeHealthyLocked(session string) (*Node, uint64, error) {
 		g.ring.Remove(p.owner)
 		g.rebalanceLocked()
 	}
-	node = g.nodes[p.owner]
-	if node == nil || !node.Alive() {
+	if !g.servableLocked(p.owner) {
 		return nil, 0, fmt.Errorf("gateway: no live node for session %q", session)
 	}
-	return node, p.epoch, nil
+	return g.nodes[p.owner], p.epoch, nil
 }
 
 // Dispatch routes one request to the session's owning node, reserving
@@ -383,12 +480,13 @@ func (a *admission) retryAfter() time.Duration {
 	return a.retryAfterLocked()
 }
 
-// rebalanceLocked re-derives every session's desired owner from the
-// ring and moves the strays: lease transfer first (epoch bump), then
-// state handoff — mirror promotion when the new owner is the standby
-// (the common case, by ring-successor construction), snapshot install
-// otherwise — then standby re-seeding at the new ring successor.
-// Callers hold g.mu.
+// rebalanceLocked re-derives every session's desired owner and moves
+// the strays: lease transfer first (epoch bump), then state handoff.
+// When a session's owner is dead or unreachable, the desired owner is
+// not the bare ring successor but the *most-caught-up servable replica*
+// (in-region preferred) — on a flat single-region fleet the two
+// coincide, because replicas sit at ring successors and stay fully
+// caught up. Callers hold g.mu.
 func (g *Gateway) rebalanceLocked() {
 	sessions := make([]string, 0, len(g.placements))
 	for s := range g.placements {
@@ -398,18 +496,29 @@ func (g *Gateway) rebalanceLocked() {
 	moved := 0
 	for _, s := range sessions {
 		p := g.placements[s]
-		owner, ok := g.ring.Owner(s)
+		desired, ok := g.ring.Owner(s)
 		if !ok {
 			continue // no members: placements freeze until a node joins
 		}
-		if owner != p.owner {
-			if err := g.movePlacementLocked(p, owner); err != nil {
+		if !g.servableLocked(p.owner) && p.replicas != nil {
+			prefer := g.cfg.Region
+			if old := g.nodes[p.owner]; old != nil {
+				prefer = old.Region()
+			}
+			if best, bok := p.replicas.Best(prefer, func(name string) bool {
+				return g.servableLocked(name)
+			}); bok {
+				desired = best
+			}
+		}
+		if desired != p.owner {
+			if err := g.movePlacementLocked(p, desired); err != nil {
 				g.cfg.Metrics.Counter(g.cfg.Name, "rebalance_errors_total", "").Inc()
 				continue
 			}
 			moved++
 		}
-		g.ensureStandbyLocked(p)
+		g.ensureReplicasLocked(p)
 	}
 	if moved > 0 {
 		g.cfg.Metrics.Counter(g.cfg.Name, "sessions_rebalanced_total", "").Add(int64(moved))
@@ -432,132 +541,253 @@ func (g *Gateway) observeOwnershipLocked() {
 // movePlacementLocked transfers one session to a new owner. Order
 // matters: the lease transfer commits the move (epoch bump) before any
 // state lands on the target, so even a crash mid-move cannot leave two
-// nodes both believing they own the epoch. Callers hold g.mu.
+// nodes both believing they own the epoch. State handoff prefers the
+// cheapest path that preserves the op-history ring: promote the
+// target's own replica when it has one, otherwise adopt whatever stale
+// copy the target holds gap-only, falling back to a snapshot only when
+// the history cannot cover the gap. Callers hold g.mu.
 func (g *Gateway) movePlacementLocked(p *placement, to string) error {
-	newNode := g.nodes[to]
-	if newNode == nil || !newNode.Alive() {
+	if !g.servableLocked(to) {
 		return fmt.Errorf("gateway: move target %q not serving", to)
 	}
+	newNode := g.nodes[to]
 	lease, err := g.cfg.Leases.TransferLease(leaseService(p.session), to, g.cfg.LeaseTTL, g.cfg.Clock.Now())
 	if err != nil {
 		return fmt.Errorf("gateway: lease transfer %q -> %q: %w", p.session, to, err)
 	}
 	oldNode := g.nodes[p.owner]
+	oldServable := g.servableLocked(p.owner)
 	switch {
-	case p.mirror != nil && p.standby == to:
-		// The target already follows the session as its standby
-		// mirror: promote. The backup session keeps the op-history
+	case p.replicas != nil && p.replicas.Has(to):
+		// The target already follows the session in the replica set:
+		// promote its mirror. The backup session keeps the op-history
 		// ring it accumulated while mirroring, so reconnecting
 		// subscribers resume gap-only instead of re-snapshotting.
-		if _, perr := p.mirror.Promote(); perr != nil {
+		m, _ := p.replicas.Take(to)
+		if _, perr := m.Promote(); perr != nil {
 			return perr
 		}
 		g.cfg.Metrics.Counter(g.cfg.Name, "promotions_total", "").Inc()
-	case oldNode != nil && oldNode.Alive():
-		// Planned move to a non-standby node: snapshot handoff.
+		// The remaining members still follow the deposed primary;
+		// detach them (their copies freeze) and let ensureReplicas
+		// re-attach them to the new primary gap-only.
+		p.replicas.DetachAll()
+		p.replicas = nil
+		p.seeded = false
+	case oldServable:
+		// Planned move off a live owner: mirror-adopt onto the target —
+		// gap-only when the target still holds a resumable copy, full
+		// snapshot otherwise — then promote immediately.
 		oldSess, ok := oldNode.svc.Session(p.session)
 		if !ok {
 			return fmt.Errorf("gateway: session %q missing on owner %q", p.session, p.owner)
 		}
-		newNode.svc.RemoveSession(p.session)
-		ns, cerr := newNode.svc.CreateSession(p.session)
-		if cerr != nil {
-			return cerr
+		m, _, merr := dataservice.MirrorSessionSince(oldSess, newNode.svc)
+		if merr != nil {
+			return merr
 		}
-		ns.InstallScene(oldSess.Snapshot())
-		if cerr := ns.SetCamera(oldSess.Camera(), ""); cerr != nil {
-			return cerr
+		if _, perr := m.Promote(); perr != nil {
+			return perr
 		}
-	case p.mirror != nil:
-		// Owner dead and the target is not the standby (several
-		// membership changes landed at once): promote on the standby,
-		// then hand a snapshot to the real target.
-		promoted, perr := p.mirror.Promote()
+	case p.replicas != nil:
+		// Owner dead and the target holds no replica (several
+		// membership changes landed at once): promote the best
+		// surviving copy, then hand the target its state.
+		best, bok := p.replicas.Best(newNode.Region(), func(name string) bool {
+			return g.servableLocked(name)
+		})
+		if !bok {
+			p.replicas.DetachAll()
+			p.replicas = nil
+			p.seeded = false
+			return g.reopenLostLocked(p, newNode, lease.Epoch, to)
+		}
+		m, _ := p.replicas.Take(best)
+		promoted, perr := m.Promote()
 		if perr != nil {
 			return perr
 		}
-		newNode.svc.RemoveSession(p.session)
-		ns, cerr := newNode.svc.CreateSession(p.session)
-		if cerr != nil {
-			return cerr
+		g.cfg.Metrics.Counter(g.cfg.Name, "promotions_total", "").Inc()
+		p.replicas.DetachAll()
+		p.replicas = nil
+		p.seeded = false
+		m2, _, merr := dataservice.MirrorSessionSince(promoted, newNode.svc)
+		if merr != nil {
+			return merr
 		}
-		ns.InstallScene(promoted.Snapshot())
-		if cerr := ns.SetCamera(promoted.Camera(), ""); cerr != nil {
-			return cerr
-		}
-		if sn := g.nodes[p.standby]; sn != nil {
-			sn.DropSession(p.session)
+		if _, perr := m2.Promote(); perr != nil {
+			return perr
 		}
 	default:
-		// Owner dead with no standby (the fleet had a single node):
-		// the scene state is gone. Re-open empty rather than wedge the
-		// session forever, and account for the loss.
-		newNode.svc.RemoveSession(p.session)
-		if _, cerr := newNode.svc.CreateSession(p.session); cerr != nil {
-			return cerr
-		}
-		g.cfg.Metrics.Counter(g.cfg.Name, "sessions_lost_total", "").Inc()
+		// Owner dead with no replicas (single-node fleet): the scene
+		// state is gone. Re-open empty rather than wedge the session
+		// forever, and account for the loss.
+		return g.reopenLostLocked(p, newNode, lease.Epoch, to)
 	}
-	if oldNode != nil && oldNode.Alive() && p.owner != to {
-		oldNode.DropSession(p.session)
-	}
+	prevOwner := p.owner
 	newNode.StampEpoch(p.session, lease.Epoch)
 	p.owner = to
 	p.epoch = lease.Epoch
-	p.mirror = nil
-	p.standby = ""
+	if oldNode != nil && prevOwner != to && oldServable {
+		// A live owner was drained deliberately. If it is about to come
+		// straight back as a replica target (a heal moving the session
+		// home demotes the partition-era primary to its cross-region
+		// copy), keep its state and only release the epoch stamp —
+		// ensureReplicas re-attaches the copy gap-only instead of
+		// re-seeding a snapshot over the WAN. Otherwise drop the copy.
+		// A dead or partitioned owner is left untouched either way: we
+		// cannot reach it, and the copy it strands is exactly what a
+		// post-heal rebalance resumes from.
+		keep := false
+		for _, tgt := range g.replicaTargetsLocked(p) {
+			if tgt == prevOwner {
+				keep = true
+			}
+		}
+		if keep {
+			oldNode.StampEpoch(p.session, 0)
+		} else {
+			oldNode.DropSession(p.session)
+		}
+	}
 	return nil
 }
 
-// ensureStandbyLocked keeps the session's mirror at its current ring
-// successor — the node a failure would move it to — tearing down a
-// mirror that points anywhere else. Callers hold g.mu.
-func (g *Gateway) ensureStandbyLocked(p *placement) {
-	_, standby, ok := g.ring.OwnerAndStandby(p.session)
-	if !ok {
-		return
+// reopenLostLocked re-creates a session whose every copy is gone —
+// empty, accounted as lost. Callers hold g.mu.
+func (g *Gateway) reopenLostLocked(p *placement, newNode *Node, epoch uint64, to string) error {
+	newNode.svc.RemoveSession(p.session)
+	if _, cerr := newNode.svc.CreateSession(p.session); cerr != nil {
+		return cerr
 	}
-	if standby == p.owner {
-		standby = ""
+	g.cfg.Metrics.Counter(g.cfg.Name, "sessions_lost_total", "").Inc()
+	newNode.StampEpoch(p.session, epoch)
+	p.owner = to
+	p.epoch = epoch
+	return nil
+}
+
+// replicaTargetsLocked picks the session's desired replica holders:
+// the first ReplicationFactor distinct servable ring successors, with
+// region spread forced when the fleet has regions — the walk's first
+// in-owner-region candidate and first out-of-region candidate are
+// always included (when they exist), so a session survives both a node
+// loss and a whole-region loss. On a flat fleet this degenerates to
+// the plain successor walk, whose first entry is PR 6's standby.
+// Callers hold g.mu.
+func (g *Gateway) replicaTargetsLocked(p *placement) []string {
+	factor := g.cfg.ReplicationFactor
+	ownerRegion := ""
+	if n := g.nodes[p.owner]; n != nil {
+		ownerRegion = n.Region()
 	}
-	if standby != "" && standby == p.standby && p.mirror != nil && p.mirror.Err() == nil {
-		if sn := g.nodes[standby]; sn != nil && sn.Alive() {
-			return // mirror already where it belongs
+	var cands []string
+	for _, m := range g.ring.Successors(p.session, len(g.nodes)) {
+		if m != p.owner && g.servableLocked(m) {
+			cands = append(cands, m)
 		}
 	}
-	if p.mirror != nil {
-		// Detach the stale mirror (Promote just unsubscribes; we
-		// discard the returned session) and drop the orphan copy.
-		if _, err := p.mirror.Promote(); err == nil {
-			if sn := g.nodes[p.standby]; sn != nil {
-				sn.svc.RemoveSession(p.session)
+	if len(cands) <= factor {
+		return cands
+	}
+	firstIn, firstOut := "", ""
+	for _, c := range cands {
+		if crossRegion(ownerRegion, g.nodes[c].Region()) {
+			if firstOut == "" {
+				firstOut = c
 			}
+		} else if firstIn == "" {
+			firstIn = c
 		}
-		p.mirror = nil
-		p.standby = ""
 	}
-	if standby == "" {
+	picked := make([]string, 0, factor)
+	chosen := map[string]bool{}
+	for _, guaranteed := range []string{firstIn, firstOut} {
+		if guaranteed != "" && len(picked) < factor && !chosen[guaranteed] {
+			picked = append(picked, guaranteed)
+			chosen[guaranteed] = true
+		}
+	}
+	for _, c := range cands {
+		if len(picked) >= factor {
+			break
+		}
+		if !chosen[c] {
+			picked = append(picked, c)
+			chosen[c] = true
+		}
+	}
+	return picked
+}
+
+// ensureReplicasLocked converges the session's replica set on its
+// desired targets: detach members that died, dropped off the reachable
+// side, or are no longer wanted; attach the missing ones, resuming
+// gap-only from any copy the target still holds. Attaches after the
+// set first reached full strength count as re-replication. Callers
+// hold g.mu.
+func (g *Gateway) ensureReplicasLocked(p *placement) {
+	if !g.servableLocked(p.owner) {
 		return
 	}
-	sNode := g.nodes[standby]
-	if sNode == nil || !sNode.Alive() {
-		return
-	}
-	ownerNode := g.nodes[p.owner]
-	if ownerNode == nil || !ownerNode.Alive() {
-		return
-	}
-	primary, ok := ownerNode.svc.Session(p.session)
+	primary, ok := g.nodes[p.owner].svc.Session(p.session)
 	if !ok {
 		return
 	}
-	sNode.svc.RemoveSession(p.session)
-	m, err := dataservice.MirrorSession(primary, sNode.svc)
-	if err != nil {
-		g.cfg.Metrics.Counter(g.cfg.Name, "mirror_errors_total", "").Inc()
+	if p.replicas == nil || p.replicas.Primary() != primary {
+		if p.replicas != nil {
+			p.replicas.DetachAll()
+		}
+		p.replicas = dataservice.NewReplicaSet(primary)
+		p.seeded = false
+	}
+	targets := g.replicaTargetsLocked(p)
+	want := make(map[string]bool, len(targets))
+	for _, tgt := range targets {
+		want[tgt] = true
+	}
+	for _, name := range p.replicas.Names() {
+		if !want[name] || !g.servableLocked(name) {
+			p.replicas.Detach(name)
+		}
+	}
+	for _, tgt := range targets {
+		if p.replicas.Has(tgt) {
+			continue
+		}
+		node := g.nodes[tgt]
+		if _, err := p.replicas.Attach(tgt, node.Region(), node.svc); err != nil {
+			g.cfg.Metrics.Counter(g.cfg.Name, "mirror_errors_total", "").Inc()
+			continue
+		}
+		// A rejoining node may still carry an epoch stamp from a
+		// primaryship it held before a partition; clear it so only the
+		// current owner can serve dispatches for the session.
+		node.StampEpoch(p.session, 0)
+		g.cfg.Metrics.Counter(g.cfg.Name, "mirror_seeds_total", "").Inc()
+		if p.seeded {
+			g.cfg.Metrics.Counter(g.cfg.Name, "rereplications_total", "").Inc()
+		}
+	}
+	if !p.seeded && p.replicas.Size() >= len(targets) && len(targets) > 0 {
+		p.seeded = true
+	}
+	g.observeReplicationLocked(p, primary)
+}
+
+// observeReplicationLocked publishes each replica's version delta
+// behind the primary as the per-node replication-lag gauge. Callers
+// hold g.mu.
+func (g *Gateway) observeReplicationLocked(p *placement, primary *dataservice.Session) {
+	if p.replicas == nil {
 		return
 	}
-	p.mirror = m
-	p.standby = standby
-	g.cfg.Metrics.Counter(g.cfg.Name, "mirror_seeds_total", "").Inc()
+	version := primary.Version()
+	for name, acked := range p.replicas.Acked() {
+		lag := int64(0)
+		if version > acked {
+			lag = int64(version - acked)
+		}
+		g.cfg.Metrics.Gauge(g.cfg.Name, "replication_lag", telemetry.PeerLabel(name)).Set(lag)
+	}
 }

@@ -68,10 +68,11 @@ func TestOpenSessionPlacesLeasesAndMirrors(t *testing.T) {
 	if err := gw.OpenSession("tenant-a", "alpha"); err != nil {
 		t.Fatal(err)
 	}
-	owner, standby, epoch, ok := gw.Placement("alpha")
-	if !ok || owner == "" || standby == "" || owner == standby {
-		t.Fatalf("placement: owner %q standby %q ok=%v", owner, standby, ok)
+	owner, replicas, epoch, ok := gw.Placement("alpha")
+	if !ok || owner == "" || len(replicas) == 0 || replicas[0] == owner {
+		t.Fatalf("placement: owner %q replicas %v ok=%v", owner, replicas, ok)
 	}
+	standby := replicas[0]
 	if epoch != 1 {
 		t.Errorf("fresh session epoch = %d, want 1", epoch)
 	}
@@ -262,8 +263,11 @@ func TestKillPromotesStandby(t *testing.T) {
 	preStandby := map[string]string{}
 	for i := 0; i < sessions; i++ {
 		s := fmt.Sprintf("sess-%02d", i)
-		owner, standby, _, _ := gw.Placement(s)
-		preOwner[s], preStandby[s] = owner, standby
+		owner, reps, _, _ := gw.Placement(s)
+		preOwner[s] = owner
+		if len(reps) > 0 {
+			preStandby[s] = reps[0]
+		}
 		if victim == "" {
 			victim = owner
 		}
@@ -335,7 +339,11 @@ func TestNodeDownPlannedDrain(t *testing.T) {
 	preStandby := map[string]string{}
 	for i := 0; i < sessions; i++ {
 		s := fmt.Sprintf("sess-%02d", i)
-		preOwner[s], preStandby[s], _, _ = gw.Placement(s)
+		owner, reps, _, _ := gw.Placement(s)
+		preOwner[s] = owner
+		if len(reps) > 0 {
+			preStandby[s] = reps[0]
+		}
 	}
 	victim := preOwner["sess-00"]
 	gw.NodeDown(victim)
@@ -427,7 +435,11 @@ func TestEpochFencesDeposedNode(t *testing.T) {
 	if err := gw.OpenSession("t", "s"); err != nil {
 		t.Fatal(err)
 	}
-	owner, standby, epoch, _ := gw.Placement("s")
+	owner, replicas, epoch, _ := gw.Placement("s")
+	if len(replicas) == 0 {
+		t.Fatal("two-node fleet must have a standby replica")
+	}
+	standby := replicas[0]
 	stop := pace(clk)
 	defer stop()
 	old, _ := gw.Node(owner)

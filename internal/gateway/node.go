@@ -43,6 +43,9 @@ var errNoCapacity = errors.New("gateway: no render capacity")
 type NodeConfig struct {
 	// Name identifies the node on the ring and in lease holder fields.
 	Name string
+	// Region is the node's locality ("region" or "region/zone"); empty
+	// means the flat single-site fleet of earlier PRs.
+	Region string
 	// Clock drives modeled costs; required for deterministic runs.
 	Clock vclock.Clock
 	// Metrics receives node telemetry; a fleet shares one registry.
@@ -67,6 +70,7 @@ type NodeConfig struct {
 // perf model uses rather than from wall-clock noise.
 type Node struct {
 	name       string
+	region     string
 	svc        *dataservice.Service
 	clock      vclock.Clock
 	metrics    *telemetry.Registry
@@ -99,9 +103,11 @@ func NewNode(cfg NodeConfig) *Node {
 		cfg.OpCost = DefaultOpCost
 	}
 	return &Node{
-		name: cfg.Name,
+		name:   cfg.Name,
+		region: cfg.Region,
 		svc: dataservice.New(dataservice.Config{
 			Name:    cfg.Name,
+			Region:  cfg.Region,
 			Clock:   cfg.Clock,
 			Metrics: cfg.Metrics,
 		}),
@@ -117,6 +123,9 @@ func NewNode(cfg NodeConfig) *Node {
 
 // Name returns the node's fleet name.
 func (n *Node) Name() string { return n.name }
+
+// Region returns the node's configured locality (possibly empty).
+func (n *Node) Region() string { return n.region }
 
 // Service exposes the underlying data service (socket serving, mirror
 // attachment).

@@ -172,6 +172,30 @@ func (r *Ring) OwnerAndStandby(key string) (owner, standby string, ok bool) {
 	return owner, "", true
 }
 
+// Successors returns up to k distinct members clockwise from the key's
+// owning vnode, excluding the owner itself, in ring-walk order. The
+// first entry is exactly OwnerAndStandby's standby; the full walk is
+// the deterministic candidate order N-way replica placement draws from.
+func (r *Ring) Successors(key string, k int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	i, ok := r.ownerIndexLocked(key)
+	if !ok || k <= 0 {
+		return nil
+	}
+	owner := r.points[i].member
+	seen := map[string]bool{owner: true}
+	var out []string
+	n := len(r.points)
+	for step := 1; step < n && len(out) < k; step++ {
+		if m := r.points[(i+step)%n].member; !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
 // ownerIndexLocked finds the owning vnode's index. Callers hold r.mu.
 func (r *Ring) ownerIndexLocked(key string) (int, bool) {
 	if len(r.points) == 0 {

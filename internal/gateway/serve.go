@@ -25,12 +25,15 @@ func (g *Gateway) ServeRoute(rw io.ReadWriter, accessPoint func(node string) str
 		if err != nil {
 			return transport.RouteInfo{}, err
 		}
-		_, standby, _, _ := g.Placement(session)
+		_, replicas, _, _ := g.Placement(session)
 		info := transport.RouteInfo{
-			Session: session,
-			Node:    node.Name(),
-			Epoch:   epoch,
-			Standby: standby,
+			Session:  session,
+			Node:     node.Name(),
+			Epoch:    epoch,
+			Replicas: replicas,
+		}
+		if len(replicas) > 0 {
+			info.Standby = replicas[0]
 		}
 		if accessPoint != nil {
 			info.AccessPoint = accessPoint(node.Name())

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/gateway"
+	"repro/internal/netsim"
 	"repro/internal/telemetry"
 	"repro/internal/uddi"
 	"repro/internal/vclock"
@@ -53,6 +54,66 @@ type Scenario struct {
 	// virtual offset into the run — without telling the gateway, which
 	// must discover the death from failed dispatches.
 	KillNodeAt time.Duration `json:"kill_node_at_ns,omitempty"`
+
+	// Regions, when non-empty, spreads the fleet across named regions
+	// round-robin on a shared topology; the gateway sits in the first.
+	// Empty keeps the flat single-site fleet of earlier PRs.
+	Regions []string `json:"regions,omitempty"`
+	// Replicas is the per-session replication factor (0 = 1, the single
+	// ring-successor standby).
+	Replicas int `json:"replicas,omitempty"`
+	// PartitionAt, when positive, cuts the last named region off from
+	// the rest of the topology at that virtual offset: the gateway side
+	// keeps serving, the cut side goes dark until HealAt.
+	PartitionAt time.Duration `json:"partition_at_ns,omitempty"`
+	// HealAt, when positive, heals the partition at that virtual offset
+	// (must be after PartitionAt; zero leaves the run partitioned to
+	// the end).
+	HealAt time.Duration `json:"heal_at_ns,omitempty"`
+}
+
+// Validate rejects scenario combinations that cannot run: a partition
+// needs at least two regions to cut between, and a heal needs a
+// partition to heal. Flag parsing in raveload surfaces these as usage
+// errors instead of mid-run panics.
+func (sc Scenario) Validate() error {
+	if sc.PartitionAt > 0 && len(sc.Regions) < 2 {
+		return fmt.Errorf("loadgen: -partition-at needs at least two regions (got %d)", len(sc.Regions))
+	}
+	if sc.HealAt > 0 && sc.PartitionAt <= 0 {
+		return fmt.Errorf("loadgen: -heal-at without -partition-at: nothing to heal")
+	}
+	if sc.HealAt > 0 && sc.HealAt <= sc.PartitionAt {
+		return fmt.Errorf("loadgen: -heal-at %v must come after -partition-at %v", sc.HealAt, sc.PartitionAt)
+	}
+	if sc.Replicas < 0 {
+		return fmt.Errorf("loadgen: negative replication factor %d", sc.Replicas)
+	}
+	for _, r := range sc.Regions {
+		if r == "" {
+			return fmt.Errorf("loadgen: empty region name in %v", sc.Regions)
+		}
+	}
+	return nil
+}
+
+// victimRegion is the region a partition cuts: the last named one, so
+// the gateway (which sits in the first) always stays on the majority
+// side and must serve the cut region's sessions from surviving
+// replicas.
+func (sc Scenario) victimRegion() string {
+	if len(sc.Regions) == 0 {
+		return ""
+	}
+	return sc.Regions[len(sc.Regions)-1]
+}
+
+// nodeRegion assigns node i its round-robin region ("" on a flat fleet).
+func (sc Scenario) nodeRegion(i int) string {
+	if len(sc.Regions) == 0 {
+		return ""
+	}
+	return sc.Regions[i%len(sc.Regions)]
 }
 
 // withDefaults fills zero fields.
@@ -93,6 +154,8 @@ type Fleet struct {
 	Nodes    []*gateway.Node
 	Registry *uddi.Registry
 	Metrics  *telemetry.Registry
+	// Topology is the shared region map (nil on a flat fleet).
+	Topology *netsim.Topology
 }
 
 // nodeName and sessionName/tenantOf fix the naming scheme the whole
@@ -109,22 +172,35 @@ func (sc Scenario) tenant(session int) string {
 // carry.
 func BuildFleet(sc Scenario) (*Fleet, error) {
 	sc = sc.withDefaults()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
 	clk := vclock.NewVirtual(time.Unix(0, 0))
 	reg := uddi.NewRegistry()
 	met := telemetry.NewRegistry(clk)
+	var topo *netsim.Topology
+	gwRegion := ""
+	if len(sc.Regions) > 0 {
+		topo = netsim.NewTopology()
+		gwRegion = sc.Regions[0]
+	}
 	gw, err := gateway.New(gateway.Config{
-		Clock:      clk,
-		Leases:     reg,
-		Metrics:    met,
-		QueueDepth: sc.QueueDepth,
+		Clock:             clk,
+		Leases:            reg,
+		Metrics:           met,
+		QueueDepth:        sc.QueueDepth,
+		ReplicationFactor: sc.Replicas,
+		Region:            gwRegion,
+		Topology:          topo,
 	})
 	if err != nil {
 		return nil, err
 	}
-	f := &Fleet{Scenario: sc, Clock: clk, Gateway: gw, Registry: reg, Metrics: met}
+	f := &Fleet{Scenario: sc, Clock: clk, Gateway: gw, Registry: reg, Metrics: met, Topology: topo}
 	for i := 0; i < sc.Nodes; i++ {
 		n := gateway.NewNode(gateway.NodeConfig{
 			Name:        nodeName(i),
+			Region:      sc.nodeRegion(i),
 			Clock:       clk,
 			Metrics:     met,
 			RenderSlots: sc.RenderSlots,
@@ -140,6 +216,25 @@ func BuildFleet(sc Scenario) (*Fleet, error) {
 		}
 	}
 	return f, nil
+}
+
+// bootstrapBytes reads the fleet's bootstrap-byte accounting: the
+// cross-region series summed fleet-wide, and every series on nodes
+// inside victimRegion (bytes served by the to-be-cut region's own
+// primaries). Sampled at the partition cut and again at the heal, the
+// two deltas measure traffic that crossed the partition: both must be
+// zero while the cut is up — surviving primaries must not seed across
+// the WAN, and cut primaries must not serve anyone.
+func (f *Fleet) bootstrapBytes(victimRegion string) (cross, victim int64) {
+	vr := netsim.ParseLocality(victimRegion).Region
+	for _, n := range f.Nodes {
+		c := f.Metrics.Counter(n.Name(), "bootstrap_bytes_total", "cross").Value()
+		cross += c
+		if vr != "" && netsim.ParseLocality(n.Region()).Region == vr {
+			victim += c + f.Metrics.Counter(n.Name(), "bootstrap_bytes_total", "local").Value()
+		}
+	}
+	return cross, victim
 }
 
 // PickVictim chooses the kill target: the node owning the most

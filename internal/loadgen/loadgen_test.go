@@ -74,6 +74,99 @@ func TestRunSurvivesNodeKill(t *testing.T) {
 	}
 }
 
+// TestRunSurvivesRegionPartition: the reduced partition scenario — a
+// two-region fleet loses its second region mid-run and heals before
+// the end. Acceptance: the usual conservation/zero-error/zero-lost
+// invariants plus the locality ones — failovers promoted surviving
+// replicas, and not one bootstrap byte crossed the partition while it
+// was up. The artifact comes out kind "partition" and round-trips
+// through both readers.
+func TestRunSurvivesRegionPartition(t *testing.T) {
+	sc := Scenario{
+		Nodes:       4,
+		Sessions:    40,
+		Tenants:     4,
+		Interval:    250 * time.Millisecond,
+		Duration:    6 * time.Second,
+		FrameEvery:  4,
+		Seed:        7,
+		Regions:     []string{"eu", "us"},
+		Replicas:    2,
+		PartitionAt: 2 * time.Second,
+		HealAt:      4 * time.Second,
+	}
+	fleet, err := BuildFleet(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewReporter()
+	fleet.Run(context.Background(), rep)
+	res := rep.Summarize(fleet.Metrics.Snapshot())
+	if err := res.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if !res.PartitionInjected {
+		t.Fatal("partition never injected")
+	}
+	if res.Promotions == 0 {
+		t.Error("region cut caused no promotions; cut-region sessions were not failed over")
+	}
+	if fleet.Topology.Partitioned() {
+		t.Error("topology still partitioned after heal")
+	}
+
+	art := fleet.Artifact(rep)
+	if art.Kind != telemetry.BenchKindPartition {
+		t.Fatalf("artifact kind %q, want partition", art.Kind)
+	}
+	p := art.Partition
+	if p == nil || p.Region != "us" || p.AtNs != int64(sc.PartitionAt) || p.HealedAtNs != int64(sc.HealAt) {
+		t.Fatalf("partition event %+v", p)
+	}
+	if p.CrossBootstrapBytes != 0 || p.VictimBootstrapBytes != 0 {
+		t.Errorf("bootstrap bytes crossed the partition: cross %d victim %d", p.CrossBootstrapBytes, p.VictimBootstrapBytes)
+	}
+	var buf bytes.Buffer
+	if err := WriteArtifact(&buf, art); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadArtifact(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Partition == nil || got.Partition.Region != "us" {
+		t.Errorf("artifact round trip lost the partition event: %+v", got.Partition)
+	}
+	env, err := telemetry.ReadBenchArtifact(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Kind != telemetry.BenchKindPartition {
+		t.Errorf("bench envelope kind %q", env.Kind)
+	}
+}
+
+// TestScenarioValidate: impossible scenario combinations are rejected
+// up front (raveload surfaces these as flag-validation errors).
+func TestScenarioValidate(t *testing.T) {
+	bad := []Scenario{
+		{PartitionAt: time.Second},
+		{PartitionAt: time.Second, Regions: []string{"eu"}},
+		{HealAt: time.Second},
+		{PartitionAt: 2 * time.Second, HealAt: time.Second, Regions: []string{"eu", "us"}},
+		{Replicas: -1},
+		{Regions: []string{"eu", ""}},
+	}
+	for i, sc := range bad {
+		if _, err := BuildFleet(sc); err == nil {
+			t.Errorf("case %d: scenario %+v accepted", i, sc)
+		}
+	}
+	if err := (Scenario{Regions: []string{"eu", "us"}, Replicas: 2, PartitionAt: time.Second, HealAt: 2 * time.Second}).Validate(); err != nil {
+		t.Errorf("valid partition scenario rejected: %v", err)
+	}
+}
+
 // TestRunWithoutFault: a healthy run has zero failovers and clean
 // conservation.
 func TestRunWithoutFault(t *testing.T) {

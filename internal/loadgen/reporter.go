@@ -30,6 +30,14 @@ type Reporter struct {
 	killAtNs  int64
 	virtualNs int64
 
+	// Partition-era accounting: bootstrap-byte counters sampled when
+	// the cut lands and again when it heals (or the run ends), so the
+	// deltas cover exactly the window the partition was up.
+	partitionRegion          string
+	partitionAtNs, healAtNs  int64
+	crossAtCut, crossAtHeal  int64
+	victimAtCut, victimAtEnd int64
+
 	mutate statPool
 	frame  statPool
 }
@@ -75,6 +83,26 @@ func (r *Reporter) noteKill(node string, at time.Duration) {
 	r.mu.Unlock()
 }
 
+// notePartition records the injected region cut and the byte counters
+// at cut time.
+func (r *Reporter) notePartition(region string, at time.Duration, cross, victim int64) {
+	r.mu.Lock()
+	r.partitionRegion = region
+	r.partitionAtNs = int64(at)
+	r.crossAtCut, r.victimAtCut = cross, victim
+	r.mu.Unlock()
+}
+
+// noteHeal closes the partition accounting window: at is the heal's
+// virtual offset (zero when the run ended still cut), cross/victim the
+// byte counters just before reconnecting.
+func (r *Reporter) noteHeal(at time.Duration, cross, victim int64) {
+	r.mu.Lock()
+	r.healAtNs = int64(at)
+	r.crossAtHeal, r.victimAtEnd = cross, victim
+	r.mu.Unlock()
+}
+
 // setVirtualDuration records the run's virtual length.
 func (r *Reporter) setVirtualDuration(d time.Duration) {
 	r.mu.Lock()
@@ -98,6 +126,11 @@ func (r *Reporter) Summarize(snap telemetry.Snapshot) Results {
 		ErrorSamples:      append([]string(nil), r.errSamples...),
 		VirtualDurationNs: r.virtualNs,
 	}
+	if r.partitionRegion != "" {
+		res.PartitionInjected = true
+		res.PartitionCrossBootstrapBytes = r.crossAtHeal - r.crossAtCut
+		res.PartitionVictimBootstrapBytes = r.victimAtEnd - r.victimAtCut
+	}
 	r.mu.Unlock()
 	if res.VirtualDurationNs > 0 {
 		res.ThroughputRPS = float64(res.OK) / (float64(res.VirtualDurationNs) / float64(time.Second))
@@ -119,22 +152,43 @@ type KillEvent struct {
 	AtNs int64 `json:"at_ns"`
 }
 
-// Artifact is BENCH_scale.json: the shared versioned bench envelope
-// (v, kind, snapshot — readable by telemetry.ReadBenchArtifact, which
-// ignores the scale-specific siblings) plus the scenario that produced
-// the run, the fault injected, and the summary results.
+// PartitionEvent records the mid-run region cut.
+type PartitionEvent struct {
+	// Region is the cut region.
+	Region string `json:"region"`
+	// AtNs is the cut's virtual offset into the run.
+	AtNs int64 `json:"at_ns"`
+	// HealedAtNs is the heal's virtual offset (0 = the run ended cut).
+	HealedAtNs int64 `json:"healed_at_ns,omitempty"`
+	// CrossBootstrapBytes is fleet-wide cross-region bootstrap traffic
+	// during the cut; a locality-correct fleet moves zero.
+	CrossBootstrapBytes int64 `json:"cross_bootstrap_bytes"`
+	// VictimBootstrapBytes is bootstrap traffic served by cut-region
+	// primaries during the cut; nobody on the gateway side can reach
+	// them, so it too must be zero.
+	VictimBootstrapBytes int64 `json:"victim_bootstrap_bytes"`
+}
+
+// Artifact is BENCH_scale.json or BENCH_partition.json: the shared
+// versioned bench envelope (v, kind, snapshot — readable by
+// telemetry.ReadBenchArtifact, which ignores the raveload-specific
+// siblings) plus the scenario that produced the run, the faults
+// injected, and the summary results.
 type Artifact struct {
 	V    int    `json:"v"`
 	Kind string `json:"kind"`
 
-	Scenario Scenario   `json:"scenario"`
-	Kill     *KillEvent `json:"kill,omitempty"`
-	Results  Results    `json:"results"`
+	Scenario  Scenario        `json:"scenario"`
+	Kill      *KillEvent      `json:"kill,omitempty"`
+	Partition *PartitionEvent `json:"partition,omitempty"`
+	Results   Results         `json:"results"`
 
 	Snapshot telemetry.Snapshot `json:"snapshot"`
 }
 
-// Artifact assembles the versioned artifact for a completed run.
+// Artifact assembles the versioned artifact for a completed run. Runs
+// that injected a region partition are kind "partition"; plain (and
+// node-kill) runs are kind "scale".
 func (f *Fleet) Artifact(rep *Reporter) Artifact {
 	art := Artifact{
 		V:        telemetry.BenchVersion,
@@ -147,29 +201,46 @@ func (f *Fleet) Artifact(rep *Reporter) Artifact {
 	if rep.killNode != "" {
 		art.Kill = &KillEvent{Node: rep.killNode, AtNs: rep.killAtNs}
 	}
+	if rep.partitionRegion != "" {
+		art.Kind = telemetry.BenchKindPartition
+		art.Partition = &PartitionEvent{
+			Region:               rep.partitionRegion,
+			AtNs:                 rep.partitionAtNs,
+			HealedAtNs:           rep.healAtNs,
+			CrossBootstrapBytes:  rep.crossAtHeal - rep.crossAtCut,
+			VictimBootstrapBytes: rep.victimAtEnd - rep.victimAtCut,
+		}
+	}
 	rep.mu.Unlock()
 	return art
+}
+
+// raveloadKind reports whether kind is one this harness writes.
+func raveloadKind(kind string) bool {
+	return kind == telemetry.BenchKindScale || kind == telemetry.BenchKindPartition
 }
 
 // WriteArtifact writes the artifact as indented JSON (snapshot metrics
 // are sorted, so output is stable for a given run).
 func WriteArtifact(w io.Writer, art Artifact) error {
-	if art.V != telemetry.BenchVersion || art.Kind != telemetry.BenchKindScale {
-		return fmt.Errorf("loadgen: artifact must be v%d kind %q", telemetry.BenchVersion, telemetry.BenchKindScale)
+	if art.V != telemetry.BenchVersion || !raveloadKind(art.Kind) {
+		return fmt.Errorf("loadgen: artifact must be v%d kind %q or %q",
+			telemetry.BenchVersion, telemetry.BenchKindScale, telemetry.BenchKindPartition)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(art)
 }
 
-// ReadArtifact decodes a BENCH_scale.json file, rejecting other kinds.
+// ReadArtifact decodes a BENCH_scale.json / BENCH_partition.json file,
+// rejecting other kinds.
 func ReadArtifact(r io.Reader) (Artifact, error) {
 	var art Artifact
 	if err := json.NewDecoder(r).Decode(&art); err != nil {
-		return Artifact{}, fmt.Errorf("loadgen: decode scale artifact: %w", err)
+		return Artifact{}, fmt.Errorf("loadgen: decode raveload artifact: %w", err)
 	}
-	if art.V < 1 || art.Kind != telemetry.BenchKindScale {
-		return Artifact{}, fmt.Errorf("loadgen: not a scale artifact (v%d kind %q)", art.V, art.Kind)
+	if art.V < 1 || !raveloadKind(art.Kind) {
+		return Artifact{}, fmt.Errorf("loadgen: not a raveload artifact (v%d kind %q)", art.V, art.Kind)
 	}
 	return art, nil
 }

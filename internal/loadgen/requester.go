@@ -48,14 +48,27 @@ func (f *Fleet) Run(ctx context.Context, rep *Reporter) {
 		close(done)
 	}()
 
-	var killAt time.Time
+	var killAt, partitionAt, healAt time.Time
 	if sc.KillNodeAt > 0 {
 		killAt = start.Add(sc.KillNodeAt)
 	}
-	killed := false
+	if sc.PartitionAt > 0 {
+		partitionAt = start.Add(sc.PartitionAt)
+	}
+	if sc.HealAt > 0 {
+		healAt = start.Add(sc.HealAt)
+	}
+	victimRegion := sc.victimRegion()
+	killed, partitioned, healed := false, false, false
 	for {
 		select {
 		case <-done:
+			if partitioned && !healed {
+				// The run ended still cut; close the partition-era
+				// accounting window at end-of-run instead of heal time.
+				cross, victim := f.bootstrapBytes(victimRegion)
+				rep.noteHeal(0, cross, victim)
+			}
 			rep.setVirtualDuration(f.Clock.Now().Sub(start))
 			return
 		default:
@@ -68,6 +81,28 @@ func (f *Fleet) Run(ctx context.Context, rep *Reporter) {
 				victim.Kill()
 				rep.noteKill(victim.Name(), f.Clock.Now().Sub(start))
 				killed = true
+			}
+			if !partitioned && !partitionAt.IsZero() && !f.Clock.Now().Before(partitionAt) {
+				// Cut the last region off mid-run. Unlike the node
+				// kill, the topology event is visible control-plane
+				// state, so the gateway is told — what it must get
+				// right is serving every cut-region session from a
+				// surviving replica without moving a bootstrap byte
+				// across the partition.
+				cross, victim := f.bootstrapBytes(victimRegion)
+				f.Topology.Partition(victimRegion)
+				f.Gateway.TopologyChanged()
+				rep.notePartition(victimRegion, f.Clock.Now().Sub(start), cross, victim)
+				partitioned = true
+			}
+			if partitioned && !healed && !healAt.IsZero() && !f.Clock.Now().Before(healAt) {
+				// Sample the accounting window before reconnecting:
+				// post-heal catch-up traffic is legitimate.
+				cross, victim := f.bootstrapBytes(victimRegion)
+				f.Topology.Heal()
+				f.Gateway.TopologyChanged()
+				rep.noteHeal(f.Clock.Now().Sub(start), cross, victim)
+				healed = true
 			}
 			runtime.Gosched()
 		}

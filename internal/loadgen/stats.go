@@ -97,6 +97,16 @@ type Results struct {
 	Promotions         int64 `json:"promotions"`
 	DispatchRetries    int64 `json:"dispatch_retries"`
 	SessionsLost       int64 `json:"sessions_lost"`
+
+	// PartitionInjected records that the run cut a region mid-run; the
+	// two byte deltas below cover exactly the window the cut was up.
+	PartitionInjected bool `json:"partition_injected,omitempty"`
+	// PartitionCrossBootstrapBytes is fleet-wide cross-region bootstrap
+	// traffic while the partition was up.
+	PartitionCrossBootstrapBytes int64 `json:"partition_cross_bootstrap_bytes,omitempty"`
+	// PartitionVictimBootstrapBytes is bootstrap traffic served by the
+	// cut region's primaries while the partition was up.
+	PartitionVictimBootstrapBytes int64 `json:"partition_victim_bootstrap_bytes,omitempty"`
 }
 
 // declinedTotal sums declines across reasons.
@@ -128,6 +138,16 @@ func (r Results) Check() error {
 	}
 	if r.OK == 0 {
 		return fmt.Errorf("loadgen: no request succeeded")
+	}
+	if r.PartitionInjected {
+		if r.PartitionCrossBootstrapBytes != 0 {
+			return fmt.Errorf("loadgen: %d bootstrap bytes crossed regions during the partition; want 0",
+				r.PartitionCrossBootstrapBytes)
+		}
+		if r.PartitionVictimBootstrapBytes != 0 {
+			return fmt.Errorf("loadgen: cut-region primaries served %d bootstrap bytes during the partition; want 0",
+				r.PartitionVictimBootstrapBytes)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,146 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLocalityParseAndString(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Locality
+	}{
+		{"eu/a", Locality{Region: "eu", Zone: "a"}},
+		{"eu", Locality{Region: "eu"}},
+		{"", Locality{}},
+		{"us/b/extra", Locality{Region: "us", Zone: "b/extra"}},
+	}
+	for _, c := range cases {
+		got := ParseLocality(c.in)
+		if got != c.want {
+			t.Errorf("ParseLocality(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+	if s := (Locality{Region: "eu", Zone: "a"}).String(); s != "eu/a" {
+		t.Errorf("String() = %q, want eu/a", s)
+	}
+	if s := (Locality{Region: "eu"}).String(); s != "eu" {
+		t.Errorf("String() = %q, want eu", s)
+	}
+}
+
+func TestClassAndDistance(t *testing.T) {
+	topo := NewTopology()
+	euA := Locality{Region: "eu", Zone: "a"}
+	euB := Locality{Region: "eu", Zone: "b"}
+	usA := Locality{Region: "us", Zone: "a"}
+
+	if c := Class(euA, euA); c != LinkLocal {
+		t.Errorf("same zone class = %v, want local", c)
+	}
+	if c := Class(euA, euB); c != LinkRegional {
+		t.Errorf("same region class = %v, want regional", c)
+	}
+	if c := Class(euA, usA); c != LinkWAN {
+		t.Errorf("cross region class = %v, want wan", c)
+	}
+
+	if d := topo.Distance(euA, euA); d != DistanceZone {
+		t.Errorf("same-zone distance = %d, want %d", d, DistanceZone)
+	}
+	if d := topo.Distance(euA, euB); d != DistanceRegion {
+		t.Errorf("same-region distance = %d, want %d", d, DistanceRegion)
+	}
+	if d := topo.Distance(euA, usA); d != DistanceWAN {
+		t.Errorf("cross-region distance = %d, want %d", d, DistanceWAN)
+	}
+
+	// Zero localities are in-zone with one another: a single-site fleet
+	// that never configures regions behaves exactly like the flat lab.
+	if d := topo.Distance(Locality{}, Locality{}); d != DistanceZone {
+		t.Errorf("zero-locality distance = %d, want %d", d, DistanceZone)
+	}
+}
+
+func TestLinkClassStrings(t *testing.T) {
+	if LinkLocal.String() != "local" || LinkRegional.String() != "regional" || LinkWAN.String() != "wan" {
+		t.Errorf("unexpected class names: %q %q %q", LinkLocal, LinkRegional, LinkWAN)
+	}
+}
+
+func TestLinkBetweenClassesAndOverrides(t *testing.T) {
+	topo := NewTopology()
+	euA := Locality{Region: "eu", Zone: "a"}
+	usA := Locality{Region: "us", Zone: "a"}
+
+	wan, ok := topo.LinkBetween(euA, usA)
+	if !ok {
+		t.Fatalf("healed topology must be reachable")
+	}
+	local, _ := topo.LinkBetween(euA, euA)
+	if wan.Latency <= local.Latency {
+		t.Errorf("WAN latency %v should exceed local %v", wan.Latency, local.Latency)
+	}
+	if wan.EffectiveBps() >= local.EffectiveBps() && wan.Latency <= local.Latency {
+		t.Errorf("WAN link should be strictly worse on at least one axis")
+	}
+
+	custom := Link{BandwidthBps: 5e7, Efficiency: 0.5, Latency: 100 * time.Millisecond, Quality: 1}
+	topo.SetLink(LinkWAN, custom)
+	got, _ := topo.LinkBetween(euA, usA)
+	if got != custom {
+		t.Errorf("SetLink override not returned: got %+v", got)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	topo := NewTopology()
+	euA := Locality{Region: "eu", Zone: "a"}
+	euB := Locality{Region: "eu", Zone: "b"}
+	usA := Locality{Region: "us", Zone: "a"}
+	apA := Locality{Region: "ap", Zone: "a"}
+
+	if topo.Partitioned() {
+		t.Fatalf("fresh topology reports a partition")
+	}
+	topo.Partition("eu")
+	if !topo.Partitioned() {
+		t.Fatalf("Partitioned() false after Partition")
+	}
+
+	// Inside the cut region traffic still flows.
+	if !topo.Reachable(euA, euB) {
+		t.Errorf("intra-region paths must survive the partition")
+	}
+	// Across the cut nothing flows, in either direction.
+	if topo.Reachable(euA, usA) || topo.Reachable(usA, euA) {
+		t.Errorf("cross-partition paths must be cut")
+	}
+	// The far side is still internally connected.
+	if !topo.Reachable(usA, apA) {
+		t.Errorf("far-side regions must still reach each other")
+	}
+	if d := topo.Distance(euA, usA); d != DistanceUnreachable {
+		t.Errorf("cross-partition distance = %d, want unreachable", d)
+	}
+	if _, ok := topo.LinkBetween(euA, usA); ok {
+		t.Errorf("LinkBetween must report unreachable across the cut")
+	}
+
+	// A second Partition replaces, not extends, the cut.
+	topo.Partition("us")
+	if !topo.Reachable(euA, apA) {
+		t.Errorf("eu must be reconnected once the cut moves to us")
+	}
+	if topo.Reachable(usA, apA) {
+		t.Errorf("us must now be the cut side")
+	}
+
+	topo.Heal()
+	if topo.Partitioned() {
+		t.Errorf("Partitioned() true after Heal")
+	}
+	if !topo.Reachable(euA, usA) || topo.Distance(euA, usA) != DistanceWAN {
+		t.Errorf("healed topology must restore WAN reachability")
+	}
+}

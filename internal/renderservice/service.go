@@ -737,6 +737,11 @@ type SubscribeOpts struct {
 	// ReportInterval is how often to send load reports over the
 	// subscription socket (the §3.2.7 migration signal).
 	ReportInterval time.Duration
+	// Region is this subscriber's locality ("region" or "region/zone"),
+	// advertised in the hello so the data service classifies bootstrap
+	// snapshots shipped to it as local or cross-region bytes. Empty
+	// means local.
+	Region string
 }
 
 // SubscribeToData runs the data-service subscription protocol on a
@@ -790,7 +795,8 @@ func (s *Service) subscribe(ctx context.Context, conn *transport.Conn, sessionNa
 	// gap, it replays only the missed ops instead of a full snapshot.
 	since, _ := s.sessionVersion(sessionName)
 	err = conn.SendJSON(transport.MsgHello, transport.Hello{
-		Role: "render-service", Name: s.cfg.Name, Session: sessionName, SinceVersion: since,
+		Role: "render-service", Name: s.cfg.Name, Session: sessionName,
+		SinceVersion: since, Region: opts.Region,
 	})
 	if err != nil {
 		return false, err

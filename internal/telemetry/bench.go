@@ -33,6 +33,10 @@ const (
 	BenchKindTelemetry = "telemetry"
 	// BenchKindScale is a raveload fleet-scale run (BENCH_scale.json).
 	BenchKindScale = "scale"
+	// BenchKindPartition is a raveload multi-region run with a region
+	// partition injected mid-run (BENCH_partition.json). Same envelope
+	// and sibling fields as scale, plus the partition event.
+	BenchKindPartition = "partition"
 )
 
 // BenchArtifact is the common envelope of a BENCH_*.json file: the

@@ -357,6 +357,10 @@ type Hello struct {
 	// subscribers that negotiated it; JSON control messages need no
 	// negotiation because unknown fields are skipped on decode.
 	Trace bool `json:"trace,omitempty"`
+	// Region is the subscriber's locality ("region" or "region/zone"),
+	// letting the service classify bootstrap traffic as in-region or
+	// cross-region. Empty means unknown and is treated as local.
+	Region string `json:"region,omitempty"`
 }
 
 // ErrorInfo carries a failure back to the peer — e.g. the paper's
@@ -527,9 +531,13 @@ type RouteInfo struct {
 	AccessPoint string `json:"access_point,omitempty"`
 	// Epoch is the ownership lease epoch.
 	Epoch uint64 `json:"epoch"`
-	// Standby names the node mirroring the session ("" when the fleet
-	// is too small for standbys).
+	// Standby names the first node mirroring the session ("" when the
+	// fleet is too small for standbys). Kept for older clients; new
+	// clients read Replicas.
 	Standby string `json:"standby,omitempty"`
+	// Replicas lists every node currently mirroring the session, in
+	// attach order (the first entry equals Standby).
+	Replicas []string `json:"replicas,omitempty"`
 }
 
 // DeadlineToNanos converts an absolute deadline to its wire form; the

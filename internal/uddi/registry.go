@@ -57,7 +57,8 @@ type Registry struct {
 	businesses map[string]Business
 	services   map[string]Service
 	bindings   map[string]Binding
-	leases     map[string]Lease // by logical service name
+	leases     map[string]Lease              // by logical service name
+	replicas   map[string]map[string]Replica // session → replica name → row
 }
 
 // NewRegistry returns an empty registry.
@@ -68,6 +69,7 @@ func NewRegistry() *Registry {
 		services:   map[string]Service{},
 		bindings:   map[string]Binding{},
 		leases:     map[string]Lease{},
+		replicas:   map[string]map[string]Replica{},
 	}
 }
 

@@ -206,6 +206,80 @@ func NewServer(r *Registry) *soap.Server {
 		return soap.Params{}, nil
 	})
 
+	// Replica-index actions follow the lease convention: the caller's
+	// clock reading rides along as nanoseconds and the registry stays
+	// passive.
+	replicaParams := func(rep Replica) soap.Params {
+		return soap.Params{
+			"session":     rep.Session,
+			"name":        rep.Name,
+			"region":      rep.Region,
+			"accessPoint": rep.AccessPoint,
+			"role":        string(rep.Role),
+			"version":     strconv.FormatUint(rep.Version, 10),
+			"expires":     strconv.FormatInt(rep.Expires.UnixNano(), 10),
+		}
+	}
+
+	s.Register("register_replica", func(p soap.Params) (soap.Params, error) {
+		ttl, now, err := leaseTimes(p)
+		if err != nil {
+			return nil, err
+		}
+		version, err := strconv.ParseUint(p["version"], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("uddi: bad version %q", p["version"])
+		}
+		rep, err := r.RegisterReplica(Replica{
+			Session:     p["session"],
+			Name:        p["name"],
+			Region:      p["region"],
+			AccessPoint: p["accessPoint"],
+			Role:        ReplicaRole(p["role"]),
+			Version:     version,
+		}, ttl, now)
+		if err != nil {
+			return nil, err
+		}
+		return replicaParams(rep), nil
+	})
+
+	s.Register("report_replica", func(p soap.Params) (soap.Params, error) {
+		ttl, now, err := leaseTimes(p)
+		if err != nil {
+			return nil, err
+		}
+		version, err := strconv.ParseUint(p["version"], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("uddi: bad version %q", p["version"])
+		}
+		rep, err := r.ReportReplica(p["session"], p["name"], version, ttl, now)
+		if err != nil {
+			return nil, err
+		}
+		return replicaParams(rep), nil
+	})
+
+	s.Register("drop_replica", func(p soap.Params) (soap.Params, error) {
+		if err := r.DropReplica(p["session"], p["name"]); err != nil {
+			return nil, err
+		}
+		return soap.Params{}, nil
+	})
+
+	s.Register("query_replicas", func(p soap.Params) (soap.Params, error) {
+		nanos, err := strconv.ParseInt(p["now"], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("uddi: bad now %q", p["now"])
+		}
+		reps := r.QueryReplicas(p["session"], p["fromRegion"], time.Unix(0, nanos))
+		data, err := json.Marshal(reps)
+		if err != nil {
+			return nil, err
+		}
+		return soap.Params{"replicas": string(data)}, nil
+	})
+
 	s.Register("dump", func(p soap.Params) (soap.Params, error) {
 		data, err := json.Marshal(r.Dump())
 		if err != nil {
@@ -483,6 +557,88 @@ func (p *Proxy) ReleaseLease(service, holder string, epoch uint64) error {
 		"epoch": strconv.FormatUint(epoch, 10),
 	})
 	return restoreLeaseErr(err)
+}
+
+// decodeReplica rebuilds a Replica from SOAP response params.
+func decodeReplica(res soap.Params) (Replica, error) {
+	version, err := strconv.ParseUint(res["version"], 10, 64)
+	if err != nil {
+		return Replica{}, fmt.Errorf("uddi: bad replica version %q", res["version"])
+	}
+	nanos, err := strconv.ParseInt(res["expires"], 10, 64)
+	if err != nil {
+		return Replica{}, fmt.Errorf("uddi: bad replica expiry %q", res["expires"])
+	}
+	return Replica{
+		Session:     res["session"],
+		Name:        res["name"],
+		Region:      res["region"],
+		AccessPoint: res["accessPoint"],
+		Role:        ReplicaRole(res["role"]),
+		Version:     version,
+		Expires:     time.Unix(0, nanos),
+	}, nil
+}
+
+// RegisterReplica upserts a replica-location row through the registry
+// (see Registry.RegisterReplica for the demotion rule).
+func (p *Proxy) RegisterReplica(rep Replica, ttl time.Duration, now time.Time) (Replica, error) {
+	res, err := p.client.Call("register_replica", soap.Params{
+		"session":     rep.Session,
+		"name":        rep.Name,
+		"region":      rep.Region,
+		"accessPoint": rep.AccessPoint,
+		"role":        string(rep.Role),
+		"version":     strconv.FormatUint(rep.Version, 10),
+		"ttl":         strconv.FormatInt(int64(ttl), 10),
+		"now":         strconv.FormatInt(now.UnixNano(), 10),
+	})
+	if err != nil {
+		return Replica{}, err
+	}
+	return decodeReplica(res)
+}
+
+// ReportReplica refreshes a row's applied version and TTL — the
+// heartbeat path.
+func (p *Proxy) ReportReplica(session, name string, version uint64, ttl time.Duration, now time.Time) (Replica, error) {
+	res, err := p.client.Call("report_replica", soap.Params{
+		"session": session,
+		"name":    name,
+		"version": strconv.FormatUint(version, 10),
+		"ttl":     strconv.FormatInt(int64(ttl), 10),
+		"now":     strconv.FormatInt(now.UnixNano(), 10),
+	})
+	if err != nil {
+		return Replica{}, err
+	}
+	return decodeReplica(res)
+}
+
+// DropReplica removes a row (clean detach).
+func (p *Proxy) DropReplica(session, name string) error {
+	_, err := p.client.Call("drop_replica", soap.Params{
+		"session": session, "name": name,
+	})
+	return err
+}
+
+// QueryReplicas lists the session's live replica rows nearest-first
+// from the caller's region (see Registry.QueryReplicas for the order).
+func (p *Proxy) QueryReplicas(session, fromRegion string, now time.Time) ([]Replica, error) {
+	res, err := p.client.Call("query_replicas", soap.Params{
+		"session":    session,
+		"fromRegion": fromRegion,
+		"now":        strconv.FormatInt(now.UnixNano(), 10),
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Replica
+	if err := json.Unmarshal([]byte(res["replicas"]), &out); err != nil {
+		return nil, fmt.Errorf("uddi: decode replicas: %w", err)
+	}
+	return out, nil
 }
 
 // DumpEntries fetches the registry tree for the browser GUI.
