@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet fmt-check lint lint-report allow-audit vulncheck build test race chaos scale partition ci
+.PHONY: all vet fmt-check lint lint-report allow-audit vulncheck build test race chaos scale partition storage ci
 
 all: ci
 
@@ -83,11 +83,22 @@ partition:
 	$(GO) run ./cmd/raveload -sessions 100 -nodes 4 -duration 10s \
 		-regions eu,us -replicas 2 -partition-at 3s -heal-at 6s -check
 
+# storage runs the reduced sick-disk scenario — a factor-2 fleet has its
+# most-loaded node's disk poisoned mid-run — and fails on any acceptance
+# violation, including the storage invariants (sick node fully
+# evacuated, replication factor restored on healthy disks, and the usual
+# zero client-visible errors even though every evacuated session had an
+# op fail its commit). The checked-in BENCH_storage.json comes from the
+# full-size run of the same harness (see EXPERIMENTS.md).
+storage:
+	$(GO) run -race ./cmd/raveload -sessions 100 -nodes 4 -duration 5s \
+		-replicas 2 -sick-disk-at 2s -check
+
 # ci is the full gate: formatting, static checks (ravelint with the
 # LINT.json artifact and per-analyzer timings, the allow-annotation
 # audit, vet, govulncheck when present), a clean build, the test suite
 # under the race detector, a doubled chaos pass (the chaos suite
 # exercises concurrent failure recovery, so -race is part of the bar,
-# not an extra), and the reduced fleet-scale load and region-partition
-# scenarios.
-ci: fmt-check lint-report allow-audit lint vulncheck build race chaos scale partition
+# not an extra), and the reduced fleet-scale load, region-partition, and
+# sick-disk scenarios.
+ci: fmt-check lint-report allow-audit lint vulncheck build race chaos scale partition storage

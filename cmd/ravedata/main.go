@@ -17,6 +17,17 @@
 // most-caught-up replica claims the lease first when the primary's
 // lease lapses.
 //
+// Storage faults: a journal that is damaged mid-log (not merely torn at
+// the tail) is never replayed — serving the stale prefix would silently
+// lose acked ops. With -registry and -region the corrupt segment is
+// quarantined to <journal>.corrupt and the service rejoins as a standby,
+// bootstrapping the session back from a live replica; without a registry
+// it refuses to start. A primary whose disk goes sick mid-run keeps
+// serving but advertises storage-degraded through the registry's node
+// health table on its heartbeat, and a standby whose own disk fails a
+// write probe sits out the succession race rather than claim a
+// primaryship it could never journal.
+//
 //	ravedata -session skull -model skeletal-hand -addr :9000 \
 //	         -registry http://host:8090 -lease -replicas 2 -region eu \
 //	         -record skull.rava -journal skull.wal
@@ -26,6 +37,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -173,10 +185,14 @@ func main() {
 	if *standby {
 		// Replica mode: discover the primary through the replica index,
 		// follow its op stream, and stand by for succession.
-		runStandby(ctx, svc, proxy, rf, *session, *name, leaseName, accessPoint, *journal, *compactEvery, register, fail)
+		runStandby(ctx, svc, metrics, proxy, rf, *session, *name, leaseName, accessPoint, *journal, *compactEvery, register, fail)
+	} else if sess, corrupt := openSession(svc, *session, *model, *triangles, *journal, *compactEvery, rf, fail); corrupt {
+		// The local journal lied (mid-log corruption, quarantined): the
+		// only trustworthy copy of the session lives on a replica.
+		// Rejoin as a standby and bootstrap back over the op stream —
+		// the lease race decides when this node may own again.
+		runStandby(ctx, svc, metrics, proxy, rf, *session, *name, leaseName, accessPoint, *journal, *compactEvery, register, fail)
 	} else {
-		sess := openSession(svc, *session, *model, *triangles, *journal, *compactEvery, fail)
-
 		if *record != "" {
 			f, err := os.Create(*record)
 			if err != nil {
@@ -209,7 +225,7 @@ func main() {
 				}
 			}()
 			if *replicas > 0 {
-				go publishPrimary(ctx, proxy, rf, sess, *session, *name, accessPoint)
+				go publishPrimary(ctx, metrics, proxy, rf, sess, *session, *name, accessPoint)
 			}
 		}
 	}
@@ -251,8 +267,13 @@ func replicaTTL(renew time.Duration) time.Duration {
 // factor, logging each transition into and out of under-replication.
 // The index, not this process, is the source of truth: followers
 // recruit themselves, so all the primary can do about a deficit is say
-// so loudly.
-func publishPrimary(ctx context.Context, proxy *uddi.Proxy, rf replicationFlags, sess *dataservice.Session, session, name, accessPoint string) {
+// so loudly. The same heartbeat keeps the registry's node health table
+// current: while the wal_poisoned gauge is up (a journal append or sync
+// failed and the session's durability is gone) the row says
+// storage-degraded, steering placement and succession away from this
+// disk; rows are TTL'd, so a crashed primary's claim of health lapses
+// on its own.
+func publishPrimary(ctx context.Context, metrics *telemetry.Registry, proxy *uddi.Proxy, rf replicationFlags, sess *dataservice.Session, session, name, accessPoint string) {
 	row := uddi.Replica{
 		Session: session, Name: name, Region: rf.region,
 		AccessPoint: accessPoint, Role: uddi.RolePrimary,
@@ -264,12 +285,26 @@ func publishPrimary(ctx context.Context, proxy *uddi.Proxy, rf replicationFlags,
 	if _, err := proxy.RegisterReplica(row, replicaTTL(rf.renew), clock.Now()); err != nil {
 		fmt.Fprintln(os.Stderr, "ravedata: replica index registration:", err)
 	}
-	under := false
+	under, degraded := false, false
 	for {
 		select {
 		case <-ctx.Done():
 			return
 		case <-clock.After(rf.renew):
+		}
+		state, detail := uddi.HealthOK, ""
+		if m, ok := metrics.Snapshot().Get(name, "wal_poisoned", ""); ok && m.Value != 0 {
+			state, detail = uddi.HealthStorageDegraded, "wal poisoned: journal appends failing, session no longer durable"
+		}
+		if err := proxy.ReportHealth(name, state, detail, replicaTTL(rf.renew), clock.Now()); err != nil {
+			fmt.Fprintln(os.Stderr, "ravedata: health report:", err)
+		}
+		if state == uddi.HealthStorageDegraded && !degraded {
+			degraded = true
+			fmt.Fprintf(os.Stderr, "ravedata: storage degraded: %s (reported to registry; serving from memory until evacuated)\n", detail)
+		} else if state == uddi.HealthOK && degraded {
+			degraded = false
+			fmt.Printf("ravedata: storage health restored, registry row back to ok\n")
 		}
 		row.Version = sess.Version()
 		if _, err := proxy.ReportReplica(session, name, row.Version, replicaTTL(rf.renew), clock.Now()); err != nil {
@@ -299,26 +334,46 @@ func publishPrimary(ctx context.Context, proxy *uddi.Proxy, rf replicationFlags,
 }
 
 // openSession creates the primary session: recovered from an existing
-// journal when one is present, imported from the model otherwise.
-func openSession(svc *dataservice.Service, session, model string, triangles int, journal string, compactEvery int, fail func(error)) *dataservice.Session {
+// journal when one is present, imported from the model otherwise. A
+// torn tail is survivable (the damage is after the last synced op) and
+// is discarded with a note; mid-log corruption is not — replaying the
+// prefix would silently serve a version older than what was acked, so
+// the segment is never trusted. When the replica index is reachable
+// (-registry with a -region) the corrupt segment is quarantined and the
+// caller rejoins as a standby (corrupt=true); otherwise startup fails
+// with the quarantine instructions.
+func openSession(svc *dataservice.Service, session, model string, triangles int, journal string, compactEvery int, rf replicationFlags, fail func(error)) (sess *dataservice.Session, corrupt bool) {
 	if journal != "" {
 		store := wal.NewOSStore(journal)
 		if wal.Exists(store) {
 			sess, rec, err := svc.RecoverSession(session, store, compactEvery)
-			if err != nil {
+			switch {
+			case err == nil:
+				torn := ""
+				if rec.Torn != nil {
+					torn = fmt.Sprintf(" (discarded torn tail: %v)", rec.Torn)
+				}
+				fmt.Printf("ravedata: recovered session %q from %s at version %d (%d ops replayed)%s\n",
+					session, journal, rec.Version, len(rec.Ops), torn)
+				return sess, false
+			case errors.Is(err, wal.ErrLogCorrupt):
+				if rf.registry == "" || rf.region == "" {
+					fail(fmt.Errorf("journal recovery: %w\n"+
+						"ravedata: %s is damaged mid-log; replaying it would serve a stale prefix of the acked session, refusing.\n"+
+						"ravedata: restart with -registry and -region to quarantine the segment and bootstrap from a replica, or move the file aside to reimport from the model", err, journal))
+				}
+				if qerr := store.Quarantine(); qerr != nil {
+					fail(fmt.Errorf("journal recovery: %w; quarantine also failed: %v", err, qerr))
+				}
+				fmt.Fprintf(os.Stderr, "ravedata: journal %s is damaged mid-log (%v); quarantined to %s.corrupt, rejoining as a standby to bootstrap from a replica\n",
+					journal, err, journal)
+				return nil, true
+			default:
 				fail(fmt.Errorf("journal recovery: %w", err))
 			}
-			torn := ""
-			if rec.Torn != nil {
-				torn = fmt.Sprintf(" (discarded torn tail: %v)", rec.Torn)
-			}
-			fmt.Printf("ravedata: recovered session %q from %s at version %d (%d ops replayed)%s\n",
-				session, journal, rec.Version, len(rec.Ops), torn)
-			return sess
 		}
 	}
 
-	var sess *dataservice.Session
 	if mesh, err := genmodel.ByName(model, triangles); err == nil {
 		sess, err = svc.CreateSessionFromMesh(session, model, mesh)
 		if err != nil {
@@ -342,7 +397,7 @@ func openSession(svc *dataservice.Service, session, model string, triangles int,
 		}
 		fmt.Printf("ravedata: journaling session %q to %s\n", session, journal)
 	}
-	return sess
+	return sess, false
 }
 
 // discoverPrimary resolves the session's current primary access point
@@ -383,6 +438,33 @@ func reportReplica(ctx context.Context, proxy *uddi.Proxy, st *failover.Standby,
 	}
 }
 
+// diskProbe builds the succession-race abstain check for a standby
+// journaling to the given path: an append-and-fsync against a sibling
+// .probe file (same disk and directory as the journal, never the
+// segment itself — Append would create an empty segment that a later
+// restart would mistake for a recoverable log). A standby that cannot
+// sync a byte could not journal the primaryship it is about to claim,
+// so it sits the round out and lets a healthy rival take the lease.
+// Returns nil (never abstain) for memory-only standbys.
+func diskProbe(journal string) func() bool {
+	if journal == "" {
+		return nil
+	}
+	probe := wal.NewOSStore(journal + ".probe")
+	sick := false
+	return func() bool {
+		err := wal.Probe(probe)
+		if err != nil && !sick {
+			sick = true
+			fmt.Fprintf(os.Stderr, "ravedata: disk probe failed (%v); sitting out the succession race until the disk recovers\n", err)
+		} else if err == nil && sick {
+			sick = false
+			fmt.Printf("ravedata: disk probe healthy again, rejoining the succession race\n")
+		}
+		return err != nil
+	}
+}
+
 // catchUpHandicap defers this replica's succession claim in proportion
 // to how far it lags the most-caught-up row in the index, so with N
 // replicas racing the same lapsed lease the freshest copy claims first.
@@ -414,7 +496,7 @@ func catchUpHandicap(proxy *uddi.Proxy, st *failover.Standby, rf replicationFlag
 // the replica index on every reconnect — and blocks until promotion,
 // after which the (now authoritative) service keeps serving
 // connections.
-func runStandby(ctx context.Context, svc *dataservice.Service, proxy *uddi.Proxy, rf replicationFlags, session, name, leaseName, accessPoint, journal string, compactEvery int, register func() error, fail func(error)) {
+func runStandby(ctx context.Context, svc *dataservice.Service, metrics *telemetry.Registry, proxy *uddi.Proxy, rf replicationFlags, session, name, leaseName, accessPoint, journal string, compactEvery int, register func() error, fail func(error)) {
 	st := &failover.Standby{
 		Service: svc, SessionName: session, Name: "standby:" + name,
 		Region:      rf.region,
@@ -453,6 +535,7 @@ func runStandby(ctx context.Context, svc *dataservice.Service, proxy *uddi.Proxy
 		Service: leaseName, Holder: name, Poll: rf.renew,
 		Standby:    st,
 		Handicap:   func() time.Duration { return catchUpHandicap(proxy, st, rf, session) },
+		Abstain:    diskProbe(journal),
 		Reregister: register,
 	}
 	fmt.Printf("ravedata: standing by for %q in %s (lease %q, primary via replica index)\n", session, rf.region, leaseName)
@@ -473,7 +556,7 @@ func runStandby(ctx context.Context, svc *dataservice.Service, proxy *uddi.Proxy
 	if err := proxy.DropReplica(session, name); err != nil {
 		fmt.Fprintln(os.Stderr, "ravedata: replica index cleanup:", err)
 	}
-	go publishPrimary(ctx, proxy, rf, promo.Session, session, name, accessPoint)
+	go publishPrimary(ctx, metrics, proxy, rf, promo.Session, session, name, accessPoint)
 	// Keep the claimed lease alive as the new primary.
 	keeper := &failover.Keeper{
 		Leases: proxy, Clock: clock,

@@ -1,9 +1,10 @@
 // Command raveload is the fleet-scale load harness: it stands up a
 // gateway-fronted data-service fleet on the virtual clock, drives an
 // open-loop population of concurrent sessions through it (optionally
-// killing a node or cutting a whole region mid-run), and writes the
-// versioned BENCH_scale.json / BENCH_partition.json throughput,
-// latency, and locality artifact.
+// killing a node, poisoning a node's disk, or cutting a whole region
+// mid-run), and writes the versioned BENCH_scale.json /
+// BENCH_partition.json / BENCH_storage.json throughput, latency, and
+// locality artifact.
 //
 // Usage:
 //
@@ -13,6 +14,8 @@
 //	raveload -regions eu,us -replicas 2 \
 //	         -partition-at 3s -heal-at 6s \
 //	         -out BENCH_partition.json      # region-partition scenario
+//	raveload -replicas 2 -sick-disk-at 2s \
+//	         -out BENCH_storage.json        # sick-disk evacuation scenario
 //	raveload -check                         # fail on any acceptance violation
 //
 // Everything runs in virtual time: a ten-fleet-second run with a
@@ -56,6 +59,7 @@ func main() {
 	depth := flag.Int("depth", loadgen.DefaultQueueDepth, "gateway admission queue depth")
 	slots := flag.Int("slots", loadgen.DefaultRenderSlots, "render slots per node")
 	killAt := flag.Duration("kill-at", 0, "kill the most-loaded node at this virtual offset (0 = no fault)")
+	sickDiskAt := flag.Duration("sick-disk-at", 0, "poison the most-loaded node's disk at this virtual offset (0 = no fault; implies journal-backed nodes)")
 	regions := flag.String("regions", "", "comma-separated region list; nodes spread round-robin, gateway sits in the first")
 	replicas := flag.Int("replicas", 0, "per-session replication factor (0 = single standby)")
 	partitionAt := flag.Duration("partition-at", 0, "cut the last region off at this virtual offset (0 = no partition)")
@@ -80,6 +84,7 @@ func main() {
 		QueueDepth:  *depth,
 		RenderSlots: *slots,
 		KillNodeAt:  *killAt,
+		SickDiskAt:  *sickDiskAt,
 		Regions:     splitRegions(*regions),
 		Replicas:    *replicas,
 		PartitionAt: *partitionAt,
@@ -106,6 +111,10 @@ func main() {
 	if art.Kill != nil {
 		fmt.Printf("fault: killed %s at +%v; %d sessions promoted to standbys, %d rebalanced, %d lost\n",
 			art.Kill.Node, time.Duration(art.Kill.AtNs), res.Promotions, res.SessionsRebalanced, res.SessionsLost)
+	}
+	if sd := art.SickDisk; sd != nil {
+		fmt.Printf("fault: sick disk on %s at +%v; %d sessions evacuated, %d still on the sick node, replication deficit %d\n",
+			sd.Node, time.Duration(sd.AtNs), res.SessionsEvacuated, res.SickNodeSessions, res.ReplicationDeficit)
 	}
 	if p := art.Partition; p != nil {
 		healed := "never healed"

@@ -132,6 +132,12 @@ type Monitor struct {
 	// primary) claimed meanwhile, this monitor stands down and keeps
 	// watching.
 	Handicap func() time.Duration
+	// Abstain, when non-nil, is consulted before every claim attempt: a
+	// true return sits this round of the succession race out (the
+	// monitor keeps watching). Wired to a disk probe, it keeps a
+	// standby whose own storage is sick from claiming a primaryship it
+	// could never journal — a healthy rival takes the lease instead.
+	Abstain func() bool
 	// Reregister, when non-nil, republishes this instance's access
 	// point in UDDI after promotion so re-discovering subscribers find
 	// the new primary.
@@ -180,6 +186,11 @@ func (m *Monitor) Run(ctx context.Context) (*Promotion, error) {
 		}
 		if lease.Holder == m.Holder {
 			// Our own stale registration (e.g. restarted standby).
+			continue
+		}
+		if m.Abstain != nil && m.Abstain() {
+			// This standby's own storage is sick (or it is otherwise
+			// unfit): sit the race out and let a healthy rival claim.
 			continue
 		}
 		if m.Handicap != nil {

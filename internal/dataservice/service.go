@@ -134,6 +134,15 @@ type Session struct {
 // has not been promoted: only the primary accepts external writes.
 var ErrReadOnly = errors.New("dataservice: session is a read-only standby")
 
+// ErrJournalFault marks an update refused because the durable journal
+// could not commit it — a full, sick, or dying disk, not a bad op. The
+// op was applied to the in-memory scene but never fanned out, so the
+// session is poisoned for writes (the journal is sticky-bad) while its
+// memory remains a valid promotion source. The fleet reaction is
+// evacuation: mark the node storage-degraded and move its sessions to
+// replicas, preferring replica copies over the phantom-op scene.
+var ErrJournalFault = errors.New("dataservice: journal fault")
+
 // historyCap bounds the per-session resume ring. 512 ops of lag is far
 // beyond any reconnect window the chaos suite exercises; beyond it a
 // returning subscriber falls back to a full snapshot.
@@ -369,7 +378,7 @@ func (sess *Session) applyUpdate(op scene.Op, origin string, replicated bool) er
 	if sess.journal != nil {
 		if err := sess.journal.append(sess, op); err != nil {
 			sess.mu.Unlock()
-			return fmt.Errorf("dataservice: journal append: %w", err)
+			return fmt.Errorf("%w: append: %w", ErrJournalFault, err)
 		}
 	}
 	version := sess.scene.Version

@@ -1,0 +1,176 @@
+package wal
+
+import (
+	"errors"
+	"io/fs"
+	"testing"
+	"time"
+
+	"repro/internal/mathx"
+	"repro/internal/scene"
+)
+
+// TestCrashPointSweep kills the store at every faultable operation —
+// every segment write, every fsync, every compaction promote — across
+// a workload that crosses the compaction threshold twice, and asserts
+// the recovery contract at each point:
+//
+//   - recovery never reports corruption: no single crash, wherever it
+//     lands, may look like mid-log damage;
+//   - the recovered version is an acked prefix extended by at most the
+//     one in-flight op: acked ≤ recovered ≤ attempted (an op synced to
+//     the old segment just before a compaction crash is durable even
+//     though its Append reported failure — committed, unacknowledged);
+//   - the recovered ops replay onto the checkpoint without drift.
+//
+// The only crash point allowed to leave nothing behind is one that
+// lands inside the very first Create, before any op was ever acked.
+func TestCrashPointSweep(t *testing.T) {
+	const ops = 7
+	const compactEvery = 3
+
+	workload := func(store Store) (acked, attempted uint64, err error) {
+		live := testScene(2)
+		base := live.Version
+		l, err := Create(store, live, base, time.Unix(50, 0))
+		if err != nil {
+			return base, base, err
+		}
+		l.CompactEvery = compactEvery
+		acked = base
+		for i := 0; i < ops; i++ {
+			op := &scene.SetTransformOp{ID: scene.NodeID(2 + i%2), Transform: mathx.Translate(mathx.V3(float64(i), 0, 0))}
+			if aerr := live.ApplyOp(op); aerr != nil {
+				t.Fatal(aerr)
+			}
+			if aerr := l.Append(op, live.Version, time.Unix(100+int64(i), 0), live.Clone); aerr != nil {
+				return acked, live.Version, aerr
+			}
+			acked = live.Version
+		}
+		l.Close()
+		return acked, live.Version, nil
+	}
+
+	// Rehearsal: a fault-free run measures the sweep range and pins the
+	// expected clean outcome.
+	rehearsal := NewStoreFaults(1)
+	cleanAcked, cleanAttempted, err := workload(NewFaultStore(NewMemStore(), rehearsal))
+	if err != nil {
+		t.Fatalf("rehearsal: %v", err)
+	}
+	if cleanAcked != cleanAttempted {
+		t.Fatalf("rehearsal acked %d != attempted %d", cleanAcked, cleanAttempted)
+	}
+	total := rehearsal.Ops()
+	if total < 2*ops+4 {
+		t.Fatalf("rehearsal consumed only %d ops — the sweep would miss boundaries", total)
+	}
+
+	for k := 0; k < total; k++ {
+		mem := NewMemStore()
+		plan := NewStoreFaults(1).KillAtOp(k)
+		acked, attempted, err := workload(NewFaultStore(mem, plan))
+		if err == nil {
+			t.Fatalf("kill at op %d: workload finished cleanly", k)
+		}
+		if !errors.Is(err, ErrStoreKilled) {
+			t.Fatalf("kill at op %d: workload died of %v, not the injected kill", k, err)
+		}
+
+		// The crash drops unsynced writes and any unpromoted replacement.
+		rec, rerr := Recover(mem.Crashed())
+		if rerr != nil {
+			if errors.Is(rerr, ErrLogCorrupt) {
+				t.Errorf("kill at op %d: recovery claims corruption: %v", k, rerr)
+				continue
+			}
+			// No segment at all: legal only when the kill landed inside
+			// the initial Create, before anything was acked.
+			if errors.Is(rerr, fs.ErrNotExist) && acked == attempted && err != nil && k <= 3 {
+				continue
+			}
+			t.Errorf("kill at op %d: recovery failed: %v (acked %d)", k, rerr, acked)
+			continue
+		}
+		if rec.Version < acked {
+			t.Errorf("kill at op %d: recovered %d lost acked ops (acked %d)", k, rec.Version, acked)
+		}
+		if rec.Version > attempted {
+			t.Errorf("kill at op %d: recovered %d beyond the last attempted op %d", k, rec.Version, attempted)
+		}
+		sc, serr := rec.Scene()
+		if serr != nil {
+			t.Errorf("kill at op %d: replay failed: %v", k, serr)
+			continue
+		}
+		if sc.Version != rec.Version {
+			t.Errorf("kill at op %d: replayed scene at %d, recovery claims %d", k, sc.Version, rec.Version)
+		}
+	}
+}
+
+// TestCrashPointSweepOnDisk re-runs a reduced sweep against the real
+// OSStore, using the fault layer's kill to stop the workload at each
+// boundary. The on-disk store cannot model lost unsynced writes (the
+// page cache survives a process death), so this pins the weaker but
+// still load-bearing contract: whatever the process managed to write,
+// recovery yields an acked-or-in-flight prefix and never corruption.
+func TestCrashPointSweepOnDisk(t *testing.T) {
+	const ops = 4
+	const compactEvery = 2
+
+	workload := func(store Store) (acked, attempted uint64, err error) {
+		live := testScene(2)
+		base := live.Version
+		l, err := Create(store, live, base, time.Unix(50, 0))
+		if err != nil {
+			return base, base, err
+		}
+		l.CompactEvery = compactEvery
+		acked = base
+		for i := 0; i < ops; i++ {
+			op := &scene.SetTransformOp{ID: scene.NodeID(2 + i%2), Transform: mathx.Translate(mathx.V3(float64(i), 0, 0))}
+			if aerr := live.ApplyOp(op); aerr != nil {
+				t.Fatal(aerr)
+			}
+			if aerr := l.Append(op, live.Version, time.Unix(100+int64(i), 0), live.Clone); aerr != nil {
+				return acked, live.Version, aerr
+			}
+			acked = live.Version
+		}
+		l.Close()
+		return acked, live.Version, nil
+	}
+
+	rehearsal := NewStoreFaults(1)
+	if _, _, err := workload(NewFaultStore(NewOSStore(t.TempDir()+"/session.wal"), rehearsal)); err != nil {
+		t.Fatalf("rehearsal: %v", err)
+	}
+	total := rehearsal.Ops()
+
+	for k := 0; k < total; k++ {
+		path := t.TempDir() + "/session.wal"
+		store := NewOSStore(path)
+		plan := NewStoreFaults(1).KillAtOp(k)
+		acked, attempted, err := workload(NewFaultStore(store, plan))
+		if !errors.Is(err, ErrStoreKilled) {
+			t.Fatalf("kill at op %d: workload died of %v", k, err)
+		}
+		rec, rerr := Recover(store)
+		if rerr != nil {
+			if errors.Is(rerr, ErrLogCorrupt) {
+				t.Errorf("kill at op %d: recovery claims corruption: %v", k, rerr)
+			} else if !(errors.Is(rerr, fs.ErrNotExist) && acked == attempted && k <= 3) {
+				t.Errorf("kill at op %d: recovery failed: %v", k, rerr)
+			}
+			continue
+		}
+		if rec.Version < acked || rec.Version > attempted {
+			t.Errorf("kill at op %d: recovered %d outside [%d, %d]", k, rec.Version, acked, attempted)
+		}
+		if _, serr := rec.Scene(); serr != nil {
+			t.Errorf("kill at op %d: replay failed: %v", k, serr)
+		}
+	}
+}

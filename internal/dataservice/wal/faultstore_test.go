@@ -1,0 +1,193 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/mathx"
+	"repro/internal/scene"
+)
+
+// journalTo runs the standard little workload — Create + n appends with
+// compaction every compactEvery — against store, returning the last
+// version whose Append succeeded and the first error hit (nil if none).
+func journalTo(store Store, live *scene.Scene, n, compactEvery int) (acked uint64, attempted uint64, err error) {
+	l, err := Create(store, live, live.Version, time.Unix(50, 0))
+	if err != nil {
+		return 0, live.Version, err
+	}
+	l.CompactEvery = compactEvery
+	acked = live.Version
+	for i := 0; i < n; i++ {
+		op := &scene.SetTransformOp{ID: scene.NodeID(2 + i%2), Transform: mathx.Translate(mathx.V3(float64(i), 0, 0))}
+		if aerr := live.ApplyOp(op); aerr != nil {
+			panic(aerr)
+		}
+		if aerr := l.Append(op, live.Version, time.Unix(100+int64(i), 0), live.Clone); aerr != nil {
+			return acked, live.Version, aerr
+		}
+		acked = live.Version
+	}
+	l.Close()
+	return acked, live.Version, nil
+}
+
+// TestFaultStoreENOSPC: a full disk fails the append without
+// acknowledging it, and every record committed before survives.
+func TestFaultStoreENOSPC(t *testing.T) {
+	mem := NewMemStore()
+	plan := NewStoreFaults(7)
+	// Create consumes ops 0..3 (header, checkpoint, sync, promote); each
+	// append is a write+sync pair, so op 6 is the second append's write.
+	plan.FailWriteENOSPC(6)
+	live := testScene(2)
+	acked, _, err := journalTo(NewFaultStore(mem, plan), live, 5, 0)
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("err = %v, want ErrNoSpace", err)
+	}
+	if acked != live.Version-1 {
+		t.Fatalf("acked %d, want first append only (%d)", acked, live.Version-1)
+	}
+	rec, rerr := Recover(mem)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if rec.Version != acked {
+		t.Errorf("recovered %d, want %d", rec.Version, acked)
+	}
+}
+
+// TestFaultStoreShortWrite: the disk fills mid-record; the torn record
+// on the platter is discarded as tail damage, never an error.
+func TestFaultStoreShortWrite(t *testing.T) {
+	mem := NewMemStore()
+	plan := NewStoreFaults(7)
+	plan.ShortWrite(6, 10) // 10 bytes of the second append's record land
+	live := testScene(2)
+	acked, _, err := journalTo(NewFaultStore(mem, plan), live, 5, 0)
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("err = %v, want ErrNoSpace", err)
+	}
+	// The torn prefix was never synced; a crash drops it entirely, and a
+	// live re-read sees it as a torn tail. Both recover to acked.
+	for name, st := range map[string]Store{"crashed": mem.Crashed(), "live": mem} {
+		rec, rerr := Recover(st)
+		if rerr != nil {
+			t.Fatalf("%s: %v", name, rerr)
+		}
+		if rec.Version != acked {
+			t.Errorf("%s: recovered %d, want %d", name, rec.Version, acked)
+		}
+	}
+}
+
+// TestFaultStoreSyncEIO: a failed fsync refuses the ack even though the
+// bytes were written.
+func TestFaultStoreSyncEIO(t *testing.T) {
+	mem := NewMemStore()
+	plan := NewStoreFaults(7)
+	plan.FailSyncEIO(7) // the second append's sync
+	live := testScene(2)
+	acked, attempted, err := journalTo(NewFaultStore(mem, plan), live, 5, 0)
+	if !errors.Is(err, ErrDiskIO) {
+		t.Fatalf("err = %v, want ErrDiskIO", err)
+	}
+	if attempted != acked+1 {
+		t.Fatalf("attempted %d, acked %d — sync fault landed on the wrong op", attempted, acked)
+	}
+	rec, rerr := Recover(mem.Crashed())
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if rec.Version != acked {
+		t.Errorf("crash after refused sync recovered %d, want %d", rec.Version, acked)
+	}
+}
+
+// TestFaultStoreBitFlip: silent corruption at write time is invisible
+// until recovery, where the CRC catches it — as tail damage when
+// nothing follows, as ErrLogCorrupt when intact records do.
+func TestFaultStoreBitFlip(t *testing.T) {
+	t.Run("tail", func(t *testing.T) {
+		mem := NewMemStore()
+		plan := NewStoreFaults(7)
+		plan.FlipBits(10) // final (4th) append's record write
+		live := testScene(2)
+		acked, _, err := journalTo(NewFaultStore(mem, plan), live, 4, 0)
+		if err != nil {
+			t.Fatalf("silent bit rot must not fail the write path: %v", err)
+		}
+		if acked != live.Version {
+			t.Fatalf("acked %d, want %d", acked, live.Version)
+		}
+		rec, rerr := Recover(mem)
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		if !errors.Is(rec.Torn, ErrChecksum) {
+			t.Errorf("torn = %v, want ErrChecksum", rec.Torn)
+		}
+		if rec.Version != acked-1 {
+			t.Errorf("recovered %d, want %d", rec.Version, acked-1)
+		}
+	})
+	t.Run("mid-log", func(t *testing.T) {
+		mem := NewMemStore()
+		plan := NewStoreFaults(7)
+		plan.FlipBits(6) // second append's record write; two more follow
+		live := testScene(2)
+		if _, _, err := journalTo(NewFaultStore(mem, plan), live, 4, 0); err != nil {
+			t.Fatalf("silent bit rot must not fail the write path: %v", err)
+		}
+		if _, rerr := Recover(mem); !errors.Is(rerr, ErrLogCorrupt) {
+			t.Fatalf("recover = %v, want ErrLogCorrupt", rerr)
+		}
+	})
+}
+
+// TestFaultStoreSickNow: a sick disk fails everything from the poison
+// point on, deterministically, and reports itself via Sick and Probe.
+func TestFaultStoreSickNow(t *testing.T) {
+	mem := NewMemStore()
+	plan := NewStoreFaults(7)
+	fs := NewFaultStore(mem, plan)
+	live := testScene(2)
+	l, err := Create(fs, live, live.Version, time.Unix(50, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := &scene.SetTransformOp{ID: 2, Transform: mathx.Identity()}
+	live.ApplyOp(op)
+	if err := l.Append(op, live.Version, time.Unix(51, 0), nil); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Sick() {
+		t.Fatal("healthy plan reports sick")
+	}
+	if err := Probe(fs); err != nil {
+		t.Fatalf("probe on healthy store: %v", err)
+	}
+	plan.SickNow()
+	if !plan.Sick() {
+		t.Fatal("poisoned plan not sick")
+	}
+	if err := Probe(fs); !errors.Is(err, ErrDiskIO) {
+		t.Fatalf("probe on sick store = %v, want ErrDiskIO", err)
+	}
+	live.ApplyOp(op)
+	if err := l.Append(op, live.Version, time.Unix(52, 0), nil); !errors.Is(err, ErrDiskIO) {
+		t.Fatalf("append on sick disk = %v, want ErrDiskIO", err)
+	}
+	if l.Err() == nil {
+		t.Fatal("sick disk did not poison the log")
+	}
+	// Everything acked before the sickness recovers.
+	rec, rerr := Recover(mem)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if rec.Version != live.Version-1 {
+		t.Errorf("recovered %d, want %d", rec.Version, live.Version-1)
+	}
+}

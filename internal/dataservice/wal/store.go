@@ -24,6 +24,7 @@ type MemStore struct {
 	hasPend  bool
 	writeErr error // injected fault: fail the next writes
 	syncErr  error // injected fault: fail the next syncs
+	promErr  error // injected fault: fail the next promotes
 }
 
 // NewMemStore returns an empty in-memory store.
@@ -40,6 +41,14 @@ func (m *MemStore) FailWrites(err error) {
 func (m *MemStore) FailSyncs(err error) {
 	m.mu.Lock()
 	m.syncErr = err
+	m.mu.Unlock()
+}
+
+// FailPromotes makes subsequent Promote calls fail with err (nil
+// clears) — a compaction whose atomic rename the disk refuses.
+func (m *MemStore) FailPromotes(err error) {
+	m.mu.Lock()
+	m.promErr = err
 	m.mu.Unlock()
 }
 
@@ -98,6 +107,9 @@ func (m *MemStore) Replace() (WriteSyncCloser, error) {
 func (m *MemStore) Promote() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.promErr != nil {
+		return m.promErr
+	}
 	if !m.hasPend {
 		return fmt.Errorf("wal: no replacement segment to promote")
 	}
@@ -191,6 +203,16 @@ func (o *OSStore) Promote() error {
 		if err := dir.Sync(); err != nil {
 			return fmt.Errorf("wal: sync segment directory: %w", err)
 		}
+	}
+	return nil
+}
+
+// Quarantine moves a corrupt active segment aside to path+".corrupt"
+// (replacing any earlier quarantine) so the evidence survives for a
+// post-mortem while the path is freed for a fresh bootstrap journal.
+func (o *OSStore) Quarantine() error {
+	if err := os.Rename(o.path, o.path+".corrupt"); err != nil {
+		return fmt.Errorf("wal: quarantine segment: %w", err)
 	}
 	return nil
 }

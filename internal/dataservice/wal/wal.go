@@ -73,6 +73,16 @@ var (
 	ErrTooLarge = errors.New("wal: record exceeds size limit")
 	// ErrNoCheckpoint means the segment does not begin with a checkpoint.
 	ErrNoCheckpoint = errors.New("wal: segment does not start with a checkpoint")
+	// ErrLogCorrupt means the segment is damaged somewhere other than
+	// the tail: a broken record with intact records after it, a damaged
+	// checkpoint, a version gap, or an undecodable body. No crash can
+	// produce this shape — every record is one Write followed by Sync,
+	// so a crash tears at most the final record — which means the log
+	// lies about history. Local recovery must be refused: replaying a
+	// stale prefix and serving it as current silently forks the session.
+	// The caller's move is to quarantine the segment and bootstrap from
+	// the nearest replica instead.
+	ErrLogCorrupt = errors.New("wal: mid-log corruption")
 )
 
 // WriteSyncCloser is the durable sink a Store hands out: Sync must not
@@ -256,9 +266,11 @@ type VersionedOp struct {
 
 // Recovered is the state reconstructed from a segment.
 type Recovered struct {
-	// Base is the checkpoint scene; BaseVersion its version.
+	// Base is the checkpoint scene; BaseVersion its version and BaseAt
+	// the session-clock time the checkpoint was written.
 	Base        *scene.Scene
 	BaseVersion uint64
+	BaseAt      time.Time
 	// Ops are the committed ops after the checkpoint, in version order.
 	Ops []VersionedOp
 	// Version is the exact version of the last complete record.
@@ -285,10 +297,14 @@ func (rec *Recovered) Scene() (*scene.Scene, error) {
 }
 
 // Recover scans the store's active segment, tolerating a torn tail:
-// scanning stops at the first truncated or corrupt record and every
-// complete record before it is returned. Damage anywhere else — a bad
-// magic, an unknown format, a checkpoint that cannot be decoded, or an
-// out-of-sequence version — is unrecoverable and returns an error.
+// scanning stops at a truncated or corrupt record that nothing intact
+// follows — the record being written when the crash hit — and every
+// complete record before it is returned. Damage anywhere else is
+// unrecoverable: a broken record with intact records after it, a
+// damaged checkpoint, an out-of-sequence version, or an undecodable
+// body all return an error wrapping ErrLogCorrupt (refuse local
+// recovery, bootstrap from a replica), while a bad magic or unknown
+// format keeps its own sentinel (not our log at all).
 func Recover(store Store) (*Recovered, error) {
 	r, err := store.Open()
 	if err != nil {
@@ -310,30 +326,13 @@ func Exists(store Store) bool {
 
 // Scan reads one segment stream (see Recover for the damage rules).
 func Scan(r io.Reader) (*Recovered, error) {
-	var hdr [headerSize]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("%w: segment header: %v", ErrTruncated, err)
+	if err := readHeader(r); err != nil {
+		return nil, err
 	}
-	if binary.BigEndian.Uint32(hdr[:4]) != Magic {
-		return nil, fmt.Errorf("%w: %#x", ErrBadMagic, binary.BigEndian.Uint32(hdr[:4]))
-	}
-	if f := binary.BigEndian.Uint16(hdr[4:]); f != Format {
-		return nil, fmt.Errorf("%w: %d", ErrBadFormat, f)
-	}
-
-	tag, version, at, body, err := readRecord(r)
+	rec, err := readCheckpoint(r)
 	if err != nil {
-		return nil, fmt.Errorf("wal: checkpoint: %w", err)
+		return nil, err
 	}
-	if tag != tagCheckpoint {
-		return nil, ErrNoCheckpoint
-	}
-	base, err := marshal.ReadScene(bytes.NewReader(body))
-	if err != nil {
-		return nil, fmt.Errorf("wal: decode checkpoint: %w", err)
-	}
-	rec := &Recovered{Base: base, BaseVersion: version, Version: version}
-	_ = at
 
 	for {
 		tag, version, at, body, err := readRecord(r)
@@ -341,22 +340,23 @@ func Scan(r io.Reader) (*Recovered, error) {
 			if err == io.EOF {
 				return rec, nil
 			}
-			// Tail damage: the record being written when the crash hit.
-			// Its commit was never acknowledged, so dropping it is safe.
 			if errors.Is(err, ErrTruncated) || errors.Is(err, ErrChecksum) {
-				rec.Torn = err
-				return rec, nil
+				return settleTail(r, rec, err)
 			}
-			return nil, err
+			// An oversize length in a fully present header: a torn write
+			// delivers a prefix of a valid record, so its header bytes
+			// are always sane — this is corruption.
+			return nil, fmt.Errorf("%w: %w", ErrLogCorrupt, err)
 		}
 		switch tag {
 		case tagOp:
 			if version != rec.Version+1 {
-				return nil, fmt.Errorf("wal: op version %d does not follow %d", version, rec.Version)
+				return nil, fmt.Errorf("%w: op version %d does not follow %d", ErrLogCorrupt, version, rec.Version)
 			}
 			op, err := marshal.ReadOp(bytes.NewReader(body))
 			if err != nil {
-				return nil, fmt.Errorf("wal: decode op %d: %w", version, err)
+				// The CRC matched, so the writer itself journaled garbage.
+				return nil, fmt.Errorf("%w: decode op %d: %w", ErrLogCorrupt, version, err)
 			}
 			rec.Ops = append(rec.Ops, VersionedOp{Version: version, At: at, Op: op})
 			rec.Version = version
@@ -364,9 +364,73 @@ func Scan(r io.Reader) (*Recovered, error) {
 			// A mid-segment checkpoint only appears if a compaction's
 			// Promote was interrupted in a way the Store cannot express
 			// atomically; treat it as unrecoverable corruption.
-			return nil, fmt.Errorf("wal: unexpected mid-segment checkpoint at version %d", version)
+			return nil, fmt.Errorf("%w: unexpected mid-segment checkpoint at version %d", ErrLogCorrupt, version)
 		default:
-			return nil, fmt.Errorf("wal: unknown record tag %q", tag)
+			return nil, fmt.Errorf("%w: unknown record tag %q", ErrLogCorrupt, tag)
+		}
+	}
+}
+
+// readHeader validates the segment magic and format.
+func readHeader(r io.Reader) error {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("%w: segment header: %v", ErrTruncated, err)
+	}
+	if binary.BigEndian.Uint32(hdr[:4]) != Magic {
+		return fmt.Errorf("%w: %#x", ErrBadMagic, binary.BigEndian.Uint32(hdr[:4]))
+	}
+	if f := binary.BigEndian.Uint16(hdr[4:]); f != Format {
+		return fmt.Errorf("%w: %d", ErrBadFormat, f)
+	}
+	return nil
+}
+
+// readCheckpoint reads the mandatory opening checkpoint. Damage here is
+// never a crash artifact — a checkpoint is synced and atomically
+// promoted before its segment goes live — so every failure wraps
+// ErrLogCorrupt.
+func readCheckpoint(r io.Reader) (*Recovered, error) {
+	tag, version, at, body, err := readRecord(r)
+	if err != nil {
+		if err == io.EOF {
+			err = fmt.Errorf("%w: segment ends before checkpoint", ErrTruncated)
+		}
+		return nil, fmt.Errorf("%w: checkpoint: %w", ErrLogCorrupt, err)
+	}
+	if tag != tagCheckpoint {
+		return nil, fmt.Errorf("%w: %w", ErrLogCorrupt, ErrNoCheckpoint)
+	}
+	base, err := marshal.ReadScene(bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("%w: decode checkpoint: %w", ErrLogCorrupt, err)
+	}
+	return &Recovered{Base: base, BaseVersion: version, BaseAt: at, Version: version}, nil
+}
+
+// settleTail classifies damage at the scan position. A crash tears at
+// most the final record (one Write, one Sync per record), so if any
+// fully intact record follows the damaged one the damage is mid-log
+// corruption and local recovery is refused. Only damage that nothing
+// intact follows is the torn tail of the record being written when the
+// crash hit — its commit was never acknowledged, so dropping it is
+// safe.
+func settleTail(r io.Reader, rec *Recovered, damage error) (*Recovered, error) {
+	for {
+		_, version, _, _, err := readRecord(r)
+		switch {
+		case err == nil:
+			return nil, fmt.Errorf("%w: %w, but version %d follows intact", ErrLogCorrupt, damage, version)
+		case err == io.EOF || errors.Is(err, ErrTruncated):
+			rec.Torn = damage
+			return rec, nil
+		case errors.Is(err, ErrChecksum):
+			// Framing intact: keep looking for an intact survivor.
+		default:
+			// Framing lost (oversize length): nothing past the damage can
+			// be read, so no survivor can be proven — treat as tail loss.
+			rec.Torn = damage
+			return rec, nil
 		}
 	}
 }

@@ -180,6 +180,118 @@ func TestChecksumTornTail(t *testing.T) {
 	}
 }
 
+// TestMidLogCorruptionRefused: a bit flip in a record that intact
+// records follow is not a crash artifact — no crash tears anything but
+// the final record — so recovery must refuse with ErrLogCorrupt rather
+// than silently serve the stale prefix before the damage.
+func TestMidLogCorruptionRefused(t *testing.T) {
+	store := NewMemStore()
+	live := testScene(2)
+	l, err := Create(store, live, live.Version, time.Unix(50, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendOps(t, l, live, 1)
+	mid := len(store.Bytes()) // op 1 ends here; op 2 and 3 follow
+	appendOps(t, l, live, 2)
+	l.Close()
+
+	img := store.Bytes()
+	img[mid+recHeaderSize] ^= 0xFF // inside op 2's body
+	bad := NewMemStore()
+	seg, _ := bad.Append()
+	seg.Write(img)
+	seg.Close()
+
+	rec, err := Recover(bad)
+	if !errors.Is(err, ErrLogCorrupt) {
+		t.Fatalf("mid-log corruption recovered as rec=%+v err=%v, want ErrLogCorrupt", rec, err)
+	}
+	if !errors.Is(err, ErrChecksum) {
+		t.Errorf("corruption error does not carry the CRC cause: %v", err)
+	}
+}
+
+// TestAdjacentTailCorruptionStillTorn: damage in the second-to-last
+// record followed only by further damage (never an intact record) has
+// no proof of mid-log corruption — the scan settles it as tail loss.
+func TestAdjacentTailCorruptionStillTorn(t *testing.T) {
+	store := NewMemStore()
+	live := testScene(2)
+	l, err := Create(store, live, live.Version, time.Unix(50, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendOps(t, l, live, 1)
+	mid := len(store.Bytes())
+	appendOps(t, l, live, 2)
+	l.Close()
+
+	img := store.Bytes()
+	img[mid+recHeaderSize] ^= 0xFF // op 2's body
+	img[len(img)-1] ^= 0xFF        // op 3's body too
+	bad := NewMemStore()
+	seg, _ := bad.Append()
+	seg.Write(img)
+	seg.Close()
+
+	rec, err := Recover(bad)
+	if err != nil {
+		t.Fatalf("damage with no intact survivor must settle as torn: %v", err)
+	}
+	if !errors.Is(rec.Torn, ErrChecksum) {
+		t.Errorf("torn = %v, want ErrChecksum", rec.Torn)
+	}
+	if rec.Version != live.Version-2 {
+		t.Errorf("recovered version %d, want %d", rec.Version, live.Version-2)
+	}
+}
+
+// TestCorruptCheckpointRefused: checkpoints are synced and atomically
+// promoted before their segment goes live, so checkpoint damage is
+// corruption, never a torn tail.
+func TestCorruptCheckpointRefused(t *testing.T) {
+	store := NewMemStore()
+	live := testScene(2)
+	l, err := Create(store, live, live.Version, time.Unix(50, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendOps(t, l, live, 1)
+	l.Close()
+
+	img := store.Bytes()
+	img[headerSize+recHeaderSize+4] ^= 0x01 // inside the checkpoint body
+	bad := NewMemStore()
+	seg, _ := bad.Append()
+	seg.Write(img)
+	seg.Close()
+
+	if _, err := Recover(bad); !errors.Is(err, ErrLogCorrupt) {
+		t.Fatalf("corrupt checkpoint: %v, want ErrLogCorrupt", err)
+	}
+}
+
+// TestRecoveredBaseAt: the checkpoint's timestamp survives recovery
+// (the field the old scan read and discarded).
+func TestRecoveredBaseAt(t *testing.T) {
+	store := NewMemStore()
+	live := testScene(1)
+	at := time.Unix(1234, 5678)
+	l, err := Create(store, live, live.Version, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	rec, err := Recover(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.BaseAt.Equal(at) {
+		t.Errorf("BaseAt = %v, want %v", rec.BaseAt, at)
+	}
+}
+
 // TestOversizedRecordRejected: a record announcing a body beyond the
 // size limit is unrecoverable (it cannot be skipped safely), not torn.
 func TestOversizedRecordRejected(t *testing.T) {
@@ -320,6 +432,112 @@ func TestSyncFailurePoisons(t *testing.T) {
 	store.FailSyncs(nil)
 	if l.Err() == nil {
 		t.Fatal("log not poisoned after sync failure")
+	}
+}
+
+// TestCompactionSyncFailurePoisons: a failed fsync during checkpoint
+// compaction (the rewrite triggered by crossing CompactEvery) must
+// poison the log exactly like a failed append fsync — and must leave
+// the old segment intact, so the op that triggered compaction is still
+// recoverable even though its Append reported failure.
+func TestCompactionSyncFailurePoisons(t *testing.T) {
+	live := testScene(2)
+	// Two syncs succeed — Create's checkpoint and the op record — so the
+	// first failure lands on the compaction rewrite's checkpoint sync.
+	store := &syncFailAfter{MemStore: NewMemStore(), okSyncs: 2}
+	l, err := Create(store, live, live.Version, time.Unix(50, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.CompactEvery = 1
+	op := &scene.SetTransformOp{ID: 2, Transform: mathx.Identity()}
+	live.ApplyOp(op)
+	if err := l.Append(op, live.Version, time.Unix(51, 0), live.Clone); err == nil {
+		t.Fatal("append acknowledged across a failed compaction sync")
+	}
+	if l.Err() == nil {
+		t.Fatal("log not poisoned after compaction sync failure")
+	}
+	if err := l.Append(op, live.Version+1, time.Unix(52, 0), nil); err == nil {
+		t.Fatal("poisoned log accepted a later append")
+	}
+	// The op itself was synced to the old segment before the rewrite
+	// died: recovery still reaches it.
+	rec, err := Recover(store.MemStore.Crashed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Version != live.Version {
+		t.Errorf("recovered %d after failed compaction, want %d", rec.Version, live.Version)
+	}
+}
+
+// syncFailAfter lets okSyncs syncs through, then fails the rest — the
+// op-record fsync succeeds and the compaction checkpoint's fsync dies.
+type syncFailAfter struct {
+	*MemStore
+	okSyncs int
+}
+
+func (s *syncFailAfter) Append() (WriteSyncCloser, error) {
+	seg, err := s.MemStore.Append()
+	if err != nil {
+		return nil, err
+	}
+	return &countedSeg{WriteSyncCloser: seg, owner: s}, nil
+}
+
+func (s *syncFailAfter) Replace() (WriteSyncCloser, error) {
+	seg, err := s.MemStore.Replace()
+	if err != nil {
+		return nil, err
+	}
+	return &countedSeg{WriteSyncCloser: seg, owner: s}, nil
+}
+
+type countedSeg struct {
+	WriteSyncCloser
+	owner *syncFailAfter
+}
+
+func (c *countedSeg) Sync() error {
+	if c.owner.okSyncs <= 0 {
+		return errors.New("disk gone")
+	}
+	c.owner.okSyncs--
+	return c.WriteSyncCloser.Sync()
+}
+
+// TestCompactionPromoteFailurePoisons: the same discipline for the
+// compaction's atomic rename — a refused Promote poisons the log, and
+// the un-promoted replacement leaves the old segment authoritative.
+func TestCompactionPromoteFailurePoisons(t *testing.T) {
+	store := NewMemStore()
+	live := testScene(2)
+	l, err := Create(store, live, live.Version, time.Unix(50, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.CompactEvery = 1
+	store.FailPromotes(errors.New("rename refused"))
+	op := &scene.SetTransformOp{ID: 2, Transform: mathx.Identity()}
+	live.ApplyOp(op)
+	if err := l.Append(op, live.Version, time.Unix(51, 0), live.Clone); err == nil {
+		t.Fatal("append acknowledged across a failed compaction promote")
+	}
+	if l.Err() == nil {
+		t.Fatal("log not poisoned after promote failure")
+	}
+	store.FailPromotes(nil)
+	if err := l.Append(op, live.Version+1, time.Unix(52, 0), nil); err == nil {
+		t.Fatal("poisoned log accepted a later append")
+	}
+	rec, err := Recover(store.Crashed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Version != live.Version {
+		t.Errorf("recovered %d after failed promote, want %d", rec.Version, live.Version)
 	}
 }
 

@@ -207,6 +207,16 @@ func (g *Gateway) servableLocked(name string) bool {
 	return n != nil && n.Alive() && g.reachableLocked(n)
 }
 
+// placeableLocked reports whether the named node may receive new work:
+// servable and its storage is healthy. The distinction matters for a
+// sick-disk node — still servable (its memory answers frames, its
+// copies are promotion sources) but never placeable (no new primaries,
+// no new replicas land on a disk that cannot commit). Callers hold
+// g.mu.
+func (g *Gateway) placeableLocked(name string) bool {
+	return g.servableLocked(name) && !g.nodes[name].StorageDegraded()
+}
+
 // AddNode joins a node to the fleet and rebalances: consistent hashing
 // moves ~1/N of the sessions onto it, each move lease-stamped.
 func (g *Gateway) AddNode(n *Node) error {
@@ -248,6 +258,73 @@ func (g *Gateway) NodeUp(name string) {
 	}
 	g.ring.Add(name)
 	g.rebalanceLocked()
+}
+
+// EvacuateNode drains a storage-degraded (or otherwise suspect) node:
+// it leaves the placement ring and every session it owns moves to a
+// healthy node through the same lease-transfer-first, epoch-fenced
+// machinery a node death uses — except the copies promoted are the
+// replicas' acked prefixes, never the sick node's possibly-phantom
+// memory. Returns how many sessions moved. Idempotent: a node already
+// drained returns 0.
+func (g *Gateway) EvacuateNode(name string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.evacuateLocked(name)
+}
+
+// evacuateLocked is EvacuateNode's core. Callers hold g.mu.
+func (g *Gateway) evacuateLocked(name string) int {
+	if g.nodes[name] == nil {
+		return 0
+	}
+	owned := func() int {
+		c := 0
+		for _, p := range g.placements {
+			if p.owner == name {
+				c++
+			}
+		}
+		return c
+	}
+	before := owned()
+	if !g.ring.Has(name) && before == 0 {
+		return 0 // already drained
+	}
+	g.ring.Remove(name)
+	g.rebalanceLocked()
+	moved := before - owned()
+	if moved > 0 {
+		g.cfg.Metrics.Counter(g.cfg.Name, "sessions_evacuated_total", "").Add(int64(moved))
+	}
+	return moved
+}
+
+// SyncStorageHealth sweeps the fleet for nodes that have latched
+// storage-degraded and drains any still holding ring membership or
+// sessions. Dispatch already self-heals (the first failed write
+// evacuates), so this sweep — called from a control loop or the load
+// harness pacer — only shortens the window for sessions that had no
+// write traffic to trip on. Returns the drained node names, sorted.
+func (g *Gateway) SyncStorageHealth() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var drained []string
+	names := make([]string, 0, len(g.nodes))
+	for name := range g.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !g.nodes[name].StorageDegraded() {
+			continue
+		}
+		inRing := g.ring.Has(name)
+		if g.evacuateLocked(name) > 0 || inRing {
+			drained = append(drained, name)
+		}
+	}
+	return drained
 }
 
 // TopologyChanged re-derives ring membership from current liveness and
@@ -306,15 +383,19 @@ func (g *Gateway) OpenSession(tenant, session string) error {
 	if !ok {
 		return fmt.Errorf("gateway: no nodes joined")
 	}
-	if !g.servableLocked(owner) {
-		return fmt.Errorf("gateway: ring owner %q not serving", owner)
+	if !g.placeableLocked(owner) {
+		return fmt.Errorf("gateway: ring owner %q not placeable", owner)
 	}
 	node := g.nodes[owner]
 	lease, err := g.cfg.Leases.TransferLease(leaseService(session), owner, g.cfg.LeaseTTL, g.cfg.Clock.Now())
 	if err != nil {
 		return fmt.Errorf("gateway: lease session %q: %w", session, err)
 	}
-	if _, err := node.svc.CreateSession(session); err != nil {
+	sess, err := node.svc.CreateSession(session)
+	if err != nil {
+		return err
+	}
+	if err := node.startJournal(session, sess); err != nil {
 		return err
 	}
 	node.StampEpoch(session, lease.Epoch)
@@ -461,6 +542,17 @@ func (g *Gateway) Dispatch(ctx context.Context, req Request) (Result, error) {
 			}
 			return Result{Node: node.Name(), Version: version}, nil
 		}
+		if errors.Is(derr, ErrStorageDegraded) {
+			// The owner's disk went sick under this very request: the op
+			// touched only the owner's memory — never acked, never
+			// replicated. Evacuate the node's sessions onto healthy
+			// replicas and retry against the promoted successor, which
+			// commits the op exactly once. Like a node death, a sick
+			// disk is a routing fault, not a client error.
+			g.EvacuateNode(node.Name())
+			g.cfg.Metrics.Counter(g.cfg.Name, "dispatch_retries_total", "").Inc()
+			continue
+		}
 		if errors.Is(derr, ErrNodeDown) || errors.Is(derr, ErrStaleEpoch) {
 			// Routing fault: the placement healed (or is about to) —
 			// retry against the current owner.
@@ -505,8 +597,11 @@ func (g *Gateway) rebalanceLocked() {
 			if old := g.nodes[p.owner]; old != nil {
 				prefer = old.Region()
 			}
+			// The next owner must be placeable, not merely servable: a
+			// sick-disk replica holder can donate its copy but must not
+			// become primary for new writes.
 			if best, bok := p.replicas.Best(prefer, func(name string) bool {
-				return g.servableLocked(name)
+				return g.placeableLocked(name)
 			}); bok {
 				desired = best
 			}
@@ -545,10 +640,16 @@ func (g *Gateway) observeOwnershipLocked() {
 // cheapest path that preserves the op-history ring: promote the
 // target's own replica when it has one, otherwise adopt whatever stale
 // copy the target holds gap-only, falling back to a snapshot only when
-// the history cannot cover the gap. Callers hold g.mu.
+// the history cannot cover the gap. One exception to "cheapest": a
+// storage-degraded owner's memory may hold a phantom op — applied
+// locally the instant its journal faulted, never acked or fanned out —
+// so the handoff prefers a replica's acked prefix over mirror-adopting
+// from a degraded owner, and only falls back to the degraded memory
+// when no replica survives (better a phantom than an empty scene).
+// Callers hold g.mu.
 func (g *Gateway) movePlacementLocked(p *placement, to string) error {
-	if !g.servableLocked(to) {
-		return fmt.Errorf("gateway: move target %q not serving", to)
+	if !g.placeableLocked(to) {
+		return fmt.Errorf("gateway: move target %q not placeable", to)
 	}
 	newNode := g.nodes[to]
 	lease, err := g.cfg.Leases.TransferLease(leaseService(p.session), to, g.cfg.LeaseTTL, g.cfg.Clock.Now())
@@ -557,6 +658,7 @@ func (g *Gateway) movePlacementLocked(p *placement, to string) error {
 	}
 	oldNode := g.nodes[p.owner]
 	oldServable := g.servableLocked(p.owner)
+	oldPlaceable := g.placeableLocked(p.owner)
 	switch {
 	case p.replicas != nil && p.replicas.Has(to):
 		// The target already follows the session in the replica set:
@@ -564,7 +666,8 @@ func (g *Gateway) movePlacementLocked(p *placement, to string) error {
 		// ring it accumulated while mirroring, so reconnecting
 		// subscribers resume gap-only instead of re-snapshotting.
 		m, _ := p.replicas.Take(to)
-		if _, perr := m.Promote(); perr != nil {
+		promoted, perr := m.Promote()
+		if perr != nil {
 			return perr
 		}
 		g.cfg.Metrics.Counter(g.cfg.Name, "promotions_total", "").Inc()
@@ -574,10 +677,13 @@ func (g *Gateway) movePlacementLocked(p *placement, to string) error {
 		p.replicas.DetachAll()
 		p.replicas = nil
 		p.seeded = false
-	case oldServable:
-		// Planned move off a live owner: mirror-adopt onto the target —
-		// gap-only when the target still holds a resumable copy, full
-		// snapshot otherwise — then promote immediately.
+		if jerr := newNode.startJournal(p.session, promoted); jerr != nil {
+			return jerr
+		}
+	case oldPlaceable:
+		// Planned move off a live, healthy owner: mirror-adopt onto the
+		// target — gap-only when the target still holds a resumable
+		// copy, full snapshot otherwise — then promote immediately.
 		oldSess, ok := oldNode.svc.Session(p.session)
 		if !ok {
 			return fmt.Errorf("gateway: session %q missing on owner %q", p.session, p.owner)
@@ -586,13 +692,19 @@ func (g *Gateway) movePlacementLocked(p *placement, to string) error {
 		if merr != nil {
 			return merr
 		}
-		if _, perr := m.Promote(); perr != nil {
+		promoted, perr := m.Promote()
+		if perr != nil {
 			return perr
 		}
+		if jerr := newNode.startJournal(p.session, promoted); jerr != nil {
+			return jerr
+		}
 	case p.replicas != nil:
-		// Owner dead and the target holds no replica (several
-		// membership changes landed at once): promote the best
-		// surviving copy, then hand the target its state.
+		// Owner dead (or degraded) and the target holds no replica
+		// (several membership changes landed at once): promote the best
+		// surviving copy, then hand the target its state. The donor only
+		// needs to be servable — a sick-disk holder's memory is a valid
+		// acked-prefix source even though it can never own again.
 		best, bok := p.replicas.Best(newNode.Region(), func(name string) bool {
 			return g.servableLocked(name)
 		})
@@ -615,8 +727,32 @@ func (g *Gateway) movePlacementLocked(p *placement, to string) error {
 		if merr != nil {
 			return merr
 		}
-		if _, perr := m2.Promote(); perr != nil {
+		adopted, perr := m2.Promote()
+		if perr != nil {
 			return perr
+		}
+		if jerr := newNode.startJournal(p.session, adopted); jerr != nil {
+			return jerr
+		}
+	case oldServable:
+		// Degraded owner with no replicas at all (replication never
+		// seeded — a single-node fleet, say): mirror-adopt its memory as
+		// a last resort. The copy may carry a phantom op past the acked
+		// prefix, but it beats reopening the session empty.
+		oldSess, ok := oldNode.svc.Session(p.session)
+		if !ok {
+			return fmt.Errorf("gateway: session %q missing on owner %q", p.session, p.owner)
+		}
+		m, _, merr := dataservice.MirrorSessionSince(oldSess, newNode.svc)
+		if merr != nil {
+			return merr
+		}
+		promoted, perr := m.Promote()
+		if perr != nil {
+			return perr
+		}
+		if jerr := newNode.startJournal(p.session, promoted); jerr != nil {
+			return jerr
 		}
 	default:
 		// Owner dead with no replicas (single-node fleet): the scene
@@ -634,7 +770,9 @@ func (g *Gateway) movePlacementLocked(p *placement, to string) error {
 		// home demotes the partition-era primary to its cross-region
 		// copy), keep its state and only release the epoch stamp —
 		// ensureReplicas re-attaches the copy gap-only instead of
-		// re-seeding a snapshot over the WAN. Otherwise drop the copy.
+		// re-seeding a snapshot over the WAN. Otherwise drop the copy —
+		// and a degraded owner's copy is always dropped: it may carry
+		// the phantom op, and replicaTargets never picks a sick disk.
 		// A dead or partitioned owner is left untouched either way: we
 		// cannot reach it, and the copy it strands is exactly what a
 		// post-heal rebalance resumes from.
@@ -657,8 +795,12 @@ func (g *Gateway) movePlacementLocked(p *placement, to string) error {
 // empty, accounted as lost. Callers hold g.mu.
 func (g *Gateway) reopenLostLocked(p *placement, newNode *Node, epoch uint64, to string) error {
 	newNode.svc.RemoveSession(p.session)
-	if _, cerr := newNode.svc.CreateSession(p.session); cerr != nil {
+	fresh, cerr := newNode.svc.CreateSession(p.session)
+	if cerr != nil {
 		return cerr
+	}
+	if jerr := newNode.startJournal(p.session, fresh); jerr != nil {
+		return jerr
 	}
 	g.cfg.Metrics.Counter(g.cfg.Name, "sessions_lost_total", "").Inc()
 	newNode.StampEpoch(p.session, epoch)
@@ -683,7 +825,10 @@ func (g *Gateway) replicaTargetsLocked(p *placement) []string {
 	}
 	var cands []string
 	for _, m := range g.ring.Successors(p.session, len(g.nodes)) {
-		if m != p.owner && g.servableLocked(m) {
+		// Placeable, not just servable: new replicas never land on a
+		// sick disk — re-replication after an evacuation must restore
+		// factor N on nodes that can actually keep the copies.
+		if m != p.owner && g.placeableLocked(m) {
 			cands = append(cands, m)
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/dataservice"
+	"repro/internal/dataservice/wal"
 	"repro/internal/mathx"
 	"repro/internal/scene"
 	"repro/internal/telemetry"
@@ -24,6 +25,10 @@ const (
 	DefaultOpCost      = 2 * time.Millisecond
 )
 
+// DefaultJournalCompactEvery bounds per-session journal segment growth
+// on journal-backed nodes (NodeConfig.Journal set).
+const DefaultJournalCompactEvery = 64
+
 // ErrNodeDown is returned by node operations after Kill: the gateway
 // treats it as a routing fault (retry after rebalance), never surfacing
 // it to the client.
@@ -34,6 +39,15 @@ var ErrNodeDown = errors.New("gateway: node down")
 // lived here). Like ErrNodeDown it is gateway-internal: the dispatcher
 // re-routes with the current placement and retries.
 var ErrStaleEpoch = errors.New("gateway: stale session epoch")
+
+// ErrStorageDegraded is returned by mutating node operations once the
+// node's journal has faulted: the disk under it can no longer commit
+// durably, so the node refuses further writes. Like ErrNodeDown it is
+// gateway-internal — the dispatcher evacuates the node's sessions onto
+// healthy replicas and retries, so the client never sees it. Unlike
+// ErrNodeDown the node stays alive: its in-memory copies keep serving
+// frames and remain valid promotion sources while the drain runs.
+var ErrStorageDegraded = errors.New("gateway: node storage degraded")
 
 // errNoCapacity is returned by reserve when all render slots are taken;
 // the gateway converts it into a typed capacity decline.
@@ -59,6 +73,15 @@ type NodeConfig struct {
 	// OpCost is the modeled per-mutation middleware time
 	// (0 = DefaultOpCost).
 	OpCost time.Duration
+	// Journal, when set, makes the node journal-backed: every session
+	// it owns as primary commits its ops through a wal store from this
+	// factory before acknowledging. Nil keeps the memory-only node of
+	// earlier PRs. Replica mirrors are never journaled — durability is
+	// the primary's job; the mirrors are the redundancy.
+	Journal func(session string) wal.Store
+	// JournalCompactEvery bounds journal segment growth
+	// (0 = DefaultJournalCompactEvery).
+	JournalCompactEvery int
 }
 
 // Node is one data service in the sharded fleet: the real
@@ -77,9 +100,12 @@ type Node struct {
 	renderCost time.Duration
 	opCost     time.Duration
 	slots      int
+	journal    func(session string) wal.Store
+	compactEv  int
 
 	mu       sync.Mutex
 	alive    bool
+	degraded bool
 	reserved int
 	epochs   map[string]uint64
 }
@@ -102,6 +128,9 @@ func NewNode(cfg NodeConfig) *Node {
 	if cfg.OpCost <= 0 {
 		cfg.OpCost = DefaultOpCost
 	}
+	if cfg.JournalCompactEvery <= 0 {
+		cfg.JournalCompactEvery = DefaultJournalCompactEvery
+	}
 	return &Node{
 		name:   cfg.Name,
 		region: cfg.Region,
@@ -116,6 +145,8 @@ func NewNode(cfg NodeConfig) *Node {
 		renderCost: cfg.RenderCost,
 		opCost:     cfg.OpCost,
 		slots:      cfg.RenderSlots,
+		journal:    cfg.Journal,
+		compactEv:  cfg.JournalCompactEvery,
 		alive:      true,
 		epochs:     map[string]uint64{},
 	}
@@ -149,6 +180,41 @@ func (n *Node) Kill() {
 	n.alive = false
 }
 
+// StorageDegraded reports whether the node's journal has faulted. A
+// degraded node stays alive — it serves frames and its copies remain
+// promotion sources — but accepts no further writes or placements.
+func (n *Node) StorageDegraded() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.degraded
+}
+
+// markStorageDegraded latches the degraded state on the first journal
+// fault and raises the per-node gauge the heartbeat reports from.
+func (n *Node) markStorageDegraded() {
+	n.mu.Lock()
+	already := n.degraded
+	n.degraded = true
+	n.mu.Unlock()
+	if !already {
+		n.metrics.Gauge("gw", "storage_degraded", telemetry.PeerLabel(n.name)).Set(1)
+	}
+}
+
+// startJournal attaches a durable journal to a session this node just
+// became primary for (no-op on memory-only nodes). A store that cannot
+// even open a journal marks the node degraded on the spot.
+func (n *Node) startJournal(session string, sess *dataservice.Session) error {
+	if n.journal == nil {
+		return nil
+	}
+	if err := sess.StartJournal(n.journal(session), n.compactEv); err != nil {
+		n.markStorageDegraded()
+		return fmt.Errorf("%w (%s): %w", ErrStorageDegraded, n.name, err)
+	}
+	return nil
+}
+
 // Epoch returns the lease epoch the node holds for a session (0 if it
 // holds none).
 func (n *Node) Epoch(session string) uint64 {
@@ -166,12 +232,17 @@ func (n *Node) StampEpoch(session string, epoch uint64) {
 	n.epochs[session] = epoch
 }
 
-// DropSession releases ownership: the session and its epoch stamp are
-// removed (idempotent).
+// DropSession releases ownership: the session's journal is closed and
+// the session and its epoch stamp are removed (idempotent).
 func (n *Node) DropSession(session string) {
 	n.mu.Lock()
 	delete(n.epochs, session)
 	n.mu.Unlock()
+	if sess, ok := n.svc.Session(session); ok {
+		// Close errors don't matter here: the copy is being discarded,
+		// and on a sick disk the close is best-effort anyway.
+		_ = sess.StopJournal()
+	}
 	n.svc.RemoveSession(session)
 }
 
@@ -232,6 +303,11 @@ func (n *Node) ApplyLoadOp(session string, epoch uint64) (version uint64, err er
 	if err := n.check(session, epoch); err != nil {
 		return 0, err
 	}
+	if n.StorageDegraded() {
+		// Already known sick: refuse before burning modeled op time, so
+		// the drain's retries land on the successor immediately.
+		return 0, fmt.Errorf("%w (%s)", ErrStorageDegraded, n.name)
+	}
 	sess, ok := n.svc.Session(session)
 	if !ok {
 		return 0, fmt.Errorf("%w (%s: session %q gone)", ErrStaleEpoch, n.name, session)
@@ -242,6 +318,15 @@ func (n *Node) ApplyLoadOp(session string, epoch uint64) (version uint64, err er
 	}
 	op := &scene.AddNodeOp{Parent: scene.RootID, ID: sess.AllocID(), Name: "load", Transform: mathx.Identity()}
 	if err := sess.ApplyUpdate(op, ""); err != nil {
+		if errors.Is(err, dataservice.ErrJournalFault) {
+			// First contact with the sick disk: the op reached this
+			// node's memory but was never acked, journaled, or fanned
+			// out. Latch degraded so the gateway evacuates; the retry
+			// commits the op exactly once on the promoted successor,
+			// whose replica never saw the phantom.
+			n.markStorageDegraded()
+			return 0, fmt.Errorf("%w (%s): %w", ErrStorageDegraded, n.name, err)
+		}
 		return 0, err
 	}
 	return sess.Version(), nil

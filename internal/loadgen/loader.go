@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/dataservice/wal"
 	"repro/internal/gateway"
 	"repro/internal/netsim"
 	"repro/internal/telemetry"
@@ -54,6 +55,13 @@ type Scenario struct {
 	// virtual offset into the run — without telling the gateway, which
 	// must discover the death from failed dispatches.
 	KillNodeAt time.Duration `json:"kill_node_at_ns,omitempty"`
+	// SickDiskAt, when positive, poisons the most-loaded node's disk at
+	// that virtual offset: every WAL commit on the node starts failing.
+	// The node stays alive — the gateway must notice the storage fault
+	// from failed commits, evacuate the node's sessions onto healthy
+	// replicas, and restore the replication factor, all without a
+	// single client-visible error. Implies journal-backed nodes.
+	SickDiskAt time.Duration `json:"sick_disk_at_ns,omitempty"`
 
 	// Regions, when non-empty, spreads the fleet across named regions
 	// round-robin on a shared topology; the gateway sits in the first.
@@ -88,6 +96,12 @@ func (sc Scenario) Validate() error {
 	}
 	if sc.Replicas < 0 {
 		return fmt.Errorf("loadgen: negative replication factor %d", sc.Replicas)
+	}
+	if sc.SickDiskAt > 0 && sc.Nodes > 0 && sc.Nodes < 2 {
+		return fmt.Errorf("loadgen: -sick-disk-at needs at least two nodes to evacuate onto")
+	}
+	if sc.SickDiskAt > 0 && sc.KillNodeAt > 0 {
+		return fmt.Errorf("loadgen: -sick-disk-at and -kill-node-at are separate fault scenarios; pick one")
 	}
 	for _, r := range sc.Regions {
 		if r == "" {
@@ -156,6 +170,18 @@ type Fleet struct {
 	Metrics  *telemetry.Registry
 	// Topology is the shared region map (nil on a flat fleet).
 	Topology *netsim.Topology
+	// plans holds each node's disk fault plan (sick-disk scenarios
+	// only): journal-backed nodes share one plan per node, so poisoning
+	// it fails every session journal on that node at once.
+	plans map[string]*wal.StoreFaults
+}
+
+// PoisonDisk makes the named node's disk sick: every subsequent WAL
+// commit on it fails. Only valid on a sick-disk scenario fleet.
+func (f *Fleet) PoisonDisk(node string) {
+	if plan, ok := f.plans[node]; ok {
+		plan.SickNow()
+	}
 }
 
 // nodeName and sessionName/tenantOf fix the naming scheme the whole
@@ -196,15 +222,29 @@ func BuildFleet(sc Scenario) (*Fleet, error) {
 	if err != nil {
 		return nil, err
 	}
-	f := &Fleet{Scenario: sc, Clock: clk, Gateway: gw, Registry: reg, Metrics: met, Topology: topo}
+	f := &Fleet{Scenario: sc, Clock: clk, Gateway: gw, Registry: reg, Metrics: met, Topology: topo,
+		plans: map[string]*wal.StoreFaults{}}
 	for i := 0; i < sc.Nodes; i++ {
-		n := gateway.NewNode(gateway.NodeConfig{
+		ncfg := gateway.NodeConfig{
 			Name:        nodeName(i),
 			Region:      sc.nodeRegion(i),
 			Clock:       clk,
 			Metrics:     met,
 			RenderSlots: sc.RenderSlots,
-		})
+		}
+		if sc.SickDiskAt > 0 {
+			// Sick-disk runs pay for durability: every primary journals
+			// through a per-node fault plan, so PoisonDisk can fail the
+			// whole node's storage mid-run. Other scenarios keep the
+			// memory-only nodes of earlier PRs — their BENCH artifacts
+			// stay comparable across the PR sequence.
+			plan := wal.NewStoreFaults(uint64(sc.Seed) + uint64(i)*1000003)
+			f.plans[ncfg.Name] = plan
+			ncfg.Journal = func(string) wal.Store {
+				return wal.NewFaultStore(wal.NewMemStore(), plan)
+			}
+		}
+		n := gateway.NewNode(ncfg)
 		if err := gw.AddNode(n); err != nil {
 			return nil, err
 		}
@@ -235,6 +275,50 @@ func (f *Fleet) bootstrapBytes(victimRegion string) (cross, victim int64) {
 		}
 	}
 	return cross, victim
+}
+
+// storageOutcome reads the end-of-run sick-disk invariants off the
+// fleet: how many sessions the sick node still owns (must be zero —
+// full evacuation) and how many sessions sit below the achievable
+// replication factor on healthy nodes (must be zero — re-replication
+// restored factor N).
+func (f *Fleet) storageOutcome(sickNode string) (owns, deficit int64) {
+	healthy := 0
+	for _, n := range f.Nodes {
+		if n.Alive() && !n.StorageDegraded() {
+			healthy++
+		}
+	}
+	factor := f.Scenario.Replicas
+	if factor <= 0 {
+		factor = 1
+	}
+	expected := factor
+	if healthy-1 < expected {
+		expected = healthy - 1
+	}
+	if expected < 0 {
+		expected = 0
+	}
+	for i := 0; i < f.Scenario.Sessions; i++ {
+		owner, replicas, _, ok := f.Gateway.Placement(sessionName(i))
+		if !ok {
+			continue
+		}
+		if owner == sickNode {
+			owns++
+		}
+		live := 0
+		for _, r := range replicas {
+			if r != sickNode {
+				live++
+			}
+		}
+		if live < expected {
+			deficit++
+		}
+	}
+	return owns, deficit
 }
 
 // PickVictim chooses the kill target: the node owning the most

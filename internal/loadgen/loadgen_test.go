@@ -146,6 +146,82 @@ func TestRunSurvivesRegionPartition(t *testing.T) {
 	}
 }
 
+// TestRunSurvivesSickDisk: the reduced storage-fault scenario — the
+// most-loaded node's disk is poisoned mid-run while the open-loop load
+// keeps coming. Acceptance: conservation, zero client-visible errors,
+// zero sessions lost, the sick node fully evacuated, and the
+// replication factor restored on healthy disks. The artifact comes out
+// kind "storage" and round-trips through both readers.
+func TestRunSurvivesSickDisk(t *testing.T) {
+	sc := Scenario{
+		Nodes:      4,
+		Sessions:   60,
+		Tenants:    4,
+		Interval:   250 * time.Millisecond,
+		Duration:   3 * time.Second,
+		FrameEvery: 4,
+		Seed:       7,
+		Replicas:   2,
+		SickDiskAt: 1500 * time.Millisecond,
+	}
+	fleet, err := BuildFleet(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewReporter()
+	fleet.Run(context.Background(), rep)
+	art := fleet.Artifact(rep)
+	res := art.Results
+	if err := res.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if !res.SickDiskInjected {
+		t.Fatal("sick disk never injected")
+	}
+	if res.SessionsEvacuated == 0 {
+		t.Error("no sessions evacuated; storage failover path untested")
+	}
+	if res.DispatchRetries == 0 {
+		t.Error("no dispatch retries; the sick disk was never tripped on")
+	}
+
+	if art.Kind != telemetry.BenchKindStorage {
+		t.Fatalf("artifact kind %q, want storage", art.Kind)
+	}
+	if art.SickDisk == nil || art.SickDisk.Node == "" || art.SickDisk.AtNs != int64(sc.SickDiskAt) {
+		t.Fatalf("sick-disk event %+v", art.SickDisk)
+	}
+	sick := art.SickDisk.Node
+	for _, n := range fleet.Nodes {
+		if n.Name() == sick && !n.StorageDegraded() {
+			t.Errorf("sick node %s never latched storage-degraded", sick)
+		}
+	}
+	for s, owner := range fleet.Gateway.Placements() {
+		if owner == sick {
+			t.Errorf("session %s still owned by sick node %s", s, sick)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteArtifact(&buf, art); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadArtifact(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SickDisk == nil || got.SickDisk.Node != sick || !got.Results.SickDiskInjected {
+		t.Errorf("artifact round trip lost the sick-disk event: %+v", got.SickDisk)
+	}
+	env, err := telemetry.ReadBenchArtifact(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Kind != telemetry.BenchKindStorage {
+		t.Errorf("bench envelope kind %q", env.Kind)
+	}
+}
+
 // TestScenarioValidate: impossible scenario combinations are rejected
 // up front (raveload surfaces these as flag-validation errors).
 func TestScenarioValidate(t *testing.T) {
@@ -156,6 +232,8 @@ func TestScenarioValidate(t *testing.T) {
 		{PartitionAt: 2 * time.Second, HealAt: time.Second, Regions: []string{"eu", "us"}},
 		{Replicas: -1},
 		{Regions: []string{"eu", ""}},
+		{SickDiskAt: time.Second, Nodes: 1},
+		{SickDiskAt: time.Second, KillNodeAt: time.Second},
 	}
 	for i, sc := range bad {
 		if _, err := BuildFleet(sc); err == nil {

@@ -28,6 +28,8 @@ type Reporter struct {
 
 	killNode  string
 	killAtNs  int64
+	sickNode  string
+	sickAtNs  int64
 	virtualNs int64
 
 	// Partition-era accounting: bootstrap-byte counters sampled when
@@ -80,6 +82,14 @@ func (r *Reporter) noteKill(node string, at time.Duration) {
 	r.mu.Lock()
 	r.killNode = node
 	r.killAtNs = int64(at)
+	r.mu.Unlock()
+}
+
+// noteSickDisk records the injected storage fault.
+func (r *Reporter) noteSickDisk(node string, at time.Duration) {
+	r.mu.Lock()
+	r.sickNode = node
+	r.sickAtNs = int64(at)
 	r.mu.Unlock()
 }
 
@@ -141,6 +151,7 @@ func (r *Reporter) Summarize(snap telemetry.Snapshot) Results {
 	res.Promotions = snap.CounterValue("gw", "promotions_total", "")
 	res.DispatchRetries = snap.CounterValue("gw", "dispatch_retries_total", "")
 	res.SessionsLost = snap.CounterValue("gw", "sessions_lost_total", "")
+	res.SessionsEvacuated = snap.CounterValue("gw", "sessions_evacuated_total", "")
 	return res
 }
 
@@ -149,6 +160,14 @@ type KillEvent struct {
 	// Node is the killed data service.
 	Node string `json:"node"`
 	// AtNs is the kill's virtual offset into the run.
+	AtNs int64 `json:"at_ns"`
+}
+
+// SickDiskEvent records the mid-run storage fault injection.
+type SickDiskEvent struct {
+	// Node is the data service whose disk was poisoned.
+	Node string `json:"node"`
+	// AtNs is the poisoning's virtual offset into the run.
 	AtNs int64 `json:"at_ns"`
 }
 
@@ -180,6 +199,7 @@ type Artifact struct {
 
 	Scenario  Scenario        `json:"scenario"`
 	Kill      *KillEvent      `json:"kill,omitempty"`
+	SickDisk  *SickDiskEvent  `json:"sick_disk,omitempty"`
 	Partition *PartitionEvent `json:"partition,omitempty"`
 	Results   Results         `json:"results"`
 
@@ -187,8 +207,9 @@ type Artifact struct {
 }
 
 // Artifact assembles the versioned artifact for a completed run. Runs
-// that injected a region partition are kind "partition"; plain (and
-// node-kill) runs are kind "scale".
+// that injected a region partition are kind "partition", runs that
+// poisoned a disk are kind "storage"; plain (and node-kill) runs are
+// kind "scale".
 func (f *Fleet) Artifact(rep *Reporter) Artifact {
 	art := Artifact{
 		V:        telemetry.BenchVersion,
@@ -198,34 +219,48 @@ func (f *Fleet) Artifact(rep *Reporter) Artifact {
 		Snapshot: f.Metrics.Snapshot(),
 	}
 	rep.mu.Lock()
-	if rep.killNode != "" {
-		art.Kill = &KillEvent{Node: rep.killNode, AtNs: rep.killAtNs}
+	killNode, killAtNs := rep.killNode, rep.killAtNs
+	sickNode, sickAtNs := rep.sickNode, rep.sickAtNs
+	partitionRegion := rep.partitionRegion
+	partitionAtNs, healAtNs := rep.partitionAtNs, rep.healAtNs
+	crossDelta := rep.crossAtHeal - rep.crossAtCut
+	victimDelta := rep.victimAtEnd - rep.victimAtCut
+	rep.mu.Unlock()
+	if killNode != "" {
+		art.Kill = &KillEvent{Node: killNode, AtNs: killAtNs}
 	}
-	if rep.partitionRegion != "" {
+	if sickNode != "" {
+		art.Kind = telemetry.BenchKindStorage
+		art.SickDisk = &SickDiskEvent{Node: sickNode, AtNs: sickAtNs}
+		art.Results.SickDiskInjected = true
+		art.Results.SickNodeSessions, art.Results.ReplicationDeficit = f.storageOutcome(sickNode)
+	}
+	if partitionRegion != "" {
 		art.Kind = telemetry.BenchKindPartition
 		art.Partition = &PartitionEvent{
-			Region:               rep.partitionRegion,
-			AtNs:                 rep.partitionAtNs,
-			HealedAtNs:           rep.healAtNs,
-			CrossBootstrapBytes:  rep.crossAtHeal - rep.crossAtCut,
-			VictimBootstrapBytes: rep.victimAtEnd - rep.victimAtCut,
+			Region:               partitionRegion,
+			AtNs:                 partitionAtNs,
+			HealedAtNs:           healAtNs,
+			CrossBootstrapBytes:  crossDelta,
+			VictimBootstrapBytes: victimDelta,
 		}
 	}
-	rep.mu.Unlock()
 	return art
 }
 
 // raveloadKind reports whether kind is one this harness writes.
 func raveloadKind(kind string) bool {
-	return kind == telemetry.BenchKindScale || kind == telemetry.BenchKindPartition
+	return kind == telemetry.BenchKindScale || kind == telemetry.BenchKindPartition ||
+		kind == telemetry.BenchKindStorage
 }
 
 // WriteArtifact writes the artifact as indented JSON (snapshot metrics
 // are sorted, so output is stable for a given run).
 func WriteArtifact(w io.Writer, art Artifact) error {
 	if art.V != telemetry.BenchVersion || !raveloadKind(art.Kind) {
-		return fmt.Errorf("loadgen: artifact must be v%d kind %q or %q",
-			telemetry.BenchVersion, telemetry.BenchKindScale, telemetry.BenchKindPartition)
+		return fmt.Errorf("loadgen: artifact must be v%d kind %q, %q or %q",
+			telemetry.BenchVersion, telemetry.BenchKindScale, telemetry.BenchKindPartition,
+			telemetry.BenchKindStorage)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -48,7 +48,7 @@ func (f *Fleet) Run(ctx context.Context, rep *Reporter) {
 		close(done)
 	}()
 
-	var killAt, partitionAt, healAt time.Time
+	var killAt, partitionAt, healAt, sickAt time.Time
 	if sc.KillNodeAt > 0 {
 		killAt = start.Add(sc.KillNodeAt)
 	}
@@ -58,8 +58,11 @@ func (f *Fleet) Run(ctx context.Context, rep *Reporter) {
 	if sc.HealAt > 0 {
 		healAt = start.Add(sc.HealAt)
 	}
+	if sc.SickDiskAt > 0 {
+		sickAt = start.Add(sc.SickDiskAt)
+	}
 	victimRegion := sc.victimRegion()
-	killed, partitioned, healed := false, false, false
+	killed, partitioned, healed, sickened := false, false, false, false
 	for {
 		select {
 		case <-done:
@@ -94,6 +97,22 @@ func (f *Fleet) Run(ctx context.Context, rep *Reporter) {
 				f.Gateway.TopologyChanged()
 				rep.notePartition(victimRegion, f.Clock.Now().Sub(start), cross, victim)
 				partitioned = true
+			}
+			if !sickened && !sickAt.IsZero() && !f.Clock.Now().Before(sickAt) {
+				// Poison the most-loaded node's disk, telling nobody:
+				// the node stays alive and keeps serving frames, but its
+				// next WAL commit fails and the gateway must evacuate.
+				victim := f.PickVictim()
+				f.PoisonDisk(victim.Name())
+				rep.noteSickDisk(victim.Name(), f.Clock.Now().Sub(start))
+				sickened = true
+			}
+			if sickened {
+				// The control-loop sweep the gateway tier would run:
+				// drains any session the dispatch path's own retries
+				// have not already pushed off the sick disk. Cheap
+				// no-op once the node is fully drained.
+				f.Gateway.SyncStorageHealth()
 			}
 			if partitioned && !healed && !healAt.IsZero() && !f.Clock.Now().Before(healAt) {
 				// Sample the accounting window before reconnecting:

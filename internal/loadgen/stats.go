@@ -97,6 +97,18 @@ type Results struct {
 	Promotions         int64 `json:"promotions"`
 	DispatchRetries    int64 `json:"dispatch_retries"`
 	SessionsLost       int64 `json:"sessions_lost"`
+	SessionsEvacuated  int64 `json:"sessions_evacuated,omitempty"`
+
+	// SickDiskInjected records that the run poisoned a node's disk
+	// mid-run; the two end-of-run gauges below must both be zero.
+	SickDiskInjected bool `json:"sick_disk_injected,omitempty"`
+	// SickNodeSessions is how many sessions the sick node still owned
+	// at end of run (0 = fully evacuated).
+	SickNodeSessions int64 `json:"sick_node_sessions,omitempty"`
+	// ReplicationDeficit is how many sessions ended the run below the
+	// achievable replication factor on healthy nodes (0 = factor N
+	// restored after the evacuation).
+	ReplicationDeficit int64 `json:"replication_deficit,omitempty"`
 
 	// PartitionInjected records that the run cut a region mid-run; the
 	// two byte deltas below cover exactly the window the cut was up.
@@ -138,6 +150,19 @@ func (r Results) Check() error {
 	}
 	if r.OK == 0 {
 		return fmt.Errorf("loadgen: no request succeeded")
+	}
+	if r.SickDiskInjected {
+		if r.SessionsEvacuated == 0 {
+			return fmt.Errorf("loadgen: disk went sick but no session was evacuated")
+		}
+		if r.SickNodeSessions != 0 {
+			return fmt.Errorf("loadgen: sick node still owns %d sessions at end of run; want full evacuation",
+				r.SickNodeSessions)
+		}
+		if r.ReplicationDeficit != 0 {
+			return fmt.Errorf("loadgen: %d sessions below replication factor after evacuation; want factor restored",
+				r.ReplicationDeficit)
+		}
 	}
 	if r.PartitionInjected {
 		if r.PartitionCrossBootstrapBytes != 0 {

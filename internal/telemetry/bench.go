@@ -37,6 +37,11 @@ const (
 	// partition injected mid-run (BENCH_partition.json). Same envelope
 	// and sibling fields as scale, plus the partition event.
 	BenchKindPartition = "partition"
+	// BenchKindStorage is a raveload run with a sick disk injected
+	// mid-run (BENCH_storage.json): one node's WAL starts failing and
+	// the fleet must evacuate its sessions. Same envelope and sibling
+	// fields as scale, plus the sick-disk event.
+	BenchKindStorage = "storage"
 )
 
 // BenchArtifact is the common envelope of a BENCH_*.json file: the

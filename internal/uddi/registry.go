@@ -59,6 +59,7 @@ type Registry struct {
 	bindings   map[string]Binding
 	leases     map[string]Lease              // by logical service name
 	replicas   map[string]map[string]Replica // session → replica name → row
+	health     map[string]NodeHealth         // node name → health row
 }
 
 // NewRegistry returns an empty registry.
@@ -70,6 +71,7 @@ func NewRegistry() *Registry {
 		bindings:   map[string]Binding{},
 		leases:     map[string]Lease{},
 		replicas:   map[string]map[string]Replica{},
+		health:     map[string]NodeHealth{},
 	}
 }
 

@@ -280,6 +280,54 @@ func NewServer(r *Registry) *soap.Server {
 		return soap.Params{"replicas": string(data)}, nil
 	})
 
+	// Health-table actions: the node-side heartbeat reports, the
+	// gateway-side sweep queries.
+	s.Register("report_health", func(p soap.Params) (soap.Params, error) {
+		ttl, now, err := leaseTimes(p)
+		if err != nil {
+			return nil, err
+		}
+		row, err := r.ReportHealth(p["name"], p["state"], p["detail"], ttl, now)
+		if err != nil {
+			return nil, err
+		}
+		return soap.Params{
+			"name":    row.Name,
+			"state":   row.State,
+			"detail":  row.Detail,
+			"expires": strconv.FormatInt(row.Expires.UnixNano(), 10),
+		}, nil
+	})
+
+	s.Register("query_health", func(p soap.Params) (soap.Params, error) {
+		nanos, err := strconv.ParseInt(p["now"], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("uddi: bad now %q", p["now"])
+		}
+		row, ok := r.QueryHealth(p["name"], time.Unix(0, nanos))
+		if !ok {
+			return soap.Params{"known": "false"}, nil
+		}
+		return soap.Params{
+			"known":  "true",
+			"name":   row.Name,
+			"state":  row.State,
+			"detail": row.Detail,
+		}, nil
+	})
+
+	s.Register("degraded_nodes", func(p soap.Params) (soap.Params, error) {
+		nanos, err := strconv.ParseInt(p["now"], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("uddi: bad now %q", p["now"])
+		}
+		data, err := json.Marshal(r.DegradedNodes(time.Unix(0, nanos)))
+		if err != nil {
+			return nil, err
+		}
+		return soap.Params{"nodes": string(data)}, nil
+	})
+
 	s.Register("dump", func(p soap.Params) (soap.Params, error) {
 		data, err := json.Marshal(r.Dump())
 		if err != nil {
@@ -637,6 +685,50 @@ func (p *Proxy) QueryReplicas(session, fromRegion string, now time.Time) ([]Repl
 	var out []Replica
 	if err := json.Unmarshal([]byte(res["replicas"]), &out); err != nil {
 		return nil, fmt.Errorf("uddi: decode replicas: %w", err)
+	}
+	return out, nil
+}
+
+// ReportHealth upserts the caller's node-health row — sent with every
+// heartbeat alongside replica reports.
+func (p *Proxy) ReportHealth(name, state, detail string, ttl time.Duration, now time.Time) error {
+	_, err := p.client.Call("report_health", soap.Params{
+		"name":   name,
+		"state":  state,
+		"detail": detail,
+		"ttl":    strconv.FormatInt(int64(ttl), 10),
+		"now":    strconv.FormatInt(now.UnixNano(), 10),
+	})
+	return err
+}
+
+// QueryHealth fetches a node's live health row; ok is false when the
+// node never reported or its row lapsed.
+func (p *Proxy) QueryHealth(name string, now time.Time) (NodeHealth, bool, error) {
+	res, err := p.client.Call("query_health", soap.Params{
+		"name": name,
+		"now":  strconv.FormatInt(now.UnixNano(), 10),
+	})
+	if err != nil {
+		return NodeHealth{}, false, err
+	}
+	if res["known"] != "true" {
+		return NodeHealth{}, false, nil
+	}
+	return NodeHealth{Name: res["name"], State: res["state"], Detail: res["detail"]}, true, nil
+}
+
+// DegradedNodes lists nodes currently reporting storage degradation.
+func (p *Proxy) DegradedNodes(now time.Time) ([]string, error) {
+	res, err := p.client.Call("degraded_nodes", soap.Params{
+		"now": strconv.FormatInt(now.UnixNano(), 10),
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	if err := json.Unmarshal([]byte(res["nodes"]), &out); err != nil {
+		return nil, fmt.Errorf("uddi: decode degraded nodes: %w", err)
 	}
 	return out, nil
 }
