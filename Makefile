@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet fmt-check lint lint-report allow-audit vulncheck build test race chaos scale partition storage ci
+.PHONY: all vet fmt-check lint lint-report allow-audit vulncheck build test race chaos scale partition storage raster ci
 
 all: ci
 
@@ -94,11 +94,26 @@ storage:
 	$(GO) run -race ./cmd/raveload -sessions 100 -nodes 4 -duration 5s \
 		-replicas 2 -sick-disk-at 2s -check
 
+# raster runs the reduced deterministic rasterizer benchmark — the
+# galleon through the fixed-point and float-reference cores plus the
+# render→composite→encode pipeline, 30 frames each — and fails on any
+# regression invariant: core parity, the fixed core losing to the
+# reference core, or throughput/latency cliffs against the checked-in
+# BENCH_raster.json / BENCH_pipeline.json baselines (which come from the
+# full-size 60-frame run of the same harness; see EXPERIMENTS.md). The
+# reduced run's artifacts go to a scratch directory so the checked-in
+# baselines are gated against, not overwritten; regenerate them with
+# `go run ./cmd/ravebench -extra raster -frames 60`.
+raster:
+	@dir="$$(mktemp -d)"; \
+	$(GO) run ./cmd/ravebench -extra raster -frames 30 -check -out "$$dir"; \
+	status=$$?; rm -rf "$$dir"; exit $$status
+
 # ci is the full gate: formatting, static checks (ravelint with the
 # LINT.json artifact and per-analyzer timings, the allow-annotation
 # audit, vet, govulncheck when present), a clean build, the test suite
 # under the race detector, a doubled chaos pass (the chaos suite
 # exercises concurrent failure recovery, so -race is part of the bar,
-# not an extra), and the reduced fleet-scale load, region-partition, and
-# sick-disk scenarios.
-ci: fmt-check lint-report allow-audit lint vulncheck build race chaos scale partition storage
+# not an extra), the reduced fleet-scale load, region-partition, and
+# sick-disk scenarios, and the rasterizer regression benchmark.
+ci: fmt-check lint-report allow-audit lint vulncheck build race chaos scale partition storage raster

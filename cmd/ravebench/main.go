@@ -29,15 +29,20 @@ import (
 	"repro/internal/marshal"
 	"repro/internal/perfmodel"
 	"repro/internal/raster"
+	"repro/internal/rasterbench"
 	"repro/internal/telemetry"
+	"repro/internal/vclock"
 )
 
 func main() {
 	table := flag.Int("table", 0, "regenerate one table (1-5); 0 = all")
 	figure := flag.Int("figure", 0, "regenerate one figure (2-5); 0 = all")
-	extra := flag.String("extra", "", "extension experiment: codec, migrate, marshal, volume, sync, telemetry")
+	extra := flag.String("extra", "", "extension experiment: codec, migrate, marshal, volume, sync, telemetry, raster")
 	scale := flag.Float64("scale", 0.1, "model scale for generated geometry (1 = paper size)")
 	out := flag.String("out", ".", "output directory for PNGs")
+	frames := flag.Int("frames", 60, "frames per raster benchmark pass")
+	workers := flag.Int("workers", 4, "band-parallel workers for the raster utilization pass")
+	check := flag.Bool("check", false, "fail (exit 1) if the raster benchmark regresses against checked-in baselines")
 	flag.Parse()
 
 	all := *table == 0 && *figure == 0 && *extra == ""
@@ -192,6 +197,98 @@ func main() {
 		fmt.Printf("wrote %s (v%d, %d metrics in snapshot diff)\n", path, telemetry.BenchVersion, len(res.Diff.Metrics))
 		fmt.Println("first frame's trace tree:")
 		fmt.Println(res.Trace)
+	}
+	if all || *extra == "raster" {
+		// The raster benchmark writes BENCH_raster.json and
+		// BENCH_pipeline.json through the shared versioned envelope; with
+		// -check, the fresh run is gated against the checked-in baselines.
+		// Baselines are read from the current directory (where the repo's
+		// copies live), artifacts are written to -out: a reduced CI run
+		// pointing -out at a scratch directory still gates against the
+		// full-size baselines without overwriting them, while a full run
+		// with the default -out=. regenerates them in place. Reads happen
+		// before the run so a failed write cannot mask a regression.
+		readBaseline := func(path string, read func(f *os.File)) {
+			f, err := os.Open(path)
+			if err != nil {
+				return // no baseline yet: first run creates it
+			}
+			defer f.Close()
+			read(f)
+		}
+		var rasterBase *rasterbench.RasterArtifact
+		var pipeBase *rasterbench.PipelineArtifact
+		readBaseline("BENCH_raster.json", func(f *os.File) {
+			if art, err := rasterbench.ReadRasterArtifact(f); err == nil {
+				rasterBase = &art
+			}
+		})
+		readBaseline("BENCH_pipeline.json", func(f *os.File) {
+			if art, err := rasterbench.ReadPipelineArtifact(f); err == nil {
+				pipeBase = &art
+			}
+		})
+
+		sc := rasterbench.DefaultScenario(*frames)
+		sc.Workers = *workers
+		cfg := rasterbench.Config{Scenario: sc, Clock: vclock.Real{}}
+		fmt.Printf("Extra: rasterizer core benchmark — galleon %d tris, %dx%d, %d frames\n",
+			sc.Triangles, sc.Width, sc.Height, sc.Frames)
+		rasterArt, err := rasterbench.RunRaster(cfg)
+		if err != nil {
+			fail(err)
+		}
+		r := rasterArt.Results
+		fmt.Printf("  fixed core:     p50 %v  p99 %v  (%.3g pixels/sec)\n",
+			time.Duration(r.FixedFrame.P50ns), time.Duration(r.FixedFrame.P99ns), r.PixelsPerSec)
+		fmt.Printf("  reference core: p50 %v  p99 %v\n",
+			time.Duration(r.ReferenceFrame.P50ns), time.Duration(r.ReferenceFrame.P99ns))
+		fmt.Printf("  speedup %.2fx, band utilization %.2f (%d workers), parity %v\n",
+			r.Speedup, r.BandUtilization, sc.Workers, r.ParityOK)
+
+		pipeArt, err := rasterbench.RunPipeline(cfg)
+		if err != nil {
+			fail(err)
+		}
+		p := pipeArt.Results
+		fmt.Printf("  pipeline: total p50 %v (render %v, composite %v, encode %v), %d encoded bytes\n",
+			time.Duration(p.Total.P50ns), time.Duration(p.Render.P50ns),
+			time.Duration(p.Composite.P50ns), time.Duration(p.Encode.P50ns), p.EncodedBytes)
+
+		writeArtifact := func(name string, write func(f *os.File) error) {
+			path := filepath.Join(*out, name)
+			f, err := os.Create(path)
+			if err != nil {
+				fail(err)
+			}
+			werr := write(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				fail(werr)
+			}
+			fmt.Printf("wrote %s (v%d)\n", path, telemetry.BenchVersion)
+		}
+		writeArtifact("BENCH_raster.json", func(f *os.File) error {
+			return rasterbench.WriteRasterArtifact(f, rasterArt)
+		})
+		writeArtifact("BENCH_pipeline.json", func(f *os.File) error {
+			return rasterbench.WritePipelineArtifact(f, pipeArt)
+		})
+
+		if *check {
+			violations := append(rasterbench.CheckRaster(rasterArt, rasterBase),
+				rasterbench.CheckPipeline(pipeArt, pipeBase)...)
+			if len(violations) > 0 {
+				for _, v := range violations {
+					fmt.Fprintln(os.Stderr, "ravebench: raster regression:", v)
+				}
+				os.Exit(1)
+			}
+			fmt.Println("raster regression checks passed")
+		}
+		fmt.Println()
 	}
 	if all || *extra == "marshal" {
 		fmt.Println("Extra: per-pixel vs direct frame marshalling (§5.1)")

@@ -1,0 +1,460 @@
+package raster
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/mathx"
+)
+
+// Fixed-point scanline core.
+//
+// Vertices are snapped to a 26.6 subpixel grid (64 units per pixel) in
+// toScreen, and coverage is decided by integer edge functions evaluated
+// incrementally: the three edge values are computed once per triangle at
+// the bounding-box origin and then stepped by constant per-pixel /
+// per-row deltas. Integer addition is exact, so incremental stepping is
+// bit-identical to direct evaluation — and, because every snapped
+// coordinate is a multiple of 1/64 small enough that the float64 edge
+// products stay below 2^53, it is also bit-identical to the float
+// reference core (reference.go) evaluating the same edge functions
+// directly in float64. That exactness is what the differential
+// pixel-parity suite (parity_test.go) and FuzzEdgeFunction pin.
+//
+// Fill rule: a pixel centre exactly on an edge (edge value 0) belongs to
+// the triangle only when the edge is a top or left edge, so two
+// triangles sharing an edge shade every seam pixel exactly once — no
+// double-shaded and no missed seam pixels. With screen y growing
+// downward and front faces winding clockwise (negative signed area,
+// interior where every edge value is <= 0), a left edge has dy > 0 and a
+// top edge has dy == 0 && dx < 0. The rule is folded into an integer
+// bias (0 for top-left edges, 1 otherwise) so the interior test is a
+// single comparison: e + bias <= 0.
+//
+// Instead of testing every bounding-box pixel, each covered scanline is
+// reduced to one span [lo, hi] by solving the three half-plane
+// constraints e + i*d <= 0 for the pixel index i (exact integer floor /
+// ceil division). Spans are buffered in struct-of-arrays span buffers
+// sized per band, and a separate flat attribute loop interpolates
+// depth and color over the buffered spans — the layout keeps the hot
+// loop free of per-pixel coverage branches.
+//
+// Early-z: each band tracks a conservative upper bound of its depth
+// buffer (+Inf until the band is fully covered, then the scanned
+// maximum, rescanned every scanEvery triangles — stale bounds stay
+// valid because depth writes only decrease values). Triangles and spans
+// whose conservative minimum z cannot beat the bound are skipped before
+// any per-pixel work. Skips never change output: they only elide writes
+// the depth test would reject anyway.
+
+const (
+	// subBits is the subpixel precision: 26.6 fixed point, 64 units per
+	// pixel.
+	subBits  = 6
+	subScale = 1 << subBits
+	subHalf  = subScale / 2
+	// fixedToFloat converts an integer edge value (units of 1/64 x 1/64
+	// pixels) to float pixels^2. A power of two, so the conversion
+	// multiply is exact.
+	fixedToFloat = 1.0 / float64(subScale*subScale)
+	// coordLimit is the snap guard band in subpixel units (2^18 pixels).
+	// Clamping keeps every edge product below 2^53, so the float64
+	// reference evaluation stays exact and int64 stepping cannot
+	// overflow.
+	coordLimit = 1 << 24
+	// zSlack absorbs float rounding in the conservative early-z bounds
+	// (depth is in NDC [-1, 1]; interpolation error is ~1e-15).
+	zSlack = 1e-6
+	// spanBufCap is the per-band span buffer capacity between attribute
+	// flushes.
+	spanBufCap = 512
+)
+
+// snapCoord converts a float screen coordinate (in pixels) to 26.6
+// fixed point, clamping non-finite and out-of-guard-band values.
+func snapCoord(v float64) int32 {
+	s := math.Round(v * subScale)
+	switch {
+	case math.IsNaN(s):
+		return 0
+	case s < -coordLimit:
+		return -coordLimit
+	case s > coordLimit:
+		return coordLimit
+	}
+	return int32(s)
+}
+
+// triSetup is one projected triangle after shared setup: the integer
+// edge equations for the fixed-point core, the snapped float vertex
+// positions for the reference core, and the interpolation attributes
+// both cores feed through identical float expressions.
+type triSetup struct {
+	// Pixel bounding box, clamped to the framebuffer (empty when
+	// minX > maxX or minY > maxY).
+	minX, minY, maxX, maxY int
+
+	// Edge values at the centre of pixel (minX, minY) and their
+	// per-pixel / per-row deltas, in subpixel^2 units. Edge k runs from
+	// vertex k+1 to k+2 (mod 3); the interior satisfies e + bias <= 0.
+	e0, e1, e2          int64
+	dE0dx, dE1dx, dE2dx int64
+	dE0dy, dE1dy, dE2dy int64
+	// bias folds the top-left fill rule into the interior test: 0 for
+	// top-left edges (pixel centres exactly on the edge are covered),
+	// 1 otherwise.
+	bias0, bias1, bias2 int64
+
+	// invArea is 1 / (signed double area in pixels^2), negative for
+	// front faces.
+	invArea float64
+
+	// Snapped float vertex positions (multiples of 1/64 pixel), used by
+	// the reference core's direct float edge evaluation.
+	x0f, y0f, x1f, y1f, x2f, y2f float64
+
+	// Interpolation attributes.
+	z0, z1, z2    float64
+	iw0, iw1, iw2 float64
+	c0, c1, c2    mathx.Vec3
+
+	// minZ is the smallest vertex depth — the conservative early-z
+	// bound for the whole triangle.
+	minZ float64
+}
+
+// edgeBias returns the fill-rule bias for an edge with direction
+// (dx, dy) in subpixel units: 0 when the edge is top-left (its zero set
+// is covered), 1 otherwise.
+func edgeBias(dx, dy int64) int64 {
+	if dy > 0 || (dy == 0 && dx < 0) {
+		return 0
+	}
+	return 1
+}
+
+// setupTri builds the shared per-triangle setup from snapped screen
+// vertices, writing into out (the caller's slice slot — kept
+// allocation-free). The bounding box is clamped to the framebuffer;
+// fully off-screen triangles yield an empty box and are skipped by the
+// band loops (but still count as drawn, like the pre-fixed-point core).
+func (r *Renderer) setupTri(out *triSetup, v0, v1, v2 *screenVert) {
+	fb := r.FB
+	minX := int(math.Floor(math.Min(v0.x, math.Min(v1.x, v2.x))))
+	maxX := int(math.Ceil(math.Max(v0.x, math.Max(v1.x, v2.x))))
+	minY := int(math.Floor(math.Min(v0.y, math.Min(v1.y, v2.y))))
+	maxY := int(math.Ceil(math.Max(v0.y, math.Max(v1.y, v2.y))))
+	if minX < 0 {
+		minX = 0
+	}
+	if maxX >= fb.W {
+		maxX = fb.W - 1
+	}
+	if minY < 0 {
+		minY = 0
+	}
+	if maxY >= fb.H {
+		maxY = fb.H - 1
+	}
+
+	t := out
+	t.minX, t.minY, t.maxX, t.maxY = minX, minY, maxX, maxY
+	t.x0f, t.y0f = v0.x, v0.y
+	t.x1f, t.y1f = v1.x, v1.y
+	t.x2f, t.y2f = v2.x, v2.y
+	t.z0, t.z1, t.z2 = v0.z, v1.z, v2.z
+	t.iw0, t.iw1, t.iw2 = v0.invW, v1.invW, v2.invW
+	t.c0, t.c1, t.c2 = v0.color, v1.color, v2.color
+	t.minZ = math.Min(v0.z, math.Min(v1.z, v2.z))
+
+	x0, y0 := int64(v0.sx), int64(v0.sy)
+	x1, y1 := int64(v1.sx), int64(v1.sy)
+	x2, y2 := int64(v2.sx), int64(v2.sy)
+	// Centre of the bounding-box origin pixel, in subpixel units.
+	px := int64(minX)*subScale + subHalf
+	py := int64(minY)*subScale + subHalf
+
+	// Edge 0: v1 -> v2.
+	dx, dy := x2-x1, y2-y1
+	t.e0 = dx*(py-y1) - dy*(px-x1)
+	t.dE0dx = -dy * subScale
+	t.dE0dy = dx * subScale
+	t.bias0 = edgeBias(dx, dy)
+	// Edge 1: v2 -> v0.
+	dx, dy = x0-x2, y0-y2
+	t.e1 = dx*(py-y2) - dy*(px-x2)
+	t.dE1dx = -dy * subScale
+	t.dE1dy = dx * subScale
+	t.bias1 = edgeBias(dx, dy)
+	// Edge 2: v0 -> v1.
+	dx, dy = x1-x0, y1-y0
+	t.e2 = dx*(py-y0) - dy*(px-x0)
+	t.dE2dx = -dy * subScale
+	t.dE2dy = dx * subScale
+	t.bias2 = edgeBias(dx, dy)
+
+	// float64(area2) * fixedToFloat is exactly the float signed double
+	// area the reference core computes from the snapped float coords.
+	area2 := (x1-x0)*(y2-y0) - (x2-x0)*(y1-y0)
+	t.invArea = 1 / (float64(area2) * fixedToFloat)
+}
+
+// floorDiv returns floor(a / b) for b > 0.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && a < 0 {
+		q--
+	}
+	return q
+}
+
+// ceilDiv returns ceil(a / b) for b > 0.
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && a > 0 {
+		q++
+	}
+	return q
+}
+
+// edgeClip intersects the half-line {i : E + i*D <= 0} with [lo, hi].
+func edgeClip(E, D, lo, hi int64) (int64, int64) {
+	switch {
+	case D == 0:
+		if E > 0 {
+			return 1, 0
+		}
+	case D > 0:
+		if h := floorDiv(-E, D); h < hi {
+			hi = h
+		}
+	default:
+		if l := ceilDiv(E, -D); l > lo {
+			lo = l
+		}
+	}
+	return lo, hi
+}
+
+// spanBounds solves the three biased edge constraints for the covered
+// pixel-index range [lo, hi] of one scanline (lo > hi when empty). The
+// inputs are the biased edge values at pixel index 0 and the per-pixel
+// deltas; n is the scanline width in pixels.
+func spanBounds(E0, D0, E1, D1, E2, D2, n int64) (int64, int64) {
+	lo, hi := int64(0), n-1
+	lo, hi = edgeClip(E0, D0, lo, hi)
+	if lo > hi {
+		return lo, hi
+	}
+	lo, hi = edgeClip(E1, D1, lo, hi)
+	if lo > hi {
+		return lo, hi
+	}
+	return edgeClip(E2, D2, lo, hi)
+}
+
+// bandScratch is one band's working state: the struct-of-arrays span
+// buffer, the conservative early-z bound, and the work counters the
+// band reports to telemetry.
+type bandScratch struct {
+	// Span buffer (struct of arrays): for each buffered span the
+	// triangle index, row, first pixel x, pixel count, and the two edge
+	// values at the first pixel.
+	tri []int32
+	y   []int32
+	x0  []int32
+	n   []int32
+	e0  []int64
+	e1  []int64
+
+	// Early-z state.
+	zBound    float32 // conservative upper bound of the band's depth
+	zFinite   bool    // zBound < +Inf: the whole band has been covered
+	scanEvery int     // triangles between depth rescans
+	sinceScan int
+
+	// Work counters (flushed to telemetry once per band).
+	spans      int64
+	pixels     int64
+	earlySpans int64
+	earlyTris  int64
+}
+
+// scratchPool recycles band scratch across frames and bands; the span
+// buffers are the only rasterization-time allocations left.
+var scratchPool = sync.Pool{New: func() any { return new(bandScratch) }}
+
+func (sc *bandScratch) init(triangles int) {
+	if sc.tri == nil {
+		sc.tri = make([]int32, 0, spanBufCap)
+		sc.y = make([]int32, 0, spanBufCap)
+		sc.x0 = make([]int32, 0, spanBufCap)
+		sc.n = make([]int32, 0, spanBufCap)
+		sc.e0 = make([]int64, 0, spanBufCap)
+		sc.e1 = make([]int64, 0, spanBufCap)
+	}
+	sc.zBound = float32(math.Inf(1))
+	sc.zFinite = false
+	sc.scanEvery = triangles / 16
+	if sc.scanEvery < 64 {
+		sc.scanEvery = 64
+	}
+	sc.sinceScan = 0
+	sc.spans, sc.pixels = 0, 0
+	sc.earlySpans, sc.earlyTris = 0, 0
+}
+
+// rescanZ refreshes the band's conservative depth bound. The scan
+// bails out at the first uncovered (+Inf) pixel, so it is O(1) until
+// the band saturates; afterwards the bound lets whole occluded spans
+// and triangles be rejected.
+func (sc *bandScratch) rescanZ(fb *Framebuffer, y0, y1 int) {
+	zmax := float32(math.Inf(-1))
+	for _, d := range fb.Depth[y0*fb.W : y1*fb.W] {
+		if d > zmax {
+			zmax = d
+			if math.IsInf(float64(d), 1) {
+				break
+			}
+		}
+	}
+	sc.zBound = zmax
+	sc.zFinite = !math.IsInf(float64(zmax), 1)
+}
+
+// spanZ interpolates depth at one span endpoint from the two edge
+// values (the same expression shape the attribute loop uses).
+func spanZ(t *triSetup, e0, e1 int64) float64 {
+	w0 := (float64(e0) * fixedToFloat) * t.invArea
+	w1 := (float64(e1) * fixedToFloat) * t.invArea
+	return w0*t.z0 + w1*t.z1 + (1-w0-w1)*t.z2
+}
+
+// admitSpan applies the early-z span test: when the band's depth bound
+// is finite and the span's conservative minimum depth (z is linear
+// along the span, so the minimum is at an endpoint) cannot beat it,
+// the span is rejected before any per-pixel work.
+func (sc *bandScratch) admitSpan(t *triSetup, e0, e1, iMax int64) bool {
+	if !sc.zFinite {
+		return true
+	}
+	zLo := spanZ(t, e0, e1)
+	zHi := spanZ(t, e0+iMax*t.dE0dx, e1+iMax*t.dE1dx)
+	if math.Min(zLo, zHi)-zSlack >= float64(sc.zBound) {
+		sc.earlySpans++
+		return false
+	}
+	return true
+}
+
+func (sc *bandScratch) push(tri, y, x0, n int32, e0, e1 int64) {
+	sc.tri = append(sc.tri, tri)
+	sc.y = append(sc.y, y)
+	sc.x0 = append(sc.x0, x0)
+	sc.n = append(sc.n, n)
+	sc.e0 = append(sc.e0, e0)
+	sc.e1 = append(sc.e1, e1)
+}
+
+// bandRaster is the fixed-point core for one band of rows [y0, y1):
+// walk each triangle's scanlines with incremental integer edge values,
+// reduce every covered row to one span, buffer spans, and flush them
+// through the flat attribute loop.
+func (r *Renderer) bandRaster(setups []triSetup, y0, y1 int, sc *bandScratch) {
+	if y1 <= y0 {
+		return
+	}
+	fb := r.FB
+	for ti := range setups {
+		t := &setups[ti]
+		yS, yE := t.minY, t.maxY
+		if yS < y0 {
+			yS = y0
+		}
+		if yE > y1-1 {
+			yE = y1 - 1
+		}
+		if yS > yE || t.minX > t.maxX {
+			continue
+		}
+		sc.sinceScan++
+		if sc.sinceScan >= sc.scanEvery {
+			r.flushSpans(setups, sc) // pending writes must land before the scan
+			sc.rescanZ(fb, y0, y1)
+			sc.sinceScan = 0
+		}
+		if sc.zFinite && t.minZ-zSlack >= float64(sc.zBound) {
+			sc.earlyTris++
+			continue
+		}
+		n := int64(t.maxX - t.minX + 1)
+		rowOff := int64(yS - t.minY)
+		e0 := t.e0 + rowOff*t.dE0dy
+		e1 := t.e1 + rowOff*t.dE1dy
+		e2 := t.e2 + rowOff*t.dE2dy
+		for y := yS; y <= yE; y++ {
+			lo, hi := spanBounds(e0+t.bias0, t.dE0dx, e1+t.bias1, t.dE1dx, e2+t.bias2, t.dE2dx, n)
+			if lo <= hi {
+				s0 := e0 + lo*t.dE0dx
+				s1 := e1 + lo*t.dE1dx
+				if sc.admitSpan(t, s0, s1, hi-lo) {
+					sc.push(int32(ti), int32(y), int32(t.minX)+int32(lo), int32(hi-lo+1), s0, s1)
+					if len(sc.tri) == spanBufCap {
+						r.flushSpans(setups, sc)
+					}
+				}
+			}
+			e0 += t.dE0dy
+			e1 += t.dE1dy
+			e2 += t.dE2dy
+		}
+	}
+	r.flushSpans(setups, sc)
+}
+
+// flushSpans runs the attribute-interpolation loop over the buffered
+// spans: every pixel in a span is inside its triangle, so the loop is
+// flat — step the two edge values, derive barycentrics, interpolate
+// depth and perspective-correct color. The float expressions are
+// kept identical to reference.go's so the two cores agree bit for bit.
+func (r *Renderer) flushSpans(setups []triSetup, sc *bandScratch) {
+	fb := r.FB
+	for si, ti := range sc.tri {
+		t := &setups[ti]
+		e0, e1 := sc.e0[si], sc.e1[si]
+		di := int(sc.y[si])*fb.W + int(sc.x0[si])
+		cnt := int(sc.n[si])
+		for i := 0; i < cnt; i++ {
+			w0 := (float64(e0) * fixedToFloat) * t.invArea
+			w1 := (float64(e1) * fixedToFloat) * t.invArea
+			w2 := 1 - w0 - w1
+			z := w0*t.z0 + w1*t.z1 + w2*t.z2
+			if z >= -1 && z <= 1 {
+				zf := float32(z)
+				if zf < fb.Depth[di] {
+					// Perspective-correct color interpolation.
+					iw := w0*t.iw0 + w1*t.iw1 + w2*t.iw2
+					cr := (w0*t.c0.X*t.iw0 + w1*t.c1.X*t.iw1 + w2*t.c2.X*t.iw2) / iw
+					cg := (w0*t.c0.Y*t.iw0 + w1*t.c1.Y*t.iw1 + w2*t.c2.Y*t.iw2) / iw
+					cb := (w0*t.c0.Z*t.iw0 + w1*t.c1.Z*t.iw1 + w2*t.c2.Z*t.iw2) / iw
+					fb.Depth[di] = zf
+					ci := di * 3
+					fb.Color[ci] = toByte(cr)
+					fb.Color[ci+1] = toByte(cg)
+					fb.Color[ci+2] = toByte(cb)
+					sc.pixels++
+				}
+			}
+			e0 += t.dE0dx
+			e1 += t.dE1dx
+			di++
+		}
+	}
+	sc.spans += int64(len(sc.tri))
+	sc.tri = sc.tri[:0]
+	sc.y = sc.y[:0]
+	sc.x0 = sc.x0[:0]
+	sc.n = sc.n[:0]
+	sc.e0 = sc.e0[:0]
+	sc.e1 = sc.e1[:0]
+}

@@ -1,0 +1,69 @@
+package raster
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzEdgeFunction pins the fixed-point edge-function math against
+// adversarial vertex coordinates: snapping must clamp anything —
+// infinities, NaNs, coordinates light-years off screen — into the
+// guard band, the incremental integer edge values must equal direct
+// evaluation at every probed pixel (stepping is exact), the float64
+// edge value computed from the snapped coordinates must be bit-equal
+// to the scaled integer value (the exactness contract the parity
+// suite's byte-identity rests on), and the two cores' in/out
+// classifications must agree under the top-left fill rule.
+func FuzzEdgeFunction(f *testing.F) {
+	f.Add(0.0, 0.0, 4.0, 0.5, 2.0, 3.0, uint16(1), uint16(1))
+	f.Add(-1e18, 1e18, 3.25, -7.5, 1e-12, -1e-12, uint16(0), uint16(0))
+	f.Add(math.Inf(1), math.Inf(-1), math.NaN(), 0.015625, -262144.0, 262144.0, uint16(511), uint16(511))
+	f.Add(31.5, 0.25, 31.5, 63.75, 0.25, 63.5, uint16(31), uint16(40)) // vertical edge through pixel centers
+	f.Add(0.5, 7.5, 63.5, 7.5, 32.0, 7.5, uint16(12), uint16(7))       // fully collinear, horizontal
+
+	f.Fuzz(func(t *testing.T, x1, y1, x2, y2, px, py float64, ix, iy uint16) {
+		// Snap the edge's two endpoints and the probe origin; snapCoord
+		// must absorb any float without panicking.
+		sx1, sy1 := snapCoord(x1), snapCoord(y1)
+		sx2, sy2 := snapCoord(x2), snapCoord(y2)
+		for _, s := range []int32{sx1, sy1, sx2, sy2} {
+			if s < -coordLimit || s > coordLimit {
+				t.Fatalf("snapCoord escaped guard band: %d", s)
+			}
+		}
+
+		dx := int64(sx2) - int64(sx1)
+		dy := int64(sy2) - int64(sy1)
+		bias := edgeBias(dx, dy)
+
+		// Edge value at pixel (ix, iy)'s center, two ways: direct
+		// evaluation, and incremental stepping from pixel (0, 0).
+		cx := int64(ix)*subScale + subHalf
+		cy := int64(iy)*subScale + subHalf
+		direct := dx*(cy-int64(sy1)) - dy*(cx-int64(sx1))
+		e00 := dx*(subHalf-int64(sy1)) - dy*(subHalf-int64(sx1))
+		stepped := e00 + int64(ix)*(-dy*subScale) + int64(iy)*(dx*subScale)
+		if direct != stepped {
+			t.Fatalf("incremental stepping diverged: direct=%d stepped=%d", direct, stepped)
+		}
+
+		// Float evaluation from the snapped coordinates must be exact:
+		// bit-equal to the scaled integer edge value.
+		x1f, y1f := float64(sx1)/subScale, float64(sy1)/subScale
+		x2f, y2f := float64(sx2)/subScale, float64(sy2)/subScale
+		pxf, pyf := float64(ix)+0.5, float64(iy)+0.5
+		ef := (x2f-x1f)*(pyf-y1f) - (y2f-y1f)*(pxf-x1f)
+		if scaled := float64(direct) * fixedToFloat; ef != scaled {
+			t.Fatalf("float edge value inexact: float=%g int-scaled=%g (e=%d)", ef, scaled, direct)
+		}
+
+		// Fill-rule agreement: the fixed core's biased integer test and
+		// the reference core's float test must classify the pixel
+		// identically.
+		intIn := direct+bias <= 0
+		floatIn := !(ef > 0 || (ef == 0 && bias != 0))
+		if intIn != floatIn {
+			t.Fatalf("fill rule disagrees: int=%v float=%v (e=%d bias=%d)", intIn, floatIn, direct, bias)
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"image"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/geom"
 	"repro/internal/mathx"
@@ -56,7 +57,29 @@ type Renderer struct {
 	// TrianglesDrawn counts triangles that survived culling and clipping
 	// in the last render call — the quantity device cost models charge.
 	TrianglesDrawn int
+
+	// useReference routes mesh rasterization through the per-pixel
+	// float reference core instead of the fixed-point scanline core.
+	// The two are byte-identical by construction; see reference.go.
+	useReference bool
+
+	// Per-frame scratch reused across RenderMesh calls so the vertex
+	// and assembly stages are allocation-free in steady state. A
+	// Renderer already isn't safe for concurrent RenderMesh calls
+	// (TrianglesDrawn); the scratch shares that contract. Band workers
+	// only read setupScratch, so parallel rasterization is unaffected.
+	vertScratch  []shadedVert
+	projScratch  []screenVert
+	flagScratch  []uint8
+	setupScratch []triSetup
 }
+
+// UseReferenceCore selects between the fixed-point scanline core (the
+// default) and the per-pixel float reference core. Both produce
+// byte-identical framebuffers — the differential parity suite enforces
+// it — so the switch exists only for differential testing and for
+// benchmarking the fixed-point core against its reference baseline.
+func (r *Renderer) UseReferenceCore(on bool) { r.useReference = on }
 
 // New returns a renderer targeting fb with default options.
 func New(fb *Framebuffer) *Renderer {
@@ -90,12 +113,15 @@ type shadedVert struct {
 	color mathx.Vec3
 }
 
-// screenVert is a vertex ready for rasterization.
+// screenVert is a vertex ready for rasterization. Positions are
+// snapped to the 26.6 subpixel grid: sx, sy are the fixed-point
+// coordinates and x, y the exact float equivalents (sx/64, sy/64).
 type screenVert struct {
-	x, y  float64
-	z     float64 // NDC depth, linear in screen space
-	invW  float64 // 1/w for perspective-correct attribute interpolation
-	color mathx.Vec3
+	x, y   float64
+	sx, sy int32   // 26.6 fixed-point screen position
+	z      float64 // NDC depth, linear in screen space
+	invW   float64 // 1/w for perspective-correct attribute interpolation
+	color  mathx.Vec3
 }
 
 // RenderMesh draws the mesh under the given model transform and camera.
@@ -106,8 +132,21 @@ func (r *Renderer) RenderMesh(m *geom.Mesh, model mathx.Mat4, cam Camera) {
 	light := r.Opts.Light.Normalize()
 	ambient := mathx.Clamp(r.Opts.Ambient, 0, 1)
 
-	// Vertex stage: transform and light every vertex once.
-	verts := make([]shadedVert, len(m.Positions))
+	// Vertex stage: transform, light, and project every vertex once.
+	// Each vertex records whether it is near-plane inside (bit 0) and
+	// projectable (bit 1); vertices with both bits set get their screen
+	// position up front, so shared-vertex meshes project each vertex
+	// once instead of once per incident triangle.
+	ox, oy := r.tileOrigin()
+	nv := len(m.Positions)
+	if cap(r.vertScratch) < nv {
+		r.vertScratch = make([]shadedVert, nv)
+		r.projScratch = make([]screenVert, nv)
+		r.flagScratch = make([]uint8, nv)
+	}
+	verts := r.vertScratch[:nv]
+	proj := r.projScratch[:nv]
+	flags := r.flagScratch[:nv]
 	for i, p := range m.Positions {
 		clip := mvp.MulVec4(mathx.FromPoint(p))
 		base := r.Opts.DefaultColor
@@ -121,28 +160,52 @@ func (r *Renderer) RenderMesh(m *geom.Mesh, model mathx.Mat4, cam Camera) {
 			intensity = ambient + (1-ambient)*diffuse
 		}
 		verts[i] = shadedVert{clip: clip, color: base.Scale(intensity)}
+		f := uint8(0)
+		if clip.Z+clip.W > nearEps {
+			f = 1
+		}
+		if clip.W > nearEps {
+			f |= 2
+			proj[i] = projectVert(&verts[i], fullW, fullH, ox, oy)
+		}
+		flags[i] = f
 	}
 
-	// Assemble, clip and project triangles.
-	var tris []([3]screenVert)
-	ox, oy := r.tileOrigin()
+	// Assemble, clip and set up triangles, allocation-free. Triangles
+	// whose vertices are all inside and projectable reuse the
+	// per-vertex projections directly; only triangles straddling the
+	// near plane take the clipping slow path (which re-projects with
+	// the same expressions, so the result is bit-identical).
+	setups := r.setupScratch[:0]
+	var poly [4]shadedVert
+	var clipped [3]shadedVert
+	var sv [3]screenVert
 	for i := 0; i < m.TriangleCount(); i++ {
-		tri := [3]shadedVert{
-			verts[m.Indices[3*i]],
-			verts[m.Indices[3*i+1]],
-			verts[m.Indices[3*i+2]],
-		}
-		for _, clipped := range clipNear(tri[:]) {
-			sv, ok := toScreen(clipped, fullW, fullH, ox, oy)
-			if !ok {
+		i0, i1, i2 := m.Indices[3*i], m.Indices[3*i+1], m.Indices[3*i+2]
+		if flags[i0]&flags[i1]&flags[i2] == 3 {
+			v0, v1, v2 := &proj[i0], &proj[i1], &proj[i2]
+			if !frontFacing(v0, v1, v2) {
 				continue
 			}
-			tris = append(tris, sv)
+			setups = append(setups, triSetup{})
+			r.setupTri(&setups[len(setups)-1], v0, v1, v2)
+			continue
+		}
+		tri := [3]shadedVert{verts[i0], verts[i1], verts[i2]}
+		n := clipNear(&tri, &poly)
+		for k := 1; k+1 < n; k++ {
+			clipped[0], clipped[1], clipped[2] = poly[0], poly[k], poly[k+1]
+			if !toScreen(&clipped, &sv, fullW, fullH, ox, oy) {
+				continue
+			}
+			setups = append(setups, triSetup{})
+			r.setupTri(&setups[len(setups)-1], &sv[0], &sv[1], &sv[2])
 		}
 	}
-	r.TrianglesDrawn = len(tris)
-	r.Opts.Metrics.Counter(r.Opts.Service, "raster_triangles_total", "").Add(int64(len(tris)))
-	r.rasterize(tris)
+	r.setupScratch = setups
+	r.TrianglesDrawn = len(setups)
+	r.Opts.Metrics.Counter(r.Opts.Service, "raster_triangles_total", "").Add(int64(len(setups)))
+	r.rasterize(setups)
 }
 
 // RenderPoints draws a point cloud as single-pixel splats.
@@ -230,74 +293,90 @@ func (r *Renderer) RenderVoxels(g *geom.VoxelGrid, iso float64, model mathx.Mat4
 
 const nearEps = 1e-6
 
-// clipNear clips a triangle against the near plane (clip.Z + clip.W > 0),
-// returning 0, 1 or 2 triangles.
-func clipNear(tri []shadedVert) [][3]shadedVert {
-	inside := func(v shadedVert) bool { return v.clip.Z+v.clip.W > nearEps }
-	var poly []shadedVert
+// clipNear clips a triangle against the near plane (clip.Z + clip.W > 0)
+// into poly, returning the vertex count: 0 (fully clipped), 3, or 4
+// (the caller fans poly[0], poly[k], poly[k+1] into triangles). The
+// fixed-size output keeps the per-triangle clip allocation-free.
+func clipNear(tri *[3]shadedVert, poly *[4]shadedVert) int {
+	n := 0
 	for i := 0; i < 3; i++ {
-		cur, next := tri[i], tri[(i+1)%3]
-		curIn, nextIn := inside(cur), inside(next)
+		cur, next := &tri[i], &tri[(i+1)%3]
+		curIn := cur.clip.Z+cur.clip.W > nearEps
+		nextIn := next.clip.Z+next.clip.W > nearEps
 		if curIn {
-			poly = append(poly, cur)
+			poly[n] = *cur
+			n++
 		}
 		if curIn != nextIn {
 			// Intersection parameter where z + w = 0 along the edge.
 			d0 := cur.clip.Z + cur.clip.W
 			d1 := next.clip.Z + next.clip.W
 			t := d0 / (d0 - d1)
-			poly = append(poly, shadedVert{
+			poly[n] = shadedVert{
 				clip:  cur.clip.Lerp(next.clip, t),
 				color: cur.color.Lerp(next.color, t),
-			})
+			}
+			n++
 		}
 	}
-	switch len(poly) {
-	case 3:
-		return [][3]shadedVert{{poly[0], poly[1], poly[2]}}
-	case 4:
-		return [][3]shadedVert{
-			{poly[0], poly[1], poly[2]},
-			{poly[0], poly[2], poly[3]},
-		}
-	default:
-		return nil
+	if n < 3 {
+		return 0
+	}
+	return n
+}
+
+// projectVert projects one clip-space vertex into screen space
+// (tile-local coordinates) and snaps it to the 26.6 subpixel grid. The
+// caller must have checked clip.W > nearEps. Both the once-per-vertex
+// fast path and the clip-path toScreen go through this helper, so a
+// re-projected clipped vertex is bit-identical to its precomputed one.
+func projectVert(v *shadedVert, fullW, fullH, ox, oy int) screenVert {
+	ndc := v.clip.PerspectiveDivide()
+	sx := snapCoord((ndc.X*0.5+0.5)*float64(fullW) - float64(ox))
+	sy := snapCoord((0.5-ndc.Y*0.5)*float64(fullH) - float64(oy))
+	return screenVert{
+		x:     float64(sx) / subScale,
+		y:     float64(sy) / subScale,
+		sx:    sx,
+		sy:    sy,
+		z:     ndc.Z,
+		invW:  1 / v.clip.W,
+		color: v.color,
 	}
 }
 
-// toScreen projects a clipped triangle into screen space (tile-local
-// coordinates) and backface-culls it. Front faces wind counter-clockwise
-// in world space, which with the screen's downward y axis gives negative
-// signed area.
-func toScreen(tri [3]shadedVert, fullW, fullH, ox, oy int) ([3]screenVert, bool) {
-	var out [3]screenVert
-	for i, v := range tri {
-		if v.clip.W <= nearEps {
-			return out, false
-		}
-		ndc := v.clip.PerspectiveDivide()
-		out[i] = screenVert{
-			x:     (ndc.X*0.5+0.5)*float64(fullW) - float64(ox),
-			y:     (0.5-ndc.Y*0.5)*float64(fullH) - float64(oy),
-			z:     ndc.Z,
-			invW:  1 / v.clip.W,
-			color: v.color,
-		}
-	}
-	area2 := (out[1].x-out[0].x)*(out[2].y-out[0].y) - (out[2].x-out[0].x)*(out[1].y-out[0].y)
-	if area2 >= 0 {
-		return out, false // backface or degenerate
-	}
-	return out, true
+// frontFacing reports whether the snapped triangle is front-facing.
+// Front faces wind counter-clockwise in world space, which with the
+// screen's downward y axis gives negative signed area; the integer
+// area also drops triangles that collapse to zero area on the subpixel
+// grid before rasterization ever sees them.
+func frontFacing(v0, v1, v2 *screenVert) bool {
+	x0, y0 := int64(v0.sx), int64(v0.sy)
+	x1, y1 := int64(v1.sx), int64(v1.sy)
+	x2, y2 := int64(v2.sx), int64(v2.sy)
+	return (x1-x0)*(y2-y0)-(x2-x0)*(y1-y0) < 0
 }
 
-// rasterize fills the triangles into the framebuffer, optionally in
-// parallel across horizontal bands. Each worker owns a disjoint band of
-// rows, so no synchronization is needed on the pixel buffers.
-func (r *Renderer) rasterize(tris [][3]screenVert) {
+// toScreen projects a clipped triangle into screen space and
+// backface-culls it on the snapped integer area.
+func toScreen(tri *[3]shadedVert, out *[3]screenVert, fullW, fullH, ox, oy int) bool {
+	for i := range tri {
+		if tri[i].clip.W <= nearEps {
+			return false
+		}
+		out[i] = projectVert(&tri[i], fullW, fullH, ox, oy)
+	}
+	return frontFacing(&out[0], &out[1], &out[2])
+}
+
+// rasterize fills the set-up triangles into the framebuffer, optionally
+// in parallel across horizontal bands. The setup slice is shared
+// read-only by every band; each worker owns a disjoint band of rows, so
+// no synchronization is needed on the pixel buffers.
+func (r *Renderer) rasterize(setups []triSetup) {
 	workers := r.Opts.Workers
 	if workers < 2 {
-		r.timedBand(tris, 0, r.FB.H)
+		r.timedBand(setups, 0, r.FB.H)
 		return
 	}
 	if workers > r.FB.H {
@@ -317,89 +396,37 @@ func (r *Renderer) rasterize(tris [][3]screenVert) {
 		wg.Add(1)
 		go func(y0, y1 int) {
 			defer wg.Done()
-			r.timedBand(tris, y0, y1)
+			r.timedBand(setups, y0, y1)
 		}(y0, y1)
 	}
 	wg.Wait()
 }
 
-// timedBand rasterizes one band, recording its duration on the session
-// clock when telemetry is wired up.
-func (r *Renderer) timedBand(tris [][3]screenVert, y0, y1 int) {
-	if r.Opts.Metrics == nil || r.Opts.Clock == nil {
-		r.rasterizeBand(tris, y0, y1)
-		return
+// timedBand rasterizes one band and flushes its work counters to
+// telemetry. Band durations are recorded on the session clock when one
+// is wired up; with a nil Clock the timing alone is skipped — work
+// counters (spans, pixels, early-z rejections) are still recorded.
+func (r *Renderer) timedBand(setups []triSetup, y0, y1 int) {
+	timed := r.Opts.Metrics != nil && r.Opts.Clock != nil
+	var start time.Time
+	if timed {
+		start = r.Opts.Clock.Now()
 	}
-	start := r.Opts.Clock.Now()
-	r.rasterizeBand(tris, y0, y1)
-	r.Opts.Metrics.Histogram(r.Opts.Service, "raster_band_ns", "").Observe(r.Opts.Clock.Now().Sub(start))
-}
-
-// rasterizeBand fills triangles, restricted to rows [y0, y1).
-func (r *Renderer) rasterizeBand(tris [][3]screenVert, y0, y1 int) {
-	fb := r.FB
-	for _, tri := range tris {
-		minX := int(math.Floor(math.Min(tri[0].x, math.Min(tri[1].x, tri[2].x))))
-		maxX := int(math.Ceil(math.Max(tri[0].x, math.Max(tri[1].x, tri[2].x))))
-		minY := int(math.Floor(math.Min(tri[0].y, math.Min(tri[1].y, tri[2].y))))
-		maxY := int(math.Ceil(math.Max(tri[0].y, math.Max(tri[1].y, tri[2].y))))
-		if minX < 0 {
-			minX = 0
-		}
-		if maxX >= fb.W {
-			maxX = fb.W - 1
-		}
-		if minY < y0 {
-			minY = y0
-		}
-		if maxY >= y1 {
-			maxY = y1 - 1
-		}
-		if minX > maxX || minY > maxY {
-			continue
-		}
-
-		// Edge functions: for a CW-on-screen (front-facing) triangle the
-		// interior has all edge values <= 0; normalize by 2*area so they
-		// become barycentric coordinates.
-		x0f, y0f := tri[0].x, tri[0].y
-		x1f, y1f := tri[1].x, tri[1].y
-		x2f, y2f := tri[2].x, tri[2].y
-		area2 := (x1f-x0f)*(y2f-y0f) - (x2f-x0f)*(y1f-y0f)
-		invArea := 1 / area2
-
-		for y := minY; y <= maxY; y++ {
-			py := float64(y) + 0.5
-			for x := minX; x <= maxX; x++ {
-				px := float64(x) + 0.5
-				// Barycentric coordinates via edge functions.
-				w0 := ((x2f-x1f)*(py-y1f) - (y2f-y1f)*(px-x1f)) * invArea
-				w1 := ((x0f-x2f)*(py-y2f) - (y0f-y2f)*(px-x2f)) * invArea
-				w2 := 1 - w0 - w1
-				if w0 < 0 || w1 < 0 || w2 < 0 {
-					continue
-				}
-				z := w0*tri[0].z + w1*tri[1].z + w2*tri[2].z
-				if z < -1 || z > 1 {
-					continue
-				}
-				di := y*fb.W + x
-				zf := float32(z)
-				if zf >= fb.Depth[di] {
-					continue
-				}
-				// Perspective-correct color interpolation.
-				iw := w0*tri[0].invW + w1*tri[1].invW + w2*tri[2].invW
-				cr := (w0*tri[0].color.X*tri[0].invW + w1*tri[1].color.X*tri[1].invW + w2*tri[2].color.X*tri[2].invW) / iw
-				cg := (w0*tri[0].color.Y*tri[0].invW + w1*tri[1].color.Y*tri[1].invW + w2*tri[2].color.Y*tri[2].invW) / iw
-				cb := (w0*tri[0].color.Z*tri[0].invW + w1*tri[1].color.Z*tri[1].invW + w2*tri[2].color.Z*tri[2].invW) / iw
-				fb.Depth[di] = zf
-				ci := di * 3
-				fb.Color[ci] = toByte(cr)
-				fb.Color[ci+1] = toByte(cg)
-				fb.Color[ci+2] = toByte(cb)
-			}
-		}
+	sc := scratchPool.Get().(*bandScratch)
+	sc.init(len(setups))
+	if r.useReference {
+		r.referenceBand(setups, y0, y1, sc)
+	} else {
+		r.bandRaster(setups, y0, y1, sc)
+	}
+	m := r.Opts.Metrics
+	m.Counter(r.Opts.Service, "raster_spans_total", "").Add(sc.spans)
+	m.Counter(r.Opts.Service, "raster_pixels_total", "").Add(sc.pixels)
+	m.Counter(r.Opts.Service, "raster_earlyz_spans_total", "").Add(sc.earlySpans)
+	m.Counter(r.Opts.Service, "raster_earlyz_tris_total", "").Add(sc.earlyTris)
+	scratchPool.Put(sc)
+	if timed {
+		m.Histogram(r.Opts.Service, "raster_band_ns", "").Observe(r.Opts.Clock.Now().Sub(start))
 	}
 }
 

@@ -42,6 +42,14 @@ const (
 	// the fleet must evacuate its sessions. Same envelope and sibling
 	// fields as scale, plus the sick-disk event.
 	BenchKindStorage = "storage"
+	// BenchKindRaster is a ravebench single-node rasterizer run
+	// (BENCH_raster.json): fixed-point core frame quantiles, pixels/sec,
+	// speedup over the float reference core, and band utilization.
+	BenchKindRaster = "raster"
+	// BenchKindPipeline is a ravebench render→composite→encode run
+	// (BENCH_pipeline.json): end-to-end frame quantiles with per-stage
+	// breakdown. Same envelope shape as raster, different scenario.
+	BenchKindPipeline = "pipeline"
 )
 
 // BenchArtifact is the common envelope of a BENCH_*.json file: the
@@ -56,14 +64,46 @@ type BenchArtifact struct {
 }
 
 // WriteBenchArtifact writes a current-version envelope around snap as
-// indented JSON (deterministic: snapshot metrics are sorted).
-func WriteBenchArtifact(w io.Writer, kind string, snap Snapshot) error {
+// indented JSON (deterministic: snapshot metrics are sorted, object
+// keys too). Optional siblings are kind-specific payloads (a harness's
+// scenario/results blocks) merged into the envelope object — the shape
+// raveload pioneered, available to any harness without each one
+// re-implementing the envelope. A sibling key colliding with another
+// sibling's (or the envelope's) is an error, not a silent overwrite.
+func WriteBenchArtifact(w io.Writer, kind string, snap Snapshot, siblings ...any) error {
 	if kind == "" {
 		return fmt.Errorf("telemetry: bench artifact kind required")
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(BenchArtifact{V: BenchVersion, Kind: kind, Snapshot: snap})
+	if len(siblings) == 0 {
+		return enc.Encode(BenchArtifact{V: BenchVersion, Kind: kind, Snapshot: snap})
+	}
+	obj := map[string]json.RawMessage{}
+	env, err := json.Marshal(BenchArtifact{V: BenchVersion, Kind: kind, Snapshot: snap})
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(env, &obj); err != nil {
+		return err
+	}
+	for _, s := range siblings {
+		raw, err := json.Marshal(s)
+		if err != nil {
+			return err
+		}
+		var fields map[string]json.RawMessage
+		if err := json.Unmarshal(raw, &fields); err != nil {
+			return fmt.Errorf("telemetry: bench artifact sibling must be a JSON object: %w", err)
+		}
+		for k, v := range fields {
+			if _, dup := obj[k]; dup {
+				return fmt.Errorf("telemetry: bench artifact sibling key %q collides", k)
+			}
+			obj[k] = v
+		}
+	}
+	return enc.Encode(obj)
 }
 
 // ReadBenchArtifact decodes a BENCH_*.json envelope of any schema

@@ -40,6 +40,85 @@ func TestBenchArtifactRoundTrip(t *testing.T) {
 	}
 }
 
+// TestBenchArtifactSiblings: kind-specific sibling payloads are merged
+// into the envelope object (the shape raveload's artifacts pioneered),
+// the result still decodes through the generic reader, and a sibling
+// key colliding with the envelope or another sibling is an error
+// rather than a silent overwrite.
+func TestBenchArtifactSiblings(t *testing.T) {
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	reg := NewRegistry(clk)
+	reg.Counter("rb", "pixels_total", "").Add(9)
+
+	type scenario struct {
+		Frames int `json:"frames"`
+	}
+	type results struct {
+		Speedup float64 `json:"speedup"`
+	}
+
+	var buf bytes.Buffer
+	err := WriteBenchArtifact(&buf, BenchKindRaster, reg.Snapshot(),
+		struct {
+			Scenario scenario `json:"scenario"`
+			Results  results  `json:"results"`
+		}{scenario{Frames: 30}, results{Speedup: 4.35}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"kind": "raster"`, `"frames": 30`, `"speedup": 4.35`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("merged artifact missing %s:\n%s", want, out)
+		}
+	}
+	art, err := ReadBenchArtifact(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.V != BenchVersion || art.Kind != BenchKindRaster {
+		t.Fatalf("sibling envelope: %+v", art)
+	}
+	if got := art.Snapshot.CounterValue("rb", "pixels_total", ""); got != 9 {
+		t.Errorf("snapshot survived merge wrong: counter = %d, want 9", got)
+	}
+
+	// Deterministic output: the same write twice is byte-identical.
+	var again bytes.Buffer
+	if err := WriteBenchArtifact(&again, BenchKindRaster, reg.Snapshot(),
+		struct {
+			Scenario scenario `json:"scenario"`
+			Results  results  `json:"results"`
+		}{scenario{Frames: 30}, results{Speedup: 4.35}}); err != nil {
+		t.Fatal(err)
+	}
+	if out2 := again.String(); out != out2 {
+		t.Errorf("sibling merge not deterministic:\n%s\nvs\n%s", out, out2)
+	}
+
+	// Collisions: a sibling may not shadow an envelope field or repeat
+	// another sibling's key; a non-object sibling cannot merge at all.
+	var sink bytes.Buffer
+	if err := WriteBenchArtifact(&sink, BenchKindRaster, reg.Snapshot(),
+		struct {
+			Kind string `json:"kind"`
+		}{"evil"}); err == nil {
+		t.Error("sibling shadowing the envelope's kind accepted")
+	}
+	if err := WriteBenchArtifact(&sink, BenchKindRaster, reg.Snapshot(),
+		struct {
+			A int `json:"a"`
+		}{1},
+		struct {
+			A int `json:"a"`
+		}{2}); err == nil {
+		t.Error("two siblings with the same key accepted")
+	}
+	if err := WriteBenchArtifact(&sink, BenchKindRaster, reg.Snapshot(), 42); err == nil {
+		t.Error("non-object sibling accepted")
+	}
+}
+
 // TestBenchArtifactDecodesLegacyFormat: a pre-envelope
 // BENCH_telemetry.json — a bare snapshot with no "v" field, exactly as
 // ravebench wrote it before the schema was versioned — still decodes,
